@@ -1,0 +1,100 @@
+// E3 — contended mutex throughput versus thread count and critical-section
+// length, across lock designs:
+//
+//   TaosMutex     test-and-set fast path + queue/park slow path (barging)
+//   Semaphore     the identical mechanism behind P/V (E5 cross-check)
+//   TicketSpin    FIFO pure spinning
+//   StdMutex      the host's native mutex (futex-backed)
+//
+// google-benchmark's ->Threads(N) runs the loop body in N OS threads; the
+// reported time is per-operation wall time. cs_work/outside_work sweep the
+// critical-section length (DoWork units).
+
+#include <benchmark/benchmark.h>
+
+#include "src/baseline/handoff_mutex.h"
+#include "src/baseline/reed_kanodia.h"
+#include "src/baseline/std_sync.h"
+#include "src/baseline/ticket_lock.h"
+#include "src/threads/threads.h"
+#include "src/workload/work.h"
+
+namespace {
+
+class SemaphoreAsLock {
+ public:
+  void Acquire() { s_.P(); }
+  void Release() { s_.V(); }
+
+ private:
+  taos::Semaphore s_;
+};
+
+template <typename LockT>
+void ContendedLoop(benchmark::State& state, LockT& lock) {
+  const std::uint64_t cs_work = static_cast<std::uint64_t>(state.range(0));
+  const std::uint64_t outside = static_cast<std::uint64_t>(state.range(1));
+  std::uint64_t local = 0;
+  for (auto _ : state) {
+    lock.Acquire();
+    local ^= taos::workload::DoWork(cs_work);
+    lock.Release();
+    local ^= taos::workload::DoWork(outside);
+  }
+  benchmark::DoNotOptimize(local);
+}
+
+taos::Mutex g_taos_mutex;
+void BM_TaosMutex(benchmark::State& state) {
+  ContendedLoop(state, g_taos_mutex);
+  if (state.thread_index() == 0) {
+    state.counters["slow_acquires"] =
+        static_cast<double>(g_taos_mutex.slow_acquires());
+    g_taos_mutex.ResetStats();
+  }
+}
+
+SemaphoreAsLock g_semaphore_lock;
+void BM_SemaphoreLock(benchmark::State& state) {
+  ContendedLoop(state, g_semaphore_lock);
+}
+
+taos::baseline::TicketSpinMutex g_ticket;
+void BM_TicketSpin(benchmark::State& state) { ContendedLoop(state, g_ticket); }
+
+// The barging ablation: direct FIFO handoff (convoy-prone) vs the paper's
+// retry-from-the-test-and-set design.
+taos::baseline::HandoffMutex g_handoff;
+void BM_HandoffMutex(benchmark::State& state) {
+  ContendedLoop(state, g_handoff);
+}
+
+taos::baseline::StdMutex g_std_mutex;
+void BM_StdMutex(benchmark::State& state) { ContendedLoop(state, g_std_mutex); }
+
+// Reed-Kanodia mutual exclusion (ticket + eventcount): strict FIFO like the
+// handoff mutex, but the queueing is the eventcount's, not the Nub's.
+taos::baseline::EventcountMutex g_rk_mutex;
+void BM_ReedKanodiaMutex(benchmark::State& state) {
+  ContendedLoop(state, g_rk_mutex);
+}
+
+void Shapes(benchmark::internal::Benchmark* b) {
+  // {cs_work, outside_work}: short and long critical sections.
+  for (auto shape : {std::pair<int, int>{5, 20}, {100, 20}}) {
+    b->Args({shape.first, shape.second});
+  }
+  b->Threads(1)->Threads(2)->Threads(4);
+  b->UseRealTime();
+}
+
+BENCHMARK(BM_TaosMutex)->Apply(Shapes);
+BENCHMARK(BM_SemaphoreLock)->Apply(Shapes);
+BENCHMARK(BM_TicketSpin)->Apply(Shapes);
+BENCHMARK(BM_HandoffMutex)->Apply(Shapes);
+BENCHMARK(BM_StdMutex)->Apply(Shapes);
+BENCHMARK(BM_ReedKanodiaMutex)->Apply(Shapes);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,142 @@
+// E14 — the coroutine (single-process Unix) implementation: what blocking
+// and resuming cost when a context switch is a swapcontext instead of an OS
+// reschedule, and the same ping-pong workloads on both implementations.
+//
+//   CoroYieldRoundTrip        two coroutines alternating via Yield
+//   CoroCondPingPong          producer/consumer cell via Mutex+Condition
+//   CoroSemHandoff            semaphore token pass
+//   ThreadsCondPingPong       the identical program on OS threads (for the
+//                             switch-cost contrast the paper implies by
+//                             keeping both implementations)
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+
+#include "src/coro/sync.h"
+#include "src/threads/threads.h"
+
+namespace {
+
+void BM_CoroYieldRoundTrip(benchmark::State& state) {
+  // Each iteration = run a scheduler where two coroutines yield to each
+  // other kRounds times; report per-switch time via items.
+  constexpr int kRounds = 10000;
+  std::uint64_t switches = 0;
+  for (auto _ : state) {
+    taos::coro::Scheduler s;
+    for (int i = 0; i < 2; ++i) {
+      s.Fork([&s] {
+        for (int r = 0; r < kRounds; ++r) {
+          s.Yield();
+        }
+      });
+    }
+    benchmark::DoNotOptimize(s.Run().completed);
+    switches += s.switches();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(switches));
+  state.SetLabel("context switches in items");
+}
+BENCHMARK(BM_CoroYieldRoundTrip)->Unit(benchmark::kMillisecond);
+
+void BM_CoroCondPingPong(benchmark::State& state) {
+  constexpr int kRounds = 10000;
+  for (auto _ : state) {
+    taos::coro::Scheduler s;
+    taos::coro::Mutex m;
+    taos::coro::Condition c;
+    int cell = 0;
+    s.Fork([&] {
+      for (int r = 1; r <= kRounds; ++r) {
+        taos::coro::Lock lock(m);
+        while (cell != 0) {
+          c.Wait(m);
+        }
+        cell = r;
+        c.Signal();
+      }
+    });
+    s.Fork([&] {
+      for (int r = 1; r <= kRounds; ++r) {
+        taos::coro::Lock lock(m);
+        while (cell == 0) {
+          c.Wait(m);
+        }
+        cell = 0;
+        c.Signal();
+      }
+    });
+    benchmark::DoNotOptimize(s.Run().completed);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kRounds);
+  state.SetLabel("handoffs in items");
+}
+BENCHMARK(BM_CoroCondPingPong)->Unit(benchmark::kMillisecond);
+
+void BM_CoroSemHandoff(benchmark::State& state) {
+  constexpr int kRounds = 10000;
+  for (auto _ : state) {
+    taos::coro::Scheduler s;
+    taos::coro::Semaphore ping(false);
+    taos::coro::Semaphore pong(false);
+    s.Fork([&] {
+      for (int r = 0; r < kRounds; ++r) {
+        ping.P();
+        pong.V();
+      }
+    });
+    s.Fork([&] {
+      for (int r = 0; r < kRounds; ++r) {
+        ping.V();
+        pong.P();
+      }
+    });
+    benchmark::DoNotOptimize(s.Run().completed);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kRounds);
+}
+BENCHMARK(BM_CoroSemHandoff)->Unit(benchmark::kMillisecond);
+
+void BM_ThreadsCondPingPong(benchmark::State& state) {
+  // The same cell ping-pong as BM_CoroCondPingPong, on OS threads: the
+  // cost of parking/unparking through the host scheduler.
+  constexpr int kRounds = 2000;
+  for (auto _ : state) {
+    taos::Mutex m;
+    taos::Condition c;
+    int cell = 0;
+    taos::Thread producer = taos::Thread::Fork([&] {
+      for (int r = 1; r <= kRounds; ++r) {
+        taos::Lock lock(m);
+        while (cell != 0) {
+          c.Wait(m);
+        }
+        cell = r;
+        c.Broadcast();
+      }
+    });
+    taos::Thread consumer = taos::Thread::Fork([&] {
+      for (int r = 1; r <= kRounds; ++r) {
+        taos::Lock lock(m);
+        while (cell == 0) {
+          c.Wait(m);
+        }
+        cell = 0;
+        c.Broadcast();
+      }
+    });
+    producer.Join();
+    consumer.Join();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kRounds);
+  state.SetLabel("handoffs in items");
+}
+BENCHMARK(BM_ThreadsCondPingPong)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

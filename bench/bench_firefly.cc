@@ -1,0 +1,110 @@
+// E13 — the simulated Firefly itself: simulation rate (steps/sec), the cost
+// of scheduler features (time slicing, extra processors), and model-checking
+// throughput (explored schedules/sec), so the exploration budgets used in
+// the experiments are reproducible.
+
+#include <benchmark/benchmark.h>
+
+#include "src/firefly/sync.h"
+#include "src/model/explorer.h"
+#include "src/model/litmus.h"
+
+namespace {
+
+using taos::firefly::Machine;
+using taos::firefly::MachineConfig;
+
+void BM_SimulationSteps(benchmark::State& state) {
+  const int cpus = static_cast<int>(state.range(0));
+  const std::uint64_t slice = static_cast<std::uint64_t>(state.range(1));
+  std::uint64_t steps = 0;
+  for (auto _ : state) {
+    MachineConfig cfg;
+    cfg.cpus = cpus;
+    cfg.time_slice = slice;
+    Machine m(cfg);
+    for (int f = 0; f < 4; ++f) {
+      m.Fork([&m] {
+        for (int i = 0; i < 2000; ++i) {
+          m.Step();
+        }
+      });
+    }
+    auto r = m.Run();
+    steps += r.steps;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(steps));
+  state.SetLabel("steps/sec in items");
+}
+BENCHMARK(BM_SimulationSteps)
+    ->Args({1, 0})
+    ->Args({2, 0})
+    ->Args({4, 0})
+    ->Args({2, 16})  // with time slicing
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SimulatedMutexRound(benchmark::State& state) {
+  std::uint64_t sections = 0;
+  for (auto _ : state) {
+    MachineConfig cfg;
+    cfg.cpus = 2;
+    Machine m(cfg);
+    taos::firefly::Mutex mu(m);
+    int counter = 0;
+    for (int f = 0; f < 2; ++f) {
+      m.Fork([&] {
+        for (int i = 0; i < 500; ++i) {
+          mu.Acquire();
+          ++counter;
+          mu.Release();
+        }
+      });
+    }
+    auto r = m.Run();
+    if (!r.completed || counter != 1000) {
+      state.SkipWithError("simulated run failed");
+      return;
+    }
+    sections += static_cast<std::uint64_t>(counter);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(sections));
+}
+BENCHMARK(BM_SimulatedMutexRound)->Unit(benchmark::kMillisecond);
+
+void BM_ExplorationRate(benchmark::State& state) {
+  using namespace taos::model;
+  std::uint64_t runs = 0;
+  for (auto _ : state) {
+    ExplorerOptions opt;
+    opt.machine.cpus = 2;
+    opt.max_runs = 500;
+    opt.stop_on_violation = false;
+    Explorer ex(opt);
+    auto r = ex.Explore(WakeupRaceLitmus(true));
+    runs += r.runs;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(runs));
+  state.SetLabel("explored schedules in items");
+}
+BENCHMARK(BM_ExplorationRate)->Unit(benchmark::kMillisecond);
+
+void BM_ExplorationRateWithTraceCheck(benchmark::State& state) {
+  using namespace taos::model;
+  std::uint64_t runs = 0;
+  for (auto _ : state) {
+    ExplorerOptions opt;
+    opt.machine.cpus = 2;
+    opt.max_runs = 500;
+    opt.stop_on_violation = false;
+    opt.check_traces = true;  // spec-check every schedule
+    Explorer ex(opt);
+    auto r = ex.Explore(WakeupRaceLitmus(true));
+    runs += r.runs;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(runs));
+}
+BENCHMARK(BM_ExplorationRateWithTraceCheck)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

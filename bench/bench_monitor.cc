@@ -1,0 +1,93 @@
+// E21 — what the automatic-signal discipline costs: Monitor<T> broadcasts
+// on every mutating entry (impossible to forget a Signal), versus the
+// paper's manual discipline (signal exactly when a predicate may have
+// changed). The no-waiter broadcast fast path (E2) is what keeps the
+// automatic variant viable.
+
+#include <benchmark/benchmark.h>
+
+#include <deque>
+
+#include "src/threads/threads.h"
+#include "src/workload/monitor.h"
+
+namespace {
+
+void BM_MonitorUncontendedEntry(benchmark::State& state) {
+  taos::workload::Monitor<long> counter(0);
+  for (auto _ : state) {
+    counter.With([](auto& access) {
+      ++*access;
+      return 0;
+    });
+  }
+}
+BENCHMARK(BM_MonitorUncontendedEntry);
+
+void BM_ManualUncontendedEntry(benchmark::State& state) {
+  taos::Mutex m;
+  taos::Condition c;
+  long counter = 0;
+  for (auto _ : state) {
+    {
+      taos::Lock lock(m);
+      ++counter;
+    }
+    c.Broadcast();  // the same always-notify discipline, hand-written
+  }
+  benchmark::DoNotOptimize(counter);
+}
+BENCHMARK(BM_ManualUncontendedEntry);
+
+void BM_ManualPreciseSignalEntry(benchmark::State& state) {
+  // The paper's discipline: no waiter can exist here, so no signal at all.
+  taos::Mutex m;
+  long counter = 0;
+  for (auto _ : state) {
+    taos::Lock lock(m);
+    ++counter;
+  }
+  benchmark::DoNotOptimize(counter);
+}
+BENCHMARK(BM_ManualPreciseSignalEntry);
+
+void BM_MonitorQueuePingPong(benchmark::State& state) {
+  // Producer/consumer through Monitor<deque>: every With broadcasts, the
+  // consumer Awaits. Compare against BM_SignalWakeRoundTrip (bench_signal).
+  taos::workload::Monitor<std::deque<int>> queue;
+  std::atomic<bool> stop{false};
+  taos::Thread consumer = taos::Thread::Fork([&] {
+    for (;;) {
+      const int v = queue.When(
+          [](const std::deque<int>& q) { return !q.empty(); },
+          [](auto& access) {
+            const int x = access->front();
+            access->pop_front();
+            return x;
+          });
+      if (v < 0) {
+        return;
+      }
+    }
+  });
+  for (auto _ : state) {
+    queue.With([](auto& access) {
+      access->push_back(1);
+      return 0;
+    });
+    // Wait until consumed (bounded queue of one, hand-rolled).
+    queue.When([](const std::deque<int>& q) { return q.empty(); },
+               [](auto&) { return 0; });
+  }
+  stop.store(true);
+  queue.With([](auto& access) {
+    access->push_back(-1);
+    return 0;
+  });
+  consumer.Join();
+}
+BENCHMARK(BM_MonitorQueuePingPong)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

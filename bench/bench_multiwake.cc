@@ -1,0 +1,76 @@
+// E6 — "It is possible (though unlikely) that Signal will acquire the
+// spin-lock while more than one thread is trying to acquire it in Wait; if
+// so, Signal will unblock all such threads."
+//
+// This bench hammers the read-eventcount -> Block window with several
+// waiters per signal and reports how often wakeups were "absorbed" (a Wait
+// returned from Block without sleeping because a Signal landed in its
+// window) — each absorption is an extra thread unblocked by some single
+// Signal. The deterministic witness schedules are in the model tests; this
+// measures how often the race occurs on real threads.
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <vector>
+
+#include "src/threads/threads.h"
+
+namespace {
+
+void BM_WindowAbsorption(benchmark::State& state) {
+  const int waiters = static_cast<int>(state.range(0));
+  taos::Mutex m;
+  taos::Condition c;
+  std::uint64_t tickets = 0;  // protected by m
+  bool stop = false;          // protected by m
+  std::atomic<std::uint64_t> consumed{0};
+
+  std::vector<taos::Thread> threads;
+  for (int i = 0; i < waiters; ++i) {
+    threads.push_back(taos::Thread::Fork([&] {
+      taos::Lock lock(m);
+      for (;;) {
+        while (tickets == 0 && !stop) {
+          c.Wait(m);
+        }
+        if (tickets == 0) {
+          return;  // stop
+        }
+        --tickets;
+        consumed.fetch_add(1, std::memory_order_relaxed);
+      }
+    }));
+  }
+
+  std::uint64_t produced = 0;
+  for (auto _ : state) {
+    {
+      taos::Lock lock(m);
+      ++tickets;
+      ++produced;
+    }
+    c.Signal();
+  }
+  {
+    taos::Lock lock(m);
+    stop = true;
+  }
+  c.Broadcast();
+  for (taos::Thread& t : threads) {
+    t.Join();
+  }
+
+  state.counters["absorbed"] = static_cast<double>(c.absorbed_wakeups());
+  state.counters["absorbed_per_1k_signals"] =
+      produced == 0 ? 0.0
+                    : 1000.0 * static_cast<double>(c.absorbed_wakeups()) /
+                          static_cast<double>(produced);
+  state.counters["nub_signals"] = static_cast<double>(c.nub_signals());
+  state.counters["fast_signals"] = static_cast<double>(c.fast_signals());
+}
+BENCHMARK(BM_WindowAbsorption)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

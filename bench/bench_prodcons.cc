@@ -1,0 +1,124 @@
+// E4 — producer-consumer throughput through a bounded buffer, per
+// primitives family:
+//
+//   Taos       Mutex + Condition (eventcount design)
+//   Naive      Mutex + semaphore-encoded condition (the paper's strawman;
+//              only run 1x1 where it is correct)
+//   Std        std::mutex + std::condition_variable
+//   Hoare      Hoare monitor (signal passes the monitor; two extra context
+//              switches per handoff — the cost the paper's looser spec
+//              avoids)
+//
+// Each iteration moves `items` values end to end; items/sec is reported.
+
+#include <benchmark/benchmark.h>
+
+#include "src/baseline/naive_condition.h"
+#include "src/baseline/reed_kanodia.h"
+#include "src/baseline/std_sync.h"
+#include "src/threads/threads.h"
+#include "src/workload/bounded_buffer.h"
+#include "src/workload/prodcons.h"
+
+namespace {
+
+using taos::workload::BoundedBuffer;
+using taos::workload::ExpectedChecksum;
+using taos::workload::HoareBoundedBuffer;
+using taos::workload::RunProducerConsumer;
+
+constexpr std::uint64_t kItems = 5000;
+
+template <typename BufferFactory>
+void RunBench(benchmark::State& state, BufferFactory make_buffer) {
+  const int producers = static_cast<int>(state.range(0));
+  const int consumers = static_cast<int>(state.range(1));
+  const std::size_t capacity = static_cast<std::size_t>(state.range(2));
+  std::uint64_t items_total = 0;
+  std::uint64_t nanos_total = 0;
+  for (auto _ : state) {
+    auto buffer = make_buffer(capacity);
+    auto result =
+        RunProducerConsumer(*buffer, producers, consumers, kItems);
+    if (result.checksum != ExpectedChecksum(producers, kItems)) {
+      state.SkipWithError("checksum mismatch: items lost or duplicated");
+      return;
+    }
+    items_total += result.items;
+    nanos_total += result.nanos;
+  }
+  // Wall-clock throughput measured inside the driver (the benchmark thread
+  // itself mostly sleeps, so CPU-time-based rates would mislead).
+  state.counters["items_per_sec_wall"] =
+      nanos_total == 0 ? 0.0
+                       : static_cast<double>(items_total) * 1e9 /
+                             static_cast<double>(nanos_total);
+}
+
+void BM_Taos(benchmark::State& state) {
+  RunBench(state, [](std::size_t cap) {
+    return std::make_unique<BoundedBuffer<taos::Mutex, taos::Condition>>(cap);
+  });
+}
+
+void BM_Naive(benchmark::State& state) {
+  RunBench(state, [](std::size_t cap) {
+    return std::make_unique<
+        BoundedBuffer<taos::Mutex, taos::baseline::NaiveCondition>>(cap);
+  });
+}
+
+void BM_Std(benchmark::State& state) {
+  RunBench(state, [](std::size_t cap) {
+    return std::make_unique<BoundedBuffer<taos::baseline::StdMutex,
+                                          taos::baseline::StdCondition>>(cap);
+  });
+}
+
+void BM_Hoare(benchmark::State& state) {
+  RunBench(state,
+           [](std::size_t cap) {
+             return std::make_unique<HoareBoundedBuffer>(cap);
+           });
+}
+
+// Reed & Kanodia's two-eventcount buffer: single producer/consumer only,
+// no lock on the data path.
+void BM_ReedKanodia(benchmark::State& state) {
+  RunBench(state, [](std::size_t cap) {
+    return std::make_unique<taos::baseline::RKBoundedBuffer>(cap);
+  });
+}
+
+// {producers, consumers, capacity}
+BENCHMARK(BM_Taos)
+    ->Args({1, 1, 1})
+    ->Args({1, 1, 16})
+    ->Args({2, 2, 16})
+    ->Args({4, 4, 16})
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_Naive)
+    ->Args({1, 1, 1})
+    ->Args({1, 1, 16})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+BENCHMARK(BM_Std)
+    ->Args({1, 1, 1})
+    ->Args({1, 1, 16})
+    ->Args({2, 2, 16})
+    ->Args({4, 4, 16})
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_Hoare)
+    ->Args({1, 1, 1})
+    ->Args({1, 1, 16})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+BENCHMARK(BM_ReedKanodia)
+    ->Args({1, 1, 1})
+    ->Args({1, 1, 16})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,92 @@
+// Timeouts and aborts via alerting — the paper's stated use case: "Alerting
+// provides a polite form of interrupt [...] typically to implement things
+// such as timeouts and aborts [...] at an abstraction level higher than
+// that in which the thread is blocked."
+//
+// A "server" answers requests; one request is served promptly, one is
+// never served (the waiter gives up via timeout), and one long computation
+// is aborted outright by alerting the worker.
+//
+//   $ ./examples/alert_timeout
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "src/threads/threads.h"
+#include "src/workload/timeout.h"
+
+namespace {
+
+struct Mailbox {
+  taos::Mutex m;
+  taos::Condition arrived;
+  bool has_reply = false;  // protected by m
+};
+
+void PromptReply() {
+  Mailbox box;
+  taos::Thread server = taos::Thread::Fork([&box] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    {
+      taos::Lock lock(box.m);
+      box.has_reply = true;
+    }
+    box.arrived.Signal();
+  });
+  box.m.Acquire();
+  const bool ok = taos::workload::WaitWithTimeout(
+      box.m, box.arrived, [&box] { return box.has_reply; },
+      std::chrono::milliseconds(2000));
+  box.m.Release();
+  server.Join();
+  std::printf("[reply]   served before deadline: %s (expect yes)\n",
+              ok ? "yes" : "no");
+}
+
+void TimedOut() {
+  Mailbox box;  // nobody will ever reply
+  box.m.Acquire();
+  const auto start = std::chrono::steady_clock::now();
+  const bool ok = taos::workload::WaitWithTimeout(
+      box.m, box.arrived, [&box] { return box.has_reply; },
+      std::chrono::milliseconds(50));
+  const auto waited = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  box.m.Release();
+  std::printf("[timeout] gave up after ~%lld ms: %s (expect timed out)\n",
+              static_cast<long long>(waited.count()),
+              ok ? "served?!" : "timed out");
+}
+
+void AbortedComputation() {
+  // The decision to abort happens above the level where the worker blocks:
+  // the aborter holds only a thread handle, not the semaphore.
+  taos::Semaphore tape;
+  tape.P();  // the "input" never arrives
+  bool aborted = false;
+  taos::Thread worker = taos::Thread::Fork([&] {
+    try {
+      for (;;) {
+        taos::AlertP(tape);  // would consume input if any came
+      }
+    } catch (const taos::Alerted&) {
+      aborted = true;
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  taos::Alert(worker.Handle());
+  worker.Join();
+  std::printf("[abort]   worker acknowledged abort: %s (expect yes)\n",
+              aborted ? "yes" : "no");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("alerting as timeout/abort (SRC Report 20, Alerting section)\n");
+  PromptReply();
+  TimedOut();
+  AbortedComputation();
+  return 0;
+}

@@ -1,0 +1,89 @@
+// A three-stage pipeline over bounded buffers — the producer-consumer
+// paradigm from the paper's informal description, composed:
+//
+//   source --(raw)--> workers x N --(squared)--> sink
+//
+// Each buffer is a Mutex + two Conditions; every stage uses the Mesa
+// predicate-loop discipline. A poison value shuts the pipeline down.
+//
+//   $ ./examples/pipeline [workers] [items]
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "src/threads/threads.h"
+#include "src/workload/bounded_buffer.h"
+
+namespace {
+
+constexpr std::uint64_t kPoison = ~0ULL;
+
+using Buffer = taos::workload::BoundedBuffer<taos::Mutex, taos::Condition>;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int workers = argc > 1 ? std::atoi(argv[1]) : 3;
+  const std::uint64_t items = argc > 2
+                                  ? static_cast<std::uint64_t>(std::atoll(argv[2]))
+                                  : 10000;
+
+  Buffer raw(16);
+  Buffer squared(16);
+
+  // Source: feeds 1..items, then one poison pill per worker.
+  taos::Thread source = taos::Thread::Fork([&] {
+    for (std::uint64_t i = 1; i <= items; ++i) {
+      raw.Put(i);
+    }
+    for (int w = 0; w < workers; ++w) {
+      raw.Put(kPoison);
+    }
+  });
+
+  // Workers: square each value. Each forwards exactly one poison pill.
+  std::vector<taos::Thread> stage;
+  for (int w = 0; w < workers; ++w) {
+    stage.push_back(taos::Thread::Fork([&] {
+      for (;;) {
+        const std::uint64_t v = raw.Get();
+        if (v == kPoison) {
+          squared.Put(kPoison);
+          return;
+        }
+        squared.Put(v * v);
+      }
+    }));
+  }
+
+  // Sink: accumulates until every worker's poison arrived.
+  std::uint64_t sum = 0;
+  std::uint64_t received = 0;
+  int poisons = 0;
+  while (poisons < workers) {
+    const std::uint64_t v = squared.Get();
+    if (v == kPoison) {
+      ++poisons;
+    } else {
+      sum += v;
+      ++received;
+    }
+  }
+
+  source.Join();
+  for (taos::Thread& t : stage) {
+    t.Join();
+  }
+
+  // sum of squares 1..n
+  const std::uint64_t n = items;
+  const std::uint64_t expect = n * (n + 1) * (2 * n + 1) / 6;
+  std::printf("pipeline: %d workers, %llu items\n", workers,
+              static_cast<unsigned long long>(items));
+  std::printf("  received %llu items, sum of squares = %llu (expect %llu)\n",
+              static_cast<unsigned long long>(received),
+              static_cast<unsigned long long>(sum),
+              static_cast<unsigned long long>(expect));
+  return sum == expect && received == items ? 0 : 1;
+}

@@ -1,0 +1,27 @@
+// Prints the formal specification — in the corrected form and, with
+// --buggy, in the originally released form whose AlertWait error the paper
+// reports. The text is generated from the same configuration object that
+// drives the executable semantics, so document and checker cannot drift.
+//
+//   $ ./examples/render_spec [--buggy] [--prerelease]
+
+#include <cstdio>
+#include <cstring>
+
+#include "src/spec/render.h"
+
+int main(int argc, char** argv) {
+  taos::spec::SpecConfig config;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--buggy") == 0) {
+      config.alert_wait = taos::spec::AlertWaitVariant::kOriginalBuggy;
+    } else if (std::strcmp(argv[i], "--prerelease") == 0) {
+      config.alert_choice = taos::spec::AlertChoicePolicy::kPreferAlerted;
+    } else {
+      std::fprintf(stderr, "usage: %s [--buggy] [--prerelease]\n", argv[0]);
+      return 2;
+    }
+  }
+  std::fputs(taos::spec::RenderSpecification(config).c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,67 @@
+// The formal side of the paper, live: run the model checker over the
+// simulated Firefly and watch it (a) verify the eventcount design against
+// the wakeup-waiting race, (b) dig up the lost-signal schedule when the
+// eventcount is removed, and (c) replay that counterexample as a trace of
+// spec-level atomic actions.
+//
+//   $ ./examples/spec_explorer
+
+#include <cstdio>
+
+#include "src/model/explorer.h"
+#include "src/model/litmus.h"
+
+int main() {
+  using namespace taos::model;
+
+  std::printf("model-checking the wakeup-waiting race (paper, Informal\n");
+  std::printf("Description + Implementation sections)\n\n");
+
+  ExplorerOptions opts;
+  opts.machine.cpus = 2;
+  opts.max_runs = 20000;
+  opts.check_traces = true;  // verify every schedule against the spec
+
+  {
+    Explorer ex(opts);
+    ExplorationResult r = ex.Explore(WakeupRaceLitmus(true));
+    std::printf("WITH eventcount   : %s\n", r.ToString().c_str());
+  }
+
+  ExplorationResult broken;
+  {
+    ExplorerOptions raw = opts;
+    raw.check_traces = false;  // the ablated implementation is not traced
+    Explorer ex(raw);
+    broken = ex.Explore(WakeupRaceLitmus(false));
+    std::printf("WITHOUT eventcount: %s\n", broken.ToString().c_str());
+  }
+
+  if (!broken.counterexample.empty()) {
+    std::printf("\ncounterexample schedule (%zu choices):",
+                broken.counterexample.size());
+    for (std::uint32_t c : broken.counterexample) {
+      std::printf(" %u", c);
+    }
+    std::printf("\nreplaying deterministically: ");
+    ExplorerOptions replay_opts;
+    replay_opts.machine = opts.machine;
+    replay_opts.check_traces = false;
+    Explorer ex(replay_opts);
+    std::vector<taos::spec::Action> trace;
+    const std::string verdict =
+        ex.Replay(WakeupRaceLitmus(false), broken.counterexample, &trace);
+    std::printf("%s\n", verdict.c_str());
+    std::printf("\nthe schedule's spec-level actions up to the deadlock:\n");
+    std::size_t i = 0;
+    for (const auto& a : trace) {
+      std::printf("  %2zu: %s\n", i++, a.ToString().c_str());
+    }
+    std::printf(
+        "\nThe Signal landed between the waiter's Enqueue and its Block —\n"
+        "with the eventcount comparison ablated, Block put the waiter to\n"
+        "sleep anyway, and no Resume ever follows: the wakeup-waiting\n"
+        "race the eventcount exists to close.\n");
+  }
+  return 0;
+}

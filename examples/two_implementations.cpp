@@ -1,0 +1,136 @@
+// The paper keeps two implementations of the same interface:
+//
+//   "We have two implementations of the Threads package. One runs within
+//    any single process on a normal Unix system [coroutines]. Our other
+//    implementation runs on the Firefly, and uses multiple processors to
+//    provide true concurrency."
+//
+// ...and argues that the specification insulates clients from the choice.
+// This example runs the *same* producer-consumer program (textually, via a
+// template over the primitives) on three substrates: the OS-thread
+// library, the coroutine scheduler, and the simulated Firefly.
+//
+//   $ ./examples/two_implementations
+
+#include <cstdio>
+
+#include "src/base/stopwatch.h"
+#include "src/coro/sync.h"
+#include "src/firefly/sync.h"
+#include "src/threads/threads.h"
+
+namespace {
+
+constexpr int kRounds = 5000;
+
+// One producer fills a single cell, one consumer drains it; both use the
+// canonical predicate-loop discipline. `Api` supplies the types and the
+// fork mechanism for a substrate.
+template <typename Api>
+long RunCellPingPong(Api& api) {
+  auto m = api.MakeMutex();
+  auto c = api.MakeCondition();
+  int cell = 0;
+  long sum = 0;
+  api.Fork([&] {
+    for (int r = 1; r <= kRounds; ++r) {
+      m->Acquire();
+      while (cell != 0) {
+        c->Wait(*m);
+      }
+      cell = r;
+      m->Release();
+      c->Signal();
+    }
+  });
+  api.Fork([&] {
+    for (int r = 1; r <= kRounds; ++r) {
+      m->Acquire();
+      while (cell == 0) {
+        c->Wait(*m);
+      }
+      sum += cell;
+      cell = 0;
+      m->Release();
+      c->Signal();
+    }
+  });
+  api.RunAll();
+  return sum;
+}
+
+struct ThreadsApi {
+  std::vector<taos::Thread> threads;
+  auto MakeMutex() { return std::make_unique<taos::Mutex>(); }
+  auto MakeCondition() { return std::make_unique<taos::Condition>(); }
+  template <typename Fn>
+  void Fork(Fn fn) {
+    threads.push_back(taos::Thread::Fork(std::move(fn)));
+  }
+  void RunAll() {
+    for (auto& t : threads) {
+      t.Join();
+    }
+  }
+};
+
+struct CoroApi {
+  taos::coro::Scheduler scheduler;
+  auto MakeMutex() { return std::make_unique<taos::coro::Mutex>(); }
+  auto MakeCondition() { return std::make_unique<taos::coro::Condition>(); }
+  template <typename Fn>
+  void Fork(Fn fn) {
+    scheduler.Fork(std::move(fn));
+  }
+  void RunAll() { scheduler.Run(); }
+};
+
+struct FireflyApi {
+  taos::firefly::Machine machine{taos::firefly::MachineConfig{.cpus = 2}};
+  auto MakeMutex() {
+    return std::make_unique<taos::firefly::Mutex>(machine);
+  }
+  auto MakeCondition() {
+    return std::make_unique<taos::firefly::Condition>(machine);
+  }
+  template <typename Fn>
+  void Fork(Fn fn) {
+    machine.Fork(std::move(fn));
+  }
+  void RunAll() { machine.Run(); }
+};
+
+}  // namespace
+
+int main() {
+  const long expect = static_cast<long>(kRounds) * (kRounds + 1) / 2;
+  std::printf("one program, three implementations of the Threads spec\n");
+  std::printf("(%d producer/consumer rounds; expected sum %ld)\n\n", kRounds,
+              expect);
+
+  {
+    taos::Stopwatch w;
+    ThreadsApi api;
+    const long sum = RunCellPingPong(api);
+    std::printf("  OS threads        : sum=%ld  %8.2f ms\n", sum,
+                w.ElapsedSeconds() * 1e3);
+  }
+  {
+    taos::Stopwatch w;
+    CoroApi api;
+    const long sum = RunCellPingPong(api);
+    std::printf("  coroutines (Unix) : sum=%ld  %8.2f ms\n", sum,
+                w.ElapsedSeconds() * 1e3);
+  }
+  {
+    taos::Stopwatch w;
+    FireflyApi api;
+    const long sum = RunCellPingPong(api);
+    std::printf("  simulated Firefly : sum=%ld  %8.2f ms\n", sum,
+                w.ElapsedSeconds() * 1e3);
+  }
+  std::printf(
+      "\nSame client code, same answers, three mechanisms — the point of\n"
+      "specifying the interface rather than the implementation.\n");
+  return 0;
+}

@@ -1,0 +1,22 @@
+// EXCEPTION Alerted (SRC Report 20).
+//
+// Raised by AlertWait and AlertP when the calling thread has a pending
+// alert. Shared by the production library (src/threads) and the Firefly
+// simulator (src/firefly) so that workloads can be written once against
+// either substrate.
+
+#ifndef TAOS_SRC_BASE_ALERTED_H_
+#define TAOS_SRC_BASE_ALERTED_H_
+
+#include <exception>
+
+namespace taos {
+
+class Alerted : public std::exception {
+ public:
+  const char* what() const noexcept override { return "taos::Alerted"; }
+};
+
+}  // namespace taos
+
+#endif  // TAOS_SRC_BASE_ALERTED_H_

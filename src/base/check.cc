@@ -1,0 +1,11 @@
+#include "src/base/check.h"
+
+namespace taos {
+
+void PanicImpl(const char* file, int line, const char* what) {
+  std::fprintf(stderr, "taos panic at %s:%d: %s\n", file, line, what);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace taos

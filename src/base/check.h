@@ -1,0 +1,39 @@
+// Invariant-checking macros used throughout the Taos Threads reproduction.
+//
+// TAOS_CHECK is always on (including release builds): the synchronization
+// kernel is exactly the kind of code whose invariant violations must never be
+// compiled away. TAOS_DCHECK compiles out in NDEBUG builds and is reserved for
+// hot paths that benches measure.
+
+#ifndef TAOS_SRC_BASE_CHECK_H_
+#define TAOS_SRC_BASE_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace taos {
+
+// Prints a diagnostic and aborts. Never returns.
+[[noreturn]] void PanicImpl(const char* file, int line, const char* what);
+
+}  // namespace taos
+
+#define TAOS_PANIC(what) ::taos::PanicImpl(__FILE__, __LINE__, (what))
+
+#define TAOS_CHECK(cond)                                    \
+  do {                                                      \
+    if (!(cond)) {                                          \
+      ::taos::PanicImpl(__FILE__, __LINE__,                 \
+                        "check failed: " #cond);            \
+    }                                                       \
+  } while (0)
+
+#ifdef NDEBUG
+#define TAOS_DCHECK(cond) \
+  do {                    \
+  } while (0)
+#else
+#define TAOS_DCHECK(cond) TAOS_CHECK(cond)
+#endif
+
+#endif  // TAOS_SRC_BASE_CHECK_H_

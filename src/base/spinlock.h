@@ -1,0 +1,70 @@
+// The Nub's "more primitive mutual exclusion mechanism": a spin-lock.
+//
+// SRC Report 20, Implementation section: "The spin-lock is represented by a
+// globally shared bit: it is acquired by a processor busy-waiting in a
+// test-and-set loop; it is released by clearing the bit."
+//
+// The Firefly's test-and-set instruction is modelled by std::atomic_flag
+// (guaranteed lock-free). A test-then-test-and-set loop with a relaxed read
+// in the inner spin keeps the cache line quiet while contended, which is the
+// modern equivalent of the MicroVAX loop the paper describes.
+
+#ifndef TAOS_SRC_BASE_SPINLOCK_H_
+#define TAOS_SRC_BASE_SPINLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace taos {
+
+class SpinLock {
+ public:
+  SpinLock() = default;
+  SpinLock(const SpinLock&) = delete;
+  SpinLock& operator=(const SpinLock&) = delete;
+
+  void Acquire() {
+    while (bit_.test_and_set(std::memory_order_acquire)) {
+      // Busy-wait on a plain read until the bit looks clear, then retry the
+      // test-and-set. `test()` is C++20.
+      while (bit_.test(std::memory_order_relaxed)) {
+        Pause();
+      }
+    }
+  }
+
+  // Single test-and-set attempt; returns true if the lock was taken.
+  bool TryAcquire() { return !bit_.test_and_set(std::memory_order_acquire); }
+
+  void Release() { bit_.clear(std::memory_order_release); }
+
+  // True if some thread currently holds the lock (racy; for diagnostics).
+  bool IsHeld() const { return bit_.test(std::memory_order_relaxed); }
+
+ private:
+  static void Pause() {
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#endif
+  }
+
+  std::atomic_flag bit_ = ATOMIC_FLAG_INIT;
+};
+
+// RAII bracket for a spin-lock critical section (the Nub subroutines in the
+// paper all have the shape: acquire spin-lock; act; release spin-lock).
+class SpinGuard {
+ public:
+  explicit SpinGuard(SpinLock& lock) : lock_(lock) { lock_.Acquire(); }
+  ~SpinGuard() { lock_.Release(); }
+
+  SpinGuard(const SpinGuard&) = delete;
+  SpinGuard& operator=(const SpinGuard&) = delete;
+
+ private:
+  SpinLock& lock_;
+};
+
+}  // namespace taos
+
+#endif  // TAOS_SRC_BASE_SPINLOCK_H_

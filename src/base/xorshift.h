@@ -1,0 +1,60 @@
+// Small deterministic PRNG (xorshift128+) for schedulers, stress tests and
+// workload generators. Not for cryptography. Deterministic across platforms,
+// which std::mt19937 distributions are not — scheduler replay depends on it.
+
+#ifndef TAOS_SRC_BASE_XORSHIFT_H_
+#define TAOS_SRC_BASE_XORSHIFT_H_
+
+#include <cstdint>
+
+namespace taos {
+
+class XorShift {
+ public:
+  explicit XorShift(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+    // SplitMix64 seeding so that nearby seeds give unrelated streams.
+    std::uint64_t z = seed;
+    for (auto* slot : {&s0_, &s1_}) {
+      z += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t x = z;
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+      *slot = x ^ (x >> 31);
+    }
+    if (s0_ == 0 && s1_ == 0) {
+      s1_ = 1;
+    }
+  }
+
+  std::uint64_t Next() {
+    std::uint64_t x = s0_;
+    const std::uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  // Uniform in [0, bound). bound must be > 0.
+  std::uint32_t Below(std::uint32_t bound) {
+    return static_cast<std::uint32_t>(Next() % bound);
+  }
+
+  // Uniform in [lo, hi] inclusive.
+  std::uint64_t Range(std::uint64_t lo, std::uint64_t hi) {
+    return lo + Next() % (hi - lo + 1);
+  }
+
+  // True with probability num/den.
+  bool Chance(std::uint32_t num, std::uint32_t den) {
+    return Below(den) < num;
+  }
+
+ private:
+  std::uint64_t s0_ = 0;
+  std::uint64_t s1_ = 0;
+};
+
+}  // namespace taos
+
+#endif  // TAOS_SRC_BASE_XORSHIFT_H_

@@ -1,0 +1,135 @@
+// Eventcounts and sequencers, after Reed & Kanodia (SOSP 1977) — the
+// paper's citation for the eventcount inside its condition variables
+// ("Our implementation uses an eventcount [Reed 77] to resolve this
+// problem"). This module implements the original discipline in full, as a
+// baseline: synchronization without mutual exclusion primitives, ordered by
+// a monotone counter (await/advance) and tickets (sequencers).
+//
+//   WaitableEventCount   read / advance / await(v): block until count >= v
+//   Sequencer            ticket(): unique, dense, ordered
+//   EventcountMutex      Reed-Kanodia mutual exclusion: take a ticket,
+//                        await your turn, advance on exit — strict FIFO
+//   RKBoundedBuffer      the classic single-producer/single-consumer
+//                        bounded buffer from two eventcounts, no mutex at
+//                        all on the data path
+//
+// The blocking inside Await uses the Taos primitives (one Mutex + one
+// Condition per eventcount, Broadcast on advance), so this module is also
+// an integration workout for them.
+
+#ifndef TAOS_SRC_BASELINE_REED_KANODIA_H_
+#define TAOS_SRC_BASELINE_REED_KANODIA_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "src/base/check.h"
+#include "src/threads/condition.h"
+#include "src/threads/lock.h"
+#include "src/threads/mutex.h"
+
+namespace taos::baseline {
+
+class WaitableEventCount {
+ public:
+  using Value = std::uint64_t;
+
+  Value Read() const { return count_.load(std::memory_order_acquire); }
+
+  // Monotone increment; wakes every awaiter (their thresholds differ, so
+  // Broadcast is required for correctness — the paper's Signal rule).
+  void Advance() {
+    {
+      Lock lock(mutex_);
+      count_.fetch_add(1, std::memory_order_acq_rel);
+    }
+    reached_.Broadcast();
+  }
+
+  // Blocks until the count reaches `value`.
+  void Await(Value value) {
+    if (Read() >= value) {
+      return;  // fast path, no lock
+    }
+    Lock lock(mutex_);
+    while (count_.load(std::memory_order_acquire) < value) {
+      reached_.Wait(mutex_);
+    }
+  }
+
+ private:
+  std::atomic<Value> count_{0};
+  Mutex mutex_;
+  Condition reached_;
+};
+
+class Sequencer {
+ public:
+  using Ticket = std::uint64_t;
+
+  // Returns 0, 1, 2, ... — unique and ordered across threads.
+  Ticket NextTicket() {
+    return next_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
+ private:
+  std::atomic<Ticket> next_{0};
+};
+
+// Mutual exclusion in the Reed-Kanodia style: strictly FIFO, no barging —
+// the opposite ordering policy from the Taos mutex, implemented from the
+// same eventcount idea.
+class EventcountMutex {
+ public:
+  void Acquire() {
+    const Sequencer::Ticket ticket = sequencer_.NextTicket();
+    turn_.Await(ticket);  // count == ticket means it is our turn
+  }
+
+  void Release() { turn_.Advance(); }
+
+ private:
+  Sequencer sequencer_;
+  WaitableEventCount turn_;
+};
+
+// Reed & Kanodia's bounded buffer: one producer, one consumer, two
+// eventcounts, zero locks on the data path. Item i (1-based) may be
+// written once `out >= i - capacity` and read once `in >= i`.
+class RKBoundedBuffer {
+ public:
+  explicit RKBoundedBuffer(std::size_t capacity)
+      : capacity_(capacity), slots_(capacity) {
+    TAOS_CHECK(capacity_ > 0);
+  }
+
+  void Put(std::uint64_t item) {
+    const std::uint64_t i = ++produced_;  // single producer
+    if (i > capacity_) {
+      out_.Await(i - capacity_);  // wait for a free slot
+    }
+    slots_[(i - 1) % capacity_] = item;
+    in_.Advance();  // item i is now readable
+  }
+
+  std::uint64_t Get() {
+    const std::uint64_t i = ++consumed_;  // single consumer
+    in_.Await(i);
+    const std::uint64_t item = slots_[(i - 1) % capacity_];
+    out_.Advance();  // slot freed
+    return item;
+  }
+
+ private:
+  const std::size_t capacity_;
+  std::vector<std::uint64_t> slots_;
+  WaitableEventCount in_;   // items produced
+  WaitableEventCount out_;  // items consumed
+  std::uint64_t produced_ = 0;  // producer-private
+  std::uint64_t consumed_ = 0;  // consumer-private
+};
+
+}  // namespace taos::baseline
+
+#endif  // TAOS_SRC_BASELINE_REED_KANODIA_H_

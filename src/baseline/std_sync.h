@@ -1,0 +1,70 @@
+// Modern-baseline wrappers: the C++ standard library's mutex and condition
+// variable (the direct descendants of the semantics this paper specified —
+// std::condition_variable is Mesa-style, wakeups are hints, Broadcast is
+// notify_all) behind the Taos method names, so every workload template runs
+// unchanged over them.
+
+#ifndef TAOS_SRC_BASELINE_STD_SYNC_H_
+#define TAOS_SRC_BASELINE_STD_SYNC_H_
+
+#include <condition_variable>
+#include <mutex>
+
+namespace taos::baseline {
+
+class StdCondition;
+
+class StdMutex {
+ public:
+  void Acquire() { m_.lock(); }
+  void Release() { m_.unlock(); }
+  bool TryAcquire() { return m_.try_lock(); }
+
+ private:
+  friend class StdCondition;
+  std::mutex m_;
+};
+
+class StdCondition {
+ public:
+  void Wait(StdMutex& m) {
+    std::unique_lock<std::mutex> lock(m.m_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // the caller keeps holding the mutex
+  }
+
+  void Signal() { cv_.notify_one(); }
+  void Broadcast() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+// Binary semaphore with V-idempotence (V on an available semaphore stays
+// available), matching the paper's Semaphore type. std::binary_semaphore
+// forbids over-release, so this is mutex+cv based.
+class StdSemaphore {
+ public:
+  void P() {
+    std::unique_lock<std::mutex> lock(m_);
+    cv_.wait(lock, [this] { return available_; });
+    available_ = false;
+  }
+
+  void V() {
+    {
+      std::lock_guard<std::mutex> lock(m_);
+      available_ = true;
+    }
+    cv_.notify_one();
+  }
+
+ private:
+  std::mutex m_;
+  std::condition_variable cv_;
+  bool available_ = true;
+};
+
+}  // namespace taos::baseline
+
+#endif  // TAOS_SRC_BASELINE_STD_SYNC_H_

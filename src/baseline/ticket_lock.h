@@ -1,0 +1,48 @@
+// Ticket spin-lock baseline: FIFO-fair pure spinning, no parking. The
+// opposite design point from the Taos mutex (which barges but de-schedules
+// blocked threads); the contention benchmark (E3) shows where each wins.
+
+#ifndef TAOS_SRC_BASELINE_TICKET_LOCK_H_
+#define TAOS_SRC_BASELINE_TICKET_LOCK_H_
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+namespace taos::baseline {
+
+class TicketSpinMutex {
+ public:
+  void Acquire() {
+    const std::uint64_t ticket =
+        next_.fetch_add(1, std::memory_order_relaxed);
+    std::uint32_t spins = 0;
+    while (serving_.load(std::memory_order_acquire) != ticket) {
+      if (++spins > kYieldThreshold) {
+        // On an oversubscribed host (more threads than cores) pure spinning
+        // can starve the lock holder; politely give up the processor.
+        std::this_thread::yield();
+      } else {
+        Pause();
+      }
+    }
+  }
+
+  void Release() { serving_.fetch_add(1, std::memory_order_release); }
+
+ private:
+  static constexpr std::uint32_t kYieldThreshold = 64;
+
+  static void Pause() {
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#endif
+  }
+
+  std::atomic<std::uint64_t> next_{0};
+  std::atomic<std::uint64_t> serving_{0};
+};
+
+}  // namespace taos::baseline
+
+#endif  // TAOS_SRC_BASELINE_TICKET_LOCK_H_

@@ -1,0 +1,343 @@
+#include "src/coro/sync.h"
+
+#include <algorithm>
+
+#include "src/base/check.h"
+#include "src/spec/action.h"
+
+namespace taos::coro {
+
+namespace {
+
+// Destructor helper: a non-empty wait queue is only legal on a scheduler
+// that aborted (deadlocked) — its stragglers were unwound but their queue
+// nodes stay linked until the owning object dies.
+void DrainOrCheckEmpty(IntrusiveQueue<Coro>& queue) {
+  if (queue.Empty()) {
+    return;
+  }
+  Scheduler* sched = queue.Front()->scheduler;
+  TAOS_CHECK(sched->Aborted() || sched->ShuttingDown());
+  while (queue.PopFront() != nullptr) {
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Mutex
+// ---------------------------------------------------------------------------
+
+Mutex::~Mutex() { DrainOrCheckEmpty(queue_); }
+
+void Mutex::EnsureId(Scheduler& sched) {
+  if (id_ == 0) {
+    id_ = sched.NextObjId();
+  }
+}
+
+void Mutex::Acquire() {
+  Coro* self = Scheduler::Current();
+  Scheduler& sched = *self->scheduler;
+  EnsureId(sched);
+  AcquireInternal(spec::MakeAcquire(self->id, id_));
+}
+
+void Mutex::AcquireInternal(const spec::Action& emit) {
+  Coro* self = Scheduler::Current();
+  Scheduler& sched = *self->scheduler;
+  if (sched.ShuttingDown()) {
+    return;
+  }
+  if (holder_ == nullptr) {
+    holder_ = self;
+    sched.Emit(emit);
+    return;
+  }
+  TAOS_CHECK(holder_ != self);  // recursive Acquire would self-deadlock
+  queue_.PushBack(self);
+  self->block_kind = Coro::BlockKind::kMutex;
+  self->blocked_obj = this;
+  self->alertable = false;
+  sched.BlockSelf();
+  // Direct handoff: Release installed us as holder before readying us.
+  TAOS_CHECK(holder_ == self || sched.ShuttingDown());
+  sched.Emit(emit);
+}
+
+void Mutex::Release() {
+  Coro* self = Scheduler::Current();
+  Scheduler& sched = *self->scheduler;
+  EnsureId(sched);
+  TAOS_CHECK(holder_ == self || sched.ShuttingDown());  // REQUIRES m = SELF
+  if (!sched.ShuttingDown()) {
+    sched.Emit(spec::MakeRelease(self->id, id_));
+  }
+  Coro* next = queue_.PopFront();
+  holder_ = next;  // nullptr when no one waits
+  if (next != nullptr) {
+    sched.MakeReady(next);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Condition
+// ---------------------------------------------------------------------------
+
+Condition::~Condition() {
+  if (!pending_raise_.empty()) {
+    Scheduler* sched = pending_raise_.front()->scheduler;
+    TAOS_CHECK(sched->Aborted() || sched->ShuttingDown());
+    pending_raise_.clear();
+  }
+  DrainOrCheckEmpty(queue_);
+}
+
+void Condition::EnsureId(Scheduler& sched) {
+  if (id_ == 0) {
+    id_ = sched.NextObjId();
+  }
+}
+
+bool Condition::ErasePendingRaise(Coro* c) {
+  auto it = std::find(pending_raise_.begin(), pending_raise_.end(), c);
+  if (it == pending_raise_.end()) {
+    return false;
+  }
+  pending_raise_.erase(it);
+  return true;
+}
+
+void Condition::Wait(Mutex& m) {
+  Coro* self = Scheduler::Current();
+  Scheduler& sched = *self->scheduler;
+  EnsureId(sched);
+  m.EnsureId(sched);
+  TAOS_CHECK(m.holder_ == self || sched.ShuttingDown());  // REQUIRES m = SELF
+  // Enqueue and release are one atomic action here by construction: no
+  // other coroutine runs until BlockSelf switches away.
+  queue_.PushBack(self);
+  self->block_kind = Coro::BlockKind::kCondition;
+  self->blocked_obj = this;
+  self->alertable = false;
+  sched.Emit(spec::MakeEnqueue(self->id, m.id_, id_));
+  ReleaseForWait(m, sched);
+  sched.BlockSelf();
+  m.AcquireInternal(spec::MakeResume(self->id, m.id_, id_));
+}
+
+void Condition::ReleaseForWait(Mutex& m, Scheduler& sched) {
+  // The mutex-release half of the Enqueue action (already emitted).
+  Coro* next = m.queue_.PopFront();
+  m.holder_ = next;
+  if (next != nullptr) {
+    sched.MakeReady(next);
+  }
+}
+
+void Condition::Signal() {
+  Coro* self = Scheduler::Current();
+  Scheduler& sched = *self->scheduler;
+  EnsureId(sched);
+  spec::ThreadSet removed;
+  if (Coro* t = queue_.PopFront()) {
+    removed = removed.Insert(t->id);
+    t->scheduler->MakeReady(t);
+  }
+  // Alert-dequeued coroutines that have not raised yet are still spec-
+  // members of c; this Signal removes them (they were going to leave via
+  // Alerted anyway — the paper's "a Signal may be consumed by a thread
+  // that then raises").
+  for (Coro* p : pending_raise_) {
+    removed = removed.Insert(p->id);
+  }
+  pending_raise_.clear();
+  // No preemption means no wakeup-waiting window: c is exactly queue +
+  // pending raisers, so the removal set is empty iff c was empty.
+  sched.Emit(spec::MakeSignal(self->id, id_, removed));
+}
+
+void Condition::Broadcast() {
+  Coro* self = Scheduler::Current();
+  Scheduler& sched = *self->scheduler;
+  EnsureId(sched);
+  spec::ThreadSet removed;
+  while (Coro* t = queue_.PopFront()) {
+    removed = removed.Insert(t->id);
+    t->scheduler->MakeReady(t);
+  }
+  for (Coro* p : pending_raise_) {
+    removed = removed.Insert(p->id);
+  }
+  pending_raise_.clear();
+  sched.Emit(spec::MakeBroadcast(self->id, id_, removed));
+}
+
+// ---------------------------------------------------------------------------
+// Semaphore
+// ---------------------------------------------------------------------------
+
+Semaphore::~Semaphore() { DrainOrCheckEmpty(queue_); }
+
+void Semaphore::EnsureId(Scheduler& sched) {
+  if (id_ == 0) {
+    id_ = sched.NextObjId();
+  }
+}
+
+void Semaphore::P() {
+  Coro* self = Scheduler::Current();
+  Scheduler& sched = *self->scheduler;
+  EnsureId(sched);
+  if (sched.ShuttingDown()) {
+    return;
+  }
+  if (available_) {
+    available_ = false;
+    sched.Emit(spec::MakeP(self->id, id_));
+    return;
+  }
+  queue_.PushBack(self);
+  self->block_kind = Coro::BlockKind::kSemaphore;
+  self->blocked_obj = this;
+  self->alertable = false;
+  sched.BlockSelf();
+  // V transferred the token to us directly (semaphore stays unavailable).
+  if (!sched.ShuttingDown()) {
+    sched.Emit(spec::MakeP(self->id, id_));
+  }
+}
+
+void Semaphore::V() {
+  Coro* self = Scheduler::Current();
+  Scheduler& sched = *self->scheduler;
+  EnsureId(sched);
+  if (!sched.ShuttingDown()) {
+    sched.Emit(spec::MakeV(self->id, id_));
+  }
+  if (Coro* t = queue_.PopFront()) {
+    t->scheduler->MakeReady(t);  // hand the token over
+  } else {
+    available_ = true;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Alerting
+// ---------------------------------------------------------------------------
+
+void Alert(CoroHandle h) {
+  TAOS_CHECK(h.coro != nullptr);
+  Coro* t = h.coro;
+  t->alerted = true;  // alerts := insert(alerts, t)
+  if (t->state == Coro::State::kBlocked && t->alertable) {
+    switch (t->block_kind) {
+      case Coro::BlockKind::kSemaphore:
+        static_cast<Semaphore*>(t->blocked_obj)->queue_.Remove(t);
+        break;
+      case Coro::BlockKind::kCondition: {
+        auto* c = static_cast<Condition*>(t->blocked_obj);
+        c->queue_.Remove(t);
+        // t will raise; it stays a spec-member of c until its AlertResume.
+        c->pending_raise_.push_back(t);
+        break;
+      }
+      default:
+        TAOS_PANIC("alertable coroutine blocked on a non-alertable object");
+    }
+    t->alert_woken = true;
+    t->scheduler->MakeReady(t);
+  }
+  // Alert's ENSURES does not mention SELF, so when it is invoked from the
+  // driver thread (between Runs) rather than a coroutine, the emitter id is
+  // immaterial; use the target's own id as a stand-in.
+  Scheduler& sched = *t->scheduler;
+  Coro* current = Scheduler::CurrentOrNull();
+  sched.Emit(spec::MakeAlert(current != nullptr ? current->id : t->id,
+                             t->id));
+}
+
+bool TestAlert() {
+  Coro* self = Scheduler::Current();
+  const bool b = self->alerted;
+  self->alerted = false;
+  self->scheduler->Emit(spec::MakeTestAlert(self->id, b));
+  return b;
+}
+
+void AlertWait(Mutex& m, Condition& c) {
+  Coro* self = Scheduler::Current();
+  Scheduler& sched = *self->scheduler;
+  c.EnsureId(sched);
+  m.EnsureId(sched);
+  TAOS_CHECK(m.holder_ == self || sched.ShuttingDown());  // REQUIRES m = SELF
+  if (self->alerted && !sched.ShuttingDown()) {
+    // Enqueue; AlertResume with nothing in between: net effect is raising
+    // with m reacquired and c unchanged.
+    sched.Emit(spec::MakeAlertEnqueue(self->id, m.id_, c.id_));
+    self->alerted = false;
+    sched.Emit(spec::MakeAlertResumeRaises(self->id, m.id_, c.id_));
+    throw Alerted();
+  }
+  c.queue_.PushBack(self);
+  self->block_kind = Coro::BlockKind::kCondition;
+  self->blocked_obj = &c;
+  self->alertable = true;
+  self->alert_woken = false;
+  sched.Emit(spec::MakeAlertEnqueue(self->id, m.id_, c.id_));
+  Condition::ReleaseForWait(m, sched);
+  sched.BlockSelf();
+  const bool raise = self->alert_woken || self->alerted;
+  if (raise && !sched.ShuttingDown()) {
+    m.AcquireInternal(
+        spec::MakeAlertResumeRaises(self->id, m.id_, c.id_));
+    // Leave c: same resume window as the emission above (no coroutine can
+    // run in between). No-op if a Signal already removed us from c while
+    // we waited to reacquire.
+    c.ErasePendingRaise(self);
+    self->alerted = false;
+    self->alert_woken = false;
+    throw Alerted();
+  }
+  m.AcquireInternal(
+      spec::MakeAlertResumeReturns(self->id, m.id_, c.id_));
+  self->alert_woken = false;
+}
+
+void AlertP(Semaphore& s) {
+  Coro* self = Scheduler::Current();
+  Scheduler& sched = *self->scheduler;
+  s.EnsureId(sched);
+  if (sched.ShuttingDown()) {
+    return;
+  }
+  if (self->alerted) {
+    self->alerted = false;
+    sched.Emit(spec::MakeAlertPRaises(self->id, s.id_));
+    throw Alerted();
+  }
+  if (s.available_) {
+    s.available_ = false;
+    sched.Emit(spec::MakeAlertPReturns(self->id, s.id_));
+    return;
+  }
+  s.queue_.PushBack(self);
+  self->block_kind = Coro::BlockKind::kSemaphore;
+  self->blocked_obj = &s;
+  self->alertable = true;
+  self->alert_woken = false;
+  sched.BlockSelf();
+  if (self->alert_woken && !sched.ShuttingDown()) {
+    self->alert_woken = false;
+    self->alerted = false;
+    sched.Emit(spec::MakeAlertPRaises(self->id, s.id_));
+    throw Alerted();
+  }
+  self->alert_woken = false;
+  // Otherwise V handed us the token.
+  if (!sched.ShuttingDown()) {
+    sched.Emit(spec::MakeAlertPReturns(self->id, s.id_));
+  }
+}
+
+}  // namespace taos::coro

@@ -1,0 +1,127 @@
+// The Threads synchronization primitives on the coroutine (single-process
+// Unix) implementation.
+//
+// With cooperative coroutines there is no preemption and no parallelism:
+// control transfers only at blocking points. The implementation therefore
+// needs none of the Firefly machinery — no lock bit, no global spin-lock,
+// no eventcount — and mutex release can hand off directly. The *interface
+// specification* (src/spec) is identical; the contrast between this file
+// and src/firefly/sync.cc is the paper's point about specifications hiding
+// implementation structure.
+//
+// All objects belong to one Scheduler's coroutines and must outlive every
+// Run() that uses them.
+
+#ifndef TAOS_SRC_CORO_SYNC_H_
+#define TAOS_SRC_CORO_SYNC_H_
+
+#include <vector>
+
+#include "src/base/alerted.h"
+#include "src/base/intrusive_queue.h"
+#include "src/coro/scheduler.h"
+
+namespace taos::coro {
+
+class Condition;
+
+class Mutex {
+ public:
+  Mutex() = default;
+  ~Mutex();
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Acquire();
+  void Release();
+
+  Coro* HolderForDebug() const { return holder_; }
+  spec::ObjId id() const { return id_; }
+
+ private:
+  friend class Condition;
+  friend void AlertWait(Mutex& m, Condition& c);
+
+  void EnsureId(Scheduler& sched);
+  void AcquireInternal(const spec::Action& emit);
+
+  Coro* holder_ = nullptr;
+  IntrusiveQueue<Coro> queue_;
+  spec::ObjId id_ = 0;  // assigned lazily at first use
+};
+
+// LOCK e DO ... END
+class Lock {
+ public:
+  explicit Lock(Mutex& m) : m_(m) { m_.Acquire(); }
+  ~Lock() { m_.Release(); }
+  Lock(const Lock&) = delete;
+  Lock& operator=(const Lock&) = delete;
+
+ private:
+  Mutex& m_;
+};
+
+class Condition {
+ public:
+  Condition() = default;
+  ~Condition();
+  Condition(const Condition&) = delete;
+  Condition& operator=(const Condition&) = delete;
+
+  void Wait(Mutex& m);
+  void Signal();
+  void Broadcast();
+
+  spec::ObjId id() const { return id_; }
+
+ private:
+  friend void Alert(CoroHandle t);
+  friend void AlertWait(Mutex& m, Condition& c);
+
+  void EnsureId(Scheduler& sched);
+  // The mutex-release half of Wait's Enqueue action.
+  static void ReleaseForWait(Mutex& m, Scheduler& sched);
+  bool ErasePendingRaise(Coro* c);
+
+  IntrusiveQueue<Coro> queue_;
+  // Coroutines Alert dequeued that have not yet performed their
+  // AlertResume: spec-wise still members of c, so Signal/Broadcast must
+  // count them in their removal sets (cf. the corrected AlertWait spec).
+  std::vector<Coro*> pending_raise_;
+  spec::ObjId id_ = 0;
+};
+
+class Semaphore {
+ public:
+  explicit Semaphore(bool initially_available = true)
+      : available_(initially_available) {}
+  ~Semaphore();
+  Semaphore(const Semaphore&) = delete;
+  Semaphore& operator=(const Semaphore&) = delete;
+
+  void P();
+  void V();
+
+  bool AvailableForDebug() const { return available_; }
+  spec::ObjId id() const { return id_; }
+
+ private:
+  friend void Alert(CoroHandle t);
+  friend void AlertP(Semaphore& s);
+
+  void EnsureId(Scheduler& sched);
+
+  bool available_;
+  IntrusiveQueue<Coro> queue_;
+  spec::ObjId id_ = 0;
+};
+
+void Alert(CoroHandle t);
+bool TestAlert();
+void AlertWait(Mutex& m, Condition& c);  // raises taos::Alerted
+void AlertP(Semaphore& s);               // raises taos::Alerted
+
+}  // namespace taos::coro
+
+#endif  // TAOS_SRC_CORO_SYNC_H_

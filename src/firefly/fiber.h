@@ -1,0 +1,82 @@
+// A Fiber is a simulated Taos thread running on the simulated Firefly
+// multiprocessor (see machine.h).
+//
+// Each fiber is backed by a host OS thread, but at most one fiber (or the
+// machine driver) ever runs at a time: fibers hand control back to the
+// driver at every atomic step boundary (Machine::Step), so a whole execution
+// is a deterministic function of the driver's scheduling choices.
+
+#ifndef TAOS_SRC_FIREFLY_FIBER_H_
+#define TAOS_SRC_FIREFLY_FIBER_H_
+
+#include <cstdint>
+#include <functional>
+#include <semaphore>
+#include <string>
+#include <thread>
+
+#include "src/base/intrusive_queue.h"
+#include "src/spec/state.h"
+
+namespace taos::firefly {
+
+class Machine;
+
+// Thrown into parked fibers when the Machine is torn down with fibers still
+// blocked (e.g. after a detected deadlock), unwinding their stacks so the
+// backing OS threads can exit.
+struct FiberKilled {};
+
+struct Fiber {
+  QueueNode queue_node;  // ready pool or a wait queue
+
+  Machine* machine = nullptr;
+  spec::ThreadId id = spec::kNil;
+  int priority = 0;       // effective (may be boosted by inheritance)
+  int base_priority = 0;  // as given at Fork
+  std::string name;
+
+  enum class Run : std::uint8_t {
+    kReadyPool,  // in the Nub's ready pool, awaiting a processor
+    kOnCpu,      // assigned to a processor, runnable
+    kSpinning,   // on a processor, busy-waiting on the Nub spin-lock
+    kBlocked,    // de-scheduled on some wait queue
+    kDone,       // body finished
+  };
+  Run run_state = Run::kReadyPool;
+  int cpu = -1;                   // processor index while kOnCpu/kSpinning
+  int last_cpu = -1;              // processor of the previous dispatch
+  std::uint64_t slice_steps = 0;  // steps since last dispatch (time slicing)
+
+  // Blocking bookkeeping (the driver serializes all access).
+  enum class BlockKind : std::uint8_t { kNone, kMutex, kSemaphore, kCondition };
+  BlockKind block_kind = BlockKind::kNone;
+  bool alertable = false;
+  bool alert_woken = false;
+  void* blocked_obj = nullptr;
+
+  // Membership in the spec's `alerts` set.
+  bool alerted = false;
+
+  bool ended_by_alert = false;
+
+  std::function<void()> body;
+  std::thread os;
+  std::binary_semaphore go{0};  // driver -> fiber handoff
+
+  Fiber() = default;
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+};
+
+// Opaque handle clients use to name a fiber (Alert, Join).
+struct FiberHandle {
+  Fiber* fiber = nullptr;
+
+  spec::ThreadId id() const { return fiber ? fiber->id : spec::kNil; }
+  bool operator==(const FiberHandle&) const = default;
+};
+
+}  // namespace taos::firefly
+
+#endif  // TAOS_SRC_FIREFLY_FIBER_H_

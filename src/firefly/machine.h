@@ -1,0 +1,208 @@
+// The simulated Firefly multiprocessor and its Nub.
+//
+// SRC Report 20 evaluates on the Firefly, "a symmetric multiprocessor; each
+// processor is able to address the entire memory", whose Nub kernel layer
+// maintains queues of blocked threads, a ready pool, a priority-based
+// scheduler and a time-slicing algorithm, all under a single global
+// spin-lock acquired with the hardware's test-and-set instruction.
+//
+// This module substitutes a deterministic discrete-step simulation for that
+// hardware (see DESIGN.md, Substitutions):
+//
+//  - The machine has K simulated processors. Each fiber occupies a processor
+//    while runnable; the Nub's ready pool holds fibers awaiting one.
+//  - Execution proceeds in atomic steps. Before every shared-memory
+//    micro-operation a fiber calls Machine::Step(), which hands control to
+//    the driver; the driver picks which processor's fiber performs the next
+//    step. All interleavings of the real machine at instruction granularity
+//    are reachable by some choice sequence, and a fixed choice sequence
+//    replays deterministically.
+//  - The Nub spin-lock is modelled exactly: acquisition is a test-and-set
+//    step; a fiber that fails busy-waits. (Busy-wait steps have no visible
+//    effect, so the driver simply does not select a spinning fiber until
+//    the lock is free — the reachable behaviours are unchanged and
+//    exhaustive exploration stays finite.) Preemption never interrupts a
+//    spin-lock holder, as in a kernel that masks interrupts in the Nub.
+//  - Time slicing: after `time_slice` steps a fiber is preempted at its next
+//    step boundary (if an equal-or-higher-priority fiber is waiting) and
+//    rotated through the ready pool.
+//
+// Scheduling choices come from a Chooser: seeded-random for stress, or a
+// replay/enumeration chooser for the model checker (src/model).
+
+#ifndef TAOS_SRC_FIREFLY_MACHINE_H_
+#define TAOS_SRC_FIREFLY_MACHINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <semaphore>
+#include <string>
+#include <vector>
+
+#include "src/base/xorshift.h"
+#include "src/firefly/fiber.h"
+#include "src/spec/trace.h"
+
+namespace taos::firefly {
+
+// Picks the next fiber to perform a step.
+class Chooser {
+ public:
+  virtual ~Chooser() = default;
+  // `runnable` is never empty; returns an index into it.
+  virtual std::size_t Choose(const std::vector<Fiber*>& runnable) = 0;
+};
+
+class RandomChooser : public Chooser {
+ public:
+  explicit RandomChooser(std::uint64_t seed) : rng_(seed) {}
+  std::size_t Choose(const std::vector<Fiber*>& runnable) override {
+    return rng_.Below(static_cast<std::uint32_t>(runnable.size()));
+  }
+
+ private:
+  XorShift rng_;
+};
+
+// Weakly fair scheduling: rotates through the runnable fibers, so every
+// continuously runnable fiber steps infinitely often. The specification
+// promises no liveness at all; this chooser lets tests state the
+// implementation-level property "live under a fair scheduler".
+class RoundRobinChooser : public Chooser {
+ public:
+  std::size_t Choose(const std::vector<Fiber*>& runnable) override {
+    return next_++ % runnable.size();
+  }
+
+ private:
+  std::size_t next_ = 0;
+};
+
+struct MachineConfig {
+  int cpus = 2;
+  std::uint64_t time_slice = 0;  // steps per slice; 0 disables preemption
+  std::uint64_t max_steps = 2'000'000;  // livelock guard
+  std::uint64_t seed = 1;        // for the default RandomChooser
+  Chooser* chooser = nullptr;    // overrides the seeded default if set
+  spec::TraceSink* trace = nullptr;
+};
+
+struct RunResult {
+  bool completed = false;  // every fiber ran to the end of its body
+  bool deadlock = false;   // progress stopped with fibers still blocked
+  bool hit_step_limit = false;
+  std::uint64_t steps = 0;
+  std::vector<std::string> stuck_fibers;  // names, when deadlocked
+
+  std::string ToString() const;
+};
+
+class Machine {
+ public:
+  explicit Machine(MachineConfig config = {});
+  ~Machine();
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  // Creates a fiber and places it in the ready pool. Must be called before
+  // Run() or from inside a running fiber.
+  FiberHandle Fork(std::function<void()> body, int priority = 0,
+                   std::string name = "");
+
+  // Drives the machine until every fiber completes, deadlock, or the step
+  // limit. Call at most once.
+  RunResult Run();
+
+  // ---- called from fiber context ----
+
+  // Marks an atomic step boundary; the next shared-memory micro-op of the
+  // calling fiber is one atomic step. May preempt (time slice).
+  void Step();
+
+  static Fiber* Self();
+
+  // The Nub spin-lock. SpinAcquire contains its own Step()s (each
+  // test-and-set is a step); SpinRelease performs one.
+  void SpinAcquire();
+  void SpinRelease();
+  bool SpinHeldBySelf() const { return spin_holder_ == Self(); }
+
+  // De-schedules the calling fiber (which must hold the spin-lock and have
+  // enqueued itself on some wait queue), releasing the spin-lock and
+  // freeing its processor. Returns when another fiber calls MakeReady on it
+  // and the scheduler assigns it a processor again.
+  void DescheduleSelf();
+
+  // Adds a blocked fiber to the ready pool; the scheduler will find it a
+  // processor. Caller must hold the spin-lock.
+  void MakeReady(Fiber* f);
+
+  // Changes a fiber's effective priority (requeueing it if it sits in the
+  // ready pool). Used by the priority-inheritance mutex extension.
+  void SetFiberPriority(Fiber* f, int priority);
+
+  // ---- tracing & introspection ----
+  spec::TraceSink* trace() const { return config_.trace; }
+  bool tracing() const { return config_.trace != nullptr; }
+  spec::ObjId NextObjId() { return next_obj_id_++; }
+  std::uint64_t steps() const { return steps_; }
+  const MachineConfig& config() const { return config_; }
+
+  // Number of preemptions performed by the time-slicer (for tests).
+  std::uint64_t preemptions() const { return preemptions_; }
+
+  // Times a fiber was dispatched on a different processor than before —
+  // "the scheduler is free to move it from one processor to another".
+  std::uint64_t migrations() const { return migrations_; }
+
+  // Failed test-and-set attempts on the Nub spin-lock (contention events).
+  std::uint64_t spin_contentions() const { return spin_contentions_; }
+
+  // True once Run() ended in deadlock or at the step limit. Simulated
+  // synchronization objects skip their "no one still queued" destructor
+  // checks on an aborted machine.
+  bool Aborted() const { return aborted_; }
+
+  // True while the destructor is unwinding parked fibers; simulated
+  // primitives bail out instead of scheduling.
+  bool ShuttingDown() const { return shutting_down_; }
+
+ private:
+  static constexpr int kMaxPriority = 8;
+
+  void FiberMain(Fiber* f);
+  void YieldToDriver(Fiber* f);
+  void WaitForGo(Fiber* f);
+  void KillStragglers();
+  void Dispatch();  // assign ready fibers to idle processors
+  void CollectRunnable(std::vector<Fiber*>* out) const;
+  void MaybePreempt(Fiber* f);
+  bool ReadyFiberAtOrAbove(int priority) const;
+
+  MachineConfig config_;
+  std::unique_ptr<Chooser> owned_chooser_;
+  Chooser* chooser_ = nullptr;
+
+  std::vector<std::unique_ptr<Fiber>> fibers_;
+  std::vector<Fiber*> cpu_fiber_;  // per-processor current fiber (or null)
+  IntrusiveQueue<Fiber> ready_pool_[kMaxPriority];
+
+  bool spin_bit_ = false;
+  Fiber* spin_holder_ = nullptr;
+
+  std::binary_semaphore driver_sem_{0};
+  bool shutting_down_ = false;
+  bool ran_ = false;
+  bool aborted_ = false;
+
+  std::uint64_t steps_ = 0;
+  std::uint64_t preemptions_ = 0;
+  std::uint64_t migrations_ = 0;
+  std::uint64_t spin_contentions_ = 0;
+  spec::ThreadId next_thread_id_ = 1;
+  spec::ObjId next_obj_id_ = 1;
+};
+
+}  // namespace taos::firefly
+
+#endif  // TAOS_SRC_FIREFLY_MACHINE_H_

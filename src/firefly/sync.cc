@@ -1,0 +1,490 @@
+#include "src/firefly/sync.h"
+
+#include <algorithm>
+
+#include "src/base/check.h"
+
+namespace taos::firefly {
+
+namespace {
+
+void Emit(Machine& m, const spec::Action& a) {
+  if (m.tracing()) {
+    m.trace()->Emit(a);
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Mutex
+// ---------------------------------------------------------------------------
+
+Mutex::Mutex(Machine& machine)
+    : machine_(machine), id_(machine.NextObjId()) {}
+
+Mutex::~Mutex() {
+  if (machine_.Aborted() || machine_.ShuttingDown()) {
+    while (queue_.PopFront() != nullptr) {
+    }
+    return;
+  }
+  TAOS_CHECK(queue_.Empty());
+  TAOS_CHECK(!bit_);
+}
+
+void Mutex::Acquire() {
+  Fiber* self = Machine::Self();
+  AcquireInternal(spec::MakeAcquire(self->id, id_));
+}
+
+void Mutex::AcquireInternal(const spec::Action& emit,
+                            const std::function<void()>& at_success) {
+  Machine& m = machine_;
+  Fiber* self = Machine::Self();
+  bool first_attempt = true;
+  for (;;) {
+    if (m.ShuttingDown()) {
+      return;
+    }
+    m.Step();  // the test-and-set instruction
+    if (!bit_) {
+      bit_ = true;
+      holder_ = self;
+      if (first_attempt) {
+        ++fast_acquires_;
+      } else {
+        ++slow_acquires_;
+      }
+      if (at_success) {
+        at_success();
+      }
+      Emit(m, emit);
+      return;
+    }
+    first_attempt = false;
+    // Nub subroutine for Acquire.
+    m.SpinAcquire();
+    m.Step();
+    queue_.PushBack(self);
+    m.Step();  // test the Lock-bit again
+    if (bit_) {
+      if (priority_inheritance_ && holder_ != nullptr &&
+          holder_->priority < self->priority) {
+        m.SetFiberPriority(holder_, self->priority);
+      }
+      self->block_kind = Fiber::BlockKind::kMutex;
+      self->blocked_obj = this;
+      self->alertable = false;
+      self->alert_woken = false;
+      m.DescheduleSelf();  // releases the spin-lock
+    } else {
+      queue_.Remove(self);
+      m.SpinRelease();
+    }
+    // Retry the entire Acquire, beginning at the test-and-set.
+  }
+}
+
+void Mutex::Release() {
+  Fiber* self = Machine::Self();
+  ReleaseInternal([this, self] {
+    Emit(machine_, spec::MakeRelease(self->id, id_));
+  });
+}
+
+void Mutex::ReleaseInternal(const std::function<void()>& at_clear) {
+  Machine& m = machine_;
+  Fiber* self = Machine::Self();
+  TAOS_CHECK(holder_ == self || m.ShuttingDown());  // REQUIRES m = SELF
+  m.Step();  // clear the Lock-bit
+  bit_ = false;
+  holder_ = nullptr;
+  if (at_clear) {
+    at_clear();
+  }
+  m.Step();  // user-code test: is the Queue non-empty?
+  if (!queue_.Empty()) {
+    // Nub subroutine for Release: take one thread, add it to the ready pool.
+    m.SpinAcquire();
+    m.Step();
+    Fiber* t = queue_.PopFront();
+    if (t != nullptr) {
+      m.MakeReady(t);
+    }
+    m.SpinRelease();
+  }
+  // Drop any inherited boost only after the handoff: shedding it earlier
+  // would let a medium-priority fiber preempt the releaser before the
+  // high-priority waiter has been made ready — re-creating the inversion
+  // inside Release itself.
+  if (priority_inheritance_ && self->priority != self->base_priority) {
+    m.SetFiberPriority(self, self->base_priority);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Condition
+// ---------------------------------------------------------------------------
+
+Condition::Condition(Machine& machine)
+    : machine_(machine), id_(machine.NextObjId()) {}
+
+Condition::~Condition() {
+  if (machine_.Aborted() || machine_.ShuttingDown()) {
+    while (queue_.PopFront() != nullptr) {
+    }
+    return;
+  }
+  TAOS_CHECK(queue_.Empty());
+  TAOS_CHECK(window_.empty());
+  TAOS_CHECK(pending_raise_.empty());
+}
+
+bool Condition::EraseWindow(Fiber* f) {
+  auto it = std::find(window_.begin(), window_.end(), f);
+  if (it == window_.end()) {
+    return false;
+  }
+  window_.erase(it);
+  return true;
+}
+
+bool Condition::ErasePendingRaise(Fiber* f) {
+  auto it = std::find(pending_raise_.begin(), pending_raise_.end(), f);
+  if (it == pending_raise_.end()) {
+    return false;
+  }
+  pending_raise_.erase(it);
+  return true;
+}
+
+void Condition::Wait(Mutex& m) {
+  Machine& mach = machine_;
+  Fiber* self = Machine::Self();
+  TAOS_CHECK(m.holder_ == self || mach.ShuttingDown());  // REQUIRES m = SELF
+
+  // Enqueue: linearizes at the mutex's clear step — SELF enters c exactly as
+  // m becomes NIL.
+  std::uint64_t snapshot = 0;
+  m.ReleaseInternal([&] {
+    snapshot = ec_;
+    window_.push_back(self);
+    ++c_size_;
+    Emit(mach, spec::MakeEnqueue(self->id, m.id_, id_));
+  });
+
+  // Nub subroutine Block(c, i).
+  mach.SpinAcquire();
+  mach.Step();
+  if (mach.ShuttingDown()) {
+    return;
+  }
+  if (!use_eventcount_ || ec_ == snapshot) {
+    EraseWindow(self);  // may already be gone in the no-eventcount ablation
+    queue_.PushBack(self);
+    self->block_kind = Fiber::BlockKind::kCondition;
+    self->blocked_obj = this;
+    self->alertable = false;
+    self->alert_woken = false;
+    mach.DescheduleSelf();
+  } else {
+    // Absorbed: an intervening Signal/Broadcast advanced the eventcount and
+    // removed us from c (and from window_) when it emitted.
+    ++absorbed_;
+    mach.SpinRelease();
+  }
+
+  // Resume: re-enter the critical section.
+  m.AcquireInternal(spec::MakeResume(self->id, m.id_, id_));
+}
+
+void Condition::Signal() {
+  Machine& mach = machine_;
+  Fiber* self = Machine::Self();
+  mach.Step();  // user-code test: any threads to unblock?
+  if (c_size_ == 0) {
+    ++fast_signals_;
+    Emit(mach, spec::MakeSignal(self->id, id_, {}));
+    return;
+  }
+  mach.SpinAcquire();
+  mach.Step();
+  ++ec_;
+  spec::ThreadSet removed;
+  int unblocked = 0;
+  Fiber* t = queue_.PopFront();
+  if (t != nullptr) {
+    removed = removed.Insert(t->id);
+    DecSize();
+    ++unblocked;
+    mach.MakeReady(t);
+  }
+  for (Fiber* w : window_) {
+    removed = removed.Insert(w->id);
+    DecSize();
+    ++unblocked;  // window threads absorb this increment in Block
+  }
+  window_.clear();
+  for (Fiber* p : pending_raise_) {
+    removed = removed.Insert(p->id);
+    DecSize();
+  }
+  pending_raise_.clear();
+  if (unblocked > 1) {
+    ++multi_unblock_signals_;
+  }
+  Emit(mach, spec::MakeSignal(self->id, id_, removed));
+  mach.SpinRelease();
+}
+
+void Condition::Broadcast() {
+  Machine& mach = machine_;
+  Fiber* self = Machine::Self();
+  mach.Step();
+  if (c_size_ == 0) {
+    ++fast_signals_;
+    Emit(mach, spec::MakeBroadcast(self->id, id_, {}));
+    return;
+  }
+  mach.SpinAcquire();
+  mach.Step();
+  ++ec_;
+  spec::ThreadSet removed;
+  while (Fiber* t = queue_.PopFront()) {
+    removed = removed.Insert(t->id);
+    DecSize();
+    mach.MakeReady(t);
+  }
+  for (Fiber* w : window_) {
+    removed = removed.Insert(w->id);
+    DecSize();
+  }
+  window_.clear();
+  for (Fiber* p : pending_raise_) {
+    removed = removed.Insert(p->id);
+    DecSize();
+  }
+  pending_raise_.clear();
+  Emit(mach, spec::MakeBroadcast(self->id, id_, removed));
+  mach.SpinRelease();
+}
+
+// ---------------------------------------------------------------------------
+// Semaphore
+// ---------------------------------------------------------------------------
+
+Semaphore::Semaphore(Machine& machine, bool initially_available)
+    : machine_(machine), bit_(!initially_available), id_(machine.NextObjId()) {}
+
+Semaphore::~Semaphore() {
+  if (machine_.Aborted() || machine_.ShuttingDown()) {
+    while (queue_.PopFront() != nullptr) {
+    }
+    return;
+  }
+  TAOS_CHECK(queue_.Empty());
+}
+
+void Semaphore::P() {
+  Machine& m = machine_;
+  Fiber* self = Machine::Self();
+  for (;;) {
+    if (m.ShuttingDown()) {
+      return;
+    }
+    m.Step();  // test-and-set
+    if (!bit_) {
+      bit_ = true;
+      Emit(m, spec::MakeP(self->id, id_));
+      return;
+    }
+    m.SpinAcquire();
+    m.Step();
+    queue_.PushBack(self);
+    m.Step();
+    if (bit_) {
+      self->block_kind = Fiber::BlockKind::kSemaphore;
+      self->blocked_obj = this;
+      self->alertable = false;
+      self->alert_woken = false;
+      m.DescheduleSelf();
+    } else {
+      queue_.Remove(self);
+      m.SpinRelease();
+    }
+  }
+}
+
+void Semaphore::V() {
+  Machine& m = machine_;
+  Fiber* self = Machine::Self();
+  m.Step();
+  bit_ = false;
+  Emit(m, spec::MakeV(self->id, id_));
+  m.Step();
+  if (!queue_.Empty()) {
+    m.SpinAcquire();
+    m.Step();
+    Fiber* t = queue_.PopFront();
+    if (t != nullptr) {
+      m.MakeReady(t);
+    }
+    m.SpinRelease();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Alerting
+// ---------------------------------------------------------------------------
+
+void Alert(FiberHandle h) {
+  TAOS_CHECK(h.fiber != nullptr);
+  Fiber* t = h.fiber;
+  Machine& m = *t->machine;
+  Fiber* self = Machine::Self();
+  m.SpinAcquire();
+  m.Step();
+  t->alerted = true;  // alerts := insert(alerts, t)
+  if (t->run_state == Fiber::Run::kBlocked && t->alertable) {
+    switch (t->block_kind) {
+      case Fiber::BlockKind::kSemaphore: {
+        auto* s = static_cast<Semaphore*>(t->blocked_obj);
+        s->queue_.Remove(t);
+        break;
+      }
+      case Fiber::BlockKind::kCondition: {
+        auto* c = static_cast<Condition*>(t->blocked_obj);
+        c->queue_.Remove(t);
+        // Still a spec-member of c until its AlertResume action fires.
+        c->pending_raise_.push_back(t);
+        break;
+      }
+      case Fiber::BlockKind::kMutex:
+      case Fiber::BlockKind::kNone:
+        TAOS_PANIC("alertable fiber blocked on a mutex");
+    }
+    t->alert_woken = true;
+    m.MakeReady(t);
+  }
+  Emit(m, spec::MakeAlert(self->id, t->id));
+  m.SpinRelease();
+}
+
+bool TestAlert() {
+  Fiber* self = Machine::Self();
+  Machine& m = *self->machine;
+  m.Step();
+  const bool b = self->alerted;
+  self->alerted = false;
+  Emit(m, spec::MakeTestAlert(self->id, b));
+  return b;
+}
+
+void AlertWait(Mutex& mu, Condition& c) {
+  Machine& m = c.machine_;
+  Fiber* self = Machine::Self();
+  TAOS_CHECK(mu.holder_ == self || m.ShuttingDown());  // REQUIRES m = SELF
+
+  // Enqueue (AlertWait flavour: UNCHANGED [alerts]).
+  std::uint64_t snapshot = 0;
+  mu.ReleaseInternal([&] {
+    snapshot = c.ec_;
+    c.window_.push_back(self);
+    ++c.c_size_;
+    Emit(m, spec::MakeAlertEnqueue(self->id, mu.id_, c.id_));
+  });
+
+  // AlertBlock.
+  m.SpinAcquire();
+  m.Step();
+  if (m.ShuttingDown()) {
+    return;
+  }
+  bool raise = false;
+  if (self->alerted) {
+    raise = true;
+    if (c.EraseWindow(self)) {
+      c.pending_raise_.push_back(self);  // still in c until AlertResume
+    }
+    m.SpinRelease();
+  } else if (c.use_eventcount_ && c.ec_ != snapshot) {
+    ++c.absorbed_;
+    m.SpinRelease();
+  } else {
+    c.EraseWindow(self);
+    c.queue_.PushBack(self);
+    self->block_kind = Fiber::BlockKind::kCondition;
+    self->blocked_obj = &c;
+    self->alertable = true;
+    self->alert_woken = false;
+    m.DescheduleSelf();
+    // Raise if woken by Alert, or if an alert arrived around a signal wakeup
+    // (both WHEN clauses hold; this implementation prefers the alert).
+    raise = self->alert_woken || self->alerted;
+  }
+
+  if (raise) {
+    Condition* cp = &c;
+    mu.AcquireInternal(spec::MakeAlertResumeRaises(self->id, mu.id_, c.id_),
+                       [cp, self] {
+                         if (cp->ErasePendingRaise(self)) {
+                           cp->DecSize();
+                         }
+                         self->alerted = false;
+                         self->alert_woken = false;
+                       });
+    throw Alerted();
+  }
+  mu.AcquireInternal(spec::MakeAlertResumeReturns(self->id, mu.id_, c.id_));
+  self->alert_woken = false;
+}
+
+void AlertP(Semaphore& s) {
+  Machine& m = s.machine_;
+  Fiber* self = Machine::Self();
+  for (;;) {
+    if (m.ShuttingDown()) {
+      return;
+    }
+    m.Step();  // test-and-set: may win even with an alert pending — the
+               // RETURNS/RAISES nondeterminism the paper discusses
+    if (!s.bit_) {
+      s.bit_ = true;
+      Emit(m, spec::MakeAlertPReturns(self->id, s.id_));
+      return;
+    }
+    m.SpinAcquire();
+    m.Step();
+    if (self->alerted) {
+      self->alerted = false;
+      self->alert_woken = false;
+      Emit(m, spec::MakeAlertPRaises(self->id, s.id_));
+      m.SpinRelease();
+      throw Alerted();
+    }
+    s.queue_.PushBack(self);
+    m.Step();
+    if (s.bit_) {
+      self->block_kind = Fiber::BlockKind::kSemaphore;
+      self->blocked_obj = &s;
+      self->alertable = true;
+      self->alert_woken = false;
+      m.DescheduleSelf();
+      if (self->alert_woken) {
+        m.SpinAcquire();
+        m.Step();
+        self->alert_woken = false;
+        self->alerted = false;
+        Emit(m, spec::MakeAlertPRaises(self->id, s.id_));
+        m.SpinRelease();
+        throw Alerted();
+      }
+    } else {
+      s.queue_.Remove(self);
+      m.SpinRelease();
+    }
+  }
+}
+
+}  // namespace taos::firefly

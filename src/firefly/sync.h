@@ -1,0 +1,187 @@
+// The Threads synchronization primitives on the simulated Firefly,
+// implemented exactly as the paper's Implementation section describes:
+//
+//  - Mutex / Semaphore: a pair (Lock-bit, Queue). User code is an inline
+//    test-and-set (one simulated instruction); the Nub subroutines enqueue /
+//    re-test / de-schedule and unblock-one under the global spin-lock.
+//  - Condition: a pair (Eventcount, Queue). Wait reads the eventcount,
+//    releases the mutex, then Block(c, i) sleeps only if the eventcount is
+//    unchanged; Signal/Broadcast increment it and make one/all queued
+//    threads ready. set_use_eventcount(false) removes the comparison,
+//    recreating the wakeup-waiting race (experiment E7).
+//  - Alerts: a per-thread flag plus unblock-if-alertably-blocked, under the
+//    spin-lock.
+//
+// When the machine has a TraceSink, every operation emits its spec-visible
+// atomic action inside the simulation step that performs it, so the emitted
+// order is exactly the execution's serialization. One modelling choice is
+// documented in DESIGN.md: the eventcount snapshot that Block compares
+// against is taken at Wait's mutex-release step (the linearization point of
+// the spec's Enqueue action) rather than one step earlier.
+//
+// All objects must outlive no longer than their Machine, and are only used
+// from that machine's fibers.
+
+#ifndef TAOS_SRC_FIREFLY_SYNC_H_
+#define TAOS_SRC_FIREFLY_SYNC_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/base/alerted.h"
+#include "src/base/intrusive_queue.h"
+#include "src/firefly/machine.h"
+#include "src/spec/action.h"
+
+namespace taos::firefly {
+
+class Condition;
+
+class Mutex {
+ public:
+  explicit Mutex(Machine& machine);
+  ~Mutex();
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Acquire();
+  void Release();
+
+  // Extension beyond the paper's "simple priority scheme": when enabled,
+  // a blocking Acquire boosts the holder's effective priority to its own,
+  // and Release restores the releaser's base priority — the classic cure
+  // for priority inversion (demonstrated in tests/firefly_priority_test).
+  void set_priority_inheritance(bool v) { priority_inheritance_ = v; }
+
+  spec::ObjId id() const { return id_; }
+  Fiber* HolderForDebug() const { return holder_; }
+
+  std::uint64_t fast_acquires() const { return fast_acquires_; }
+  std::uint64_t slow_acquires() const { return slow_acquires_; }
+
+ private:
+  friend class Condition;
+  friend void AlertWait(Mutex& m, Condition& c);
+
+  // Acquire loop; emits `emit` at the successful test-and-set, running
+  // `at_success` (still within that atomic step) first.
+  void AcquireInternal(const spec::Action& emit,
+                       const std::function<void()>& at_success = nullptr);
+
+  // Release; runs `at_clear` within the lock-bit-clearing step (Wait's
+  // Enqueue action emits there instead of a plain Release).
+  void ReleaseInternal(const std::function<void()>& at_clear);
+
+  Machine& machine_;
+  bool bit_ = false;  // the Lock-bit
+  bool priority_inheritance_ = false;
+  Fiber* holder_ = nullptr;
+  IntrusiveQueue<Fiber> queue_;  // guarded by the Nub spin-lock
+  spec::ObjId id_;
+
+  std::uint64_t fast_acquires_ = 0;
+  std::uint64_t slow_acquires_ = 0;
+};
+
+// LOCK e DO ... END
+class Lock {
+ public:
+  explicit Lock(Mutex& m) : m_(m) { m_.Acquire(); }
+  ~Lock() { m_.Release(); }
+  Lock(const Lock&) = delete;
+  Lock& operator=(const Lock&) = delete;
+
+ private:
+  Mutex& m_;
+};
+
+class Condition {
+ public:
+  explicit Condition(Machine& machine);
+  ~Condition();
+  Condition(const Condition&) = delete;
+  Condition& operator=(const Condition&) = delete;
+
+  void Wait(Mutex& m);
+  void Signal();
+  void Broadcast();
+
+  // Ablation (E7): when false, Block always sleeps — the eventcount
+  // comparison that covers the wakeup-waiting race is removed. Only valid
+  // on an untraced machine.
+  void set_use_eventcount(bool v) { use_eventcount_ = v; }
+
+  spec::ObjId id() const { return id_; }
+
+  std::uint64_t absorbed_wakeups() const { return absorbed_; }
+  std::uint64_t fast_signals() const { return fast_signals_; }
+  // Signals that made more than one thread runnable (pop + window absorbs).
+  std::uint64_t multi_unblock_signals() const {
+    return multi_unblock_signals_;
+  }
+
+ private:
+  friend void Alert(FiberHandle t);
+  friend void AlertWait(Mutex& m, Condition& c);
+
+  bool EraseWindow(Fiber* f);
+  bool ErasePendingRaise(Fiber* f);
+  void DecSize() {
+    if (c_size_ > 0) {
+      --c_size_;
+    }
+  }
+
+  Machine& machine_;
+  std::uint64_t ec_ = 0;  // the Eventcount
+  IntrusiveQueue<Fiber> queue_;  // guarded by the Nub spin-lock
+  spec::ObjId id_;
+  bool use_eventcount_ = true;
+
+  // |c| in spec terms: queued + in-window + pending-raise fibers. Drives the
+  // "no threads to unblock" user-code fast path of Signal/Broadcast.
+  int c_size_ = 0;
+  std::vector<Fiber*> window_;
+  std::vector<Fiber*> pending_raise_;
+
+  std::uint64_t absorbed_ = 0;
+  std::uint64_t fast_signals_ = 0;
+  std::uint64_t multi_unblock_signals_ = 0;
+};
+
+class Semaphore {
+ public:
+  // The spec's Semaphore is INITIALLY available; `initially_available =
+  // false` is an extension used by baseline constructions (e.g. the naive
+  // semaphore-encoded condition variable) that need a taken token up front.
+  explicit Semaphore(Machine& machine, bool initially_available = true);
+  ~Semaphore();
+  Semaphore(const Semaphore&) = delete;
+  Semaphore& operator=(const Semaphore&) = delete;
+
+  void P();
+  void V();
+
+  spec::ObjId id() const { return id_; }
+  bool AvailableForDebug() const { return !bit_; }
+
+ private:
+  friend void Alert(FiberHandle t);
+  friend void AlertP(Semaphore& s);
+
+  Machine& machine_;
+  bool bit_ = false;  // 1 iff unavailable
+  IntrusiveQueue<Fiber> queue_;  // guarded by the Nub spin-lock
+  spec::ObjId id_;
+};
+
+// Alerting.
+void Alert(FiberHandle t);
+bool TestAlert();
+void AlertWait(Mutex& m, Condition& c);  // raises taos::Alerted
+void AlertP(Semaphore& s);               // raises taos::Alerted
+
+}  // namespace taos::firefly
+
+#endif  // TAOS_SRC_FIREFLY_SYNC_H_

@@ -1,0 +1,164 @@
+#include "src/model/explorer.h"
+
+#include <sstream>
+
+#include "src/base/check.h"
+#include "src/spec/trace.h"
+
+namespace taos::model {
+
+std::size_t ReplayChooser::Choose(
+    const std::vector<firefly::Fiber*>& runnable) {
+  TAOS_CHECK(!runnable.empty());
+  std::uint32_t pick = 0;
+  if (pos_ < prefix_.size()) {
+    pick = prefix_[pos_];
+    // A mismatched prefix means the machine was not deterministic — a bug.
+    TAOS_CHECK(pick < runnable.size());
+  } else {
+    prefix_.push_back(0);
+  }
+  alternatives_.push_back(runnable.size());
+  ++pos_;
+  return pick;
+}
+
+std::string ExplorationResult::ToString() const {
+  std::ostringstream os;
+  os << runs << " runs (" << completions << " completed, " << deadlocks
+     << " deadlocked), max depth " << max_depth
+     << (exhausted ? ", exhausted" : ", budget hit") << ", " << violations
+     << " violations";
+  if (violations > 0) {
+    os << "; first: " << first_violation;
+  }
+  return os.str();
+}
+
+Explorer::RunOutcome Explorer::RunOnce(
+    const LitmusFactory& factory, const std::vector<std::uint32_t>& prefix,
+    firefly::Chooser* chooser_override,
+    std::vector<spec::Action>* trace_out) const {
+  RunOutcome out;
+  ReplayChooser replay(prefix);
+
+  spec::Trace trace;  // must outlive the machine (teardown may emit)
+  firefly::MachineConfig cfg = options_.machine;
+  cfg.chooser = chooser_override != nullptr
+                    ? chooser_override
+                    : static_cast<firefly::Chooser*>(&replay);
+  if (options_.check_traces || trace_out != nullptr) {
+    cfg.trace = &trace;
+  }
+
+  firefly::Machine machine(cfg);
+  std::unique_ptr<LitmusTest> test = factory();
+  test->Setup(machine);
+  out.result = machine.Run();
+  out.verdict = test->Verify(out.result);
+
+  if (out.verdict.empty() && out.result.hit_step_limit) {
+    out.verdict = "hit step limit (possible livelock)";
+  }
+  if (out.verdict.empty() && options_.check_traces) {
+    spec::TraceChecker checker(options_.spec_config);
+    spec::CheckResult cr = checker.CheckTrace(trace);
+    if (!cr.ok) {
+      std::ostringstream os;
+      os << "spec violation at action " << cr.failed_index << ": "
+         << cr.message;
+      out.verdict = os.str();
+    }
+  }
+  if (trace_out != nullptr) {
+    *trace_out = trace.Actions();
+  }
+  if (chooser_override == nullptr) {
+    out.schedule = replay.schedule();
+    out.alternatives = replay.alternatives();
+  }
+  // The litmus test (owning the sync objects) must be destroyed before the
+  // machine, and the machine before the trace.
+  test.reset();
+  return out;
+}
+
+ExplorationResult Explorer::Explore(const LitmusFactory& factory) const {
+  ExplorationResult result;
+  std::vector<std::uint32_t> prefix;
+  for (;;) {
+    if (result.runs >= options_.max_runs) {
+      break;
+    }
+    RunOutcome out = RunOnce(factory, prefix, nullptr, nullptr);
+    ++result.runs;
+    result.max_depth = std::max(result.max_depth, out.schedule.size());
+    if (out.result.completed) {
+      ++result.completions;
+    }
+    if (out.result.deadlock) {
+      ++result.deadlocks;
+    }
+    if (!out.verdict.empty()) {
+      ++result.violations;
+      if (result.violations == 1) {
+        result.first_violation = out.verdict;
+        result.counterexample = out.schedule;
+      }
+      if (options_.stop_on_violation) {
+        break;
+      }
+    }
+    // Depth-first backtrack: bump the last choice point that still has an
+    // unexplored alternative.
+    std::size_t i = out.schedule.size();
+    while (i > 0 &&
+           out.schedule[i - 1] + 1 >= out.alternatives[i - 1]) {
+      --i;
+    }
+    if (i == 0) {
+      result.exhausted = true;
+      break;
+    }
+    prefix.assign(out.schedule.begin(),
+                  out.schedule.begin() + static_cast<std::ptrdiff_t>(i));
+    ++prefix[i - 1];
+  }
+  return result;
+}
+
+ExplorationResult Explorer::ExploreRandom(const LitmusFactory& factory,
+                                          std::uint64_t runs,
+                                          std::uint64_t base_seed) const {
+  ExplorationResult result;
+  for (std::uint64_t r = 0; r < runs; ++r) {
+    firefly::RandomChooser chooser(base_seed + r);
+    RunOutcome out = RunOnce(factory, {}, &chooser, nullptr);
+    ++result.runs;
+    if (out.result.completed) {
+      ++result.completions;
+    }
+    if (out.result.deadlock) {
+      ++result.deadlocks;
+    }
+    if (!out.verdict.empty()) {
+      ++result.violations;
+      if (result.violations == 1) {
+        result.first_violation = out.verdict;
+      }
+      if (options_.stop_on_violation) {
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+std::string Explorer::Replay(const LitmusFactory& factory,
+                             const std::vector<std::uint32_t>& schedule,
+                             std::vector<spec::Action>* trace_out) const {
+  RunOutcome out = RunOnce(factory, schedule, nullptr, trace_out);
+  return out.verdict;
+}
+
+}  // namespace taos::model

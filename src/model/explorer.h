@@ -1,0 +1,119 @@
+// Stateless model checking over the Firefly simulator.
+//
+// A litmus test is run many times; each run follows a recorded schedule
+// prefix and then extends it greedily. After a run, the last choice point
+// with an unexplored alternative is advanced (depth-first enumeration of the
+// schedule tree), until the tree is exhausted or a budget is hit. Because
+// the machine is a deterministic function of the choice sequence, any
+// violating run is replayable from its schedule.
+//
+// Each run can also be spec-checked: with check_traces set, the machine
+// emits every atomic action into a Trace and the run's serialization is
+// verified against the executable specification (src/spec) — over every
+// explored interleaving.
+
+#ifndef TAOS_SRC_MODEL_EXPLORER_H_
+#define TAOS_SRC_MODEL_EXPLORER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/firefly/machine.h"
+#include "src/spec/checker.h"
+
+namespace taos::model {
+
+// One scenario under test. Setup constructs shared objects and forks fibers
+// on the machine; Verify inspects the outcome (and any state Setup captured)
+// and returns an error description, or "" if the run is acceptable.
+class LitmusTest {
+ public:
+  virtual ~LitmusTest() = default;
+  virtual void Setup(firefly::Machine& machine) = 0;
+  virtual std::string Verify(const firefly::RunResult& result) = 0;
+};
+
+using LitmusFactory = std::function<std::unique_ptr<LitmusTest>()>;
+
+// Chooser that replays a prefix, extends with first-alternative choices, and
+// records the branching factor at every choice point.
+class ReplayChooser : public firefly::Chooser {
+ public:
+  explicit ReplayChooser(std::vector<std::uint32_t> prefix)
+      : prefix_(std::move(prefix)) {}
+
+  std::size_t Choose(const std::vector<firefly::Fiber*>& runnable) override;
+
+  const std::vector<std::uint32_t>& schedule() const { return prefix_; }
+  const std::vector<std::size_t>& alternatives() const {
+    return alternatives_;
+  }
+
+ private:
+  std::vector<std::uint32_t> prefix_;
+  std::vector<std::size_t> alternatives_;
+  std::size_t pos_ = 0;
+};
+
+struct ExplorerOptions {
+  std::uint64_t max_runs = 100'000;
+  bool stop_on_violation = true;
+  bool check_traces = false;        // spec-check every run's serialization
+  spec::SpecConfig spec_config;     // semantics used when check_traces
+  firefly::MachineConfig machine;   // cpus, time_slice, max_steps
+};
+
+struct ExplorationResult {
+  std::uint64_t runs = 0;
+  bool exhausted = false;           // full schedule tree covered
+  std::uint64_t completions = 0;
+  std::uint64_t deadlocks = 0;
+  std::uint64_t violations = 0;
+  std::string first_violation;      // description of the first violation
+  std::vector<std::uint32_t> counterexample;  // its schedule
+  std::size_t max_depth = 0;
+
+  std::string ToString() const;
+};
+
+class Explorer {
+ public:
+  explicit Explorer(ExplorerOptions options = {}) : options_(options) {}
+
+  // Depth-first exhaustive exploration.
+  ExplorationResult Explore(const LitmusFactory& factory) const;
+
+  // Random exploration: `runs` independent seeded-random schedules.
+  // Cheaper than DFS for large scenarios; no exhaustiveness claim.
+  ExplorationResult ExploreRandom(const LitmusFactory& factory,
+                                  std::uint64_t runs,
+                                  std::uint64_t base_seed = 1) const;
+
+  // Replays one schedule (e.g. a counterexample) and returns the litmus
+  // verdict; fills *trace_out with the run's actions if non-null.
+  std::string Replay(const LitmusFactory& factory,
+                     const std::vector<std::uint32_t>& schedule,
+                     std::vector<spec::Action>* trace_out = nullptr) const;
+
+ private:
+  struct RunOutcome {
+    firefly::RunResult result;
+    std::string verdict;  // "" if acceptable
+    std::vector<std::uint32_t> schedule;
+    std::vector<std::size_t> alternatives;
+  };
+
+  RunOutcome RunOnce(const LitmusFactory& factory,
+                     const std::vector<std::uint32_t>& prefix,
+                     firefly::Chooser* chooser_override,
+                     std::vector<spec::Action>* trace_out) const;
+
+  ExplorerOptions options_;
+};
+
+}  // namespace taos::model
+
+#endif  // TAOS_SRC_MODEL_EXPLORER_H_

@@ -1,0 +1,203 @@
+#include "src/model/fuzz.h"
+
+#include <memory>
+#include <vector>
+
+#include "src/base/alerted.h"
+#include "src/base/xorshift.h"
+#include "src/firefly/sync.h"
+
+namespace taos::model {
+
+namespace {
+
+enum class OpKind : std::uint8_t {
+  kLockedSection,  // Acquire; a few steps; Release
+  kWait,           // Acquire; Wait; Release   (no predicate: may sleep)
+  kAlertWait,      // Acquire; AlertWait (catch Alerted); Release
+  kSignal,
+  kBroadcast,
+  kPV,             // P; V
+  kP,              // unbalanced P (a deliberate deadlock source)
+  kV,
+  kAlertPThenV,    // AlertP (catch); V if it returned normally
+  kAlert,          // Alert a random fiber
+  kTestAlert,
+  kSteps,          // plain computation steps
+};
+
+struct Op {
+  OpKind kind;
+  int a = 0;  // object index / target fiber / step count
+  int b = 0;  // secondary object index
+};
+
+std::vector<std::vector<Op>> GenerateProgram(std::uint64_t seed,
+                                             const FuzzShape& shape) {
+  XorShift rng(seed);
+  std::vector<std::vector<Op>> fibers;
+  for (int f = 0; f < shape.fibers; ++f) {
+    std::vector<Op> ops;
+    for (int i = 0; i < shape.ops_per_fiber; ++i) {
+      Op op;
+      const std::uint32_t roll = rng.Below(100);
+      const int m = static_cast<int>(rng.Below(
+          static_cast<std::uint32_t>(shape.mutexes)));
+      const int c = static_cast<int>(rng.Below(
+          static_cast<std::uint32_t>(shape.conditions)));
+      const int s = static_cast<int>(rng.Below(
+          static_cast<std::uint32_t>(shape.semaphores)));
+      if (roll < 25) {
+        op = {OpKind::kLockedSection, m, static_cast<int>(rng.Below(3))};
+      } else if (roll < 35) {
+        op = {OpKind::kWait, m, c};
+      } else if (roll < 45 && shape.use_alerts) {
+        op = {OpKind::kAlertWait, m, c};
+      } else if (roll < 57) {
+        op = {OpKind::kSignal, c};
+      } else if (roll < 65) {
+        op = {OpKind::kBroadcast, c};
+      } else if (roll < 75) {
+        op = {OpKind::kPV, s};
+      } else if (roll < 78) {
+        op = {OpKind::kP, s};
+      } else if (roll < 85) {
+        op = {OpKind::kV, s};
+      } else if (roll < 90 && shape.use_alerts) {
+        op = {OpKind::kAlertPThenV, s};
+      } else if (roll < 95 && shape.use_alerts) {
+        op = {OpKind::kAlert,
+              static_cast<int>(rng.Below(
+                  static_cast<std::uint32_t>(shape.fibers)))};
+      } else if (roll < 98 && shape.use_alerts) {
+        op = {OpKind::kTestAlert};
+      } else {
+        op = {OpKind::kSteps, static_cast<int>(rng.Below(4)) + 1};
+      }
+      ops.push_back(op);
+    }
+    fibers.push_back(std::move(ops));
+  }
+  return fibers;
+}
+
+class FuzzProgramTest : public LitmusTest {
+ public:
+  FuzzProgramTest(std::uint64_t seed, FuzzShape shape)
+      : program_(GenerateProgram(seed, shape)), shape_(shape) {}
+
+  void Setup(firefly::Machine& machine) override {
+    for (int i = 0; i < shape_.mutexes; ++i) {
+      mutexes_.push_back(std::make_unique<firefly::Mutex>(machine));
+    }
+    for (int i = 0; i < shape_.conditions; ++i) {
+      conditions_.push_back(std::make_unique<firefly::Condition>(machine));
+    }
+    for (int i = 0; i < shape_.semaphores; ++i) {
+      semaphores_.push_back(std::make_unique<firefly::Semaphore>(machine));
+    }
+    for (std::size_t f = 0; f < program_.size(); ++f) {
+      handles_.push_back(machine.Fork(
+          [this, &machine, f] { RunFiber(machine, program_[f]); },
+          /*priority=*/0, "fuzz" + std::to_string(f)));
+    }
+  }
+
+  std::string Verify(const firefly::RunResult& result) override {
+    // Deadlock is legal (no liveness in the spec); livelock is not — the
+    // explorer flags hit_step_limit itself. Trace conformance is checked
+    // by the explorer when enabled.
+    (void)result;
+    return "";
+  }
+
+ private:
+  void RunFiber(firefly::Machine& machine, const std::vector<Op>& ops) {
+    for (const Op& op : ops) {
+      switch (op.kind) {
+        case OpKind::kLockedSection: {
+          firefly::Lock lock(*mutexes_[static_cast<std::size_t>(op.a)]);
+          for (int i = 0; i < op.b; ++i) {
+            machine.Step();
+          }
+          break;
+        }
+        case OpKind::kWait: {
+          firefly::Mutex& m = *mutexes_[static_cast<std::size_t>(op.a)];
+          firefly::Condition& c =
+              *conditions_[static_cast<std::size_t>(op.b)];
+          m.Acquire();
+          c.Wait(m);
+          m.Release();
+          break;
+        }
+        case OpKind::kAlertWait: {
+          firefly::Mutex& m = *mutexes_[static_cast<std::size_t>(op.a)];
+          firefly::Condition& c =
+              *conditions_[static_cast<std::size_t>(op.b)];
+          m.Acquire();
+          try {
+            firefly::AlertWait(m, c);
+          } catch (const Alerted&) {
+          }
+          m.Release();
+          break;
+        }
+        case OpKind::kSignal:
+          conditions_[static_cast<std::size_t>(op.a)]->Signal();
+          break;
+        case OpKind::kBroadcast:
+          conditions_[static_cast<std::size_t>(op.a)]->Broadcast();
+          break;
+        case OpKind::kPV:
+          semaphores_[static_cast<std::size_t>(op.a)]->P();
+          semaphores_[static_cast<std::size_t>(op.a)]->V();
+          break;
+        case OpKind::kP:
+          semaphores_[static_cast<std::size_t>(op.a)]->P();
+          break;
+        case OpKind::kV:
+          semaphores_[static_cast<std::size_t>(op.a)]->V();
+          break;
+        case OpKind::kAlertPThenV: {
+          firefly::Semaphore& s =
+              *semaphores_[static_cast<std::size_t>(op.a)];
+          try {
+            firefly::AlertP(s);
+            s.V();
+          } catch (const Alerted&) {
+          }
+          break;
+        }
+        case OpKind::kAlert:
+          firefly::Alert(handles_[static_cast<std::size_t>(op.a)]);
+          break;
+        case OpKind::kTestAlert:
+          (void)firefly::TestAlert();
+          break;
+        case OpKind::kSteps:
+          for (int i = 0; i < op.a; ++i) {
+            machine.Step();
+          }
+          break;
+      }
+    }
+  }
+
+  const std::vector<std::vector<Op>> program_;
+  const FuzzShape shape_;
+  std::vector<std::unique_ptr<firefly::Mutex>> mutexes_;
+  std::vector<std::unique_ptr<firefly::Condition>> conditions_;
+  std::vector<std::unique_ptr<firefly::Semaphore>> semaphores_;
+  std::vector<firefly::FiberHandle> handles_;
+};
+
+}  // namespace
+
+LitmusFactory FuzzProgramLitmus(std::uint64_t seed, FuzzShape shape) {
+  return [seed, shape] {
+    return std::make_unique<FuzzProgramTest>(seed, shape);
+  };
+}
+
+}  // namespace taos::model

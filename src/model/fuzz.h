@@ -1,0 +1,35 @@
+// Conformance fuzzing: randomly generated programs over the full primitive
+// set (mutexes, conditions, semaphores, alerts), run on the simulated
+// Firefly under random schedules, with every run's serialization checked
+// against the executable specification.
+//
+// Generated programs respect the callers' obligations (REQUIRES clauses) —
+// Wait/AlertWait only under the mutex — but use no predicate discipline, so
+// fibers may legally block forever; a deadlocked run is an acceptable
+// outcome (the spec has no liveness clauses) and its trace prefix must
+// still conform.
+
+#ifndef TAOS_SRC_MODEL_FUZZ_H_
+#define TAOS_SRC_MODEL_FUZZ_H_
+
+#include <cstdint>
+
+#include "src/model/explorer.h"
+
+namespace taos::model {
+
+struct FuzzShape {
+  int fibers = 3;
+  int ops_per_fiber = 6;
+  int mutexes = 2;
+  int conditions = 2;
+  int semaphores = 2;
+  bool use_alerts = true;
+};
+
+// A litmus whose program is a deterministic function of `seed`.
+LitmusFactory FuzzProgramLitmus(std::uint64_t seed, FuzzShape shape = {});
+
+}  // namespace taos::model
+
+#endif  // TAOS_SRC_MODEL_FUZZ_H_

@@ -1,0 +1,596 @@
+#include "src/model/litmus.h"
+
+#include <memory>
+#include <sstream>
+
+#include "src/base/alerted.h"
+#include "src/firefly/naive_condition.h"
+#include "src/firefly/sync.h"
+
+namespace taos::model {
+
+namespace {
+
+using firefly::Machine;
+using firefly::RunResult;
+
+// ---------------------------------------------------------------------------
+// Mutual exclusion
+// ---------------------------------------------------------------------------
+
+class MutualExclusionTest : public LitmusTest {
+ public:
+  MutualExclusionTest(int fibers, int iters) : fibers_(fibers), iters_(iters) {}
+
+  void Setup(Machine& machine) override {
+    mu_ = std::make_unique<firefly::Mutex>(machine);
+    for (int i = 0; i < fibers_; ++i) {
+      machine.Fork([this, &machine] {
+        for (int k = 0; k < iters_; ++k) {
+          mu_->Acquire();
+          machine.Step();
+          ++in_cs_;
+          if (in_cs_ > 1) {
+            overlap_ = true;
+          }
+          machine.Step();
+          ++count_;  // the shared update the critical section protects
+          machine.Step();
+          --in_cs_;
+          mu_->Release();
+        }
+      });
+    }
+  }
+
+  std::string Verify(const RunResult& result) override {
+    if (overlap_) {
+      return "two fibers inside the critical section simultaneously";
+    }
+    if (!result.completed) {
+      return "did not complete: " + result.ToString();
+    }
+    if (count_ != fibers_ * iters_) {
+      std::ostringstream os;
+      os << "lost updates: " << count_ << " != " << fibers_ * iters_;
+      return os.str();
+    }
+    return "";
+  }
+
+ private:
+  const int fibers_;
+  const int iters_;
+  std::unique_ptr<firefly::Mutex> mu_;
+  int in_cs_ = 0;
+  int count_ = 0;
+  bool overlap_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Wakeup-waiting race
+// ---------------------------------------------------------------------------
+
+class WakeupRaceTest : public LitmusTest {
+ public:
+  WakeupRaceTest(bool use_eventcount, Tally* tally)
+      : use_eventcount_(use_eventcount), tally_(tally) {}
+
+  void Setup(Machine& machine) override {
+    mu_ = std::make_unique<firefly::Mutex>(machine);
+    cv_ = std::make_unique<firefly::Condition>(machine);
+    cv_->set_use_eventcount(use_eventcount_);
+    machine.Fork(
+        [this, &machine] {
+          mu_->Acquire();
+          machine.Step();
+          while (!flag_) {
+            cv_->Wait(*mu_);
+            machine.Step();
+          }
+          mu_->Release();
+        },
+        /*priority=*/0, "waiter");
+    machine.Fork(
+        [this, &machine] {
+          mu_->Acquire();
+          machine.Step();
+          flag_ = true;
+          mu_->Release();
+          cv_->Signal();  // after exiting the critical section, as the
+                          // paradigm allows
+        },
+        /*priority=*/0, "signaller");
+  }
+
+  std::string Verify(const RunResult& result) override {
+    if (tally_ != nullptr) {
+      tally_->absorbed_wakeups += cv_->absorbed_wakeups();
+      tally_->completions += result.completed ? 1 : 0;
+      tally_->deadlocks += result.deadlock ? 1 : 0;
+    }
+    if (!result.completed) {
+      return "signal lost, waiter stuck: " + result.ToString();
+    }
+    return "";
+  }
+
+ private:
+  const bool use_eventcount_;
+  Tally* const tally_;
+  std::unique_ptr<firefly::Mutex> mu_;
+  std::unique_ptr<firefly::Condition> cv_;
+  bool flag_ = false;
+};
+
+// Wakeup race, AlertWait flavour.
+class AlertWaitWakeupRaceTest : public LitmusTest {
+ public:
+  explicit AlertWaitWakeupRaceTest(bool use_eventcount)
+      : use_eventcount_(use_eventcount) {}
+
+  void Setup(Machine& machine) override {
+    mu_ = std::make_unique<firefly::Mutex>(machine);
+    cv_ = std::make_unique<firefly::Condition>(machine);
+    cv_->set_use_eventcount(use_eventcount_);
+    machine.Fork(
+        [this, &machine] {
+          mu_->Acquire();
+          machine.Step();
+          try {
+            while (!flag_) {
+              firefly::AlertWait(*mu_, *cv_);
+              machine.Step();
+            }
+          } catch (const Alerted&) {
+          }
+          mu_->Release();
+        },
+        /*priority=*/0, "waiter");
+    machine.Fork(
+        [this, &machine] {
+          mu_->Acquire();
+          machine.Step();
+          flag_ = true;
+          mu_->Release();
+          cv_->Signal();
+        },
+        /*priority=*/0, "signaller");
+  }
+
+  std::string Verify(const RunResult& result) override {
+    if (!result.completed) {
+      return "signal lost, alertable waiter stuck: " + result.ToString();
+    }
+    return "";
+  }
+
+ private:
+  const bool use_eventcount_;
+  std::unique_ptr<firefly::Mutex> mu_;
+  std::unique_ptr<firefly::Condition> cv_;
+  bool flag_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Broadcast: real condition variable vs the naive semaphore encoding
+// ---------------------------------------------------------------------------
+
+template <typename ConditionT>
+class BroadcastTestBase : public LitmusTest {
+ public:
+  explicit BroadcastTestBase(int waiters) : waiters_(waiters) {}
+
+  void Setup(Machine& machine) override {
+    mu_ = std::make_unique<firefly::Mutex>(machine);
+    cv_ = std::make_unique<ConditionT>(machine);
+    for (int i = 0; i < waiters_; ++i) {
+      machine.Fork(
+          [this, &machine] {
+            mu_->Acquire();
+            machine.Step();
+            while (!flag_) {
+              cv_->Wait(*mu_);
+              machine.Step();
+            }
+            ++resumed_;
+            mu_->Release();
+          },
+          /*priority=*/0, "waiter" + std::to_string(i));
+    }
+    machine.Fork(
+        [this, &machine] {
+          mu_->Acquire();
+          machine.Step();
+          flag_ = true;
+          mu_->Release();
+          cv_->Broadcast();
+        },
+        /*priority=*/0, "broadcaster");
+  }
+
+  std::string Verify(const RunResult& result) override {
+    if (!result.completed) {
+      return "a waiter missed the broadcast: " + result.ToString();
+    }
+    if (resumed_ != waiters_) {
+      std::ostringstream os;
+      os << "only " << resumed_ << "/" << waiters_ << " waiters resumed";
+      return os.str();
+    }
+    return "";
+  }
+
+ private:
+  const int waiters_;
+  std::unique_ptr<firefly::Mutex> mu_;
+  std::unique_ptr<ConditionT> cv_;
+  bool flag_ = false;
+  int resumed_ = 0;
+};
+
+// One waiter + one signaller over the naive condition (must always work —
+// "the one bit in the semaphore would cover the wakeup-waiting race").
+class NaiveSignalTest : public LitmusTest {
+ public:
+  void Setup(Machine& machine) override {
+    mu_ = std::make_unique<firefly::Mutex>(machine);
+    cv_ = std::make_unique<firefly::NaiveCondition>(machine);
+    machine.Fork([this, &machine] {
+      mu_->Acquire();
+      machine.Step();
+      while (!flag_) {
+        cv_->Wait(*mu_);
+        machine.Step();
+      }
+      mu_->Release();
+    });
+    machine.Fork([this, &machine] {
+      mu_->Acquire();
+      machine.Step();
+      flag_ = true;
+      mu_->Release();
+      cv_->Signal();
+    });
+  }
+
+  std::string Verify(const RunResult& result) override {
+    if (!result.completed) {
+      return "naive signal lost with a single waiter: " + result.ToString();
+    }
+    return "";
+  }
+
+ private:
+  std::unique_ptr<firefly::Mutex> mu_;
+  std::unique_ptr<firefly::NaiveCondition> cv_;
+  bool flag_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// AlertWait racing Signal and Alert
+// ---------------------------------------------------------------------------
+
+class AlertWaitRaceTest : public LitmusTest {
+ public:
+  explicit AlertWaitRaceTest(Tally* tally) : tally_(tally) {}
+
+  void Setup(Machine& machine) override {
+    mu_ = std::make_unique<firefly::Mutex>(machine);
+    cv_ = std::make_unique<firefly::Condition>(machine);
+    firefly::FiberHandle waiter = machine.Fork(
+        [this, &machine] {
+          mu_->Acquire();
+          machine.Step();
+          try {
+            while (!flag_) {
+              firefly::AlertWait(*mu_, *cv_);
+              machine.Step();
+            }
+            normal_ = true;
+            mu_->Release();
+          } catch (const Alerted&) {
+            // AlertWait reacquired the mutex before raising.
+            alerted_ = true;
+            mu_->Release();
+          }
+        },
+        /*priority=*/0, "waiter");
+    machine.Fork(
+        [this, &machine] {
+          mu_->Acquire();
+          machine.Step();
+          flag_ = true;
+          mu_->Release();
+          cv_->Signal();
+        },
+        /*priority=*/0, "signaller");
+    machine.Fork([waiter] { firefly::Alert(waiter); }, /*priority=*/0,
+                 "alerter");
+  }
+
+  std::string Verify(const RunResult& result) override {
+    if (tally_ != nullptr) {
+      tally_->normal_exits += normal_ ? 1 : 0;
+      tally_->alerted_exits += alerted_ ? 1 : 0;
+      tally_->completions += result.completed ? 1 : 0;
+      tally_->deadlocks += result.deadlock ? 1 : 0;
+    }
+    if (!result.completed) {
+      return "stuck: " + result.ToString();
+    }
+    if (!normal_ && !alerted_) {
+      return "waiter exited neither normally nor via Alerted";
+    }
+    return "";
+  }
+
+ private:
+  Tally* const tally_;
+  std::unique_ptr<firefly::Mutex> mu_;
+  std::unique_ptr<firefly::Condition> cv_;
+  bool flag_ = false;
+  bool normal_ = false;
+  bool alerted_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Interrupt-style semaphore handoff
+// ---------------------------------------------------------------------------
+
+class SemaphoreHandoffTest : public LitmusTest {
+ public:
+  void Setup(Machine& machine) override {
+    sem_ = std::make_unique<firefly::Semaphore>(machine,
+                                                /*initially_available=*/false);
+    machine.Fork(
+        [this, &machine] {
+          data_ = 42;
+          machine.Step();
+          sem_->V();  // the interrupt routine's unblock
+        },
+        /*priority=*/0, "device");
+    machine.Fork(
+        [this, &machine] {
+          sem_->P();
+          machine.Step();
+          observed_ = data_;
+        },
+        /*priority=*/0, "driver");
+  }
+
+  std::string Verify(const RunResult& result) override {
+    if (!result.completed) {
+      return "handoff stuck: " + result.ToString();
+    }
+    if (observed_ != 42) {
+      return "driver ran before the device's data was ready";
+    }
+    return "";
+  }
+
+ private:
+  std::unique_ptr<firefly::Semaphore> sem_;
+  int data_ = 0;
+  int observed_ = -1;
+};
+
+// ---------------------------------------------------------------------------
+// AlertP racing V and Alert
+// ---------------------------------------------------------------------------
+
+class AlertPRaceTest : public LitmusTest {
+ public:
+  explicit AlertPRaceTest(Tally* tally) : tally_(tally) {}
+
+  void Setup(Machine& machine) override {
+    sem_ = std::make_unique<firefly::Semaphore>(machine,
+                                                /*initially_available=*/false);
+    firefly::FiberHandle taker = machine.Fork(
+        [this] {
+          try {
+            firefly::AlertP(*sem_);
+            normal_ = true;
+          } catch (const Alerted&) {
+            alerted_ = true;
+          }
+        },
+        /*priority=*/0, "taker");
+    machine.Fork([this] { sem_->V(); }, /*priority=*/0, "releaser");
+    machine.Fork([taker] { firefly::Alert(taker); }, /*priority=*/0,
+                 "alerter");
+  }
+
+  std::string Verify(const RunResult& result) override {
+    if (tally_ != nullptr) {
+      tally_->normal_exits += normal_ ? 1 : 0;
+      tally_->alerted_exits += alerted_ ? 1 : 0;
+      tally_->completions += result.completed ? 1 : 0;
+      tally_->deadlocks += result.deadlock ? 1 : 0;
+    }
+    if (!result.completed) {
+      return "AlertP stuck: " + result.ToString();
+    }
+    if (!normal_ && !alerted_) {
+      return "AlertP neither returned nor raised";
+    }
+    return "";
+  }
+
+ private:
+  Tally* const tally_;
+  std::unique_ptr<firefly::Semaphore> sem_;
+  bool normal_ = false;
+  bool alerted_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// One Signal may unblock more than one waiter
+// ---------------------------------------------------------------------------
+
+class SignalUnblocksManyTest : public LitmusTest {
+ public:
+  explicit SignalUnblocksManyTest(Tally* tally) : tally_(tally) {}
+
+  void Setup(Machine& machine) override {
+    mu_ = std::make_unique<firefly::Mutex>(machine);
+    cv_ = std::make_unique<firefly::Condition>(machine);
+    for (int i = 0; i < 2; ++i) {
+      machine.Fork(
+          [this, &machine] {
+            mu_->Acquire();
+            machine.Step();
+            if (!flag_) {
+              cv_->Wait(*mu_);
+            }
+            machine.Step();
+            ++resumed_;
+            mu_->Release();
+          },
+          /*priority=*/0, "waiter" + std::to_string(i));
+    }
+    machine.Fork(
+        [this, &machine] {
+          mu_->Acquire();
+          machine.Step();
+          flag_ = true;
+          mu_->Release();
+          cv_->Signal();  // exactly one Signal for two waiters
+        },
+        /*priority=*/0, "signaller");
+  }
+
+  std::string Verify(const RunResult& result) override {
+    if (tally_ != nullptr) {
+      tally_->completions += result.completed ? 1 : 0;
+      tally_->deadlocks += result.deadlock ? 1 : 0;
+      tally_->multi_unblock_signals += cv_->multi_unblock_signals();
+      tally_->absorbed_wakeups += cv_->absorbed_wakeups();
+    }
+    // The spec promises no liveness: with a single Signal one waiter may
+    // stay blocked forever (that is why Broadcast exists). Only safety is
+    // checked here; the interesting accounting is in the tally.
+    if (result.completed && resumed_ != 2) {
+      return "completed but a waiter did not run its epilogue";
+    }
+    return "";
+  }
+
+ private:
+  Tally* const tally_;
+  std::unique_ptr<firefly::Mutex> mu_;
+  std::unique_ptr<firefly::Condition> cv_;
+  bool flag_ = false;
+  int resumed_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Dining philosophers
+// ---------------------------------------------------------------------------
+
+class DiningPhilosophersTest : public LitmusTest {
+ public:
+  DiningPhilosophersTest(int philosophers, bool ordered)
+      : n_(philosophers), ordered_(ordered) {}
+
+  void Setup(Machine& machine) override {
+    for (int i = 0; i < n_; ++i) {
+      forks_.push_back(std::make_unique<firefly::Mutex>(machine));
+    }
+    for (int i = 0; i < n_; ++i) {
+      machine.Fork(
+          [this, &machine, i] {
+            int first = i;
+            int second = (i + 1) % n_;
+            if (ordered_ && second < first) {
+              std::swap(first, second);  // total order on fork ids
+            }
+            forks_[static_cast<std::size_t>(first)]->Acquire();
+            machine.Step();  // reach for the other fork
+            forks_[static_cast<std::size_t>(second)]->Acquire();
+            machine.Step();  // eat
+            ++meals_;
+            forks_[static_cast<std::size_t>(second)]->Release();
+            forks_[static_cast<std::size_t>(first)]->Release();
+          },
+          /*priority=*/0, "phil" + std::to_string(i));
+    }
+  }
+
+  std::string Verify(const RunResult& result) override {
+    if (!result.completed) {
+      return "philosophers deadlocked: " + result.ToString();
+    }
+    if (meals_ != n_) {
+      return "not everyone ate";
+    }
+    return "";
+  }
+
+ private:
+  const int n_;
+  const bool ordered_;
+  std::vector<std::unique_ptr<firefly::Mutex>> forks_;
+  int meals_ = 0;
+};
+
+}  // namespace
+
+LitmusFactory DiningPhilosophersLitmus(int philosophers, bool ordered) {
+  return [philosophers, ordered] {
+    return std::make_unique<DiningPhilosophersTest>(philosophers, ordered);
+  };
+}
+
+LitmusFactory MutualExclusionLitmus(int fibers, int iters) {
+  return [fibers, iters] {
+    return std::make_unique<MutualExclusionTest>(fibers, iters);
+  };
+}
+
+LitmusFactory WakeupRaceLitmus(bool use_eventcount, Tally* tally) {
+  return [use_eventcount, tally] {
+    return std::make_unique<WakeupRaceTest>(use_eventcount, tally);
+  };
+}
+
+LitmusFactory AlertWaitWakeupRaceLitmus(bool use_eventcount) {
+  return [use_eventcount] {
+    return std::make_unique<AlertWaitWakeupRaceTest>(use_eventcount);
+  };
+}
+
+LitmusFactory BroadcastLitmus(int waiters) {
+  return [waiters] {
+    return std::make_unique<BroadcastTestBase<firefly::Condition>>(waiters);
+  };
+}
+
+LitmusFactory NaiveBroadcastLitmus(int waiters) {
+  return [waiters] {
+    return std::make_unique<BroadcastTestBase<firefly::NaiveCondition>>(
+        waiters);
+  };
+}
+
+LitmusFactory NaiveSignalLitmus() {
+  return [] { return std::make_unique<NaiveSignalTest>(); };
+}
+
+LitmusFactory AlertWaitRaceLitmus(Tally* tally) {
+  return [tally] { return std::make_unique<AlertWaitRaceTest>(tally); };
+}
+
+LitmusFactory SemaphoreHandoffLitmus() {
+  return [] { return std::make_unique<SemaphoreHandoffTest>(); };
+}
+
+LitmusFactory AlertPRaceLitmus(Tally* tally) {
+  return [tally] { return std::make_unique<AlertPRaceTest>(tally); };
+}
+
+LitmusFactory SignalUnblocksManyLitmus(Tally* tally) {
+  return [tally] { return std::make_unique<SignalUnblocksManyTest>(tally); };
+}
+
+}  // namespace taos::model

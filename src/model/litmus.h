@@ -1,0 +1,81 @@
+// Litmus scenarios for the model checker: each is a small concurrent program
+// over the simulated Firefly primitives, with a per-run verdict. The
+// interesting properties (e.g. "some schedule deadlocks the naive
+// broadcast") are established by tests in tests/ running these through the
+// Explorer.
+//
+// Factories may be given a Tally to accumulate per-outcome counts across the
+// many runs of an exploration (the LitmusTest object itself is per-run).
+
+#ifndef TAOS_SRC_MODEL_LITMUS_H_
+#define TAOS_SRC_MODEL_LITMUS_H_
+
+#include <cstdint>
+
+#include "src/model/explorer.h"
+
+namespace taos::model {
+
+struct Tally {
+  std::uint64_t normal_exits = 0;
+  std::uint64_t alerted_exits = 0;
+  std::uint64_t completions = 0;
+  std::uint64_t deadlocks = 0;
+  std::uint64_t absorbed_wakeups = 0;
+  std::uint64_t multi_unblock_signals = 0;
+};
+
+// N fibers each perform `iters` critical sections (with explicit internal
+// step boundaries so a mutual-exclusion failure is visible). Violations:
+// overlap in the critical section, lost updates, deadlock.
+LitmusFactory MutualExclusionLitmus(int fibers, int iters);
+
+// The wakeup-waiting race (paper, Informal Description): one waiter on a
+// predicate, one setter+signaller. With the eventcount (use_eventcount =
+// true) every schedule completes; without it the signal can be lost between
+// Wait's critical-section exit and its Block, deadlocking the waiter.
+LitmusFactory WakeupRaceLitmus(bool use_eventcount, Tally* tally = nullptr);
+
+// The same race with the waiter in AlertWait: the eventcount protects the
+// alertable wait identically.
+LitmusFactory AlertWaitWakeupRaceLitmus(bool use_eventcount);
+
+// `waiters` fibers wait for a flag; one fiber sets it and Broadcasts. All
+// waiters must resume (the paper's reader-lock release example).
+LitmusFactory BroadcastLitmus(int waiters);
+
+// Same program over the semaphore-encoded NaiveCondition (paper's strawman).
+// The exploration is expected to FIND deadlocking schedules.
+LitmusFactory NaiveBroadcastLitmus(int waiters);
+
+// One waiter + one signaller over NaiveCondition: the paper notes the one
+// bit in the semaphore covers the race, so every schedule must complete.
+LitmusFactory NaiveSignalLitmus();
+
+// A waiter in an AlertWait predicate loop, racing a signaller and an
+// alerter. Either exit (normal or Alerted) is legal; the point is that every
+// interleaving is deadlock-free and spec-conformant (run with check_traces).
+LitmusFactory AlertWaitRaceLitmus(Tally* tally = nullptr);
+
+// Interrupt-style handoff: a "device" fiber produces data then Vs a
+// semaphore; a waiter Ps and must observe the data.
+LitmusFactory SemaphoreHandoffLitmus();
+
+// AlertP racing a V and an Alert: both outcomes (return, raise) are legal
+// and both must occur across schedules (tallied).
+LitmusFactory AlertPRaceLitmus(Tally* tally = nullptr);
+
+// Two waiters, one Signal: at least one waiter must resume; with the
+// signaller racing the waiters' windows, some schedules legally unblock
+// both (tallied via multi_unblock_signals).
+LitmusFactory SignalUnblocksManyLitmus(Tally* tally = nullptr);
+
+// Dining philosophers over simulated mutexes. With `ordered` false every
+// philosopher takes left-then-right (the checker finds the circular-wait
+// deadlock); with `ordered` true forks are acquired in global id order (no
+// schedule deadlocks — the standard total-order fix).
+LitmusFactory DiningPhilosophersLitmus(int philosophers, bool ordered);
+
+}  // namespace taos::model
+
+#endif  // TAOS_SRC_MODEL_LITMUS_H_

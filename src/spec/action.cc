@@ -1,0 +1,184 @@
+#include "src/spec/action.h"
+
+#include <sstream>
+
+namespace taos::spec {
+
+const char* ActionKindName(ActionKind kind) {
+  switch (kind) {
+    case ActionKind::kAcquire:
+      return "Acquire";
+    case ActionKind::kRelease:
+      return "Release";
+    case ActionKind::kEnqueue:
+      return "Enqueue";
+    case ActionKind::kResume:
+      return "Resume";
+    case ActionKind::kSignal:
+      return "Signal";
+    case ActionKind::kBroadcast:
+      return "Broadcast";
+    case ActionKind::kP:
+      return "P";
+    case ActionKind::kV:
+      return "V";
+    case ActionKind::kAlert:
+      return "Alert";
+    case ActionKind::kTestAlert:
+      return "TestAlert";
+    case ActionKind::kAlertPReturns:
+      return "AlertP/RETURNS";
+    case ActionKind::kAlertPRaises:
+      return "AlertP/RAISES";
+    case ActionKind::kAlertEnqueue:
+      return "AlertWait.Enqueue";
+    case ActionKind::kAlertResumeReturns:
+      return "AlertWait.Resume/RETURNS";
+    case ActionKind::kAlertResumeRaises:
+      return "AlertWait.Resume/RAISES";
+  }
+  return "?";
+}
+
+std::string Action::ToString() const {
+  std::ostringstream os;
+  os << "t" << self << ":" << ActionKindName(kind);
+  switch (kind) {
+    case ActionKind::kAcquire:
+    case ActionKind::kRelease:
+      os << "(m" << mutex << ")";
+      break;
+    case ActionKind::kEnqueue:
+    case ActionKind::kResume:
+    case ActionKind::kAlertEnqueue:
+    case ActionKind::kAlertResumeReturns:
+    case ActionKind::kAlertResumeRaises:
+      os << "(m" << mutex << ", c" << condition << ")";
+      break;
+    case ActionKind::kSignal:
+    case ActionKind::kBroadcast:
+      os << "(c" << condition << ") removed=" << removed.ToString();
+      break;
+    case ActionKind::kP:
+    case ActionKind::kV:
+    case ActionKind::kAlertPReturns:
+    case ActionKind::kAlertPRaises:
+      os << "(s" << semaphore << ")";
+      break;
+    case ActionKind::kAlert:
+      os << "(t" << target << ")";
+      break;
+    case ActionKind::kTestAlert:
+      os << "() = " << (result ? "true" : "false");
+      break;
+  }
+  return os.str();
+}
+
+namespace {
+Action Base(ActionKind kind, ThreadId self) {
+  Action a;
+  a.kind = kind;
+  a.self = self;
+  return a;
+}
+}  // namespace
+
+Action MakeAcquire(ThreadId self, ObjId m) {
+  Action a = Base(ActionKind::kAcquire, self);
+  a.mutex = m;
+  return a;
+}
+
+Action MakeRelease(ThreadId self, ObjId m) {
+  Action a = Base(ActionKind::kRelease, self);
+  a.mutex = m;
+  return a;
+}
+
+Action MakeEnqueue(ThreadId self, ObjId m, ObjId c) {
+  Action a = Base(ActionKind::kEnqueue, self);
+  a.mutex = m;
+  a.condition = c;
+  return a;
+}
+
+Action MakeResume(ThreadId self, ObjId m, ObjId c) {
+  Action a = Base(ActionKind::kResume, self);
+  a.mutex = m;
+  a.condition = c;
+  return a;
+}
+
+Action MakeSignal(ThreadId self, ObjId c, ThreadSet removed) {
+  Action a = Base(ActionKind::kSignal, self);
+  a.condition = c;
+  a.removed = std::move(removed);
+  return a;
+}
+
+Action MakeBroadcast(ThreadId self, ObjId c, ThreadSet removed) {
+  Action a = Base(ActionKind::kBroadcast, self);
+  a.condition = c;
+  a.removed = std::move(removed);
+  return a;
+}
+
+Action MakeP(ThreadId self, ObjId s) {
+  Action a = Base(ActionKind::kP, self);
+  a.semaphore = s;
+  return a;
+}
+
+Action MakeV(ThreadId self, ObjId s) {
+  Action a = Base(ActionKind::kV, self);
+  a.semaphore = s;
+  return a;
+}
+
+Action MakeAlert(ThreadId self, ThreadId target) {
+  Action a = Base(ActionKind::kAlert, self);
+  a.target = target;
+  return a;
+}
+
+Action MakeTestAlert(ThreadId self, bool result) {
+  Action a = Base(ActionKind::kTestAlert, self);
+  a.result = result;
+  return a;
+}
+
+Action MakeAlertPReturns(ThreadId self, ObjId s) {
+  Action a = Base(ActionKind::kAlertPReturns, self);
+  a.semaphore = s;
+  return a;
+}
+
+Action MakeAlertPRaises(ThreadId self, ObjId s) {
+  Action a = Base(ActionKind::kAlertPRaises, self);
+  a.semaphore = s;
+  return a;
+}
+
+Action MakeAlertEnqueue(ThreadId self, ObjId m, ObjId c) {
+  Action a = Base(ActionKind::kAlertEnqueue, self);
+  a.mutex = m;
+  a.condition = c;
+  return a;
+}
+
+Action MakeAlertResumeReturns(ThreadId self, ObjId m, ObjId c) {
+  Action a = Base(ActionKind::kAlertResumeReturns, self);
+  a.mutex = m;
+  a.condition = c;
+  return a;
+}
+
+Action MakeAlertResumeRaises(ThreadId self, ObjId m, ObjId c) {
+  Action a = Base(ActionKind::kAlertResumeRaises, self);
+  a.mutex = m;
+  a.condition = c;
+  return a;
+}
+
+}  // namespace taos::spec

@@ -1,0 +1,76 @@
+// The vocabulary of spec-visible atomic actions.
+//
+// Each procedure of the Threads interface is either ATOMIC (one action per
+// call) or a COMPOSITION OF two named actions (Wait = Enqueue; Resume and
+// AlertWait = Enqueue; AlertResume). Procedures whose RETURNS and RAISES
+// cases have separate WHEN/ENSURES clauses (AlertP, AlertResume) get one
+// action kind per outcome.
+
+#ifndef TAOS_SRC_SPEC_ACTION_H_
+#define TAOS_SRC_SPEC_ACTION_H_
+
+#include <string>
+
+#include "src/spec/state.h"
+
+namespace taos::spec {
+
+enum class ActionKind : std::uint8_t {
+  kAcquire,             // ATOMIC PROCEDURE Acquire(m)
+  kRelease,             // ATOMIC PROCEDURE Release(m)
+  kEnqueue,             // Wait's first action
+  kResume,              // Wait's second action
+  kSignal,              // ATOMIC PROCEDURE Signal(c)
+  kBroadcast,           // ATOMIC PROCEDURE Broadcast(c)
+  kP,                   // ATOMIC PROCEDURE P(s)
+  kV,                   // ATOMIC PROCEDURE V(s)
+  kAlert,               // ATOMIC PROCEDURE Alert(t)
+  kTestAlert,           // ATOMIC PROCEDURE TestAlert() RETURNS(b)
+  kAlertPReturns,       // AlertP, normal outcome
+  kAlertPRaises,        // AlertP, Alerted outcome
+  kAlertEnqueue,        // AlertWait's first action
+  kAlertResumeReturns,  // AlertWait's second action, normal outcome
+  kAlertResumeRaises,   // AlertWait's second action, Alerted outcome
+};
+
+const char* ActionKindName(ActionKind kind);
+
+struct Action {
+  ActionKind kind;
+  ThreadId self = kNil;  // the thread executing the action (SELF)
+
+  // Object operands; which are meaningful depends on `kind`.
+  ObjId mutex = 0;
+  ObjId condition = 0;
+  ObjId semaphore = 0;
+  ThreadId target = kNil;  // Alert(t)
+
+  // Resolution of the spec's nondeterminism, recorded by the emitter:
+  //  - Signal/Broadcast: the set of threads removed from the condition.
+  //  - TestAlert: the returned boolean.
+  ThreadSet removed;
+  bool result = false;
+
+  std::string ToString() const;
+};
+
+// Convenience constructors, named after the interface procedures.
+Action MakeAcquire(ThreadId self, ObjId m);
+Action MakeRelease(ThreadId self, ObjId m);
+Action MakeEnqueue(ThreadId self, ObjId m, ObjId c);
+Action MakeResume(ThreadId self, ObjId m, ObjId c);
+Action MakeSignal(ThreadId self, ObjId c, ThreadSet removed);
+Action MakeBroadcast(ThreadId self, ObjId c, ThreadSet removed);
+Action MakeP(ThreadId self, ObjId s);
+Action MakeV(ThreadId self, ObjId s);
+Action MakeAlert(ThreadId self, ThreadId target);
+Action MakeTestAlert(ThreadId self, bool result);
+Action MakeAlertPReturns(ThreadId self, ObjId s);
+Action MakeAlertPRaises(ThreadId self, ObjId s);
+Action MakeAlertEnqueue(ThreadId self, ObjId m, ObjId c);
+Action MakeAlertResumeReturns(ThreadId self, ObjId m, ObjId c);
+Action MakeAlertResumeRaises(ThreadId self, ObjId m, ObjId c);
+
+}  // namespace taos::spec
+
+#endif  // TAOS_SRC_SPEC_ACTION_H_

@@ -1,0 +1,86 @@
+#include "src/spec/checker.h"
+
+#include <sstream>
+
+namespace taos::spec {
+
+namespace {
+
+// Per-thread COMPOSITION OF tracking: what the thread's next action must be.
+struct PendingResume {
+  enum class Kind : std::uint8_t { kNone, kWait, kAlertWait };
+  Kind kind = Kind::kNone;
+  ObjId mutex = 0;
+  ObjId condition = 0;
+};
+
+bool IsResumeFor(const Action& a, const PendingResume& p) {
+  if (p.kind == PendingResume::Kind::kWait) {
+    return a.kind == ActionKind::kResume && a.mutex == p.mutex &&
+           a.condition == p.condition;
+  }
+  if (p.kind == PendingResume::Kind::kAlertWait) {
+    return (a.kind == ActionKind::kAlertResumeReturns ||
+            a.kind == ActionKind::kAlertResumeRaises) &&
+           a.mutex == p.mutex && a.condition == p.condition;
+  }
+  return false;
+}
+
+}  // namespace
+
+CheckResult TraceChecker::CheckTrace(const std::vector<Action>& actions,
+                                     SpecState initial) const {
+  CheckResult result;
+  SpecState state = std::move(initial);
+  std::map<ThreadId, PendingResume> pending;
+
+  for (std::size_t i = 0; i < actions.size(); ++i) {
+    const Action& a = actions[i];
+
+    // COMPOSITION OF: a thread with a pending Resume may do nothing else.
+    auto it = pending.find(a.self);
+    if (it != pending.end() && it->second.kind != PendingResume::Kind::kNone) {
+      if (!IsResumeFor(a, it->second)) {
+        result.ok = false;
+        result.failed_index = i;
+        std::ostringstream os;
+        os << "COMPOSITION OF violated: thread t" << a.self
+           << " has a pending Resume but performed " << a.ToString();
+        result.message = os.str();
+        result.final_state = state;
+        return result;
+      }
+      it->second.kind = PendingResume::Kind::kNone;
+    }
+
+    SpecState post;
+    Verdict v = semantics_.Apply(state, a, &post);
+    ++result.actions_checked;
+    if (!v.Ok()) {
+      result.ok = false;
+      result.failed_index = i;
+      result.message = v.message;
+      result.final_state = state;
+      return result;
+    }
+
+    if (a.kind == ActionKind::kSignal && a.removed.Size() > 1) {
+      ++result.signals_removing_many;
+    }
+
+    if (a.kind == ActionKind::kEnqueue) {
+      pending[a.self] = {PendingResume::Kind::kWait, a.mutex, a.condition};
+    } else if (a.kind == ActionKind::kAlertEnqueue) {
+      pending[a.self] = {PendingResume::Kind::kAlertWait, a.mutex,
+                         a.condition};
+    }
+
+    state = std::move(post);
+  }
+
+  result.final_state = std::move(state);
+  return result;
+}
+
+}  // namespace taos::spec

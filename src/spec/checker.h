@@ -1,0 +1,58 @@
+// Trace conformance checker.
+//
+// Replays a serialized trace of atomic actions against the executable
+// semantics, verifying for every step:
+//   - REQUIRES held (caller obligations),
+//   - WHEN held (the action was actually enabled when it fired),
+//   - ENSURES holds for the recorded outcome (including the recorded
+//     resolution of nondeterminism: Signal/Broadcast removal sets, TestAlert
+//     results, RETURNS-vs-RAISES choices),
+//   - MODIFIES AT MOST holds (by construction of Apply, and re-verified),
+// and, across steps, the COMPOSITION OF structure of the two non-atomic
+// procedures: after a thread's Enqueue action its next action must be the
+// matching Resume (Wait) or AlertResume (AlertWait) on the same m and c.
+
+#ifndef TAOS_SRC_SPEC_CHECKER_H_
+#define TAOS_SRC_SPEC_CHECKER_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/spec/semantics.h"
+#include "src/spec/trace.h"
+
+namespace taos::spec {
+
+struct CheckResult {
+  bool ok = true;
+  std::size_t failed_index = 0;  // index of the offending action if !ok
+  std::string message;
+  SpecState final_state;  // state after the last successfully applied action
+
+  // Statistics useful to experiments.
+  std::size_t actions_checked = 0;
+  std::size_t signals_removing_many = 0;  // Signal actions removing > 1 thread
+};
+
+class TraceChecker {
+ public:
+  explicit TraceChecker(SpecConfig config = {}) : semantics_(config) {}
+
+  const Semantics& semantics() const { return semantics_; }
+
+  CheckResult CheckTrace(const std::vector<Action>& actions,
+                         SpecState initial = {}) const;
+
+  CheckResult CheckTrace(const Trace& trace, SpecState initial = {}) const {
+    return CheckTrace(trace.Actions(), std::move(initial));
+  }
+
+ private:
+  Semantics semantics_;
+};
+
+}  // namespace taos::spec
+
+#endif  // TAOS_SRC_SPEC_CHECKER_H_

@@ -1,0 +1,223 @@
+#include "src/spec/enumerate.h"
+
+#include <deque>
+#include <set>
+#include <sstream>
+
+#include "src/base/check.h"
+
+namespace taos::spec {
+
+bool WorldState::Blocked(ThreadId t) const {
+  auto it = pending.find(t);
+  return it != pending.end() && it->second.kind != PendingWait::Kind::kNone;
+}
+
+std::string WorldState::Key() const {
+  std::ostringstream os;
+  os << state.ToString() << "|";
+  for (const auto& [tid, p] : pending) {
+    if (p.kind == PendingWait::Kind::kNone) {
+      continue;
+    }
+    os << "t" << tid << (p.kind == PendingWait::Kind::kWait ? "w" : "a")
+       << p.mutex << "." << p.condition << ";";
+  }
+  return os.str();
+}
+
+std::string WorldState::ToString() const { return Key(); }
+
+std::string SpecExploreResult::ToString() const {
+  std::ostringstream os;
+  os << states << " states, " << edges << " edges, "
+     << (complete ? "complete" : "bounded") << ", invariant "
+     << (invariant_ok ? "holds" : ("VIOLATED: " + violation));
+  return os.str();
+}
+
+namespace {
+
+// All nonempty subsets of `elems` (elems is small: |threads| <= ~4).
+std::vector<ThreadSet> NonEmptySubsets(const ThreadSet& elems) {
+  std::vector<ThreadId> v(elems.elements().begin(), elems.elements().end());
+  std::vector<ThreadSet> subsets;
+  const std::size_t n = v.size();
+  for (std::size_t mask = 1; mask < (1u << n); ++mask) {
+    ThreadSet s;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (mask & (1u << i)) {
+        s = s.Insert(v[i]);
+      }
+    }
+    subsets.push_back(std::move(s));
+  }
+  return subsets;
+}
+
+}  // namespace
+
+void SpecEnumerator::AppendIfLegal(
+    const WorldState& world, const Action& action,
+    std::vector<std::pair<Action, WorldState>>* out) const {
+  SpecState post;
+  Verdict v = semantics_.Apply(world.state, action, &post);
+  if (!v.Ok()) {
+    return;  // not enabled / caller-illegal here
+  }
+  WorldState next;
+  next.state = std::move(post);
+  next.pending = world.pending;
+  switch (action.kind) {
+    case ActionKind::kEnqueue:
+      next.pending[action.self] = {PendingWait::Kind::kWait, action.mutex,
+                                   action.condition};
+      break;
+    case ActionKind::kAlertEnqueue:
+      next.pending[action.self] = {PendingWait::Kind::kAlertWait,
+                                   action.mutex, action.condition};
+      break;
+    case ActionKind::kResume:
+    case ActionKind::kAlertResumeReturns:
+    case ActionKind::kAlertResumeRaises:
+      next.pending[action.self] = {};
+      break;
+    default:
+      break;
+  }
+  out->emplace_back(action, std::move(next));
+}
+
+std::vector<std::pair<Action, WorldState>> SpecEnumerator::Successors(
+    const WorldState& world) const {
+  std::vector<std::pair<Action, WorldState>> out;
+  for (ThreadId t : universe_.threads) {
+    auto pit = world.pending.find(t);
+    const PendingWait pw =
+        pit == world.pending.end() ? PendingWait{} : pit->second;
+
+    if (pw.kind == PendingWait::Kind::kWait) {
+      AppendIfLegal(world, MakeResume(t, pw.mutex, pw.condition), &out);
+      continue;  // COMPOSITION OF: nothing else until the Resume
+    }
+    if (pw.kind == PendingWait::Kind::kAlertWait) {
+      AppendIfLegal(world, MakeAlertResumeReturns(t, pw.mutex, pw.condition),
+                    &out);
+      AppendIfLegal(world, MakeAlertResumeRaises(t, pw.mutex, pw.condition),
+                    &out);
+      continue;
+    }
+
+    for (ObjId m : universe_.mutexes) {
+      AppendIfLegal(world, MakeAcquire(t, m), &out);
+      if (world.state.Mutex(m) == t) {  // REQUIRES m = SELF
+        AppendIfLegal(world, MakeRelease(t, m), &out);
+        for (ObjId c : universe_.conditions) {
+          AppendIfLegal(world, MakeEnqueue(t, m, c), &out);
+          AppendIfLegal(world, MakeAlertEnqueue(t, m, c), &out);
+        }
+      }
+    }
+    for (ObjId c : universe_.conditions) {
+      const ThreadSet& members = world.state.Condition(c);
+      if (members.Empty()) {
+        AppendIfLegal(world, MakeSignal(t, c, {}), &out);
+        AppendIfLegal(world, MakeBroadcast(t, c, {}), &out);
+      } else {
+        for (const ThreadSet& removed : NonEmptySubsets(members)) {
+          AppendIfLegal(world, MakeSignal(t, c, removed), &out);
+        }
+        AppendIfLegal(world, MakeBroadcast(t, c, members), &out);
+      }
+    }
+    for (ObjId s : universe_.semaphores) {
+      AppendIfLegal(world, MakeP(t, s), &out);
+      AppendIfLegal(world, MakeV(t, s), &out);
+      AppendIfLegal(world, MakeAlertPReturns(t, s), &out);
+      AppendIfLegal(world, MakeAlertPRaises(t, s), &out);
+    }
+    for (ThreadId u : universe_.threads) {
+      AppendIfLegal(world, MakeAlert(t, u), &out);
+    }
+    AppendIfLegal(world,
+                  MakeTestAlert(t, world.state.alerts.Contains(t)), &out);
+  }
+  return out;
+}
+
+SpecExploreResult SpecEnumerator::Explore(const WorldInvariant& invariant,
+                                          std::uint64_t max_states,
+                                          WorldState initial) const {
+  SpecExploreResult result;
+  std::set<std::string> visited;
+  std::deque<WorldState> frontier;
+  bool bound_hit = false;
+
+  auto visit = [&](const WorldState& w) -> bool {
+    const std::string key = w.Key();
+    if (visited.count(key) != 0) {
+      return true;  // seen
+    }
+    if (result.states >= max_states) {
+      bound_hit = true;
+      return true;  // dropped: the space is larger than the bound
+    }
+    visited.insert(key);
+    ++result.states;
+    if (result.invariant_ok) {
+      std::string err = invariant(w);
+      if (!err.empty()) {
+        result.invariant_ok = false;
+        result.violation = err + " @ " + w.ToString();
+        result.bad_state = w;
+      }
+    }
+    frontier.push_back(w);
+    return false;
+  };
+
+  visit(initial);
+  while (!frontier.empty()) {
+    WorldState w = std::move(frontier.front());
+    frontier.pop_front();
+    for (auto& [action, next] : Successors(w)) {
+      ++result.edges;
+      visit(next);
+    }
+  }
+  result.complete = !bound_hit;
+  return result;
+}
+
+std::string NoGhostMembers(const WorldState& world) {
+  for (const auto& [cid, members] : world.state.conditions) {
+    for (ThreadId t : members.elements()) {
+      auto it = world.pending.find(t);
+      const bool waiting_here =
+          it != world.pending.end() &&
+          it->second.kind != PendingWait::Kind::kNone &&
+          it->second.condition == cid;
+      if (!waiting_here) {
+        std::ostringstream os;
+        os << "ghost: t" << t << " is a member of c" << cid
+           << " but is not blocked in a Wait/AlertWait on it";
+        return os.str();
+      }
+    }
+  }
+  return "";
+}
+
+std::string HolderNotBlocked(const WorldState& world) {
+  for (const auto& [mid, holder] : world.state.mutexes) {
+    if (holder != kNil && world.Blocked(holder)) {
+      std::ostringstream os;
+      os << "t" << holder << " holds m" << mid
+         << " while blocked in a Wait";
+      return os.str();
+    }
+  }
+  return "";
+}
+
+}  // namespace taos::spec

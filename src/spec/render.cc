@@ -1,0 +1,134 @@
+#include "src/spec/render.h"
+
+#include <sstream>
+
+namespace taos::spec {
+
+std::string RenderMutexSection() {
+  return
+      "TYPE Mutex = Thread INITIALLY NIL\n"
+      "\n"
+      "ATOMIC PROCEDURE Acquire(VAR m: Mutex)\n"
+      "  MODIFIES AT MOST [ m ]\n"
+      "  WHEN m = NIL\n"
+      "  ENSURES m_post = SELF\n"
+      "\n"
+      "ATOMIC PROCEDURE Release(VAR m: Mutex)\n"
+      "  REQUIRES m = SELF\n"
+      "  MODIFIES AT MOST [ m ]\n"
+      "  ENSURES m_post = NIL\n";
+}
+
+std::string RenderConditionSection() {
+  return
+      "TYPE Condition = SET OF Thread INITIALLY {}\n"
+      "\n"
+      "PROCEDURE Wait(VAR m: Mutex; VAR c: Condition) =\n"
+      "  COMPOSITION OF Enqueue; Resume END\n"
+      "  REQUIRES m = SELF\n"
+      "  MODIFIES AT MOST [ m, c ]\n"
+      "  ATOMIC ACTION Enqueue\n"
+      "    ENSURES (c_post = insert(c, SELF)) & (m_post = NIL)\n"
+      "  ATOMIC ACTION Resume\n"
+      "    WHEN (m = NIL) & (SELF NOT-IN c)\n"
+      "    ENSURES m_post = SELF & UNCHANGED [ c ]\n"
+      "\n"
+      "ATOMIC PROCEDURE Signal(VAR c: Condition)\n"
+      "  MODIFIES AT MOST [ c ]\n"
+      "  ENSURES (c_post = {}) | (c_post PROPER-SUBSET-OF c)\n"
+      "\n"
+      "ATOMIC PROCEDURE Broadcast(VAR c: Condition)\n"
+      "  MODIFIES AT MOST [ c ]\n"
+      "  ENSURES c_post = {}\n";
+}
+
+std::string RenderSemaphoreSection() {
+  return
+      "TYPE Semaphore = (available, unavailable) INITIALLY available\n"
+      "\n"
+      "ATOMIC PROCEDURE P(VAR s: Semaphore)\n"
+      "  MODIFIES AT MOST [ s ]\n"
+      "  WHEN s = available\n"
+      "  ENSURES s_post = unavailable\n"
+      "\n"
+      "ATOMIC PROCEDURE V(VAR s: Semaphore)\n"
+      "  MODIFIES AT MOST [ s ]\n"
+      "  ENSURES s_post = available\n";
+}
+
+std::string RenderAlertSection(const SpecConfig& config) {
+  std::ostringstream os;
+  os << "VAR alerts: SET OF Thread INITIALLY {}\n"
+        "EXCEPTION Alerted\n"
+        "\n"
+        "ATOMIC PROCEDURE Alert(t: Thread)\n"
+        "  MODIFIES AT MOST [ alerts ]\n"
+        "  ENSURES alerts_post = insert(alerts, t)\n"
+        "\n"
+        "ATOMIC PROCEDURE TestAlert() RETURNS (b: BOOL)\n"
+        "  MODIFIES AT MOST [ alerts ]\n"
+        "  ENSURES (b = (SELF IN alerts)) &\n"
+        "          (alerts_post = delete(alerts, SELF))\n"
+        "\n"
+        "ATOMIC PROCEDURE AlertP(VAR s: Semaphore) RAISES {Alerted}\n"
+        "  MODIFIES AT MOST [ s, alerts ]\n"
+        "  RETURNS WHEN s = available\n"
+        "    ENSURES (s_post = unavailable) & UNCHANGED [ alerts ]\n"
+        "  RAISES Alerted WHEN (SELF IN alerts)\n"
+        "    ENSURES (alerts_post = delete(alerts, SELF)) & UNCHANGED [ s ]\n";
+  if (config.alert_choice == AlertChoicePolicy::kPreferAlerted) {
+    os << "  -- pre-release policy: when both WHEN clauses hold, the\n"
+          "  -- exception MUST be raised\n";
+  } else {
+    os << "  -- the RETURNS and RAISES clauses are not disjoint: when both\n"
+          "  -- hold the implementation may choose either outcome\n";
+  }
+  os << "\n"
+        "PROCEDURE AlertWait(VAR m: Mutex; VAR c: Condition)\n"
+        "    RAISES {Alerted} =\n"
+        "  COMPOSITION OF Enqueue; AlertResume END\n"
+        "  REQUIRES m = SELF\n"
+        "  MODIFIES AT MOST [ m, c, alerts ]\n"
+        "  ATOMIC ACTION Enqueue\n"
+        "    ENSURES (c_post = insert(c, SELF)) & (m_post = NIL)\n"
+        "            & UNCHANGED [ alerts ]\n"
+        "  ATOMIC ACTION AlertResume\n"
+        "    RETURNS WHEN (m = NIL) & (SELF NOT-IN c)\n"
+        "      ENSURES (m_post = SELF) & UNCHANGED [ c, alerts ]\n"
+        "    RAISES Alerted WHEN (m = NIL) & (SELF IN alerts)\n";
+  if (config.alert_wait == AlertWaitVariant::kOriginalBuggy) {
+    os << "      ENSURES (m_post = SELF)\n"
+          "              & (alerts_post = delete(alerts, SELF))\n"
+          "              & UNCHANGED [ c ]\n"
+          "  -- ORIGINAL RELEASED SPEC: the UNCHANGED [ c ] above is the\n"
+          "  -- error found by Greg Nelson — c could contain threads that\n"
+          "  -- were no longer blocked on the condition variable\n";
+  } else {
+    os << "      ENSURES (m_post = SELF) & (c_post = delete(c, SELF))\n"
+          "              & (alerts_post = delete(alerts, SELF))\n";
+  }
+  return os.str();
+}
+
+std::string RenderSpecification(const SpecConfig& config) {
+  std::ostringstream os;
+  os << "-- The Threads synchronization interface, formal specification\n"
+        "-- (after Birrell, Guttag, Horning, Levin: SRC Report 20, 1987)\n"
+        "--\n"
+        "-- variant: AlertWait="
+     << (config.alert_wait == AlertWaitVariant::kCorrected
+             ? "corrected"
+             : "original-buggy")
+     << ", alert choice="
+     << (config.alert_choice == AlertChoicePolicy::kNondeterministic
+             ? "nondeterministic"
+             : "prefer-alerted")
+     << "\n\n"
+     << RenderMutexSection() << "\n"
+     << RenderConditionSection() << "\n"
+     << RenderSemaphoreSection() << "\n"
+     << RenderAlertSection(config);
+  return os.str();
+}
+
+}  // namespace taos::spec

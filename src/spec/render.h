@@ -1,0 +1,31 @@
+// Renders the formal specification as a document in the paper's notation.
+//
+// The clause text is derived from the same SpecConfig that drives the
+// executable semantics, so the rendered document and the checker can never
+// drift apart: selecting the original buggy AlertWait variant renders the
+// originally published (wrong) clause, the corrected variant renders the
+// fixed one, and the pre-release alert policy renders the old deterministic
+// RAISES rule. Used as living documentation and by tests that pin down
+// which variant says what.
+
+#ifndef TAOS_SRC_SPEC_RENDER_H_
+#define TAOS_SRC_SPEC_RENDER_H_
+
+#include <string>
+
+#include "src/spec/semantics.h"
+
+namespace taos::spec {
+
+// The full interface specification (types, procedures, clauses).
+std::string RenderSpecification(const SpecConfig& config = {});
+
+// Individual sections, for targeted documentation embedding.
+std::string RenderMutexSection();
+std::string RenderConditionSection();
+std::string RenderSemaphoreSection();
+std::string RenderAlertSection(const SpecConfig& config);
+
+}  // namespace taos::spec
+
+#endif  // TAOS_SRC_SPEC_RENDER_H_

@@ -1,0 +1,331 @@
+#include "src/spec/semantics.h"
+
+#include <set>
+#include <sstream>
+
+namespace taos::spec {
+
+namespace {
+
+// Which objects an action's MODIFIES AT MOST clause names.
+struct Frame {
+  bool mutex = false;
+  bool condition = false;
+  bool semaphore = false;
+  bool alerts = false;
+};
+
+Frame FrameOf(const Action& a) {
+  Frame f;
+  switch (a.kind) {
+    case ActionKind::kAcquire:
+    case ActionKind::kRelease:
+      f.mutex = true;
+      break;
+    case ActionKind::kEnqueue:
+    case ActionKind::kResume:
+      f.mutex = true;
+      f.condition = true;
+      break;
+    case ActionKind::kSignal:
+    case ActionKind::kBroadcast:
+      f.condition = true;
+      break;
+    case ActionKind::kP:
+    case ActionKind::kV:
+      f.semaphore = true;
+      break;
+    case ActionKind::kAlert:
+    case ActionKind::kTestAlert:
+      f.alerts = true;
+      break;
+    case ActionKind::kAlertPReturns:
+    case ActionKind::kAlertPRaises:
+      f.semaphore = true;
+      f.alerts = true;
+      break;
+    case ActionKind::kAlertEnqueue:
+    case ActionKind::kAlertResumeReturns:
+    case ActionKind::kAlertResumeRaises:
+      f.mutex = true;
+      f.condition = true;
+      f.alerts = true;
+      break;
+  }
+  return f;
+}
+
+template <typename Map>
+void CollectKeys(const Map& a, const Map& b, std::set<ObjId>* out) {
+  for (const auto& [k, v] : a) {
+    out->insert(k);
+  }
+  for (const auto& [k, v] : b) {
+    out->insert(k);
+  }
+}
+
+}  // namespace
+
+bool Semantics::Enabled(const SpecState& pre, const Action& a) const {
+  switch (a.kind) {
+    case ActionKind::kAcquire:
+      return pre.Mutex(a.mutex) == kNil;
+    case ActionKind::kResume:
+      return pre.Mutex(a.mutex) == kNil && !pre.Condition(a.condition).Contains(a.self);
+    case ActionKind::kP:
+      return pre.Semaphore(a.semaphore) == SemState::kAvailable;
+    case ActionKind::kAlertPReturns:
+      return pre.Semaphore(a.semaphore) == SemState::kAvailable;
+    case ActionKind::kAlertPRaises:
+      return pre.alerts.Contains(a.self);
+    case ActionKind::kAlertResumeReturns:
+      return pre.Mutex(a.mutex) == kNil && !pre.Condition(a.condition).Contains(a.self);
+    case ActionKind::kAlertResumeRaises:
+      return pre.Mutex(a.mutex) == kNil && pre.alerts.Contains(a.self);
+    default:
+      return true;  // omitted WHEN clause == WHEN TRUE
+  }
+}
+
+Verdict Semantics::CheckClauses(const SpecState& pre, const Action& a,
+                                const SpecState& post,
+                                bool check_frame) const {
+  Verdict v;
+  auto fail = [&v](bool* flag, const std::string& why) {
+    *flag = false;
+    if (v.message.empty()) {
+      v.message = why;
+    }
+  };
+
+  // --- REQUIRES ---
+  switch (a.kind) {
+    case ActionKind::kRelease:
+    case ActionKind::kEnqueue:
+    case ActionKind::kAlertEnqueue:
+      if (pre.Mutex(a.mutex) != a.self) {
+        fail(&v.requires_ok, "REQUIRES m = SELF violated by caller");
+      }
+      break;
+    default:
+      break;
+  }
+
+  // --- WHEN ---
+  if (!Enabled(pre, a)) {
+    fail(&v.when_ok, std::string("WHEN clause of ") + ActionKindName(a.kind) +
+                         " does not hold in the pre state");
+  }
+
+  // --- ENSURES ---
+  const ThreadId m_post = post.Mutex(a.mutex);
+  const ThreadSet& c_pre = pre.Condition(a.condition);
+  const ThreadSet& c_post = post.Condition(a.condition);
+  const SemState s_pre = pre.Semaphore(a.semaphore);
+  const SemState s_post = post.Semaphore(a.semaphore);
+
+  auto ensure = [&](bool cond, const char* why) {
+    if (!cond) {
+      fail(&v.ensures_ok, std::string("ENSURES violated: ") + why);
+    }
+  };
+
+  switch (a.kind) {
+    case ActionKind::kAcquire:
+      ensure(m_post == a.self, "mpost = SELF");
+      break;
+    case ActionKind::kRelease:
+      ensure(m_post == kNil, "mpost = NIL");
+      break;
+    case ActionKind::kEnqueue:
+      ensure(c_post == c_pre.Insert(a.self), "cpost = insert(c, SELF)");
+      ensure(m_post == kNil, "mpost = NIL");
+      break;
+    case ActionKind::kResume:
+      ensure(m_post == a.self, "mpost = SELF");
+      ensure(c_post == c_pre, "UNCHANGED [c]");
+      break;
+    case ActionKind::kSignal:
+      ensure(c_post.Empty() || c_post.ProperSubsetOf(c_pre),
+             "(cpost = {}) | (cpost PROPER-SUBSET c)");
+      break;
+    case ActionKind::kBroadcast:
+      ensure(c_post.Empty(), "cpost = {}");
+      break;
+    case ActionKind::kP:
+      ensure(s_post == SemState::kUnavailable, "spost = unavailable");
+      break;
+    case ActionKind::kV:
+      ensure(s_post == SemState::kAvailable, "spost = available");
+      break;
+    case ActionKind::kAlert:
+      ensure(post.alerts == pre.alerts.Insert(a.target),
+             "alertspost = insert(alerts, t)");
+      break;
+    case ActionKind::kTestAlert:
+      ensure(a.result == pre.alerts.Contains(a.self), "b = (SELF IN alerts)");
+      ensure(post.alerts == pre.alerts.Delete(a.self),
+             "alertspost = delete(alerts, SELF)");
+      break;
+    case ActionKind::kAlertPReturns:
+      ensure(s_post == SemState::kUnavailable, "spost = unavailable");
+      ensure(post.alerts == pre.alerts, "UNCHANGED [alerts]");
+      break;
+    case ActionKind::kAlertPRaises:
+      ensure(post.alerts == pre.alerts.Delete(a.self),
+             "alertspost = delete(alerts, SELF)");
+      ensure(s_post == s_pre, "UNCHANGED [s]");
+      break;
+    case ActionKind::kAlertEnqueue:
+      ensure(c_post == c_pre.Insert(a.self), "cpost = insert(c, SELF)");
+      ensure(m_post == kNil, "mpost = NIL");
+      ensure(post.alerts == pre.alerts, "UNCHANGED [alerts]");
+      break;
+    case ActionKind::kAlertResumeReturns:
+      ensure(m_post == a.self, "mpost = SELF");
+      ensure(c_post == c_pre, "UNCHANGED [c]");
+      ensure(post.alerts == pre.alerts, "UNCHANGED [alerts]");
+      break;
+    case ActionKind::kAlertResumeRaises:
+      ensure(m_post == a.self, "mpost = SELF");
+      ensure(post.alerts == pre.alerts.Delete(a.self),
+             "alertspost = delete(alerts, SELF)");
+      if (config_.alert_wait == AlertWaitVariant::kCorrected) {
+        ensure(c_post == c_pre.Delete(a.self), "cpost = delete(c, SELF)");
+      } else {
+        // The original (buggy) released spec: UNCHANGED [c].
+        ensure(c_post == c_pre, "UNCHANGED [c]  (original buggy spec)");
+      }
+      break;
+  }
+
+  // --- choice policy (pre-release deterministic alert preference) ---
+  if (config_.alert_choice == AlertChoicePolicy::kPreferAlerted) {
+    const bool could_raise_p = pre.alerts.Contains(a.self);
+    if (a.kind == ActionKind::kAlertPReturns && could_raise_p) {
+      fail(&v.choice_ok,
+           "policy: AlertP must raise Alerted when SELF IN alerts");
+    }
+    if (a.kind == ActionKind::kAlertResumeReturns && could_raise_p) {
+      fail(&v.choice_ok,
+           "policy: AlertWait must raise Alerted when SELF IN alerts");
+    }
+  }
+
+  // --- MODIFIES AT MOST (frame) ---
+  if (check_frame) {
+    const Frame f = FrameOf(a);
+    std::set<ObjId> keys;
+    CollectKeys(pre.mutexes, post.mutexes, &keys);
+    for (ObjId id : keys) {
+      if ((!f.mutex || id != a.mutex) && pre.Mutex(id) != post.Mutex(id)) {
+        fail(&v.frame_ok, "frame: unlisted mutex modified");
+      }
+    }
+    keys.clear();
+    CollectKeys(pre.conditions, post.conditions, &keys);
+    for (ObjId id : keys) {
+      if ((!f.condition || id != a.condition) &&
+          !(pre.Condition(id) == post.Condition(id))) {
+        fail(&v.frame_ok, "frame: unlisted condition modified");
+      }
+    }
+    keys.clear();
+    CollectKeys(pre.semaphores, post.semaphores, &keys);
+    for (ObjId id : keys) {
+      if ((!f.semaphore || id != a.semaphore) &&
+          pre.Semaphore(id) != post.Semaphore(id)) {
+        fail(&v.frame_ok, "frame: unlisted semaphore modified");
+      }
+    }
+    if (!f.alerts && !(pre.alerts == post.alerts)) {
+      fail(&v.frame_ok, "frame: alerts modified by an action not listing it");
+    }
+  }
+
+  if (!v.Ok() && !v.message.empty()) {
+    std::ostringstream os;
+    os << v.message << " [action " << a.ToString() << "]";
+    v.message = os.str();
+  }
+  return v;
+}
+
+Verdict Semantics::Check(const SpecState& pre, const Action& action,
+                         const SpecState& post) const {
+  return CheckClauses(pre, action, post, /*check_frame=*/true);
+}
+
+Verdict Semantics::Apply(const SpecState& pre, const Action& a,
+                         SpecState* post) const {
+  *post = pre;
+  Verdict choice;
+
+  switch (a.kind) {
+    case ActionKind::kAcquire:
+      post->SetMutex(a.mutex, a.self);
+      break;
+    case ActionKind::kRelease:
+      post->SetMutex(a.mutex, kNil);
+      break;
+    case ActionKind::kEnqueue:
+    case ActionKind::kAlertEnqueue:
+      post->SetCondition(a.condition, pre.Condition(a.condition).Insert(a.self));
+      post->SetMutex(a.mutex, kNil);
+      break;
+    case ActionKind::kResume:
+    case ActionKind::kAlertResumeReturns:
+      post->SetMutex(a.mutex, a.self);
+      break;
+    case ActionKind::kSignal:
+    case ActionKind::kBroadcast: {
+      if (!a.removed.SubsetOf(pre.Condition(a.condition))) {
+        choice.choice_ok = false;
+        choice.message =
+            "recorded removed set is not a subset of c [action " +
+            a.ToString() + "]";
+      }
+      post->SetCondition(a.condition,
+                         pre.Condition(a.condition).Minus(a.removed));
+      break;
+    }
+    case ActionKind::kP:
+      post->SetSemaphore(a.semaphore, SemState::kUnavailable);
+      break;
+    case ActionKind::kV:
+      post->SetSemaphore(a.semaphore, SemState::kAvailable);
+      break;
+    case ActionKind::kAlert:
+      post->alerts = pre.alerts.Insert(a.target);
+      break;
+    case ActionKind::kTestAlert:
+      post->alerts = pre.alerts.Delete(a.self);
+      break;
+    case ActionKind::kAlertPReturns:
+      post->SetSemaphore(a.semaphore, SemState::kUnavailable);
+      break;
+    case ActionKind::kAlertPRaises:
+      post->alerts = pre.alerts.Delete(a.self);
+      break;
+    case ActionKind::kAlertResumeRaises:
+      post->SetMutex(a.mutex, a.self);
+      post->alerts = pre.alerts.Delete(a.self);
+      if (config_.alert_wait == AlertWaitVariant::kCorrected) {
+        post->SetCondition(a.condition,
+                           pre.Condition(a.condition).Delete(a.self));
+      }
+      break;
+  }
+
+  Verdict v = CheckClauses(pre, a, *post, /*check_frame=*/false);
+  if (!choice.choice_ok) {
+    v.choice_ok = false;
+    if (v.message.empty()) {
+      v.message = choice.message;
+    }
+  }
+  return v;
+}
+
+}  // namespace taos::spec

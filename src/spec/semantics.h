@@ -1,0 +1,81 @@
+// Executable semantics of the formal specification: given a pre-state, an
+// action and a post-state, evaluate every clause the spec attaches to that
+// action — REQUIRES, WHEN, ENSURES and the MODIFIES AT MOST frame condition.
+//
+// Spec variants reproduce the paper's Discussion section:
+//  - AlertWaitVariant::kOriginalBuggy is the spec as first released, whose
+//    AlertResume RAISES clause said UNCHANGED[c] — the error found by Greg
+//    Nelson (a thread that raised Alerted could linger in c and absorb a
+//    later Signal).
+//  - AlertChoicePolicy::kPreferAlerted is the pre-release rule that AlertP /
+//    AlertWait must raise Alerted whenever possible; the released spec made
+//    the choice nondeterministic because the implementation was.
+
+#ifndef TAOS_SRC_SPEC_SEMANTICS_H_
+#define TAOS_SRC_SPEC_SEMANTICS_H_
+
+#include <string>
+
+#include "src/spec/action.h"
+#include "src/spec/state.h"
+
+namespace taos::spec {
+
+enum class AlertWaitVariant : std::uint8_t { kCorrected, kOriginalBuggy };
+enum class AlertChoicePolicy : std::uint8_t {
+  kNondeterministic,
+  kPreferAlerted
+};
+
+struct SpecConfig {
+  AlertWaitVariant alert_wait = AlertWaitVariant::kCorrected;
+  AlertChoicePolicy alert_choice = AlertChoicePolicy::kNondeterministic;
+};
+
+// The result of evaluating one action against the spec.
+struct Verdict {
+  bool requires_ok = true;  // caller obligation (REQUIRES)
+  bool when_ok = true;      // enabling condition (WHEN)
+  bool ensures_ok = true;   // postcondition (ENSURES)
+  bool frame_ok = true;     // MODIFIES AT MOST
+  bool choice_ok = true;    // outcome-choice policy (AlertChoicePolicy)
+  std::string message;      // first failure, human-readable
+
+  bool Ok() const {
+    return requires_ok && when_ok && ensures_ok && frame_ok && choice_ok;
+  }
+};
+
+class Semantics {
+ public:
+  explicit Semantics(SpecConfig config = {}) : config_(config) {}
+
+  const SpecConfig& config() const { return config_; }
+
+  // Full two-state check: does the spec allow `action` to take `pre` to
+  // `post`? Evaluates every clause independently so tests can probe each.
+  Verdict Check(const SpecState& pre, const Action& action,
+                const SpecState& post) const;
+
+  // Is the action enabled in `pre` (WHEN clause)? REQUIRES violations do not
+  // disable an action — they are caller errors — so this is WHEN only.
+  bool Enabled(const SpecState& pre, const Action& action) const;
+
+  // Computes the post-state the spec prescribes for `action` in `pre`, using
+  // the nondeterminism choices recorded inside the action (removed set,
+  // TestAlert result). The verdict reports whether the step as a whole is
+  // legal; `post` is meaningful even on failure (best-effort application)
+  // so that checkers can report divergence.
+  Verdict Apply(const SpecState& pre, const Action& action,
+                SpecState* post) const;
+
+ private:
+  Verdict CheckClauses(const SpecState& pre, const Action& action,
+                       const SpecState& post, bool check_frame) const;
+
+  SpecConfig config_;
+};
+
+}  // namespace taos::spec
+
+#endif  // TAOS_SRC_SPEC_SEMANTICS_H_

@@ -1,0 +1,108 @@
+#include "src/spec/state.h"
+
+#include <sstream>
+
+namespace taos::spec {
+
+std::string ThreadSet::ToString() const {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (ThreadId t : elems_) {
+    if (!first) {
+      os << ", ";
+    }
+    os << "t" << t;
+    first = false;
+  }
+  os << "}";
+  return os.str();
+}
+
+ThreadId SpecState::Mutex(ObjId m) const {
+  auto it = mutexes.find(m);
+  return it == mutexes.end() ? kNil : it->second;
+}
+
+namespace {
+const ThreadSet kEmptySet;
+}  // namespace
+
+const ThreadSet& SpecState::Condition(ObjId c) const {
+  auto it = conditions.find(c);
+  return it == conditions.end() ? kEmptySet : it->second;
+}
+
+SemState SpecState::Semaphore(ObjId s) const {
+  auto it = semaphores.find(s);
+  return it == semaphores.end() ? SemState::kAvailable : it->second;
+}
+
+void SpecState::SetMutex(ObjId m, ThreadId holder) {
+  if (holder == kNil) {
+    mutexes.erase(m);
+  } else {
+    mutexes[m] = holder;
+  }
+}
+
+void SpecState::SetCondition(ObjId c, ThreadSet value) {
+  if (value.Empty()) {
+    conditions.erase(c);
+  } else {
+    conditions[c] = std::move(value);
+  }
+}
+
+void SpecState::SetSemaphore(ObjId s, SemState value) {
+  if (value == SemState::kAvailable) {
+    semaphores.erase(s);
+  } else {
+    semaphores[s] = value;
+  }
+}
+
+void SpecState::Canonicalize() {
+  for (auto it = mutexes.begin(); it != mutexes.end();) {
+    it = (it->second == kNil) ? mutexes.erase(it) : std::next(it);
+  }
+  for (auto it = conditions.begin(); it != conditions.end();) {
+    it = it->second.Empty() ? conditions.erase(it) : std::next(it);
+  }
+  for (auto it = semaphores.begin(); it != semaphores.end();) {
+    it = (it->second == SemState::kAvailable) ? semaphores.erase(it)
+                                              : std::next(it);
+  }
+}
+
+bool SpecState::operator==(const SpecState& other) const {
+  SpecState a = *this;
+  SpecState b = other;
+  a.Canonicalize();
+  b.Canonicalize();
+  return a.mutexes == b.mutexes && a.conditions == b.conditions &&
+         a.semaphores == b.semaphores && a.alerts == b.alerts;
+}
+
+std::string SpecState::ToString() const {
+  std::ostringstream os;
+  SpecState canon = *this;
+  canon.Canonicalize();
+  os << "mutexes:[";
+  for (const auto& [id, holder] : canon.mutexes) {
+    os << " m" << id << "=t" << holder;
+  }
+  os << " ] conditions:[";
+  for (const auto& [id, set] : canon.conditions) {
+    os << " c" << id << "=" << set.ToString();
+  }
+  os << " ] semaphores:[";
+  for (const auto& [id, st] : canon.semaphores) {
+    os << " s" << id << "="
+       << (st == SemState::kAvailable ? "available" : "unavailable");
+  }
+  os << " ] alerts:" << canon.alerts.ToString();
+  return os.str();
+}
+
+}  // namespace taos::spec

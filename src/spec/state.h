@@ -1,0 +1,125 @@
+// Abstract state of the Threads synchronization interface, straight from the
+// specification in SRC Report 20:
+//
+//   TYPE Mutex     = Thread         INITIALLY NIL
+//   TYPE Condition = SET OF Thread  INITIALLY {}
+//   TYPE Semaphore = (available, unavailable) INITIALLY available
+//   VAR  alerts    : SET OF Thread  INITIALLY {}
+//
+// Objects are named by small integer ObjIds so that a single SpecState can
+// describe a program with any number of mutexes, conditions and semaphores.
+// Lookups of never-touched objects yield the INITIALLY value, exactly as the
+// spec's per-type initialization clause prescribes.
+
+#ifndef TAOS_SRC_SPEC_STATE_H_
+#define TAOS_SRC_SPEC_STATE_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+namespace taos::spec {
+
+using ThreadId = std::uint32_t;
+using ObjId = std::uint32_t;
+
+// The spec's NIL thread. Real thread ids start at 1.
+inline constexpr ThreadId kNil = 0;
+
+enum class SemState : std::uint8_t { kAvailable, kUnavailable };
+
+// SET OF Thread with the Larch handbook's set operations.
+class ThreadSet {
+ public:
+  ThreadSet() = default;
+  ThreadSet(std::initializer_list<ThreadId> ids) : elems_(ids) {}
+
+  // insert(s, t) — returns the set with t added (value semantics, like the
+  // Larch trait operator).
+  ThreadSet Insert(ThreadId t) const {
+    ThreadSet r = *this;
+    r.elems_.insert(t);
+    return r;
+  }
+
+  // delete(s, t) — returns the set with t removed.
+  ThreadSet Delete(ThreadId t) const {
+    ThreadSet r = *this;
+    r.elems_.erase(t);
+    return r;
+  }
+
+  bool Contains(ThreadId t) const { return elems_.count(t) != 0; }
+  bool Empty() const { return elems_.empty(); }
+  std::size_t Size() const { return elems_.size(); }
+
+  // s1 ⊆ s2
+  bool SubsetOf(const ThreadSet& other) const {
+    for (ThreadId t : elems_) {
+      if (!other.Contains(t)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  // s1 ⊊ s2
+  bool ProperSubsetOf(const ThreadSet& other) const {
+    return SubsetOf(other) && elems_.size() < other.elems_.size();
+  }
+
+  ThreadSet Union(const ThreadSet& other) const {
+    ThreadSet r = *this;
+    r.elems_.insert(other.elems_.begin(), other.elems_.end());
+    return r;
+  }
+
+  ThreadSet Minus(const ThreadSet& other) const {
+    ThreadSet r;
+    for (ThreadId t : elems_) {
+      if (!other.Contains(t)) {
+        r.elems_.insert(t);
+      }
+    }
+    return r;
+  }
+
+  bool operator==(const ThreadSet& other) const = default;
+
+  const std::set<ThreadId>& elements() const { return elems_; }
+
+  std::string ToString() const;
+
+ private:
+  std::set<ThreadId> elems_;
+};
+
+// A snapshot of the entire spec-visible state.
+struct SpecState {
+  std::map<ObjId, ThreadId> mutexes;      // absent key => NIL
+  std::map<ObjId, ThreadSet> conditions;  // absent key => {}
+  std::map<ObjId, SemState> semaphores;   // absent key => available
+  ThreadSet alerts;
+
+  ThreadId Mutex(ObjId m) const;
+  const ThreadSet& Condition(ObjId c) const;
+  SemState Semaphore(ObjId s) const;
+
+  void SetMutex(ObjId m, ThreadId holder);
+  void SetCondition(ObjId c, ThreadSet value);
+  void SetSemaphore(ObjId s, SemState value);
+
+  bool operator==(const SpecState& other) const;
+
+  std::string ToString() const;
+
+ private:
+  // Canonicalizes by dropping entries equal to the INITIALLY value, so that
+  // operator== is true state equality regardless of touch history.
+  void Canonicalize();
+};
+
+}  // namespace taos::spec
+
+#endif  // TAOS_SRC_SPEC_STATE_H_

@@ -1,0 +1,16 @@
+#include "src/spec/trace.h"
+
+#include <sstream>
+
+namespace taos::spec {
+
+std::string Trace::ToString() const {
+  std::ostringstream os;
+  std::size_t i = 0;
+  for (const Action& a : Actions()) {
+    os << i++ << ": " << a.ToString() << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace taos::spec

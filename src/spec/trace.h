@@ -1,0 +1,60 @@
+// Trace recording: a serialized log of spec-visible atomic actions emitted by
+// an instrumented implementation (src/threads in spec-tracing mode, or the
+// Firefly simulator). The checker replays a trace against the executable
+// semantics.
+
+#ifndef TAOS_SRC_SPEC_TRACE_H_
+#define TAOS_SRC_SPEC_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/base/spinlock.h"
+#include "src/spec/action.h"
+
+namespace taos::spec {
+
+// Anything that accepts emitted actions. The emitter must guarantee that the
+// order of Emit calls is a legal serialization of the actions (both the
+// instrumented Nub and the simulator emit while holding the lock that
+// serializes the actions themselves).
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void Emit(const Action& action) = 0;
+};
+
+class Trace : public TraceSink {
+ public:
+  void Emit(const Action& action) override {
+    SpinGuard g(lock_);
+    actions_.push_back(action);
+  }
+
+  // Snapshot of the actions recorded so far. Safe to call while emitters are
+  // still running, but normally used after they have joined.
+  std::vector<Action> Actions() const {
+    SpinGuard g(lock_);
+    return actions_;
+  }
+
+  std::size_t Size() const {
+    SpinGuard g(lock_);
+    return actions_.size();
+  }
+
+  void Clear() {
+    SpinGuard g(lock_);
+    actions_.clear();
+  }
+
+  std::string ToString() const;
+
+ private:
+  mutable SpinLock lock_;
+  std::vector<Action> actions_;
+};
+
+}  // namespace taos::spec
+
+#endif  // TAOS_SRC_SPEC_TRACE_H_

@@ -1,0 +1,284 @@
+#include "src/threads/alert.h"
+
+#include "src/base/check.h"
+#include "src/spec/action.h"
+#include "src/threads/nub.h"
+
+namespace taos {
+
+void Alert(ThreadHandle h) {
+  TAOS_CHECK(h.rec != nullptr);
+  Nub& nub = Nub::Get();
+  ThreadRecord* self = nub.Current();
+  ThreadRecord* t = h.rec;
+  ThreadRecord* wake = nullptr;
+  {
+    SpinGuard g(nub.lock());
+    // alerts := insert(alerts, t)
+    t->alerted.store(true, std::memory_order_relaxed);
+    if (t->block_kind != ThreadRecord::BlockKind::kNone && t->alertable) {
+      switch (t->block_kind) {
+        case ThreadRecord::BlockKind::kSemaphore: {
+          auto* s = static_cast<Semaphore*>(t->blocked_obj);
+          s->queue_.Remove(t);
+          s->queue_len_.fetch_sub(1, std::memory_order_relaxed);
+          break;
+        }
+        case ThreadRecord::BlockKind::kCondition: {
+          auto* c = static_cast<Condition*>(t->blocked_obj);
+          c->queue_.Remove(t);
+          if (nub.tracing()) {
+            // The alerted thread will raise; it stays a spec-member of c
+            // until its AlertResume action fires (corrected AlertWait
+            // semantics), so a Signal in between may still remove it.
+            c->pending_raise_.push_back(t);
+          } else {
+            c->waiters_.fetch_sub(1, std::memory_order_relaxed);
+          }
+          break;
+        }
+        case ThreadRecord::BlockKind::kMutex:
+        case ThreadRecord::BlockKind::kNone:
+          TAOS_PANIC("alertable thread blocked on a mutex");
+      }
+      t->block_kind = ThreadRecord::BlockKind::kNone;
+      t->blocked_obj = nullptr;
+      t->alert_woken = true;
+      wake = t;
+    }
+    if (nub.tracing()) {
+      nub.trace()->Emit(spec::MakeAlert(self->id, t->id));
+    }
+  }
+  if (wake != nullptr) {
+    wake->park.release();
+  }
+}
+
+bool TestAlert() {
+  Nub& nub = Nub::Get();
+  ThreadRecord* self = nub.Current();
+  if (nub.tracing()) {
+    SpinGuard g(nub.lock());
+    const bool b = self->alerted.exchange(false, std::memory_order_relaxed);
+    nub.trace()->Emit(spec::MakeTestAlert(self->id, b));
+    return b;
+  }
+  return self->alerted.exchange(false, std::memory_order_seq_cst);
+}
+
+void AlertWait(Mutex& m, Condition& c) {
+  Nub& nub = Nub::Get();
+  ThreadRecord* self = nub.Current();
+  // REQUIRES m = SELF.
+  TAOS_CHECK(m.holder_.load(std::memory_order_relaxed) == self->id);
+
+  if (nub.tracing()) {
+    // --- Traced (spec-emitting) path ---
+    // Atomic action Enqueue (AlertWait flavour: UNCHANGED [alerts]).
+    EventCount::Value snapshot = 0;
+    ThreadRecord* wake = nullptr;
+    {
+      SpinGuard g(nub.lock());
+      snapshot = c.ec_.Read();
+      wake = m.TracedReleaseLocked(self, /*emit_release=*/false);
+      c.window_.push_back(self);
+      nub.trace()->Emit(spec::MakeAlertEnqueue(self->id, m.id_, c.id_));
+    }
+    if (wake != nullptr) {
+      wake->park.release();
+    }
+
+    // AlertBlock: like Block(c, i) but responsive to alerts.
+    bool parked = false;
+    bool raise = false;
+    {
+      SpinGuard g(nub.lock());
+      if (self->alerted.load(std::memory_order_relaxed)) {
+        raise = true;
+        if (c.EraseWindow(self)) {
+          // Still a member of c until the AlertResume action fires.
+          c.pending_raise_.push_back(self);
+        }
+      } else if (c.ec_.Read() != snapshot) {
+        // Absorbed by an intervening Signal/Broadcast (which removed us
+        // from c when it emitted): resume normally.
+        c.absorbed_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        TAOS_CHECK(c.EraseWindow(self));
+        c.queue_.PushBack(self);
+        self->block_kind = ThreadRecord::BlockKind::kCondition;
+        self->blocked_obj = &c;
+        self->alertable = true;
+        self->alert_woken = false;
+        parked = true;
+      }
+    }
+    if (parked) {
+      self->parks.fetch_add(1, std::memory_order_relaxed);
+      self->park.acquire();
+      // Woken either by Alert (alert_woken, already in pending_raise_) or
+      // by Signal/Broadcast (removed from c). If an alert is pending in
+      // either case, this implementation chooses to raise — the spec
+      // permits either outcome when both WHEN clauses hold.
+      raise = self->alert_woken ||
+              self->alerted.load(std::memory_order_relaxed);
+    }
+
+    if (raise) {
+      // Atomic action AlertResume / RAISES: regain m, leave c and alerts.
+      Condition* cp = &c;
+      m.TracedAcquire(self,
+                      spec::MakeAlertResumeRaises(self->id, m.id_, c.id_),
+                      [cp, self] {
+                        cp->ErasePendingRaise(self);
+                        self->alerted.store(false, std::memory_order_relaxed);
+                        self->alert_woken = false;
+                      });
+      throw Alerted();
+    }
+    // Atomic action AlertResume / RETURNS.
+    m.TracedAcquire(self,
+                    spec::MakeAlertResumeReturns(self->id, m.id_, c.id_));
+    self->alert_woken = false;
+    return;
+  }
+
+  // --- Production path ---
+  const EventCount::Value i = c.ec_.Read();
+  c.waiters_.fetch_add(1, std::memory_order_seq_cst);
+  m.Release();
+
+  nub.nub_entries.fetch_add(1, std::memory_order_relaxed);
+  bool parked = false;
+  bool raise = false;
+  {
+    SpinGuard g(nub.lock());
+    if (self->alerted.load(std::memory_order_relaxed)) {
+      raise = true;
+      c.waiters_.fetch_sub(1, std::memory_order_relaxed);
+    } else if (c.ec_.Read() == i) {
+      c.queue_.PushBack(self);
+      self->block_kind = ThreadRecord::BlockKind::kCondition;
+      self->blocked_obj = &c;
+      self->alertable = true;
+      self->alert_woken = false;
+      parked = true;
+    } else {
+      c.waiters_.fetch_sub(1, std::memory_order_relaxed);
+      c.absorbed_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  if (parked) {
+    self->parks.fetch_add(1, std::memory_order_relaxed);
+    self->park.acquire();
+    raise = self->alert_woken ||
+            self->alerted.load(std::memory_order_relaxed);
+  }
+
+  m.Acquire();
+  if (raise) {
+    self->alerted.store(false, std::memory_order_relaxed);
+    self->alert_woken = false;
+    throw Alerted();
+  }
+  self->alert_woken = false;
+}
+
+void AlertP(Semaphore& s) {
+  Nub& nub = Nub::Get();
+  ThreadRecord* self = nub.Current();
+
+  if (nub.tracing()) {
+    // --- Traced (spec-emitting) path ---
+    // Under the spin-lock every check-act pair is one atomic action; this
+    // path prefers the RAISES outcome when both WHEN clauses hold, which
+    // the spec allows.
+    nub.nub_entries.fetch_add(1, std::memory_order_relaxed);
+    for (;;) {
+      bool parked = false;
+      {
+        SpinGuard g(nub.lock());
+        if (self->alerted.load(std::memory_order_relaxed)) {
+          self->alerted.store(false, std::memory_order_relaxed);
+          self->alert_woken = false;
+          nub.trace()->Emit(spec::MakeAlertPRaises(self->id, s.id_));
+          throw Alerted();
+        }
+        if (s.bit_.load(std::memory_order_relaxed) == 0) {
+          s.bit_.store(1, std::memory_order_relaxed);
+          nub.trace()->Emit(spec::MakeAlertPReturns(self->id, s.id_));
+          return;
+        }
+        s.queue_.PushBack(self);
+        s.queue_len_.fetch_add(1, std::memory_order_relaxed);
+        self->block_kind = ThreadRecord::BlockKind::kSemaphore;
+        self->blocked_obj = &s;
+        self->alertable = true;
+        self->alert_woken = false;
+        parked = true;
+      }
+      if (parked) {
+        self->parks.fetch_add(1, std::memory_order_relaxed);
+        self->park.acquire();
+        if (self->alert_woken) {
+          SpinGuard g(nub.lock());
+          self->alert_woken = false;
+          self->alerted.store(false, std::memory_order_relaxed);
+          nub.trace()->Emit(spec::MakeAlertPRaises(self->id, s.id_));
+          throw Alerted();
+        }
+      }
+    }
+  }
+
+  // --- Production path ---
+  // User-code fast path: the test-and-set may win even when an alert is
+  // pending — the source of the RETURNS/RAISES nondeterminism the paper
+  // discusses (the implementor kept it for efficiency; the released spec
+  // legitimized it).
+  if (s.bit_.exchange(1, std::memory_order_acquire) == 0) {
+    s.fast_ps_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+
+  nub.nub_entries.fetch_add(1, std::memory_order_relaxed);
+  s.slow_ps_.fetch_add(1, std::memory_order_relaxed);
+  for (;;) {
+    bool parked = false;
+    {
+      SpinGuard g(nub.lock());
+      if (self->alerted.load(std::memory_order_relaxed)) {
+        self->alerted.store(false, std::memory_order_relaxed);
+        self->alert_woken = false;
+        throw Alerted();
+      }
+      s.queue_.PushBack(self);
+      s.queue_len_.fetch_add(1, std::memory_order_seq_cst);
+      if (s.bit_.load(std::memory_order_seq_cst) != 0) {
+        self->block_kind = ThreadRecord::BlockKind::kSemaphore;
+        self->blocked_obj = &s;
+        self->alertable = true;
+        self->alert_woken = false;
+        parked = true;
+      } else {
+        s.queue_.Remove(self);
+        s.queue_len_.fetch_sub(1, std::memory_order_relaxed);
+      }
+    }
+    if (parked) {
+      self->parks.fetch_add(1, std::memory_order_relaxed);
+      self->park.acquire();
+      if (self->alert_woken) {
+        self->alert_woken = false;
+        self->alerted.store(false, std::memory_order_relaxed);
+        throw Alerted();
+      }
+    }
+    if (s.bit_.exchange(1, std::memory_order_acquire) == 0) {
+      return;
+    }
+  }
+}
+
+}  // namespace taos

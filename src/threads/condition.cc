@@ -1,0 +1,263 @@
+#include "src/threads/condition.h"
+
+#include <algorithm>
+
+#include "src/base/check.h"
+#include "src/spec/action.h"
+#include "src/threads/nub.h"
+
+namespace taos {
+
+Condition::Condition() : id_(Nub::Get().NextObjId()) {}
+
+Condition::~Condition() {
+  TAOS_CHECK(queue_.Empty());
+  TAOS_CHECK(window_.empty());
+  TAOS_CHECK(pending_raise_.empty());
+}
+
+void Condition::Wait(Mutex& m) {
+  Nub& nub = Nub::Get();
+  ThreadRecord* self = nub.Current();
+  // REQUIRES m = SELF.
+  TAOS_CHECK(m.holder_.load(std::memory_order_relaxed) == self->id);
+  if (nub.tracing()) {
+    TracedWait(m, self);
+    return;
+  }
+  // First read c's Eventcount (still inside the critical section)...
+  const EventCount::Value i = ec_.Read();
+  // ...announce ourselves to Signal's fast path before the critical section
+  // ends, so "no waiters" can never be concluded while we are in flight...
+  waiters_.fetch_add(1, std::memory_order_seq_cst);
+  // ...then leave the critical section and call the Nub subroutine Block.
+  m.Release();
+  Block(self, i);
+  // On return from Block, re-enter a critical section.
+  m.Acquire();
+}
+
+void Condition::Block(ThreadRecord* self, EventCount::Value i) {
+  Nub& nub = Nub::Get();
+  nub.nub_entries.fetch_add(1, std::memory_order_relaxed);
+  bool parked = false;
+  {
+    SpinGuard g(nub.lock());
+    if (ec_.Read() == i) {
+      queue_.PushBack(self);
+      self->block_kind = ThreadRecord::BlockKind::kCondition;
+      self->blocked_obj = this;
+      self->alertable = false;
+      self->alert_woken = false;
+      parked = true;
+    } else {
+      // A Signal or Broadcast intervened between the eventcount read and
+      // now: return immediately. This is how the wakeup-waiting race is
+      // covered, and why one Signal can unblock several threads.
+      waiters_.fetch_sub(1, std::memory_order_relaxed);
+      absorbed_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  if (parked) {
+    self->parks.fetch_add(1, std::memory_order_relaxed);
+    self->park.acquire();
+  }
+}
+
+void Condition::Signal() {
+  Nub& nub = Nub::Get();
+  if (nub.tracing()) {
+    TracedSignal(nub.Current());
+    return;
+  }
+  // User code: avoid calling the Nub if there are no threads to unblock.
+  if (waiters_.load(std::memory_order_seq_cst) == 0) {
+    fast_signals_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  NubSignal();
+}
+
+void Condition::NubSignal() {
+  Nub& nub = Nub::Get();
+  nub.nub_entries.fetch_add(1, std::memory_order_relaxed);
+  nub_signals_.fetch_add(1, std::memory_order_relaxed);
+  ThreadRecord* wake = nullptr;
+  {
+    SpinGuard g(nub.lock());
+    ec_.Advance();
+    wake = queue_.PopFront();
+    if (wake != nullptr) {
+      waiters_.fetch_sub(1, std::memory_order_relaxed);
+      wake->block_kind = ThreadRecord::BlockKind::kNone;
+      wake->blocked_obj = nullptr;
+    }
+  }
+  if (wake != nullptr) {
+    wake->park.release();
+  }
+}
+
+void Condition::Broadcast() {
+  Nub& nub = Nub::Get();
+  if (nub.tracing()) {
+    TracedBroadcast(nub.Current());
+    return;
+  }
+  if (waiters_.load(std::memory_order_seq_cst) == 0) {
+    fast_signals_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  NubBroadcast();
+}
+
+void Condition::NubBroadcast() {
+  Nub& nub = Nub::Get();
+  nub.nub_entries.fetch_add(1, std::memory_order_relaxed);
+  std::vector<ThreadRecord*> wake;
+  {
+    SpinGuard g(nub.lock());
+    ec_.Advance();
+    while (ThreadRecord* t = queue_.PopFront()) {
+      waiters_.fetch_sub(1, std::memory_order_relaxed);
+      t->block_kind = ThreadRecord::BlockKind::kNone;
+      t->blocked_obj = nullptr;
+      wake.push_back(t);
+    }
+  }
+  for (ThreadRecord* t : wake) {
+    t->park.release();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Traced (spec-emitting) paths.
+// ---------------------------------------------------------------------------
+
+bool Condition::EraseWindow(ThreadRecord* rec) {
+  auto it = std::find(window_.begin(), window_.end(), rec);
+  if (it == window_.end()) {
+    return false;
+  }
+  window_.erase(it);
+  return true;
+}
+
+bool Condition::ErasePendingRaise(ThreadRecord* rec) {
+  auto it = std::find(pending_raise_.begin(), pending_raise_.end(), rec);
+  if (it == pending_raise_.end()) {
+    return false;
+  }
+  pending_raise_.erase(it);
+  return true;
+}
+
+void Condition::TracedWait(Mutex& m, ThreadRecord* self) {
+  Nub& nub = Nub::Get();
+  EventCount::Value snapshot = 0;
+  ThreadRecord* wake = nullptr;
+  {
+    // Atomic action Enqueue: insert SELF into c and set m to NIL.
+    SpinGuard g(nub.lock());
+    snapshot = ec_.Read();
+    wake = m.TracedReleaseLocked(self, /*emit_release=*/false);
+    window_.push_back(self);
+    nub.trace()->Emit(spec::MakeEnqueue(self->id, m.id_, id_));
+  }
+  if (wake != nullptr) {
+    wake->park.release();
+  }
+
+  // Nub subroutine Block(c, i).
+  bool parked = false;
+  {
+    SpinGuard g(nub.lock());
+    if (ec_.Read() != snapshot) {
+      // Absorbed: the intervening Signal/Broadcast removed us from c (and
+      // from window_) when it emitted its action.
+      TAOS_DCHECK(std::find(window_.begin(), window_.end(), self) ==
+                  window_.end());
+      absorbed_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      TAOS_CHECK(EraseWindow(self));
+      queue_.PushBack(self);
+      self->block_kind = ThreadRecord::BlockKind::kCondition;
+      self->blocked_obj = this;
+      self->alertable = false;
+      self->alert_woken = false;
+      parked = true;
+    }
+  }
+  if (parked) {
+    self->parks.fetch_add(1, std::memory_order_relaxed);
+    self->park.acquire();
+  }
+
+  // Atomic action Resume, emitted at the instant m is regained.
+  m.TracedAcquire(self, spec::MakeResume(self->id, m.id_, id_));
+}
+
+void Condition::TracedSignal(ThreadRecord* self) {
+  Nub& nub = Nub::Get();
+  nub_signals_.fetch_add(1, std::memory_order_relaxed);
+  ThreadRecord* wake = nullptr;
+  {
+    SpinGuard g(nub.lock());
+    ec_.Advance();
+    spec::ThreadSet removed;
+    wake = queue_.PopFront();
+    if (wake != nullptr) {
+      removed = removed.Insert(wake->id);
+      wake->block_kind = ThreadRecord::BlockKind::kNone;
+      wake->blocked_obj = nullptr;
+    }
+    // Every thread in the wakeup-waiting window absorbs this increment, so
+    // this Signal removes them all from c.
+    for (ThreadRecord* r : window_) {
+      removed = removed.Insert(r->id);
+    }
+    window_.clear();
+    // Threads committed to raising Alerted are still spec-members of c;
+    // removing them here keeps Signal's ENSURES honest (a Signal may be
+    // consumed by a thread that then raises — the paper's corrected
+    // AlertWait semantics).
+    for (ThreadRecord* r : pending_raise_) {
+      removed = removed.Insert(r->id);
+    }
+    pending_raise_.clear();
+    nub.trace()->Emit(spec::MakeSignal(self->id, id_, removed));
+  }
+  if (wake != nullptr) {
+    wake->park.release();
+  }
+}
+
+void Condition::TracedBroadcast(ThreadRecord* self) {
+  Nub& nub = Nub::Get();
+  std::vector<ThreadRecord*> wake;
+  {
+    SpinGuard g(nub.lock());
+    ec_.Advance();
+    spec::ThreadSet removed;
+    while (ThreadRecord* t = queue_.PopFront()) {
+      removed = removed.Insert(t->id);
+      t->block_kind = ThreadRecord::BlockKind::kNone;
+      t->blocked_obj = nullptr;
+      wake.push_back(t);
+    }
+    for (ThreadRecord* r : window_) {
+      removed = removed.Insert(r->id);
+    }
+    window_.clear();
+    for (ThreadRecord* r : pending_raise_) {
+      removed = removed.Insert(r->id);
+    }
+    pending_raise_.clear();
+    nub.trace()->Emit(spec::MakeBroadcast(self->id, id_, removed));
+  }
+  for (ThreadRecord* t : wake) {
+    t->park.release();
+  }
+}
+
+}  // namespace taos

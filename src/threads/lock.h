@@ -1,0 +1,33 @@
+// The LOCK clause.
+//
+// Modula-2+ provides:   LOCK e DO statement-sequence END
+// which expands to:     LET m = e; Acquire(m);
+//                       TRY statement-sequence FINALLY Release(m) END
+//
+// In C++ a scoped RAII guard gives exactly the TRY...FINALLY guarantee:
+// Release runs whether the block exits normally or via an exception
+// (including Alerted). Other uses of bare Acquire/Release are discouraged,
+// as in the paper.
+
+#ifndef TAOS_SRC_THREADS_LOCK_H_
+#define TAOS_SRC_THREADS_LOCK_H_
+
+#include "src/threads/mutex.h"
+
+namespace taos {
+
+class Lock {
+ public:
+  explicit Lock(Mutex& m) : m_(m) { m_.Acquire(); }
+  ~Lock() { m_.Release(); }
+
+  Lock(const Lock&) = delete;
+  Lock& operator=(const Lock&) = delete;
+
+ private:
+  Mutex& m_;
+};
+
+}  // namespace taos
+
+#endif  // TAOS_SRC_THREADS_LOCK_H_

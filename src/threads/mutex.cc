@@ -1,0 +1,198 @@
+#include "src/threads/mutex.h"
+
+#include "src/base/check.h"
+#include "src/spec/action.h"
+#include "src/threads/nub.h"
+
+namespace taos {
+
+Mutex::Mutex() : id_(Nub::Get().NextObjId()) {}
+
+Mutex::~Mutex() {
+  TAOS_CHECK(queue_.Empty());
+  TAOS_CHECK(bit_.load(std::memory_order_relaxed) == 0);
+}
+
+void Mutex::Acquire() {
+  Nub& nub = Nub::Get();
+  ThreadRecord* self = nub.Current();
+  if (nub.tracing()) {
+    TracedAcquire(self, spec::MakeAcquire(self->id, id_));
+    return;
+  }
+  // User-code fast path: one test-and-set when there is no contention.
+  if (bit_.exchange(1, std::memory_order_acquire) == 0) {
+    fast_acquires_.fetch_add(1, std::memory_order_relaxed);
+    NoteAcquired(self);
+    return;
+  }
+  NubAcquire(self);
+  NoteAcquired(self);
+}
+
+bool Mutex::TryAcquire() {
+  Nub& nub = Nub::Get();
+  ThreadRecord* self = nub.Current();
+  if (nub.tracing()) {
+    SpinGuard g(nub.lock());
+    if (bit_.load(std::memory_order_relaxed) != 0) {
+      return false;
+    }
+    bit_.store(1, std::memory_order_relaxed);
+    NoteAcquired(self);
+    nub.trace()->Emit(spec::MakeAcquire(self->id, id_));
+    return true;
+  }
+  if (bit_.exchange(1, std::memory_order_acquire) == 0) {
+    fast_acquires_.fetch_add(1, std::memory_order_relaxed);
+    NoteAcquired(self);
+    return true;
+  }
+  return false;
+}
+
+void Mutex::NubAcquire(ThreadRecord* self) {
+  Nub& nub = Nub::Get();
+  nub.nub_entries.fetch_add(1, std::memory_order_relaxed);
+  slow_acquires_.fetch_add(1, std::memory_order_relaxed);
+  for (;;) {
+    bool parked = false;
+    {
+      SpinGuard g(nub.lock());
+      // Add the calling thread to the Queue, then test the Lock-bit again.
+      queue_.PushBack(self);
+      queue_len_.fetch_add(1, std::memory_order_seq_cst);
+      if (bit_.load(std::memory_order_seq_cst) != 0) {
+        // Still held: de-schedule this thread. It stays queued; Release will
+        // make it ready.
+        self->block_kind = ThreadRecord::BlockKind::kMutex;
+        self->blocked_obj = this;
+        self->alertable = false;
+        self->alert_woken = false;
+        parked = true;
+      } else {
+        // Released in the meantime: back out and retry the whole Acquire.
+        queue_.Remove(self);
+        queue_len_.fetch_sub(1, std::memory_order_relaxed);
+      }
+    }
+    if (parked) {
+      self->parks.fetch_add(1, std::memory_order_relaxed);
+      self->park.acquire();
+    }
+    // Retry the entire Acquire operation, beginning at the test-and-set.
+    // Another thread may barge in and win; the spec does not say which
+    // blocked thread acquires next.
+    if (bit_.exchange(1, std::memory_order_acquire) == 0) {
+      return;
+    }
+  }
+}
+
+void Mutex::Release() {
+  Nub& nub = Nub::Get();
+  ThreadRecord* self = nub.Current();
+  // REQUIRES m = SELF. (Checked here as a library extension; the paper's
+  // implementation trusted the caller.)
+  TAOS_CHECK(holder_.load(std::memory_order_relaxed) == self->id);
+  if (nub.tracing()) {
+    TracedRelease(self);
+    return;
+  }
+  holder_.store(spec::kNil, std::memory_order_relaxed);
+  // User code: clear the Lock-bit; call the Nub only if the Queue is
+  // non-empty. The seq_cst store/load pair below pairs with the
+  // enqueue-then-test in NubAcquire so that at least one side sees the
+  // other (no thread is left parked with the mutex free).
+  bit_.store(0, std::memory_order_seq_cst);
+  if (queue_len_.load(std::memory_order_seq_cst) > 0) {
+    NubRelease();
+  }
+}
+
+void Mutex::NubRelease() {
+  Nub& nub = Nub::Get();
+  nub.nub_entries.fetch_add(1, std::memory_order_relaxed);
+  ThreadRecord* wake = nullptr;
+  {
+    SpinGuard g(nub.lock());
+    wake = queue_.PopFront();
+    if (wake != nullptr) {
+      queue_len_.fetch_sub(1, std::memory_order_relaxed);
+      wake->block_kind = ThreadRecord::BlockKind::kNone;
+      wake->blocked_obj = nullptr;
+    }
+  }
+  if (wake != nullptr) {
+    // Add it to the ready pool: here, hand its processor back by unparking.
+    wake->park.release();
+  }
+}
+
+void Mutex::TracedAcquire(ThreadRecord* self, const spec::Action& emit) {
+  TracedAcquire(self, emit, nullptr);
+}
+
+void Mutex::TracedAcquire(ThreadRecord* self, const spec::Action& emit,
+                          const std::function<void()>& at_success) {
+  Nub& nub = Nub::Get();
+  nub.nub_entries.fetch_add(1, std::memory_order_relaxed);
+  for (;;) {
+    bool parked = false;
+    {
+      SpinGuard g(nub.lock());
+      if (bit_.load(std::memory_order_relaxed) == 0) {
+        bit_.store(1, std::memory_order_relaxed);
+        NoteAcquired(self);
+        if (at_success) {
+          at_success();
+        }
+        nub.trace()->Emit(emit);
+        return;
+      }
+      queue_.PushBack(self);
+      queue_len_.fetch_add(1, std::memory_order_relaxed);
+      self->block_kind = ThreadRecord::BlockKind::kMutex;
+      self->blocked_obj = this;
+      self->alertable = false;
+      self->alert_woken = false;
+      parked = true;
+    }
+    if (parked) {
+      self->parks.fetch_add(1, std::memory_order_relaxed);
+      self->park.acquire();
+    }
+  }
+}
+
+void Mutex::TracedRelease(ThreadRecord* self) {
+  Nub& nub = Nub::Get();
+  ThreadRecord* wake = nullptr;
+  {
+    SpinGuard g(nub.lock());
+    wake = TracedReleaseLocked(self, /*emit_release=*/true);
+  }
+  if (wake != nullptr) {
+    wake->park.release();
+  }
+}
+
+ThreadRecord* Mutex::TracedReleaseLocked(ThreadRecord* self,
+                                         bool emit_release) {
+  Nub& nub = Nub::Get();
+  TAOS_CHECK(holder_.load(std::memory_order_relaxed) == self->id);
+  holder_.store(spec::kNil, std::memory_order_relaxed);
+  bit_.store(0, std::memory_order_relaxed);
+  if (emit_release) {
+    nub.trace()->Emit(spec::MakeRelease(self->id, id_));
+  }
+  ThreadRecord* wake = queue_.PopFront();
+  if (wake != nullptr) {
+    queue_len_.fetch_sub(1, std::memory_order_relaxed);
+    wake->block_kind = ThreadRecord::BlockKind::kNone;
+    wake->blocked_obj = nullptr;
+  }
+  return wake;
+}
+
+}  // namespace taos

@@ -1,0 +1,50 @@
+#include "src/threads/nub.h"
+
+#include "src/base/check.h"
+
+namespace taos {
+
+namespace {
+thread_local ThreadRecord* tls_record = nullptr;
+}  // namespace
+
+Nub& Nub::Get() {
+  static Nub* nub = new Nub();  // intentionally leaked; records must outlive
+                                // any late thread exit
+  return *nub;
+}
+
+ThreadRecord* Nub::CreateRecord() {
+  auto rec = std::make_unique<ThreadRecord>();
+  rec->id = next_thread_id_.fetch_add(1, std::memory_order_relaxed);
+  ThreadRecord* raw = rec.get();
+  {
+    SpinGuard g(registry_lock_);
+    registry_.push_back(std::move(rec));
+  }
+  return raw;
+}
+
+void Nub::AdoptRecord(ThreadRecord* rec) {
+  TAOS_CHECK(tls_record == nullptr || tls_record == rec);
+  tls_record = rec;
+}
+
+ThreadRecord* Nub::Current() {
+  if (tls_record == nullptr) {
+    tls_record = CreateRecord();
+  }
+  return tls_record;
+}
+
+ThreadRecord* Nub::RecordFor(spec::ThreadId id) {
+  SpinGuard g(registry_lock_);
+  for (const auto& rec : registry_) {
+    if (rec->id == id) {
+      return rec.get();
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace taos

@@ -1,0 +1,89 @@
+// The Nub: the lower layer of the two-layer implementation described in SRC
+// Report 20.
+//
+// "The Nub subroutines execute under the protection of a more primitive
+// mutual exclusion mechanism, a spin-lock. [...] Nub subroutines acquire the
+// spin-lock, perform their visible actions, and release the spin-lock."
+//
+// On the Firefly the Nub lived in a shared kernel address space and also ran
+// the scheduler. Here the host OS supplies processors and scheduling, so the
+// Nub reduces to: the global spin-lock, the thread registry, and the
+// spec-tracing machinery. Parking/unparking a thread's private semaphore
+// stands in for de-scheduling / adding to the ready pool (see
+// DESIGN.md, Substitutions).
+//
+// Spec tracing: when a TraceSink is installed, every synchronization
+// operation takes its Nub (slow) path and emits its spec-visible atomic
+// action while holding the spin-lock, so the emission order is a legal
+// serialization of the actions. Tracing must be enabled while the system is
+// quiescent (no concurrent synchronization in flight).
+
+#ifndef TAOS_SRC_THREADS_NUB_H_
+#define TAOS_SRC_THREADS_NUB_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/base/spinlock.h"
+#include "src/spec/trace.h"
+#include "src/threads/thread_record.h"
+
+namespace taos {
+
+class Nub {
+ public:
+  static Nub& Get();
+
+  Nub(const Nub&) = delete;
+  Nub& operator=(const Nub&) = delete;
+
+  // The globally shared spin-lock bit protecting all Nub state.
+  SpinLock& lock() { return lock_; }
+
+  // The calling thread's record, registering it on first use.
+  ThreadRecord* Current();
+
+  // Creates a record for a thread that has not started yet (Thread::Fork
+  // allocates the child's record up front so the parent gets a handle
+  // immediately). The new thread adopts it via AdoptRecord.
+  ThreadRecord* CreateRecord();
+  static void AdoptRecord(ThreadRecord* rec);
+
+  ThreadRecord* RecordFor(spec::ThreadId id);
+
+  // --- spec tracing ---
+  void SetTrace(spec::TraceSink* sink) {
+    trace_.store(sink, std::memory_order_release);
+  }
+  spec::TraceSink* trace() const {
+    return trace_.load(std::memory_order_acquire);
+  }
+  bool tracing() const { return trace() != nullptr; }
+
+  // Fresh ObjId for a Mutex/Condition/Semaphore.
+  spec::ObjId NextObjId() {
+    return next_obj_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // --- global statistics (relaxed counters; see EXPERIMENTS.md) ---
+  std::atomic<std::uint64_t> nub_entries{0};  // slow-path entries, all ops
+
+  void ResetStats() { nub_entries.store(0, std::memory_order_relaxed); }
+
+ private:
+  Nub() = default;
+
+  SpinLock lock_;
+  std::atomic<spec::TraceSink*> trace_{nullptr};
+  std::atomic<spec::ObjId> next_obj_id_{1};
+
+  SpinLock registry_lock_;
+  std::vector<std::unique_ptr<ThreadRecord>> registry_;
+  std::atomic<spec::ThreadId> next_thread_id_{1};
+};
+
+}  // namespace taos
+
+#endif  // TAOS_SRC_THREADS_NUB_H_

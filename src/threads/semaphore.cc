@@ -1,0 +1,153 @@
+#include "src/threads/semaphore.h"
+
+#include "src/base/check.h"
+#include "src/spec/action.h"
+#include "src/threads/nub.h"
+
+namespace taos {
+
+Semaphore::Semaphore() : id_(Nub::Get().NextObjId()) {}
+
+Semaphore::~Semaphore() { TAOS_CHECK(queue_.Empty()); }
+
+void Semaphore::P() {
+  Nub& nub = Nub::Get();
+  ThreadRecord* self = nub.Current();
+  if (nub.tracing()) {
+    TracedP(self);
+    return;
+  }
+  if (bit_.exchange(1, std::memory_order_acquire) == 0) {
+    fast_ps_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  NubP(self);
+}
+
+bool Semaphore::TryP() {
+  Nub& nub = Nub::Get();
+  if (nub.tracing()) {
+    ThreadRecord* self = nub.Current();
+    SpinGuard g(nub.lock());
+    if (bit_.load(std::memory_order_relaxed) != 0) {
+      return false;
+    }
+    bit_.store(1, std::memory_order_relaxed);
+    nub.trace()->Emit(spec::MakeP(self->id, id_));
+    return true;
+  }
+  if (bit_.exchange(1, std::memory_order_acquire) == 0) {
+    fast_ps_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+void Semaphore::NubP(ThreadRecord* self) {
+  Nub& nub = Nub::Get();
+  nub.nub_entries.fetch_add(1, std::memory_order_relaxed);
+  slow_ps_.fetch_add(1, std::memory_order_relaxed);
+  for (;;) {
+    bool parked = false;
+    {
+      SpinGuard g(nub.lock());
+      queue_.PushBack(self);
+      queue_len_.fetch_add(1, std::memory_order_seq_cst);
+      if (bit_.load(std::memory_order_seq_cst) != 0) {
+        self->block_kind = ThreadRecord::BlockKind::kSemaphore;
+        self->blocked_obj = this;
+        self->alertable = false;
+        self->alert_woken = false;
+        parked = true;
+      } else {
+        queue_.Remove(self);
+        queue_len_.fetch_sub(1, std::memory_order_relaxed);
+      }
+    }
+    if (parked) {
+      self->parks.fetch_add(1, std::memory_order_relaxed);
+      self->park.acquire();
+    }
+    if (bit_.exchange(1, std::memory_order_acquire) == 0) {
+      return;
+    }
+  }
+}
+
+void Semaphore::V() {
+  Nub& nub = Nub::Get();
+  if (nub.tracing()) {
+    TracedV(nub.Current());
+    return;
+  }
+  bit_.store(0, std::memory_order_seq_cst);
+  if (queue_len_.load(std::memory_order_seq_cst) > 0) {
+    NubV();
+  }
+}
+
+void Semaphore::NubV() {
+  Nub& nub = Nub::Get();
+  nub.nub_entries.fetch_add(1, std::memory_order_relaxed);
+  ThreadRecord* wake = nullptr;
+  {
+    SpinGuard g(nub.lock());
+    wake = queue_.PopFront();
+    if (wake != nullptr) {
+      queue_len_.fetch_sub(1, std::memory_order_relaxed);
+      wake->block_kind = ThreadRecord::BlockKind::kNone;
+      wake->blocked_obj = nullptr;
+    }
+  }
+  if (wake != nullptr) {
+    wake->park.release();
+  }
+}
+
+void Semaphore::TracedP(ThreadRecord* self) {
+  Nub& nub = Nub::Get();
+  nub.nub_entries.fetch_add(1, std::memory_order_relaxed);
+  for (;;) {
+    bool parked = false;
+    {
+      SpinGuard g(nub.lock());
+      if (bit_.load(std::memory_order_relaxed) == 0) {
+        bit_.store(1, std::memory_order_relaxed);
+        nub.trace()->Emit(spec::MakeP(self->id, id_));
+        return;
+      }
+      queue_.PushBack(self);
+      queue_len_.fetch_add(1, std::memory_order_relaxed);
+      self->block_kind = ThreadRecord::BlockKind::kSemaphore;
+      self->blocked_obj = this;
+      self->alertable = false;
+      self->alert_woken = false;
+      parked = true;
+    }
+    if (parked) {
+      self->parks.fetch_add(1, std::memory_order_relaxed);
+      self->park.acquire();
+    }
+  }
+}
+
+void Semaphore::TracedV(ThreadRecord* self) {
+  Nub& nub = Nub::Get();
+  ThreadRecord* wake = nullptr;
+  {
+    SpinGuard g(nub.lock());
+    bit_.store(0, std::memory_order_relaxed);
+    nub.trace()->Emit(spec::MakeV(self->id, id_));
+    wake = queue_.PopFront();
+    if (wake != nullptr) {
+      queue_len_.fetch_sub(1, std::memory_order_relaxed);
+      wake->block_kind = ThreadRecord::BlockKind::kNone;
+      wake->blocked_obj = nullptr;
+    }
+  }
+  if (wake != nullptr) {
+    wake->park.release();
+  }
+}
+
+}  // namespace taos

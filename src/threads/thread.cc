@@ -1,0 +1,45 @@
+#include "src/threads/thread.h"
+
+#include <utility>
+
+#include "src/base/check.h"
+#include "src/threads/alert.h"
+#include "src/threads/nub.h"
+
+namespace taos {
+
+Thread::~Thread() {
+  if (os_.joinable()) {
+    os_.join();
+  }
+}
+
+Thread Thread::Fork(std::function<void()> fn) {
+  // The record is created by the parent so the handle is valid immediately,
+  // even before the child runs (Alert on a not-yet-started thread must
+  // work: the pending alert is found at the child's first alertable point).
+  ThreadRecord* rec = Nub::Get().CreateRecord();
+  std::thread os([rec, fn = std::move(fn)]() mutable {
+    Nub::AdoptRecord(rec);
+    try {
+      fn();
+    } catch (const Alerted&) {
+      rec->ended_by_alert.store(true, std::memory_order_release);
+    }
+  });
+  return Thread(rec, std::move(os));
+}
+
+void Thread::Join() {
+  TAOS_CHECK(os_.joinable());
+  os_.join();
+}
+
+ThreadHandle Thread::Self() { return ThreadHandle{Nub::Get().Current()}; }
+
+bool Thread::EndedByAlert() const {
+  TAOS_CHECK(rec_ != nullptr);
+  return rec_->ended_by_alert.load(std::memory_order_acquire);
+}
+
+}  // namespace taos

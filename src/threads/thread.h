@@ -1,0 +1,61 @@
+// Thread creation and control.
+//
+// The Threads package "implements a Modula-2+ interface for creating and
+// controlling a virtually unlimited number of threads". This reproduction
+// layers thread creation on host OS threads (the Firefly scheduler that
+// multiplexed threads onto processors is reproduced separately, in
+// src/firefly); what matters to the synchronization spec is only each
+// thread's identity (SELF) and its record in the Nub.
+
+#ifndef TAOS_SRC_THREADS_THREAD_H_
+#define TAOS_SRC_THREADS_THREAD_H_
+
+#include <functional>
+#include <thread>
+
+#include "src/threads/thread_record.h"
+
+namespace taos {
+
+class Thread {
+ public:
+  Thread() = default;
+  Thread(Thread&&) = default;
+  Thread& operator=(Thread&&) = default;
+  Thread(const Thread&) = delete;
+  Thread& operator=(const Thread&) = delete;
+
+  // Joins if the thread is still running (TRY ... FINALLY discipline: a
+  // Thread going out of scope never leaves a runaway OS thread).
+  ~Thread();
+
+  // Creates a new thread executing fn. An Alerted exception propagating out
+  // of fn terminates the thread quietly and marks it EndedByAlert.
+  static Thread Fork(std::function<void()> fn);
+
+  // Waits for the thread to finish.
+  void Join();
+
+  bool Joinable() const { return os_.joinable(); }
+
+  // Handle usable with Alert(t). Valid for the life of the process.
+  ThreadHandle Handle() const { return ThreadHandle{rec_}; }
+
+  // The calling thread's own handle.
+  static ThreadHandle Self();
+
+  // True once the thread terminated because Alerted escaped its root
+  // function.
+  bool EndedByAlert() const;
+
+ private:
+  Thread(ThreadRecord* rec, std::thread os)
+      : rec_(rec), os_(std::move(os)) {}
+
+  ThreadRecord* rec_ = nullptr;
+  std::thread os_;
+};
+
+}  // namespace taos
+
+#endif  // TAOS_SRC_THREADS_THREAD_H_

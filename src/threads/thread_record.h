@@ -1,0 +1,72 @@
+// Per-thread control block, the analogue of the Taos Nub's thread records.
+//
+// A ThreadRecord is on at most one queue at a time (a mutex queue, a
+// semaphore queue, a condition queue — there is no explicit ready pool here
+// because the host OS schedules runnable threads; "de-schedule this thread"
+// becomes parking on a private binary semaphore, and "add to the ready pool"
+// becomes releasing it).
+//
+// All fields below the "guarded by the Nub spin-lock" line are only touched
+// while holding the global Nub spin-lock.
+
+#ifndef TAOS_SRC_THREADS_THREAD_RECORD_H_
+#define TAOS_SRC_THREADS_THREAD_RECORD_H_
+
+#include <atomic>
+#include <cstdint>
+#include <semaphore>
+#include <string>
+
+#include "src/base/intrusive_queue.h"
+#include "src/spec/state.h"
+
+namespace taos {
+
+class Mutex;
+class Condition;
+class Semaphore;
+
+struct ThreadRecord {
+  QueueNode queue_node;
+
+  spec::ThreadId id = spec::kNil;
+
+  // "De-scheduled" threads park here; making a thread ready releases it.
+  // The queue discipline guarantees at most one outstanding release.
+  std::binary_semaphore park{0};
+
+  // The thread's membership in the spec's global `alerts` set. Set by
+  // Alert(t) (under the Nub spin-lock when an unblock may be needed), cleared
+  // by TestAlert and by the Alerted-raising paths of AlertP / AlertWait.
+  std::atomic<bool> alerted{false};
+
+  // ---- guarded by the Nub spin-lock ----
+  enum class BlockKind : std::uint8_t { kNone, kMutex, kSemaphore, kCondition };
+  BlockKind block_kind = BlockKind::kNone;
+  bool alertable = false;    // blocked in AlertP / AlertWait
+  bool alert_woken = false;  // dequeued by Alert rather than by V/Signal
+  void* blocked_obj = nullptr;  // the Mutex/Semaphore/Condition blocked on
+
+  // Set when the thread terminated because Alerted escaped its root
+  // function (see Thread::Fork).
+  std::atomic<bool> ended_by_alert{false};
+
+  // ---- statistics (relaxed; for tests and experiments) ----
+  std::atomic<std::uint64_t> parks{0};
+
+  ThreadRecord() = default;
+  ThreadRecord(const ThreadRecord&) = delete;
+  ThreadRecord& operator=(const ThreadRecord&) = delete;
+};
+
+// Opaque handle clients use to name a thread (e.g. Alert(t)).
+struct ThreadHandle {
+  ThreadRecord* rec = nullptr;
+
+  spec::ThreadId id() const { return rec ? rec->id : spec::kNil; }
+  bool operator==(const ThreadHandle&) const = default;
+};
+
+}  // namespace taos
+
+#endif  // TAOS_SRC_THREADS_THREAD_RECORD_H_

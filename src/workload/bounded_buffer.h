@@ -1,0 +1,124 @@
+// The bounded buffer: the canonical producer-consumer structure from the
+// paper's normal paradigm for condition variables. Two predicates ("not
+// full", "not empty"), each with its own condition variable; every Get/Put
+// re-evaluates its predicate on return from Wait, as Mesa semantics demand.
+//
+// Templated over the mutex/condition types so the identical workload runs
+// over taos::, baseline::Naive*, and baseline::Std* primitives.
+
+#ifndef TAOS_SRC_WORKLOAD_BOUNDED_BUFFER_H_
+#define TAOS_SRC_WORKLOAD_BOUNDED_BUFFER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/check.h"
+#include "src/baseline/hoare_monitor.h"
+
+namespace taos::workload {
+
+template <typename MutexT, typename ConditionT>
+class BoundedBuffer {
+ public:
+  explicit BoundedBuffer(std::size_t capacity)
+      : capacity_(capacity), slots_(capacity) {
+    TAOS_CHECK(capacity_ > 0);
+  }
+
+  void Put(std::uint64_t item) {
+    mutex_.Acquire();
+    while (count_ == capacity_) {
+      not_full_.Wait(mutex_);
+    }
+    slots_[(head_ + count_) % capacity_] = item;
+    ++count_;
+    mutex_.Release();
+    not_empty_.Signal();
+  }
+
+  std::uint64_t Get() {
+    mutex_.Acquire();
+    while (count_ == 0) {
+      not_empty_.Wait(mutex_);
+    }
+    const std::uint64_t item = slots_[head_];
+    head_ = (head_ + 1) % capacity_;
+    --count_;
+    mutex_.Release();
+    not_full_.Signal();
+    return item;
+  }
+
+  // Racy size snapshot; for teardown assertions.
+  std::size_t SizeForDebug() {
+    mutex_.Acquire();
+    const std::size_t n = count_;
+    mutex_.Release();
+    return n;
+  }
+
+  ConditionT& not_empty() { return not_empty_; }
+  ConditionT& not_full() { return not_full_; }
+
+ private:
+  const std::size_t capacity_;
+  MutexT mutex_;
+  ConditionT not_full_;
+  ConditionT not_empty_;
+  std::vector<std::uint64_t> slots_;  // FIFO ring, guarded by mutex_
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+};
+
+// The same buffer under Hoare semantics: signalled waiters are guaranteed
+// their predicate, so `while` becomes `if`-free straight-line code — the
+// classic illustration of what the guarantee buys and what it costs.
+class HoareBoundedBuffer {
+ public:
+  explicit HoareBoundedBuffer(std::size_t capacity)
+      : capacity_(capacity),
+        slots_(capacity),
+        not_full_(monitor_),
+        not_empty_(monitor_) {
+    TAOS_CHECK(capacity_ > 0);
+  }
+
+  void Put(std::uint64_t item) {
+    monitor_.Enter();
+    if (count_ == capacity_) {
+      not_full_.Wait();
+      TAOS_CHECK(count_ < capacity_);  // Hoare's guarantee
+    }
+    slots_[(head_ + count_) % capacity_] = item;
+    ++count_;
+    not_empty_.Signal();
+    monitor_.Exit();
+  }
+
+  std::uint64_t Get() {
+    monitor_.Enter();
+    if (count_ == 0) {
+      not_empty_.Wait();
+      TAOS_CHECK(count_ > 0);
+    }
+    const std::uint64_t item = slots_[head_];
+    head_ = (head_ + 1) % capacity_;
+    --count_;
+    not_full_.Signal();
+    monitor_.Exit();
+    return item;
+  }
+
+ private:
+  const std::size_t capacity_;
+  std::vector<std::uint64_t> slots_;  // FIFO ring, guarded by the monitor
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+  baseline::HoareMonitor monitor_;
+  baseline::HoareMonitor::Condition not_full_;
+  baseline::HoareMonitor::Condition not_empty_;
+};
+
+}  // namespace taos::workload
+
+#endif  // TAOS_SRC_WORKLOAD_BOUNDED_BUFFER_H_

@@ -1,0 +1,68 @@
+// Mutex contention driver (experiment E3): N threads each perform `iters`
+// critical sections of `cs_work` work units, with `outside_work` units
+// between them. Templated over any mutex exposing Acquire/Release.
+
+#ifndef TAOS_SRC_WORKLOAD_CONTENTION_H_
+#define TAOS_SRC_WORKLOAD_CONTENTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "src/base/stopwatch.h"
+#include "src/threads/thread.h"
+#include "src/workload/work.h"
+
+namespace taos::workload {
+
+struct ContentionResult {
+  std::uint64_t total_sections = 0;
+  std::uint64_t nanos = 0;
+  std::uint64_t shared_counter = 0;  // must equal total_sections
+
+  double SectionsPerSecond() const {
+    return nanos == 0 ? 0.0
+                      : static_cast<double>(total_sections) * 1e9 /
+                            static_cast<double>(nanos);
+  }
+};
+
+template <typename MutexT>
+ContentionResult RunContention(int threads, std::uint64_t iters,
+                               std::uint64_t cs_work,
+                               std::uint64_t outside_work) {
+  MutexT mutex;
+  std::uint64_t counter = 0;  // protected by mutex
+  std::atomic<std::uint64_t> sink{0};
+
+  Stopwatch watch;
+  std::vector<Thread> workers;
+  workers.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    workers.push_back(
+        Thread::Fork([&mutex, &counter, &sink, iters, cs_work, outside_work] {
+          std::uint64_t local = 0;
+          for (std::uint64_t i = 0; i < iters; ++i) {
+            mutex.Acquire();
+            counter += 1;
+            local ^= DoWork(cs_work);
+            mutex.Release();
+            local ^= DoWork(outside_work);
+          }
+          sink.fetch_add(local, std::memory_order_relaxed);
+        }));
+  }
+  for (Thread& w : workers) {
+    w.Join();
+  }
+
+  ContentionResult result;
+  result.total_sections = static_cast<std::uint64_t>(threads) * iters;
+  result.nanos = watch.ElapsedNanos();
+  result.shared_counter = counter;
+  return result;
+}
+
+}  // namespace taos::workload
+
+#endif  // TAOS_SRC_WORKLOAD_CONTENTION_H_

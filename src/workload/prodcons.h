@@ -1,0 +1,84 @@
+// Producer-consumer driver (experiment E4): P producers push N items each
+// through a bounded buffer to C consumers. Works over any buffer exposing
+// Put/Get (BoundedBuffer instantiations and HoareBoundedBuffer).
+
+#ifndef TAOS_SRC_WORKLOAD_PRODCONS_H_
+#define TAOS_SRC_WORKLOAD_PRODCONS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "src/base/check.h"
+#include "src/base/stopwatch.h"
+#include "src/threads/thread.h"
+
+namespace taos::workload {
+
+struct ProdConsResult {
+  std::uint64_t items = 0;
+  std::uint64_t nanos = 0;
+  std::uint64_t checksum = 0;  // sum of consumed items (validates delivery)
+
+  double ItemsPerSecond() const {
+    return nanos == 0 ? 0.0
+                      : static_cast<double>(items) * 1e9 /
+                            static_cast<double>(nanos);
+  }
+};
+
+template <typename BufferT>
+ProdConsResult RunProducerConsumer(BufferT& buffer, int producers,
+                                   int consumers, std::uint64_t items_each) {
+  TAOS_CHECK(producers > 0 && consumers > 0);
+  const std::uint64_t total = static_cast<std::uint64_t>(producers) *
+                              items_each;
+  std::atomic<std::uint64_t> consumed{0};
+  std::atomic<std::uint64_t> checksum{0};
+
+  Stopwatch watch;
+  std::vector<Thread> threads;
+  threads.reserve(static_cast<std::size_t>(producers + consumers));
+  for (int p = 0; p < producers; ++p) {
+    threads.push_back(Thread::Fork([&buffer, items_each, p] {
+      for (std::uint64_t i = 0; i < items_each; ++i) {
+        buffer.Put(static_cast<std::uint64_t>(p) * items_each + i + 1);
+      }
+    }));
+  }
+  for (int c = 0; c < consumers; ++c) {
+    // Consumers share the total; each takes items until the global count is
+    // exhausted. The count is claimed before the Get so exactly `total`
+    // Gets happen overall.
+    threads.push_back(Thread::Fork([&buffer, &consumed, &checksum, total] {
+      for (;;) {
+        const std::uint64_t claimed =
+            consumed.fetch_add(1, std::memory_order_relaxed);
+        if (claimed >= total) {
+          return;
+        }
+        checksum.fetch_add(buffer.Get(), std::memory_order_relaxed);
+      }
+    }));
+  }
+  for (Thread& t : threads) {
+    t.Join();
+  }
+
+  ProdConsResult result;
+  result.items = total;
+  result.nanos = watch.ElapsedNanos();
+  result.checksum = checksum.load(std::memory_order_relaxed);
+  return result;
+}
+
+// The checksum every run must produce: sum of 1..(producers*items_each).
+inline std::uint64_t ExpectedChecksum(int producers,
+                                      std::uint64_t items_each) {
+  const std::uint64_t n = static_cast<std::uint64_t>(producers) * items_each;
+  return n * (n + 1) / 2;
+}
+
+}  // namespace taos::workload
+
+#endif  // TAOS_SRC_WORKLOAD_PRODCONS_H_

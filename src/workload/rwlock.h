@@ -1,0 +1,155 @@
+// A readers-writer lock built from one mutex and two condition variables —
+// the paper's own motivating example for Broadcast:
+//
+//   "Broadcast is necessary (for correctness) if multiple threads should
+//    resume (for example, when releasing a 'writer' lock on a file might
+//    permit all 'readers' to resume)."
+//
+// Readers waiting for a writer to finish all wait on `readable_`; the
+// writer's release Broadcasts so every reader resumes. Writers queue on
+// `writable_`, released by Signal (one at a time — the paper's rule that
+// Signal requires all waiters to share one predicate holds per condition
+// variable).
+
+#ifndef TAOS_SRC_WORKLOAD_RWLOCK_H_
+#define TAOS_SRC_WORKLOAD_RWLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "src/base/check.h"
+#include "src/base/stopwatch.h"
+#include "src/threads/thread.h"
+#include "src/workload/work.h"
+
+namespace taos::workload {
+
+template <typename MutexT, typename ConditionT>
+class RWLock {
+ public:
+  void AcquireRead() {
+    mutex_.Acquire();
+    while (writer_active_ || writers_waiting_ > 0) {  // writer preference
+      readable_.Wait(mutex_);
+    }
+    ++readers_active_;
+    mutex_.Release();
+  }
+
+  void ReleaseRead() {
+    mutex_.Acquire();
+    TAOS_CHECK(readers_active_ > 0);
+    const bool last = (--readers_active_ == 0);
+    mutex_.Release();
+    if (last) {
+      writable_.Signal();
+    }
+  }
+
+  void AcquireWrite() {
+    mutex_.Acquire();
+    ++writers_waiting_;
+    while (writer_active_ || readers_active_ > 0) {
+      writable_.Wait(mutex_);
+    }
+    --writers_waiting_;
+    writer_active_ = true;
+    mutex_.Release();
+  }
+
+  void ReleaseWrite() {
+    mutex_.Acquire();
+    TAOS_CHECK(writer_active_);
+    writer_active_ = false;
+    const bool writers_pending = writers_waiting_ > 0;
+    mutex_.Release();
+    if (writers_pending) {
+      writable_.Signal();
+    } else {
+      readable_.Broadcast();  // all readers may resume
+    }
+  }
+
+  int ReadersActiveForDebug() const { return readers_active_; }
+
+ private:
+  MutexT mutex_;
+  ConditionT readable_;
+  ConditionT writable_;
+  int readers_active_ = 0;
+  int writers_waiting_ = 0;
+  bool writer_active_ = false;
+};
+
+struct RWResult {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t nanos = 0;
+  bool invariant_ok = true;  // never a writer with readers / two writers
+
+  double OpsPerSecond() const {
+    return nanos == 0 ? 0.0
+                      : static_cast<double>(reads + writes) * 1e9 /
+                            static_cast<double>(nanos);
+  }
+};
+
+template <typename LockT>
+RWResult RunReadersWriters(LockT& lock, int readers, int writers,
+                           std::uint64_t iters, std::uint64_t read_work,
+                           std::uint64_t write_work) {
+  std::atomic<int> readers_in{0};
+  std::atomic<int> writers_in{0};
+  std::atomic<bool> ok{true};
+  std::atomic<std::uint64_t> sink{0};
+
+  Stopwatch watch;
+  std::vector<Thread> threads;
+  for (int r = 0; r < readers; ++r) {
+    threads.push_back(Thread::Fork([&, iters, read_work] {
+      std::uint64_t local = 0;
+      for (std::uint64_t i = 0; i < iters; ++i) {
+        lock.AcquireRead();
+        readers_in.fetch_add(1, std::memory_order_relaxed);
+        if (writers_in.load(std::memory_order_relaxed) != 0) {
+          ok.store(false, std::memory_order_relaxed);
+        }
+        local ^= DoWork(read_work);
+        readers_in.fetch_sub(1, std::memory_order_relaxed);
+        lock.ReleaseRead();
+      }
+      sink.fetch_add(local, std::memory_order_relaxed);
+    }));
+  }
+  for (int w = 0; w < writers; ++w) {
+    threads.push_back(Thread::Fork([&, iters, write_work] {
+      std::uint64_t local = 0;
+      for (std::uint64_t i = 0; i < iters; ++i) {
+        lock.AcquireWrite();
+        if (writers_in.fetch_add(1, std::memory_order_relaxed) != 0 ||
+            readers_in.load(std::memory_order_relaxed) != 0) {
+          ok.store(false, std::memory_order_relaxed);
+        }
+        local ^= DoWork(write_work);
+        writers_in.fetch_sub(1, std::memory_order_relaxed);
+        lock.ReleaseWrite();
+      }
+      sink.fetch_add(local, std::memory_order_relaxed);
+    }));
+  }
+  for (Thread& t : threads) {
+    t.Join();
+  }
+
+  RWResult result;
+  result.reads = static_cast<std::uint64_t>(readers) * iters;
+  result.writes = static_cast<std::uint64_t>(writers) * iters;
+  result.nanos = watch.ElapsedNanos();
+  result.invariant_ok = ok.load(std::memory_order_relaxed);
+  return result;
+}
+
+}  // namespace taos::workload
+
+#endif  // TAOS_SRC_WORKLOAD_RWLOCK_H_

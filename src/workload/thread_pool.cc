@@ -1,0 +1,122 @@
+#include "src/workload/thread_pool.h"
+
+#include "src/base/check.h"
+
+namespace taos::workload {
+
+ThreadPool::ThreadPool(int workers, std::size_t queue_capacity)
+    : capacity_(queue_capacity) {
+  TAOS_CHECK(workers > 0);
+  TAOS_CHECK(capacity_ > 0);
+  workers_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.push_back(Thread::Fork([this] { WorkerBody(); }));
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::WorkerBody() {
+  try {
+    for (;;) {
+      Task task;
+      {
+        Lock lock(mutex_);
+        while (queue_.empty() && !shutdown_) {
+          // AlertWait, not Wait: Cancel interrupts us here.
+          AlertWait(mutex_, not_empty_);
+        }
+        if (queue_.empty()) {
+          return;  // shutdown with nothing left to do
+        }
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      not_full_.Signal();
+      task();
+      executed_.fetch_add(1, std::memory_order_relaxed);
+    }
+  } catch (const Alerted&) {
+    // Cancelled. AlertWait reacquired the mutex before raising; the Lock
+    // guard released it during unwinding. Nothing else to clean up.
+  }
+}
+
+bool ThreadPool::Submit(Task task) {
+  {
+    Lock lock(mutex_);
+    while (queue_.size() >= capacity_ && !shutdown_ && !cancel_) {
+      not_full_.Wait(mutex_);
+    }
+    if (shutdown_ || cancel_) {
+      return false;
+    }
+    queue_.push_back(std::move(task));
+  }
+  not_empty_.Signal();
+  return true;
+}
+
+void ThreadPool::Shutdown() {
+  {
+    Lock lock(mutex_);
+    shutdown_ = true;
+  }
+  // Every worker's predicate changed: all must re-evaluate.
+  not_empty_.Broadcast();
+  not_full_.Broadcast();
+  JoinAll();
+}
+
+void ThreadPool::Cancel() {
+  std::size_t dropped = 0;
+  {
+    Lock lock(mutex_);
+    shutdown_ = true;
+    cancel_ = true;
+    dropped = queue_.size();
+    queue_.clear();
+  }
+  dropped_.fetch_add(dropped, std::memory_order_relaxed);
+  not_full_.Broadcast();
+  // The polite interrupt: each worker raises Alerted at its next (or
+  // current) AlertWait. A worker mid-task finishes that task first.
+  for (Thread& w : workers_) {
+    Alert(w.Handle());
+  }
+  JoinAll();
+  // Absorb the alert for workers that exited via the shutdown path before
+  // their alert arrived: clear nothing here — pending alerts die with the
+  // worker records, which are never reused for other threads.
+}
+
+void ThreadPool::JoinAll() {
+  if (joined_) {
+    return;
+  }
+  joined_ = true;
+  for (Thread& w : workers_) {
+    w.Join();
+  }
+}
+
+Barrier::Barrier(int parties) : parties_(parties) {
+  TAOS_CHECK(parties_ > 0);
+}
+
+std::uint64_t Barrier::ArriveAndWait() {
+  Lock lock(mutex_);
+  const std::uint64_t my_generation = generation_;
+  if (++waiting_ == parties_) {
+    waiting_ = 0;
+    ++generation_;
+    released_.Broadcast();  // the whole generation resumes
+    return my_generation;
+  }
+  while (generation_ == my_generation) {
+    released_.Wait(mutex_);
+  }
+  return my_generation;
+}
+
+}  // namespace taos::workload

@@ -1,0 +1,94 @@
+// A fixed-size worker pool over the Threads primitives — the kind of
+// component Taos clients built from this interface. Demonstrates the whole
+// vocabulary working together:
+//
+//  - a Mutex + two Conditions guard the bounded task queue (the normal
+//    paradigm: predicates re-evaluated in while loops),
+//  - shutdown uses Broadcast (all workers must resume — the correctness
+//    rule for multiple distinct waiters),
+//  - Cancel uses Alert: workers park in AlertWait, so a pending or blocked
+//    worker is interrupted mid-wait and drains out via the Alerted
+//    exception, without the pool touching the condition it sleeps on.
+
+#ifndef TAOS_SRC_WORKLOAD_THREAD_POOL_H_
+#define TAOS_SRC_WORKLOAD_THREAD_POOL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "src/threads/threads.h"
+
+namespace taos::workload {
+
+class ThreadPool {
+ public:
+  using Task = std::function<void()>;
+
+  // Starts `workers` threads; at most `queue_capacity` tasks may be queued.
+  ThreadPool(int workers, std::size_t queue_capacity);
+
+  // Drains remaining tasks, then stops the workers (unless Cancel ran).
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Blocks while the queue is full. Returns false after Shutdown/Cancel.
+  bool Submit(Task task);
+
+  // Stops accepting work; workers finish everything already queued.
+  // Idempotent. Blocks until the workers have exited.
+  void Shutdown();
+
+  // Stops accepting work and interrupts the workers via Alert: queued
+  // tasks that have not started are dropped. Blocks until exit.
+  void Cancel();
+
+  std::uint64_t tasks_executed() const {
+    return executed_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t tasks_dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void WorkerBody();
+  void JoinAll();
+
+  const std::size_t capacity_;
+  Mutex mutex_;
+  Condition not_empty_;
+  Condition not_full_;
+  std::deque<Task> queue_;  // guarded by mutex_
+  bool shutdown_ = false;   // guarded by mutex_
+  bool cancel_ = false;     // guarded by mutex_
+  std::vector<Thread> workers_;
+  bool joined_ = false;  // main-thread-only
+  std::atomic<std::uint64_t> executed_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+// A cyclic barrier from one Mutex and one Condition: the paper's Broadcast
+// in its purest form — the last arriver wakes the whole generation.
+class Barrier {
+ public:
+  explicit Barrier(int parties);
+
+  // Blocks until `parties` threads have arrived; returns the generation
+  // index (0-based) that just completed. Reusable.
+  std::uint64_t ArriveAndWait();
+
+ private:
+  const int parties_;
+  Mutex mutex_;
+  Condition released_;
+  int waiting_ = 0;            // guarded by mutex_
+  std::uint64_t generation_ = 0;  // guarded by mutex_
+};
+
+}  // namespace taos::workload
+
+#endif  // TAOS_SRC_WORKLOAD_THREAD_POOL_H_

@@ -1,0 +1,61 @@
+// Timeouts via alerting — the use case the paper names for Alert:
+// "typically to implement things such as timeouts and aborts [...] at an
+// abstraction level higher than that in which the thread is blocked."
+//
+// WaitWithTimeout runs `predicate`-guarded AlertWait, with a watchdog thread
+// that Alerts the waiter when the deadline passes. Returns true if the
+// predicate came true, false on timeout. The caller must hold the mutex;
+// it is held again on return either way.
+
+#ifndef TAOS_SRC_WORKLOAD_TIMEOUT_H_
+#define TAOS_SRC_WORKLOAD_TIMEOUT_H_
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <thread>
+
+#include "src/threads/threads.h"
+
+namespace taos::workload {
+
+inline bool WaitWithTimeout(Mutex& m, Condition& c,
+                            const std::function<bool()>& predicate,
+                            std::chrono::milliseconds timeout) {
+  if (predicate()) {
+    return true;
+  }
+  std::atomic<bool> done{false};
+  const ThreadHandle waiter = Thread::Self();
+  // The watchdog lives above the blocking abstraction: it knows nothing of
+  // m or c, only the thread to interrupt.
+  std::thread watchdog([&done, waiter, timeout] {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    while (!done.load(std::memory_order_acquire)) {
+      if (std::chrono::steady_clock::now() >= deadline) {
+        Alert(waiter);
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  bool satisfied = true;
+  try {
+    while (!predicate()) {
+      AlertWait(m, c);
+    }
+  } catch (const Alerted&) {
+    satisfied = predicate();  // the predicate may have just come true
+  }
+  done.store(true, std::memory_order_release);
+  watchdog.join();
+  // A stale alert may still be pending (posted after we stopped waiting);
+  // absorb it so it cannot leak into the caller's next alertable wait.
+  (void)TestAlert();
+  return satisfied;
+}
+
+}  // namespace taos::workload
+
+#endif  // TAOS_SRC_WORKLOAD_TIMEOUT_H_

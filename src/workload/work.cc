@@ -1,0 +1,17 @@
+#include "src/workload/work.h"
+
+namespace taos::workload {
+
+__attribute__((noinline)) std::uint64_t DoWork(std::uint64_t units) {
+  std::uint64_t x = units + 0x9e3779b97f4a7c15ULL;
+  for (std::uint64_t i = 0; i < units; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+  }
+  // The result is returned so callers can feed it to a sink; the data
+  // dependency keeps the loop alive.
+  return x;
+}
+
+}  // namespace taos::workload

@@ -1,0 +1,17 @@
+// Calibrated-free busy work for benchmarks: DoWork(n) performs n dependent
+// integer operations the optimizer cannot elide or vectorize away, modelling
+// "time spent inside/outside the critical section".
+
+#ifndef TAOS_SRC_WORKLOAD_WORK_H_
+#define TAOS_SRC_WORKLOAD_WORK_H_
+
+#include <cstdint>
+
+namespace taos::workload {
+
+// Defined out of line and never inlined, so the loop survives -O2.
+std::uint64_t DoWork(std::uint64_t units);
+
+}  // namespace taos::workload
+
+#endif  // TAOS_SRC_WORKLOAD_WORK_H_

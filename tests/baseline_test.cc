@@ -1,0 +1,247 @@
+// Baselines: Hoare monitor semantics, the naive condition's valid uses,
+// ticket lock, std wrappers.
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/baseline/handoff_mutex.h"
+#include "src/baseline/hoare_monitor.h"
+#include "src/baseline/naive_condition.h"
+#include "src/baseline/std_sync.h"
+#include "src/baseline/ticket_lock.h"
+#include "src/threads/threads.h"
+
+namespace taos::baseline {
+namespace {
+
+TEST(HoareMonitorTest, EnterExitExcludes) {
+  HoareMonitor mon;
+  std::int64_t counter = 0;
+  std::vector<Thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.push_back(Thread::Fork([&] {
+      for (int i = 0; i < 1000; ++i) {
+        mon.Enter();
+        ++counter;
+        mon.Exit();
+      }
+    }));
+  }
+  for (Thread& t : threads) {
+    t.Join();
+  }
+  EXPECT_EQ(counter, 4000);
+}
+
+TEST(HoareMonitorTest, SignalHandsPredicateDirectly) {
+  // The Hoare guarantee: the waiter observes exactly the state the
+  // signaller established — no third thread can slip in between.
+  HoareMonitor mon;
+  HoareMonitor::Condition ready(mon);
+  int value = 0;
+  std::atomic<bool> guarantee_held{true};
+
+  Thread waiter = Thread::Fork([&] {
+    mon.Enter();
+    if (value == 0) {
+      ready.Wait();
+    }
+    if (value != 42) {  // must be exactly what the signaller wrote
+      guarantee_held.store(false);
+    }
+    value = 0;
+    mon.Exit();
+  });
+  // A saboteur that would invalidate the predicate if it could get between
+  // signal and resume (under Mesa semantics it often can).
+  std::atomic<bool> stop{false};
+  Thread saboteur = Thread::Fork([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      mon.Enter();
+      if (value == 42) {
+        value = 41;
+      }
+      mon.Exit();
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  mon.Enter();
+  value = 42;
+  ready.Signal();  // hands the monitor straight to the waiter
+  mon.Exit();
+  waiter.Join();
+  stop.store(true, std::memory_order_release);
+  saboteur.Join();
+  EXPECT_TRUE(guarantee_held.load());
+}
+
+TEST(HoareMonitorTest, SignalWithNoWaiterIsANoOp) {
+  HoareMonitor mon;
+  HoareMonitor::Condition c(mon);
+  mon.Enter();
+  c.Signal();  // nobody waiting: must not store a wakeup
+  mon.Exit();
+  // A later waiter must actually wait (not consume a phantom signal).
+  std::atomic<bool> woke{false};
+  Thread waiter = Thread::Fork([&] {
+    mon.Enter();
+    c.Wait();
+    woke.store(true);
+    mon.Exit();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(woke.load());
+  mon.Enter();
+  c.Signal();
+  mon.Exit();
+  waiter.Join();
+  EXPECT_TRUE(woke.load());
+}
+
+TEST(NaiveConditionTest, SignalWorksForOneWaiter) {
+  Mutex m;
+  NaiveCondition c;
+  bool flag = false;
+  Thread waiter = Thread::Fork([&] {
+    m.Acquire();
+    while (!flag) {
+      c.Wait(m);
+    }
+    m.Release();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  m.Acquire();
+  flag = true;
+  m.Release();
+  c.Signal();
+  waiter.Join();
+}
+
+TEST(NaiveConditionTest, SignalBeforeWaitIsStored) {
+  // A known semantic difference from real condition variables: the
+  // semaphore remembers one V. (Harmless under predicate-loop usage, and
+  // part of why the types are not interchangeable.)
+  Mutex m;
+  NaiveCondition c;
+  c.Signal();  // stored in the semaphore bit
+  bool flag = true;
+  m.Acquire();
+  if (!flag) {
+    c.Wait(m);
+  }
+  m.Release();
+}
+
+TEST(TicketLockTest, FifoExclusion) {
+  TicketSpinMutex lock;
+  std::int64_t counter = 0;
+  std::vector<Thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.push_back(Thread::Fork([&] {
+      for (int i = 0; i < 5000; ++i) {
+        lock.Acquire();
+        ++counter;
+        lock.Release();
+      }
+    }));
+  }
+  for (Thread& t : threads) {
+    t.Join();
+  }
+  EXPECT_EQ(counter, 20000);
+}
+
+TEST(HandoffMutexTest, MutualExclusionUnderContention) {
+  HandoffMutex lock;
+  std::int64_t counter = 0;
+  std::vector<Thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.push_back(Thread::Fork([&] {
+      for (int i = 0; i < 3000; ++i) {
+        lock.Acquire();
+        ++counter;
+        lock.Release();
+      }
+    }));
+  }
+  for (Thread& t : threads) {
+    t.Join();
+  }
+  EXPECT_EQ(counter, 12000);
+}
+
+TEST(HandoffMutexTest, ReleaseHandsToTheParkedWaiterFirst) {
+  // The anti-barging property: once a waiter is queued, the releasing
+  // thread cannot immediately retake the mutex — ownership transfers.
+  HandoffMutex lock;
+  lock.Acquire();
+  std::atomic<int> order{0};
+  std::atomic<int> waiter_turn{0};
+  Thread waiter = Thread::Fork([&] {
+    lock.Acquire();
+    waiter_turn.store(order.fetch_add(1) + 1);
+    lock.Release();
+  });
+  // Wait until the waiter is actually queued.
+  while (lock.WaitersForDebug() == 0) {
+    std::this_thread::yield();
+  }
+  lock.Release();
+  lock.Acquire();  // must queue *behind* the handed-off waiter
+  const int my_turn = order.fetch_add(1) + 1;
+  lock.Release();
+  waiter.Join();
+  EXPECT_EQ(waiter_turn.load(), 1);
+  EXPECT_EQ(my_turn, 2);
+}
+
+TEST(HandoffMutexTest, HolderTracked) {
+  HandoffMutex lock;
+  lock.Acquire();
+  EXPECT_EQ(lock.HolderForDebug(), Thread::Self().id());
+  lock.Release();
+  EXPECT_EQ(lock.HolderForDebug(), spec::kNil);
+}
+
+TEST(StdSemaphoreTest, VIdempotentLikeTaos) {
+  StdSemaphore s;
+  s.V();
+  s.V();
+  s.P();  // one token only
+  std::atomic<bool> resumed{false};
+  Thread w = Thread::Fork([&] {
+    s.P();
+    resumed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(resumed.load());
+  s.V();
+  w.Join();
+  EXPECT_TRUE(resumed.load());
+}
+
+TEST(StdSyncTest, ConditionWrapperRoundTrip) {
+  StdMutex m;
+  StdCondition c;
+  bool flag = false;
+  Thread waiter = Thread::Fork([&] {
+    m.Acquire();
+    while (!flag) {
+      c.Wait(m);
+    }
+    m.Release();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  m.Acquire();
+  flag = true;
+  m.Release();
+  c.Signal();
+  waiter.Join();
+}
+
+}  // namespace
+}  // namespace taos::baseline

@@ -1,0 +1,185 @@
+// Priority scheduling on the simulated Firefly: strict priority dispatch,
+// the classic priority-inversion scenario, and the priority-inheritance
+// mutex extension that cures it.
+//
+// The paper: "The Threads package also includes facilities for affecting
+// the assignment of threads to real processors (for example, a simple
+// priority scheme), but our specification is independent of these
+// facilities." Inversion is exactly the kind of behaviour that lives
+// outside the synchronization spec yet matters to systems built on it.
+
+#include <gtest/gtest.h>
+
+#include "src/firefly/sync.h"
+#include "src/spec/checker.h"
+
+namespace taos::firefly {
+namespace {
+
+// One processor; L (low) takes the mutex, then forks H (high), which blocks
+// on the mutex, and M (medium), which just computes. Without priority
+// inheritance M runs to completion before L can release — H's acquisition
+// is delayed by an unrelated medium thread. With inheritance L is boosted
+// past M and H gets the mutex promptly.
+struct InversionResult {
+  bool completed = false;
+  std::uint64_t h_acquired_at_step = 0;
+  std::uint64_t total_steps = 0;
+};
+
+InversionResult RunInversionScenario(bool priority_inheritance,
+                                     std::uint64_t m_work) {
+  MachineConfig cfg;
+  cfg.cpus = 1;
+  cfg.time_slice = 5;
+  cfg.seed = 1;
+  Machine machine(cfg);
+  Mutex mu(machine);
+  mu.set_priority_inheritance(priority_inheritance);
+
+  InversionResult result;
+  machine.Fork(
+      [&] {
+        mu.Acquire();
+        // Holding the mutex, L forks its rivals.
+        machine.Fork(
+            [&] {
+              mu.Acquire();
+              result.h_acquired_at_step = machine.steps();
+              mu.Release();
+            },
+            /*priority=*/5, "H");
+        machine.Fork(
+            [&, m_work] {
+              for (std::uint64_t i = 0; i < m_work; ++i) {
+                machine.Step();
+              }
+            },
+            /*priority=*/2, "M");
+        for (int i = 0; i < 40; ++i) {
+          machine.Step();  // L's critical section
+        }
+        mu.Release();
+      },
+      /*priority=*/0, "L");
+
+  RunResult r = machine.Run();
+  result.completed = r.completed;
+  result.total_steps = r.steps;
+  return result;
+}
+
+TEST(PriorityTest, InversionDelaysTheHighPriorityThread) {
+  constexpr std::uint64_t kMWork = 3000;
+  InversionResult r = RunInversionScenario(false, kMWork);
+  ASSERT_TRUE(r.completed);
+  // H could not acquire until M's entire compute finished.
+  EXPECT_GT(r.h_acquired_at_step, kMWork);
+}
+
+TEST(PriorityTest, InheritanceCuresTheInversion) {
+  constexpr std::uint64_t kMWork = 3000;
+  InversionResult without = RunInversionScenario(false, kMWork);
+  InversionResult with = RunInversionScenario(true, kMWork);
+  ASSERT_TRUE(without.completed);
+  ASSERT_TRUE(with.completed);
+  // With inheritance, H acquires long before M's compute could finish.
+  EXPECT_LT(with.h_acquired_at_step, kMWork / 2);
+  EXPECT_LT(with.h_acquired_at_step * 3, without.h_acquired_at_step)
+      << "without: " << without.h_acquired_at_step
+      << " with: " << with.h_acquired_at_step;
+}
+
+TEST(PriorityTest, InheritanceRestoresBasePriorityAfterRelease) {
+  MachineConfig cfg;
+  cfg.cpus = 2;
+  Machine machine(cfg);
+  Mutex mu(machine);
+  mu.set_priority_inheritance(true);
+  int observed_priority_during = -1;
+  int observed_priority_after = -1;
+  FiberHandle low = machine.Fork(
+      [&] {
+        mu.Acquire();
+        for (int i = 0; i < 60; ++i) {
+          machine.Step();  // give H time to block and boost us
+        }
+        observed_priority_during = Machine::Self()->priority;
+        mu.Release();
+        observed_priority_after = Machine::Self()->priority;
+      },
+      /*priority=*/1, "low");
+  machine.Fork(
+      [&] {
+        mu.Acquire();
+        mu.Release();
+      },
+      /*priority=*/6, "high");
+  ASSERT_TRUE(machine.Run().completed);
+  EXPECT_EQ(observed_priority_during, 6);  // boosted
+  EXPECT_EQ(observed_priority_after, 1);   // restored
+  EXPECT_EQ(low.fiber->base_priority, 1);
+}
+
+TEST(PriorityTest, StrictPriorityStarvesLowWithoutBlocking) {
+  // Documentation of the scheduler's (deliberate) strictness: a ready
+  // higher-priority fiber always runs first; low priority work only
+  // proceeds when no higher is runnable.
+  MachineConfig cfg;
+  cfg.cpus = 1;
+  cfg.time_slice = 3;
+  Machine machine(cfg);
+  std::string order;
+  machine.Fork(
+      [&] {
+        for (int i = 0; i < 5; ++i) {
+          machine.Step();
+        }
+        order += "low;";
+      },
+      /*priority=*/0, "low");
+  machine.Fork(
+      [&] {
+        for (int i = 0; i < 30; ++i) {
+          machine.Step();
+        }
+        order += "high;";
+      },
+      /*priority=*/7, "high");
+  ASSERT_TRUE(machine.Run().completed);
+  EXPECT_EQ(order, "high;low;");
+}
+
+TEST(PriorityTest, TracedInversionScenarioConforms) {
+  // The priority extension must not disturb the synchronization semantics.
+  spec::Trace trace;
+  MachineConfig cfg;
+  cfg.cpus = 1;
+  cfg.time_slice = 5;
+  cfg.trace = &trace;
+  Machine machine(cfg);
+  Mutex mu(machine);
+  mu.set_priority_inheritance(true);
+  machine.Fork(
+      [&] {
+        mu.Acquire();
+        machine.Fork(
+            [&] {
+              mu.Acquire();
+              mu.Release();
+            },
+            5, "H");
+        for (int i = 0; i < 20; ++i) {
+          machine.Step();
+        }
+        mu.Release();
+      },
+      0, "L");
+  ASSERT_TRUE(machine.Run().completed);
+  spec::TraceChecker checker;
+  spec::CheckResult r = checker.CheckTrace(trace);
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+}  // namespace
+}  // namespace taos::firefly

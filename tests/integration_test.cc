@@ -1,0 +1,159 @@
+// Cross-component integration: the derived components (pool, barrier,
+// rwlock, monitor, timeout) composed in one program, the way an application
+// on the Threads package would use them.
+
+#include <atomic>
+#include <chrono>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/threads/threads.h"
+#include "src/workload/monitor.h"
+#include "src/workload/rwlock.h"
+#include "src/workload/thread_pool.h"
+#include "src/workload/timeout.h"
+
+namespace taos {
+namespace {
+
+TEST(IntegrationTest, PoolFedPipelineWithBarrierPhases) {
+  // Phase 1: N pool tasks each contribute partial sums into a Monitor.
+  // Phase 2 (after a barrier among outside threads): read the result under
+  // an RWLock while a writer updates a version stamp.
+  constexpr int kTasks = 24;
+  workload::ThreadPool pool(3, 8);
+  workload::Monitor<long> total(0);
+  for (int i = 1; i <= kTasks; ++i) {
+    ASSERT_TRUE(pool.Submit([&total, i] {
+      total.With([i](auto& access) {
+        *access += i;
+        return 0;
+      });
+    }));
+  }
+  pool.Shutdown();
+  EXPECT_EQ(total.Read([](const long& v) { return v; }),
+            kTasks * (kTasks + 1) / 2);
+
+  workload::Barrier barrier(3);
+  workload::RWLock<Mutex, Condition> lock;
+  long value = kTasks * (kTasks + 1) / 2;  // guarded by lock
+  std::atomic<int> good_reads{0};
+  std::vector<Thread> threads;
+  for (int r = 0; r < 2; ++r) {
+    threads.push_back(Thread::Fork([&] {
+      barrier.ArriveAndWait();
+      for (int i = 0; i < 200; ++i) {
+        lock.AcquireRead();
+        if (value % 2 == 0 || value % 2 == 1) {  // always true: just touch
+          good_reads.fetch_add(1, std::memory_order_relaxed);
+        }
+        lock.ReleaseRead();
+      }
+    }));
+  }
+  threads.push_back(Thread::Fork([&] {
+    barrier.ArriveAndWait();
+    for (int i = 0; i < 50; ++i) {
+      lock.AcquireWrite();
+      ++value;
+      lock.ReleaseWrite();
+    }
+  }));
+  for (Thread& t : threads) {
+    t.Join();
+  }
+  EXPECT_EQ(good_reads.load(), 400);
+  EXPECT_EQ(value, kTasks * (kTasks + 1) / 2 + 50);
+}
+
+TEST(IntegrationTest, TimeoutAgainstABusyPool) {
+  // A caller waits on a condition a pool task will satisfy — once a slow
+  // task ahead of it drains. The deadline is generous: it must succeed.
+  workload::ThreadPool pool(1, 4);
+  Mutex m;
+  Condition c;
+  bool done = false;
+  ASSERT_TRUE(pool.Submit([] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }));
+  ASSERT_TRUE(pool.Submit([&] {
+    {
+      Lock lock(m);
+      done = true;
+    }
+    c.Signal();
+  }));
+  m.Acquire();
+  const bool ok = workload::WaitWithTimeout(
+      m, c, [&done] { return done; }, std::chrono::milliseconds(5000));
+  m.Release();
+  EXPECT_TRUE(ok);
+  pool.Shutdown();
+}
+
+TEST(IntegrationTest, CancelledPoolLeavesPrimitivesReusable) {
+  Mutex m;
+  Condition c;
+  {
+    workload::ThreadPool pool(2, 4);
+    // Workers idle in AlertWait on the pool's own condition; cancel them.
+    pool.Cancel();
+  }
+  // The global Nub and fresh primitives are unaffected.
+  bool flag = false;
+  Thread t = Thread::Fork([&] {
+    Lock lock(m);
+    while (!flag) {
+      c.Wait(m);
+    }
+  });
+  {
+    Lock lock(m);
+    flag = true;
+  }
+  c.Signal();
+  t.Join();
+}
+
+TEST(IntegrationTest, EverythingAtOnceStress) {
+  // All derived components active simultaneously for a short burst.
+  workload::ThreadPool pool(2, 8);
+  workload::Monitor<long> counter(0);
+  workload::Barrier barrier(2);
+  workload::RWLock<Mutex, Condition> lock;
+  std::atomic<long> reads{0};
+
+  Thread reader = Thread::Fork([&] {
+    barrier.ArriveAndWait();
+    for (int i = 0; i < 300; ++i) {
+      lock.AcquireRead();
+      reads.fetch_add(1, std::memory_order_relaxed);
+      lock.ReleaseRead();
+    }
+  });
+  Thread writer = Thread::Fork([&] {
+    barrier.ArriveAndWait();
+    for (int i = 0; i < 100; ++i) {
+      lock.AcquireWrite();
+      lock.ReleaseWrite();
+    }
+  });
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(pool.Submit([&counter] {
+      counter.With([](auto& access) {
+        ++*access;
+        return 0;
+      });
+    }));
+  }
+  reader.Join();
+  writer.Join();
+  pool.Shutdown();
+  EXPECT_EQ(counter.Read([](const long& v) { return v; }), 50);
+  EXPECT_EQ(reads.load(), 300);
+}
+
+}  // namespace
+}  // namespace taos

@@ -1,0 +1,67 @@
+// Conformance fuzzing (E12 at scale): random programs × random schedules,
+// every serialization checked against the executable specification.
+
+#include "src/model/fuzz.h"
+
+#include <gtest/gtest.h>
+
+namespace taos::model {
+namespace {
+
+class FuzzSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzSweep, RandomProgramsConformUnderRandomSchedules) {
+  ExplorerOptions opts;
+  opts.machine.cpus = 3;
+  opts.check_traces = true;
+  Explorer ex(opts);
+  ExplorationResult r =
+      ex.ExploreRandom(FuzzProgramLitmus(GetParam()), /*runs=*/300,
+                       /*base_seed=*/GetParam() * 1000 + 1);
+  EXPECT_EQ(r.violations, 0u) << r.ToString();
+  EXPECT_EQ(r.runs, 300u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Model, FuzzSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(FuzzTest, DfsOnATinyProgramIsCleanToo) {
+  FuzzShape shape;
+  shape.fibers = 2;
+  shape.ops_per_fiber = 3;
+  shape.mutexes = 1;
+  shape.conditions = 1;
+  shape.semaphores = 1;
+  ExplorerOptions opts;
+  opts.machine.cpus = 2;
+  opts.check_traces = true;
+  opts.max_runs = 5'000;
+  Explorer ex(opts);
+  ExplorationResult r = ex.Explore(FuzzProgramLitmus(99, shape));
+  EXPECT_EQ(r.violations, 0u) << r.ToString();
+}
+
+TEST(FuzzTest, TimeSlicedSchedulesConformToo) {
+  ExplorerOptions opts;
+  opts.machine.cpus = 2;
+  opts.machine.time_slice = 7;  // preemption mixed into the schedules
+  opts.check_traces = true;
+  Explorer ex(opts);
+  ExplorationResult r = ex.ExploreRandom(FuzzProgramLitmus(21), 300, 77);
+  EXPECT_EQ(r.violations, 0u) << r.ToString();
+}
+
+TEST(FuzzTest, ProgramsAreDeterministicPerSeed) {
+  // Same seed + same schedule => same outcome; different seeds differ in
+  // step counts somewhere across a handful of schedules.
+  ExplorerOptions opts;
+  opts.machine.cpus = 2;
+  Explorer ex(opts);
+  ExplorationResult a1 = ex.ExploreRandom(FuzzProgramLitmus(5), 20, 1);
+  ExplorationResult a2 = ex.ExploreRandom(FuzzProgramLitmus(5), 20, 1);
+  EXPECT_EQ(a1.completions, a2.completions);
+  EXPECT_EQ(a1.deadlocks, a2.deadlocks);
+}
+
+}  // namespace
+}  // namespace taos::model

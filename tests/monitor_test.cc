@@ -1,0 +1,137 @@
+// Monitor<T>: the automatic-signal monitor wrapper.
+
+#include "src/workload/monitor.h"
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/threads/threads.h"
+
+namespace taos::workload {
+namespace {
+
+TEST(MonitorTest, WithMutatesAndReturns) {
+  Monitor<int> counter(10);
+  const int after = counter.With([](auto& access) {
+    *access += 5;
+    return *access;
+  });
+  EXPECT_EQ(after, 15);
+  EXPECT_EQ(counter.Read([](const int& v) { return v; }), 15);
+}
+
+TEST(MonitorTest, ConstructorForwardsArguments) {
+  Monitor<std::string> s(5, 'x');
+  EXPECT_EQ(s.Read([](const std::string& v) { return v; }), "xxxxx");
+}
+
+TEST(MonitorTest, AwaitBlocksUntilPredicate) {
+  Monitor<int> value(0);
+  std::atomic<bool> resumed{false};
+  Thread waiter = Thread::Fork([&] {
+    value.When([](const int& v) { return v >= 3; },
+               [&](auto& access) {
+                 resumed.store(true);
+                 return *access;
+               });
+  });
+  for (int i = 0; i < 2; ++i) {
+    value.With([](auto& access) { ++*access; });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(resumed.load());
+  value.With([](auto& access) { ++*access; });  // reaches 3
+  waiter.Join();
+  EXPECT_TRUE(resumed.load());
+}
+
+TEST(MonitorTest, ExceptionReleasesAndBroadcasts) {
+  Monitor<int> value(0);
+  // A waiter that depends on the broadcast the throwing entry must emit.
+  Thread waiter = Thread::Fork([&] {
+    value.When([](const int& v) { return v == 1; },
+               [](auto&) { return 0; });
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  try {
+    value.With([](auto& access) {
+      *access = 1;
+      throw std::runtime_error("boom");
+    });
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error&) {
+  }
+  waiter.Join();  // saw v==1: the broadcast happened despite the exception
+  // And the monitor is not left locked:
+  EXPECT_EQ(value.Read([](const int& v) { return v; }), 1);
+}
+
+TEST(MonitorTest, QueueBetweenThreads) {
+  Monitor<std::deque<int>> queue;
+  constexpr int kItems = 2000;
+  Thread producer = Thread::Fork([&] {
+    for (int i = 1; i <= kItems; ++i) {
+      queue.With([i](auto& access) { access->push_back(i); });
+    }
+  });
+  long sum = 0;
+  for (int i = 0; i < kItems; ++i) {
+    sum += queue.When(
+        [](const std::deque<int>& q) { return !q.empty(); },
+        [](auto& access) {
+          const int v = access->front();
+          access->pop_front();
+          return v;
+        });
+  }
+  producer.Join();
+  EXPECT_EQ(sum, static_cast<long>(kItems) * (kItems + 1) / 2);
+  EXPECT_TRUE(queue.Read([](const std::deque<int>& q) { return q.empty(); }));
+}
+
+TEST(MonitorTest, ManyWaitersAllReleased) {
+  Monitor<int> gate(0);
+  constexpr int kWaiters = 6;
+  std::atomic<int> through{0};
+  std::vector<Thread> waiters;
+  for (int i = 0; i < kWaiters; ++i) {
+    waiters.push_back(Thread::Fork([&] {
+      gate.When([](const int& v) { return v != 0; },
+                [&](auto&) {
+                  through.fetch_add(1);
+                  return 0;
+                });
+    }));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  gate.With([](auto& access) { *access = 1; });  // one write frees all
+  for (Thread& t : waiters) {
+    t.Join();
+  }
+  EXPECT_EQ(through.load(), kWaiters);
+}
+
+TEST(MonitorTest, ContentionCounterExact) {
+  Monitor<long> counter(0);
+  constexpr int kThreads = 6;
+  constexpr int kIters = 3000;
+  std::vector<Thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.push_back(Thread::Fork([&] {
+      for (int i = 0; i < kIters; ++i) {
+        counter.With([](auto& access) { ++*access; });
+      }
+    }));
+  }
+  for (Thread& t : threads) {
+    t.Join();
+  }
+  EXPECT_EQ(counter.Read([](const long& v) { return v; }),
+            static_cast<long>(kThreads) * kIters);
+}
+
+}  // namespace
+}  // namespace taos::workload

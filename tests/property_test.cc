@@ -1,0 +1,199 @@
+// Randomized property tests: data-structure models and spec-level laws,
+// swept over seeds with parameterized gtest.
+
+#include <deque>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/base/intrusive_queue.h"
+#include "src/base/xorshift.h"
+#include "src/spec/enumerate.h"
+#include "src/spec/semantics.h"
+
+namespace taos {
+namespace {
+
+// --- IntrusiveQueue vs a std::deque model -------------------------------
+
+struct Node {
+  QueueNode queue_node;
+  int tag = 0;
+};
+
+class QueueModelSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(QueueModelSweep, MatchesDequeModel) {
+  XorShift rng(GetParam());
+  constexpr int kNodes = 32;
+  Node nodes[kNodes];
+  for (int i = 0; i < kNodes; ++i) {
+    nodes[i].tag = i;
+  }
+  IntrusiveQueue<Node> queue;
+  std::deque<int> model;
+
+  for (int step = 0; step < 4000; ++step) {
+    const std::uint32_t op = rng.Below(100);
+    if (op < 45) {  // push a random unqueued node
+      const int i = static_cast<int>(rng.Below(kNodes));
+      if (!nodes[i].queue_node.InQueue()) {
+        queue.PushBack(&nodes[i]);
+        model.push_back(i);
+      }
+    } else if (op < 80) {  // pop front
+      Node* n = queue.PopFront();
+      if (model.empty()) {
+        ASSERT_EQ(n, nullptr);
+      } else {
+        ASSERT_NE(n, nullptr);
+        ASSERT_EQ(n->tag, model.front());
+        model.pop_front();
+      }
+    } else if (op < 95) {  // remove a random queued node
+      if (!model.empty()) {
+        const std::size_t k = rng.Below(static_cast<std::uint32_t>(model.size()));
+        const int tag = model[k];
+        queue.Remove(&nodes[tag]);
+        model.erase(model.begin() + static_cast<std::ptrdiff_t>(k));
+      }
+    } else {  // full structural comparison
+      ASSERT_EQ(queue.Size(), model.size());
+      std::size_t idx = 0;
+      queue.ForEach([&](Node* n) {
+        ASSERT_LT(idx, model.size());
+        ASSERT_EQ(n->tag, model[idx]);
+        ++idx;
+      });
+      if (!model.empty()) {
+        ASSERT_EQ(queue.Front()->tag, model.front());
+      }
+    }
+    ASSERT_EQ(queue.Empty(), model.empty());
+  }
+  while (queue.PopFront() != nullptr) {
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Property, QueueModelSweep,
+                         ::testing::Values(1, 7, 42, 1234, 9999, 31337));
+
+// --- ThreadSet algebra ----------------------------------------------------
+
+class SetLawSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+spec::ThreadSet RandomSet(XorShift& rng, int max_elems) {
+  spec::ThreadSet s;
+  const int n = static_cast<int>(rng.Below(static_cast<std::uint32_t>(max_elems + 1)));
+  for (int i = 0; i < n; ++i) {
+    s = s.Insert(rng.Below(10) + 1);
+  }
+  return s;
+}
+
+TEST_P(SetLawSweep, AlgebraicLaws) {
+  XorShift rng(GetParam());
+  for (int round = 0; round < 500; ++round) {
+    spec::ThreadSet a = RandomSet(rng, 6);
+    spec::ThreadSet b = RandomSet(rng, 6);
+    const spec::ThreadId t = rng.Below(10) + 1;
+
+    // insert/delete laws
+    EXPECT_TRUE(a.Insert(t).Contains(t));
+    EXPECT_FALSE(a.Delete(t).Contains(t));
+    EXPECT_EQ(a.Insert(t).Insert(t), a.Insert(t));
+    EXPECT_EQ(a.Insert(t).Delete(t), a.Delete(t));
+
+    // union/minus laws
+    EXPECT_EQ(a.Union(b), b.Union(a));
+    EXPECT_TRUE(a.SubsetOf(a.Union(b)));
+    EXPECT_TRUE(a.Minus(b).SubsetOf(a));
+    EXPECT_EQ(a.Minus(b).Union(a), a);
+    EXPECT_TRUE(a.Minus(a).Empty());
+
+    // subset laws
+    EXPECT_TRUE(a.SubsetOf(a));
+    EXPECT_FALSE(a.ProperSubsetOf(a));
+    if (a.ProperSubsetOf(b)) {
+      EXPECT_LT(a.Size(), b.Size());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Property, SetLawSweep,
+                         ::testing::Values(3, 17, 2024));
+
+// --- Spec laws: random walks through the world graph ----------------------
+
+class SpecWalkSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SpecWalkSweep, ApplyAndCheckAgreeAlongRandomWalks) {
+  // Every successor the enumerator produces must also pass the two-state
+  // Check (including the MODIFIES AT MOST frame), and the canonical
+  // invariants must hold at every visited state (corrected semantics).
+  spec::Universe u;
+  u.threads = {1, 2, 3};
+  u.mutexes = {1};
+  u.conditions = {2};
+  u.semaphores = {3};
+  spec::SpecEnumerator enumerator(u);
+  spec::Semantics semantics;
+
+  XorShift rng(GetParam());
+  spec::WorldState world;
+  for (int step = 0; step < 400; ++step) {
+    auto succ = enumerator.Successors(world);
+    if (succ.empty()) {
+      break;  // cannot happen from reachable states, but be safe
+    }
+    const auto& [action, next] =
+        succ[rng.Below(static_cast<std::uint32_t>(succ.size()))];
+    spec::Verdict v = semantics.Check(world.state, action, next.state);
+    ASSERT_TRUE(v.Ok()) << v.message << " for " << action.ToString()
+                        << " at " << world.ToString();
+    ASSERT_EQ(spec::NoGhostMembers(next), "");
+    ASSERT_EQ(spec::HolderNotBlocked(next), "");
+    world = next;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Property, SpecWalkSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 13));
+
+TEST(SpecLawTest, BroadcastAlwaysSatisfiesSignalEverywhereReachable) {
+  // "Any implementation that satisfies Broadcast's specification also
+  // satisfies Signal's" — checked at every reachable spec state.
+  spec::Universe u;
+  u.threads = {1, 2};
+  u.mutexes = {1};
+  u.conditions = {2};
+  u.semaphores = {3};
+  spec::SpecEnumerator enumerator(u);
+  spec::Semantics semantics;
+  auto invariant = [&](const spec::WorldState& w) -> std::string {
+    for (spec::ThreadId t : u.threads) {
+      if (w.Blocked(t)) {
+        continue;
+      }
+      const spec::ThreadSet& members = w.state.Condition(2);
+      spec::SpecState post;
+      spec::Verdict bv = semantics.Apply(
+          w.state, spec::MakeBroadcast(t, 2, members), &post);
+      if (!bv.Ok()) {
+        return "Broadcast not applicable: " + bv.message;
+      }
+      spec::Verdict sv =
+          semantics.Check(w.state, spec::MakeSignal(t, 2, members), post);
+      if (!sv.Ok()) {
+        return "Broadcast outcome rejected by Signal's spec: " + sv.message;
+      }
+    }
+    return "";
+  };
+  spec::SpecExploreResult r = enumerator.Explore(invariant);
+  EXPECT_TRUE(r.complete);
+  EXPECT_TRUE(r.invariant_ok) << r.ToString();
+}
+
+}  // namespace
+}  // namespace taos

@@ -1,0 +1,188 @@
+// The Reed-Kanodia eventcount/sequencer discipline ([Reed 77], the paper's
+// source for the condition variable's eventcount).
+
+#include "src/baseline/reed_kanodia.h"
+
+#include <atomic>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/threads/threads.h"
+
+namespace taos::baseline {
+namespace {
+
+TEST(EventCountRKTest, AwaitPastValueReturnsImmediately) {
+  WaitableEventCount ec;
+  ec.Await(0);  // trivially satisfied
+  ec.Advance();
+  ec.Advance();
+  ec.Await(1);
+  ec.Await(2);
+  EXPECT_EQ(ec.Read(), 2u);
+}
+
+TEST(EventCountRKTest, AwaitBlocksUntilAdvance) {
+  WaitableEventCount ec;
+  std::atomic<bool> resumed{false};
+  Thread waiter = Thread::Fork([&] {
+    ec.Await(3);
+    resumed.store(true, std::memory_order_release);
+  });
+  ec.Advance();
+  ec.Advance();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(resumed.load(std::memory_order_acquire));
+  ec.Advance();  // reaches 3
+  waiter.Join();
+  EXPECT_TRUE(resumed.load(std::memory_order_acquire));
+}
+
+TEST(EventCountRKTest, ManyAwaitersDifferentThresholds) {
+  WaitableEventCount ec;
+  constexpr int kWaiters = 6;
+  std::atomic<int> resumed{0};
+  std::vector<Thread> waiters;
+  for (int i = 1; i <= kWaiters; ++i) {
+    waiters.push_back(Thread::Fork([&ec, &resumed, i] {
+      ec.Await(static_cast<std::uint64_t>(i));
+      resumed.fetch_add(1, std::memory_order_relaxed);
+    }));
+  }
+  for (int i = 0; i < kWaiters; ++i) {
+    ec.Advance();  // each advance satisfies exactly one more threshold
+  }
+  for (Thread& w : waiters) {
+    w.Join();
+  }
+  EXPECT_EQ(resumed.load(), kWaiters);
+}
+
+TEST(SequencerTest, TicketsDenseAndUnique) {
+  Sequencer seq;
+  constexpr int kThreads = 6;
+  constexpr int kEach = 3000;
+  std::vector<std::uint8_t> seen(kThreads * kEach, 0);
+  std::vector<Thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.push_back(Thread::Fork([&] {
+      for (int i = 0; i < kEach; ++i) {
+        const Sequencer::Ticket ticket = seq.NextTicket();
+        ASSERT_LT(ticket, seen.size());
+        seen[ticket] = 1;  // each slot written exactly once across threads
+      }
+    }));
+  }
+  for (Thread& t : threads) {
+    t.Join();
+  }
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i], 1) << "ticket " << i;
+  }
+}
+
+TEST(EventcountMutexTest, MutualExclusion) {
+  EventcountMutex lock;
+  std::int64_t counter = 0;
+  std::vector<Thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.push_back(Thread::Fork([&] {
+      for (int i = 0; i < 2000; ++i) {
+        lock.Acquire();
+        ++counter;
+        lock.Release();
+      }
+    }));
+  }
+  for (Thread& t : threads) {
+    t.Join();
+  }
+  EXPECT_EQ(counter, 8000);
+}
+
+TEST(EventcountMutexTest, StrictFifoOrder) {
+  // Tickets order the critical sections exactly: with the lock held, queue
+  // up three threads and observe them enter in ticket order.
+  EventcountMutex lock;
+  lock.Acquire();
+  std::vector<int> order;
+  Mutex order_m;
+  std::vector<Thread> threads;
+  std::atomic<int> started{0};
+  for (int i = 0; i < 3; ++i) {
+    threads.push_back(Thread::Fork([&, i] {
+      started.fetch_add(1);
+      lock.Acquire();
+      {
+        Lock g(order_m);
+        order.push_back(i);
+      }
+      lock.Release();
+    }));
+    // Serialize ticket acquisition: wait until thread i has started (its
+    // first action is taking a ticket inside Acquire).
+    while (started.load() <= i) {
+      std::this_thread::yield();
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  lock.Release();
+  for (Thread& t : threads) {
+    t.Join();
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(RKBufferTest, SingleProducerSingleConsumerExact) {
+  RKBoundedBuffer buffer(4);
+  constexpr std::uint64_t kItems = 20000;
+  std::uint64_t sum = 0;
+  Thread producer = Thread::Fork([&] {
+    for (std::uint64_t i = 1; i <= kItems; ++i) {
+      buffer.Put(i);
+    }
+  });
+  for (std::uint64_t i = 0; i < kItems; ++i) {
+    sum += buffer.Get();
+  }
+  producer.Join();
+  EXPECT_EQ(sum, kItems * (kItems + 1) / 2);
+}
+
+TEST(RKBufferTest, PreservesFifoOrder) {
+  RKBoundedBuffer buffer(2);
+  Thread producer = Thread::Fork([&] {
+    for (std::uint64_t i = 1; i <= 500; ++i) {
+      buffer.Put(i);
+    }
+  });
+  for (std::uint64_t i = 1; i <= 500; ++i) {
+    ASSERT_EQ(buffer.Get(), i);
+  }
+  producer.Join();
+}
+
+class RKBufferCapacitySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RKBufferCapacitySweep, DeliversEverything) {
+  RKBoundedBuffer buffer(static_cast<std::size_t>(GetParam()));
+  constexpr std::uint64_t kItems = 3000;
+  std::uint64_t sum = 0;
+  Thread producer = Thread::Fork([&] {
+    for (std::uint64_t i = 1; i <= kItems; ++i) {
+      buffer.Put(i);
+    }
+  });
+  for (std::uint64_t i = 0; i < kItems; ++i) {
+    sum += buffer.Get();
+  }
+  producer.Join();
+  EXPECT_EQ(sum, kItems * (kItems + 1) / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Baseline, RKBufferCapacitySweep,
+                         ::testing::Values(1, 2, 3, 8, 64));
+
+}  // namespace
+}  // namespace taos::baseline

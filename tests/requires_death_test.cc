@@ -1,0 +1,59 @@
+// The REQUIRES clauses are caller obligations; this library (unlike the
+// paper's implementation, which trusted callers) checks them and panics.
+// Death tests pin down that misuse is caught, not silently corrupting.
+
+#include <gtest/gtest.h>
+
+#include "src/threads/threads.h"
+
+namespace taos {
+namespace {
+
+using RequiresDeathTest = ::testing::Test;
+
+TEST(RequiresDeathTest, ReleaseWithoutAcquirePanics) {
+  Mutex m;
+  EXPECT_DEATH(m.Release(), "check failed");
+}
+
+TEST(RequiresDeathTest, ReleaseByNonHolderPanics) {
+  EXPECT_DEATH(
+      {
+        Mutex m;
+        m.Acquire();
+        Thread other = Thread::Fork([&m] { m.Release(); });
+        other.Join();
+      },
+      "check failed");
+}
+
+TEST(RequiresDeathTest, WaitWithoutMutexPanics) {
+  Mutex m;
+  Condition c;
+  EXPECT_DEATH(c.Wait(m), "check failed");
+}
+
+TEST(RequiresDeathTest, AlertWaitWithoutMutexPanics) {
+  Mutex m;
+  Condition c;
+  EXPECT_DEATH(AlertWait(m, c), "check failed");
+}
+
+TEST(RequiresDeathTest, WaitWithSomeoneElsesMutexPanics) {
+  EXPECT_DEATH(
+      {
+        Mutex m;
+        Condition c;
+        m.Acquire();
+        Thread other = Thread::Fork([&] { c.Wait(m); });
+        other.Join();
+      },
+      "check failed");
+}
+
+TEST(RequiresDeathTest, AlertNullHandlePanics) {
+  EXPECT_DEATH(Alert(ThreadHandle{}), "check failed");
+}
+
+}  // namespace
+}  // namespace taos

@@ -1,0 +1,361 @@
+// Trace checker: replaying serialized action sequences against the spec —
+// including the paper's two famous specification incidents:
+//
+//  E9  — the original AlertWait spec (UNCHANGED [c] on the Alerted path)
+//        accepts a trace in which a departed thread absorbs a Signal, so no
+//        blocked thread wakes (Greg Nelson's operational argument);
+//  E10 — the released AlertP spec's deliberate RETURNS/RAISES overlap.
+
+#include "src/spec/checker.h"
+
+#include <gtest/gtest.h>
+
+namespace taos::spec {
+namespace {
+
+constexpr ThreadId kT1 = 1;
+constexpr ThreadId kT2 = 2;
+constexpr ThreadId kT3 = 3;
+constexpr ObjId kM = 1;
+constexpr ObjId kC = 2;
+constexpr ObjId kS = 3;
+
+TEST(CheckerTest, AcceptsSimpleLockUnlockTrace) {
+  TraceChecker checker;
+  std::vector<Action> trace = {
+      MakeAcquire(kT1, kM),
+      MakeRelease(kT1, kM),
+      MakeAcquire(kT2, kM),
+      MakeRelease(kT2, kM),
+  };
+  CheckResult r = checker.CheckTrace(trace);
+  EXPECT_TRUE(r.ok) << r.message;
+  EXPECT_EQ(r.actions_checked, 4u);
+}
+
+TEST(CheckerTest, RejectsDoubleAcquire) {
+  TraceChecker checker;
+  std::vector<Action> trace = {
+      MakeAcquire(kT1, kM),
+      MakeAcquire(kT2, kM),  // WHEN m = NIL violated
+  };
+  CheckResult r = checker.CheckTrace(trace);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.failed_index, 1u);
+  EXPECT_NE(r.message.find("WHEN"), std::string::npos);
+}
+
+TEST(CheckerTest, RejectsReleaseByNonHolder) {
+  TraceChecker checker;
+  std::vector<Action> trace = {
+      MakeAcquire(kT1, kM),
+      MakeRelease(kT2, kM),  // REQUIRES m = SELF violated
+  };
+  CheckResult r = checker.CheckTrace(trace);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.message.find("REQUIRES"), std::string::npos);
+}
+
+TEST(CheckerTest, AcceptsFullWaitSignalRound) {
+  TraceChecker checker;
+  std::vector<Action> trace = {
+      MakeAcquire(kT1, kM),
+      MakeEnqueue(kT1, kM, kC),                  // Wait part 1
+      MakeAcquire(kT2, kM),
+      MakeRelease(kT2, kM),
+      MakeSignal(kT2, kC, ThreadSet{kT1}),       // removes t1
+      MakeResume(kT1, kM, kC),                   // Wait part 2
+      MakeRelease(kT1, kM),
+  };
+  CheckResult r = checker.CheckTrace(trace);
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(CheckerTest, RejectsResumeWithoutSignal) {
+  TraceChecker checker;
+  std::vector<Action> trace = {
+      MakeAcquire(kT1, kM),
+      MakeEnqueue(kT1, kM, kC),
+      MakeResume(kT1, kM, kC),  // still in c: WHEN (SELF NOT-IN c) fails
+  };
+  CheckResult r = checker.CheckTrace(trace);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.failed_index, 2u);
+}
+
+TEST(CheckerTest, CompositionOfForbidsActionsBetweenEnqueueAndResume) {
+  TraceChecker checker;
+  std::vector<Action> trace = {
+      MakeAcquire(kT1, kM),
+      MakeEnqueue(kT1, kM, kC),
+      MakeSignal(kT2, kC, ThreadSet{kT1}),
+      MakeP(kT1, kS),  // t1 may not act before its Resume
+  };
+  CheckResult r = checker.CheckTrace(trace);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.message.find("COMPOSITION"), std::string::npos);
+}
+
+TEST(CheckerTest, OtherThreadsInterleaveFreelyInsideWait) {
+  TraceChecker checker;
+  std::vector<Action> trace = {
+      MakeAcquire(kT1, kM),
+      MakeEnqueue(kT1, kM, kC),
+      MakeP(kT2, kS),
+      MakeV(kT2, kS),
+      MakeAlert(kT3, kT2),
+      MakeSignal(kT2, kC, ThreadSet{kT1}),
+      MakeResume(kT1, kM, kC),
+      MakeRelease(kT1, kM),
+  };
+  CheckResult r = checker.CheckTrace(trace);
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(CheckerTest, SignalAbsorbedByWindowThreadCountsAsMultiRemoval) {
+  // Two waiters enqueue; one Signal removes both (queue pop + window
+  // absorb); both Resume.
+  TraceChecker checker;
+  std::vector<Action> trace = {
+      MakeAcquire(kT1, kM),
+      MakeEnqueue(kT1, kM, kC),
+      MakeAcquire(kT2, kM),
+      MakeEnqueue(kT2, kM, kC),
+      MakeSignal(kT3, kC, ThreadSet{kT1, kT2}),
+      MakeResume(kT1, kM, kC),
+      MakeRelease(kT1, kM),
+      MakeResume(kT2, kM, kC),
+      MakeRelease(kT2, kM),
+  };
+  CheckResult r = checker.CheckTrace(trace);
+  EXPECT_TRUE(r.ok) << r.message;
+  EXPECT_EQ(r.signals_removing_many, 1u);
+}
+
+TEST(CheckerTest, SemaphoreAndAlertRound) {
+  TraceChecker checker;
+  std::vector<Action> trace = {
+      MakeP(kT1, kS),
+      MakeAlert(kT2, kT1),
+      MakeV(kT1, kS),
+      MakeTestAlert(kT1, true),
+      MakeTestAlert(kT1, false),
+      MakeAlertPReturns(kT1, kS),
+      MakeV(kT1, kS),
+      MakeAlert(kT2, kT1),
+      MakeAlertPRaises(kT1, kS),
+  };
+  CheckResult r = checker.CheckTrace(trace);
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+// ---------------------------------------------------------------------------
+// E9: the original AlertWait specification bug.
+// ---------------------------------------------------------------------------
+
+// Nelson's operational argument as a trace: thread t1 is in c, raises
+// Alerted, and — under the buggy spec — stays in c. A later Signal then
+// "removes" t1, so no blocked thread is awakened by that Signal: t2 stays
+// in c forever even though a Signal was delivered while it waited.
+std::vector<Action> NelsonAnomalyTrace() {
+  return {
+      MakeAcquire(kT1, kM),
+      MakeAlertEnqueue(kT1, kM, kC),       // t1 waits alertably
+      MakeAcquire(kT2, kM),
+      MakeEnqueue(kT2, kM, kC),            // t2 waits too
+      MakeAlert(kT3, kT1),
+      MakeAlertResumeRaises(kT1, kM, kC),  // t1 leaves with Alerted...
+      MakeRelease(kT1, kM),
+      // ...but (buggy spec) t1 is still a member of c, so this Signal may
+      // choose to remove t1 — and no blocked thread is unblocked:
+      MakeSignal(kT3, kC, ThreadSet{kT1}),
+  };
+}
+
+TEST(CheckerTest, BuggySpecAcceptsTheLostSignalAnomaly) {
+  TraceChecker buggy(SpecConfig{AlertWaitVariant::kOriginalBuggy,
+                                AlertChoicePolicy::kNondeterministic});
+  CheckResult r = buggy.CheckTrace(NelsonAnomalyTrace());
+  EXPECT_TRUE(r.ok) << r.message;
+  // After the "successful" Signal, t2 is still in c: the signal achieved
+  // nothing — the anomaly the spec was not supposed to allow.
+  EXPECT_TRUE(r.final_state.Condition(kC).Contains(kT2));
+  EXPECT_FALSE(r.final_state.Condition(kC).Contains(kT1));
+}
+
+TEST(CheckerTest, CorrectedSpecRejectsTheLostSignalAnomaly) {
+  TraceChecker corrected;  // default: AlertWaitVariant::kCorrected
+  CheckResult r = corrected.CheckTrace(NelsonAnomalyTrace());
+  ASSERT_FALSE(r.ok);
+  // Under the corrected spec, t1 left c at its AlertResume, so the final
+  // Signal claiming to remove t1 resolves nondeterminism inconsistently.
+  EXPECT_EQ(r.failed_index, 7u);
+}
+
+TEST(CheckerTest, BuggySpecLeavesGhostThreadsInC) {
+  // The corrected behaviour: t1's raise removes it from c; the Signal then
+  // removes (and wakes) t2.
+  std::vector<Action> trace = {
+      MakeAcquire(kT1, kM),
+      MakeAlertEnqueue(kT1, kM, kC),
+      MakeAcquire(kT2, kM),
+      MakeEnqueue(kT2, kM, kC),
+      MakeAlert(kT3, kT1),
+      MakeAlertResumeRaises(kT1, kM, kC),
+      MakeRelease(kT1, kM),
+      MakeSignal(kT3, kC, ThreadSet{kT2}),
+      MakeResume(kT2, kM, kC),
+      MakeRelease(kT2, kM),
+  };
+  TraceChecker corrected;
+  CheckResult r = corrected.CheckTrace(trace);
+  EXPECT_TRUE(r.ok) << r.message;
+  EXPECT_TRUE(r.final_state.Condition(kC).Empty());
+
+  // The buggy spec also accepts this trace — but its state model keeps the
+  // departed t1 as a ghost member of c: "c could contain threads that were
+  // no longer blocked on the condition variable."
+  TraceChecker buggy(SpecConfig{AlertWaitVariant::kOriginalBuggy,
+                                AlertChoicePolicy::kNondeterministic});
+  CheckResult rb = buggy.CheckTrace(trace);
+  EXPECT_TRUE(rb.ok) << rb.message;
+  EXPECT_TRUE(rb.final_state.Condition(kC).Contains(kT1));
+}
+
+// ---------------------------------------------------------------------------
+// E10: the pre-release deterministic AlertP variant.
+// ---------------------------------------------------------------------------
+
+TEST(CheckerTest, PreferAlertedPolicyRejectsNormalReturnUnderAlert) {
+  std::vector<Action> trace = {
+      MakeAlert(kT2, kT1),
+      MakeAlertPReturns(kT1, kS),  // returns although alerted
+  };
+  TraceChecker released;  // nondeterministic: fine
+  EXPECT_TRUE(released.CheckTrace(trace).ok);
+
+  TraceChecker prerelease(SpecConfig{AlertWaitVariant::kCorrected,
+                                     AlertChoicePolicy::kPreferAlerted});
+  CheckResult r = prerelease.CheckTrace(trace);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.message.find("policy"), std::string::npos);
+}
+
+TEST(CheckerTest, BroadcastMustRemoveEveryone) {
+  TraceChecker checker;
+  std::vector<Action> trace = {
+      MakeAcquire(kT1, kM),
+      MakeEnqueue(kT1, kM, kC),
+      MakeAcquire(kT2, kM),
+      MakeEnqueue(kT2, kM, kC),
+      MakeBroadcast(kT3, kC, ThreadSet{kT1}),  // left t2 behind
+  };
+  CheckResult r = checker.CheckTrace(trace);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.failed_index, 4u);
+  EXPECT_NE(r.message.find("cpost = {}"), std::string::npos);
+}
+
+TEST(CheckerTest, SignalRemovedSetMustBeMembers) {
+  TraceChecker checker;
+  std::vector<Action> trace = {
+      MakeAcquire(kT1, kM),
+      MakeEnqueue(kT1, kM, kC),
+      MakeSignal(kT2, kC, ThreadSet{kT3}),  // t3 never enqueued
+  };
+  CheckResult r = checker.CheckTrace(trace);
+  EXPECT_FALSE(r.ok);
+  // Either clause catches it: the bogus removal leaves c unchanged
+  // (ENSURES) and is not a subset of c (recorded-choice validation).
+  EXPECT_NE(r.message.find("SUBSET"), std::string::npos) << r.message;
+}
+
+TEST(CheckerTest, TestAlertResultMustBeHonest) {
+  TraceChecker checker;
+  std::vector<Action> trace = {
+      MakeTestAlert(kT1, true),  // no alert was pending
+  };
+  CheckResult r = checker.CheckTrace(trace);
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(CheckerTest, PMustWaitForAvailability) {
+  TraceChecker checker;
+  std::vector<Action> trace = {
+      MakeP(kT1, kS),
+      MakeP(kT2, kS),  // taken: WHEN s = available fails
+  };
+  CheckResult r = checker.CheckTrace(trace);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.failed_index, 1u);
+}
+
+TEST(CheckerTest, VRestoresAvailability) {
+  TraceChecker checker;
+  std::vector<Action> trace = {
+      MakeP(kT1, kS),
+      MakeV(kT2, kS),  // V by a different thread: no REQUIRES on V
+      MakeP(kT2, kS),
+  };
+  EXPECT_TRUE(checker.CheckTrace(trace).ok);
+}
+
+TEST(CheckerTest, WaitOnTwoConditionsInterleaved) {
+  // Two independent conditions: composition tracking must keep them apart.
+  constexpr ObjId kC2 = 9;
+  TraceChecker checker;
+  std::vector<Action> trace = {
+      MakeAcquire(kT1, kM),
+      MakeEnqueue(kT1, kM, kC),
+      MakeAcquire(kT2, kM),
+      MakeEnqueue(kT2, kM, kC2),
+      MakeSignal(kT3, kC, ThreadSet{kT1}),
+      MakeSignal(kT3, kC2, ThreadSet{kT2}),
+      MakeResume(kT2, kM, kC2),
+      MakeRelease(kT2, kM),
+      MakeResume(kT1, kM, kC),
+      MakeRelease(kT1, kM),
+  };
+  CheckResult r = checker.CheckTrace(trace);
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(CheckerTest, ResumeOnWrongConditionViolatesComposition) {
+  constexpr ObjId kC2 = 9;
+  TraceChecker checker;
+  std::vector<Action> trace = {
+      MakeAcquire(kT1, kM),
+      MakeEnqueue(kT1, kM, kC),
+      MakeSignal(kT3, kC, ThreadSet{kT1}),
+      MakeResume(kT1, kM, kC2),  // wrong condition
+  };
+  CheckResult r = checker.CheckTrace(trace);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.message.find("COMPOSITION"), std::string::npos);
+}
+
+TEST(CheckerTest, ActionToStringsAreReadable) {
+  EXPECT_EQ(MakeAcquire(kT1, kM).ToString(), "t1:Acquire(m1)");
+  EXPECT_EQ(MakeRelease(kT2, kM).ToString(), "t2:Release(m1)");
+  EXPECT_EQ(MakeEnqueue(kT1, kM, kC).ToString(), "t1:Enqueue(m1, c2)");
+  EXPECT_EQ(MakeSignal(kT1, kC, ThreadSet{kT2}).ToString(),
+            "t1:Signal(c2) removed={t2}");
+  EXPECT_EQ(MakeP(kT1, kS).ToString(), "t1:P(s3)");
+  EXPECT_EQ(MakeAlert(kT1, kT2).ToString(), "t1:Alert(t2)");
+  EXPECT_EQ(MakeTestAlert(kT1, true).ToString(), "t1:TestAlert() = true");
+  EXPECT_EQ(MakeAlertPRaises(kT1, kS).ToString(), "t1:AlertP/RAISES(s3)");
+  EXPECT_EQ(MakeAlertResumeReturns(kT1, kM, kC).ToString(),
+            "t1:AlertWait.Resume/RETURNS(m1, c2)");
+}
+
+TEST(CheckerTest, InitialStateParameterRespected) {
+  SpecState initial;
+  initial.SetSemaphore(kS, SemState::kUnavailable);
+  TraceChecker checker;
+  std::vector<Action> trace = {MakeP(kT1, kS)};
+  EXPECT_FALSE(checker.CheckTrace(trace, initial).ok);  // WHEN fails
+  EXPECT_TRUE(checker.CheckTrace(trace).ok);            // INITIALLY available
+}
+
+}  // namespace
+}  // namespace taos::spec

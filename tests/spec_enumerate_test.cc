@@ -1,0 +1,178 @@
+// Exhaustive exploration of the specification's own state space (E9
+// systematically): invariants over every reachable state, for both the
+// corrected and the originally released AlertWait semantics.
+
+#include "src/spec/enumerate.h"
+
+#include <gtest/gtest.h>
+
+namespace taos::spec {
+namespace {
+
+Universe SmallUniverse(int threads) {
+  Universe u;
+  for (int t = 1; t <= threads; ++t) {
+    u.threads.push_back(static_cast<ThreadId>(t));
+  }
+  u.mutexes = {1};
+  u.conditions = {2};
+  u.semaphores = {3};
+  return u;
+}
+
+TEST(SpecEnumerateTest, InitialSuccessorsAreTheExpectedMenu) {
+  SpecEnumerator e(SmallUniverse(1));
+  WorldState init;
+  auto succ = e.Successors(init);
+  // Thread 1, everything idle: Acquire, Signal({}), Broadcast({}), P, V,
+  // AlertPReturns, Alert(self), TestAlert(false). Release/Enqueue need the
+  // mutex; AlertPRaises needs a pending alert; Resume needs a pending wait.
+  std::set<ActionKind> kinds;
+  for (const auto& [a, w] : succ) {
+    kinds.insert(a.kind);
+  }
+  EXPECT_TRUE(kinds.count(ActionKind::kAcquire));
+  EXPECT_TRUE(kinds.count(ActionKind::kSignal));
+  EXPECT_TRUE(kinds.count(ActionKind::kBroadcast));
+  EXPECT_TRUE(kinds.count(ActionKind::kP));
+  EXPECT_TRUE(kinds.count(ActionKind::kV));
+  EXPECT_TRUE(kinds.count(ActionKind::kAlertPReturns));
+  EXPECT_TRUE(kinds.count(ActionKind::kAlert));
+  EXPECT_TRUE(kinds.count(ActionKind::kTestAlert));
+  EXPECT_FALSE(kinds.count(ActionKind::kRelease));
+  EXPECT_FALSE(kinds.count(ActionKind::kEnqueue));
+  EXPECT_FALSE(kinds.count(ActionKind::kResume));
+  EXPECT_FALSE(kinds.count(ActionKind::kAlertPRaises));
+}
+
+TEST(SpecEnumerateTest, PendingThreadMayOnlyResume) {
+  SpecEnumerator e(SmallUniverse(1));
+  WorldState w;
+  w.state.SetCondition(2, ThreadSet{1});
+  w.pending[1] = {PendingWait::Kind::kWait, 1, 2};
+  auto succ = e.Successors(w);
+  // Still a member of c: Resume's WHEN (SELF NOT-IN c) blocks it, and
+  // COMPOSITION OF forbids everything else — the thread is stuck until
+  // some other thread signals. With one thread: no successors at all.
+  EXPECT_TRUE(succ.empty());
+
+  // After a signal removed it, exactly the Resume is possible.
+  WorldState w2 = w;
+  w2.state.SetCondition(2, ThreadSet{});
+  auto succ2 = e.Successors(w2);
+  ASSERT_EQ(succ2.size(), 1u);
+  EXPECT_EQ(succ2[0].first.kind, ActionKind::kResume);
+}
+
+TEST(SpecEnumerateTest, AlertResumeOffersBothOutcomesWhenBothEnabled) {
+  SpecEnumerator nondet(SmallUniverse(1));
+  WorldState w;
+  w.state.alerts = ThreadSet{1};
+  w.state.SetCondition(2, ThreadSet{});  // signalled away: RETURNS enabled
+  w.pending[1] = {PendingWait::Kind::kAlertWait, 1, 2};
+  auto succ = nondet.Successors(w);
+  std::set<ActionKind> kinds;
+  for (const auto& [a, s] : succ) {
+    kinds.insert(a.kind);
+  }
+  EXPECT_TRUE(kinds.count(ActionKind::kAlertResumeReturns));
+  EXPECT_TRUE(kinds.count(ActionKind::kAlertResumeRaises));
+
+  // The pre-release policy forbids the normal return when alerted.
+  SpecEnumerator strict(SmallUniverse(1),
+                        SpecConfig{AlertWaitVariant::kCorrected,
+                                   AlertChoicePolicy::kPreferAlerted});
+  auto strict_succ = strict.Successors(w);
+  std::set<ActionKind> strict_kinds;
+  for (const auto& [a, s] : strict_succ) {
+    strict_kinds.insert(a.kind);
+  }
+  EXPECT_FALSE(strict_kinds.count(ActionKind::kAlertResumeReturns));
+  EXPECT_TRUE(strict_kinds.count(ActionKind::kAlertResumeRaises));
+}
+
+TEST(SpecEnumerateTest, CorrectedSpecHasNoGhostsTwoThreads) {
+  SpecEnumerator e(SmallUniverse(2));
+  SpecExploreResult r = e.Explore(NoGhostMembers);
+  EXPECT_TRUE(r.complete) << r.ToString();
+  EXPECT_TRUE(r.invariant_ok) << r.ToString();
+  EXPECT_GT(r.states, 100u);
+}
+
+TEST(SpecEnumerateTest, CorrectedSpecHasNoGhostsThreeThreads) {
+  SpecEnumerator e(SmallUniverse(3));
+  SpecExploreResult r = e.Explore(NoGhostMembers);
+  EXPECT_TRUE(r.complete) << r.ToString();
+  EXPECT_TRUE(r.invariant_ok) << r.ToString();
+  EXPECT_GT(r.states, 1000u);
+}
+
+TEST(SpecEnumerateTest, BuggySpecReachesGhostStates) {
+  SpecEnumerator e(SmallUniverse(2),
+                   SpecConfig{AlertWaitVariant::kOriginalBuggy,
+                              AlertChoicePolicy::kNondeterministic});
+  SpecExploreResult r = e.Explore(NoGhostMembers);
+  EXPECT_FALSE(r.invariant_ok) << r.ToString();
+  EXPECT_NE(r.violation.find("ghost"), std::string::npos) << r.violation;
+  // The ghost state: some thread is in c with no pending wait — exactly
+  // "c could contain threads that were no longer blocked on the condition
+  // variable" (the paper's description of the bug).
+  bool found_ghost = false;
+  for (const auto& [cid, members] : r.bad_state.state.conditions) {
+    for (ThreadId t : members.elements()) {
+      if (!r.bad_state.Blocked(t)) {
+        found_ghost = true;
+      }
+    }
+  }
+  EXPECT_TRUE(found_ghost);
+}
+
+TEST(SpecEnumerateTest, HolderNeverBlockedEitherVariant) {
+  for (AlertWaitVariant variant :
+       {AlertWaitVariant::kCorrected, AlertWaitVariant::kOriginalBuggy}) {
+    SpecEnumerator e(SmallUniverse(2),
+                     SpecConfig{variant,
+                                AlertChoicePolicy::kNondeterministic});
+    SpecExploreResult r = e.Explore(HolderNotBlocked);
+    EXPECT_TRUE(r.complete) << r.ToString();
+    EXPECT_TRUE(r.invariant_ok) << r.ToString();
+  }
+}
+
+TEST(SpecEnumerateTest, StateCountsDifferAcrossVariants) {
+  // The buggy spec's ghosts enlarge the reachable space.
+  SpecEnumerator corrected(SmallUniverse(2));
+  SpecEnumerator buggy(SmallUniverse(2),
+                       SpecConfig{AlertWaitVariant::kOriginalBuggy,
+                                  AlertChoicePolicy::kNondeterministic});
+  auto always_ok = [](const WorldState&) { return std::string(); };
+  SpecExploreResult rc = corrected.Explore(always_ok);
+  SpecExploreResult rb = buggy.Explore(always_ok);
+  EXPECT_TRUE(rc.complete);
+  EXPECT_TRUE(rb.complete);
+  EXPECT_GT(rb.states, rc.states)
+      << "corrected: " << rc.ToString() << " buggy: " << rb.ToString();
+}
+
+TEST(SpecEnumerateTest, KeyIsCanonical) {
+  WorldState a;
+  a.state.SetMutex(1, 5);
+  a.state.SetMutex(1, kNil);  // touch and restore
+  WorldState b;
+  EXPECT_EQ(a.Key(), b.Key());
+
+  a.pending[3] = {};  // an explicit kNone is not encoded
+  EXPECT_EQ(a.Key(), b.Key());
+}
+
+TEST(SpecEnumerateTest, ExplorationRespectsBound) {
+  SpecEnumerator e(SmallUniverse(3));
+  auto always_ok = [](const WorldState&) { return std::string(); };
+  SpecExploreResult r = e.Explore(always_ok, /*max_states=*/50);
+  EXPECT_FALSE(r.complete);
+  EXPECT_EQ(r.states, 50u);
+}
+
+}  // namespace
+}  // namespace taos::spec

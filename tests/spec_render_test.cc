@@ -1,0 +1,61 @@
+// The rendered specification document must track the semantics variants.
+
+#include "src/spec/render.h"
+
+#include <gtest/gtest.h>
+
+namespace taos::spec {
+namespace {
+
+TEST(RenderTest, FullDocumentContainsEveryProcedure) {
+  const std::string doc = RenderSpecification();
+  for (const char* proc :
+       {"Acquire", "Release", "Wait", "Signal", "Broadcast", "P(", "V(",
+        "Alert(t", "TestAlert", "AlertP", "AlertWait"}) {
+    EXPECT_NE(doc.find(proc), std::string::npos) << proc;
+  }
+  for (const char* keyword :
+       {"REQUIRES", "WHEN", "ENSURES", "MODIFIES AT MOST", "COMPOSITION OF",
+        "INITIALLY", "RAISES"}) {
+    EXPECT_NE(doc.find(keyword), std::string::npos) << keyword;
+  }
+}
+
+TEST(RenderTest, CorrectedVariantDeletesFromC) {
+  const std::string doc = RenderSpecification(
+      SpecConfig{AlertWaitVariant::kCorrected,
+                 AlertChoicePolicy::kNondeterministic});
+  EXPECT_NE(doc.find("c_post = delete(c, SELF)"), std::string::npos);
+  EXPECT_EQ(doc.find("Greg Nelson"), std::string::npos);
+}
+
+TEST(RenderTest, BuggyVariantSaysUnchangedC) {
+  const std::string doc = RenderSpecification(
+      SpecConfig{AlertWaitVariant::kOriginalBuggy,
+                 AlertChoicePolicy::kNondeterministic});
+  // The AlertResume RAISES clause keeps c unchanged — the published error.
+  EXPECT_NE(doc.find("UNCHANGED [ c ]\n  -- ORIGINAL RELEASED SPEC"),
+            std::string::npos);
+  EXPECT_NE(doc.find("Greg Nelson"), std::string::npos);
+}
+
+TEST(RenderTest, AlertPolicyRendered) {
+  const std::string nondet = RenderSpecification();
+  EXPECT_NE(nondet.find("may choose either outcome"), std::string::npos);
+
+  const std::string strict = RenderSpecification(
+      SpecConfig{AlertWaitVariant::kCorrected,
+                 AlertChoicePolicy::kPreferAlerted});
+  EXPECT_NE(strict.find("MUST be raised"), std::string::npos);
+}
+
+TEST(RenderTest, SignalClauseIsTheWeakOne) {
+  // The paper: "the weakness of the guarantee is explicit in Signal's
+  // ENSURES clause."
+  const std::string doc = RenderConditionSection();
+  EXPECT_NE(doc.find("(c_post = {}) | (c_post PROPER-SUBSET-OF c)"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace taos::spec

@@ -1,0 +1,422 @@
+// The executable specification: every action's REQUIRES / WHEN / ENSURES /
+// MODIFIES AT MOST clauses, evaluated on explicit pre/post state pairs.
+
+#include "src/spec/semantics.h"
+
+#include <gtest/gtest.h>
+
+namespace taos::spec {
+namespace {
+
+constexpr ThreadId kT1 = 1;
+constexpr ThreadId kT2 = 2;
+constexpr ThreadId kT3 = 3;
+constexpr ObjId kM = 10;
+constexpr ObjId kC = 20;
+constexpr ObjId kS = 30;
+
+class SemanticsTest : public ::testing::Test {
+ protected:
+  Semantics sem_;
+};
+
+// --- Acquire / Release ---
+
+TEST_F(SemanticsTest, AcquireTakesNilMutex) {
+  SpecState pre;  // m = NIL
+  SpecState post = pre;
+  post.SetMutex(kM, kT1);
+  EXPECT_TRUE(sem_.Check(pre, MakeAcquire(kT1, kM), post).Ok());
+}
+
+TEST_F(SemanticsTest, AcquireDisabledWhenHeld) {
+  SpecState pre;
+  pre.SetMutex(kM, kT2);
+  EXPECT_FALSE(sem_.Enabled(pre, MakeAcquire(kT1, kM)));
+  SpecState post = pre;
+  post.SetMutex(kM, kT1);
+  Verdict v = sem_.Check(pre, MakeAcquire(kT1, kM), post);
+  EXPECT_FALSE(v.when_ok);
+}
+
+TEST_F(SemanticsTest, AcquireMustSetSelf) {
+  SpecState pre;
+  SpecState post = pre;
+  post.SetMutex(kM, kT2);  // wrong thread
+  Verdict v = sem_.Check(pre, MakeAcquire(kT1, kM), post);
+  EXPECT_FALSE(v.ensures_ok);
+}
+
+TEST_F(SemanticsTest, ReleaseRequiresHolder) {
+  SpecState pre;
+  pre.SetMutex(kM, kT2);
+  SpecState post;  // m = NIL
+  Verdict v = sem_.Check(pre, MakeRelease(kT1, kM), post);
+  EXPECT_FALSE(v.requires_ok);  // caller violated REQUIRES m = SELF
+  EXPECT_TRUE(v.ensures_ok);
+}
+
+TEST_F(SemanticsTest, ReleaseSetsNil) {
+  SpecState pre;
+  pre.SetMutex(kM, kT1);
+  SpecState post;
+  EXPECT_TRUE(sem_.Check(pre, MakeRelease(kT1, kM), post).Ok());
+}
+
+TEST_F(SemanticsTest, FrameViolationOtherMutexTouched) {
+  SpecState pre;
+  pre.SetMutex(kM + 1, kT3);
+  SpecState post = pre;
+  post.SetMutex(kM, kT1);
+  post.SetMutex(kM + 1, spec::kNil);  // not allowed: MODIFIES AT MOST [m]
+  Verdict v = sem_.Check(pre, MakeAcquire(kT1, kM), post);
+  EXPECT_FALSE(v.frame_ok);
+}
+
+TEST_F(SemanticsTest, FrameViolationAlertsTouchedByAcquire) {
+  SpecState pre;
+  SpecState post = pre;
+  post.SetMutex(kM, kT1);
+  post.alerts = post.alerts.Insert(kT2);
+  Verdict v = sem_.Check(pre, MakeAcquire(kT1, kM), post);
+  EXPECT_FALSE(v.frame_ok);
+}
+
+// --- Wait = Enqueue; Resume ---
+
+TEST_F(SemanticsTest, EnqueueInsertsAndReleases) {
+  SpecState pre;
+  pre.SetMutex(kM, kT1);
+  SpecState post;
+  post.SetCondition(kC, ThreadSet{kT1});
+  EXPECT_TRUE(sem_.Check(pre, MakeEnqueue(kT1, kM, kC), post).Ok());
+}
+
+TEST_F(SemanticsTest, EnqueueRequiresMutexHeld) {
+  SpecState pre;  // m = NIL: caller broke REQUIRES
+  SpecState post;
+  post.SetCondition(kC, ThreadSet{kT1});
+  Verdict v = sem_.Check(pre, MakeEnqueue(kT1, kM, kC), post);
+  EXPECT_FALSE(v.requires_ok);
+}
+
+TEST_F(SemanticsTest, ResumeNeedsRemovalFromC) {
+  SpecState pre;
+  pre.SetCondition(kC, ThreadSet{kT1});  // still a member: not signalled
+  EXPECT_FALSE(sem_.Enabled(pre, MakeResume(kT1, kM, kC)));
+
+  SpecState pre2;  // removed by a Signal
+  EXPECT_TRUE(sem_.Enabled(pre2, MakeResume(kT1, kM, kC)));
+}
+
+TEST_F(SemanticsTest, ResumeNeedsMutexFree) {
+  SpecState pre;
+  pre.SetMutex(kM, kT2);
+  EXPECT_FALSE(sem_.Enabled(pre, MakeResume(kT1, kM, kC)));
+}
+
+TEST_F(SemanticsTest, ResumeLeavesCUnchanged) {
+  SpecState pre;
+  pre.SetCondition(kC, ThreadSet{kT2});
+  SpecState post = pre;
+  post.SetMutex(kM, kT1);
+  EXPECT_TRUE(sem_.Check(pre, MakeResume(kT1, kM, kC), post).Ok());
+
+  SpecState bad = post;
+  bad.SetCondition(kC, ThreadSet{});  // Resume may not empty c
+  EXPECT_FALSE(sem_.Check(pre, MakeResume(kT1, kM, kC), bad).ensures_ok);
+}
+
+// --- Signal / Broadcast ---
+
+TEST_F(SemanticsTest, SignalMustRemoveAtLeastOneFromNonEmpty) {
+  SpecState pre;
+  pre.SetCondition(kC, ThreadSet{kT1, kT2});
+  // No-op Signal: cpost = c is neither {} nor a proper subset.
+  Verdict v = sem_.Check(pre, MakeSignal(kT3, kC, {}), pre);
+  EXPECT_FALSE(v.ensures_ok);
+}
+
+TEST_F(SemanticsTest, SignalMayRemoveOneOrSeveralOrAll) {
+  SpecState pre;
+  pre.SetCondition(kC, ThreadSet{kT1, kT2, kT3});
+  for (const ThreadSet& removed :
+       {ThreadSet{kT1}, ThreadSet{kT1, kT2}, ThreadSet{kT1, kT2, kT3}}) {
+    SpecState post = pre;
+    post.SetCondition(kC, pre.Condition(kC).Minus(removed));
+    EXPECT_TRUE(sem_.Check(pre, MakeSignal(kT1, kC, removed), post).Ok())
+        << removed.ToString();
+  }
+}
+
+TEST_F(SemanticsTest, SignalOnEmptyConditionIsANoOp) {
+  SpecState pre;
+  EXPECT_TRUE(sem_.Check(pre, MakeSignal(kT1, kC, {}), pre).Ok());
+}
+
+TEST_F(SemanticsTest, SignalMayNotAddThreads) {
+  SpecState pre;
+  pre.SetCondition(kC, ThreadSet{kT1});
+  SpecState post = pre;
+  post.SetCondition(kC, ThreadSet{kT1, kT2});
+  EXPECT_FALSE(sem_.Check(pre, MakeSignal(kT3, kC, {}), post).ensures_ok);
+}
+
+TEST_F(SemanticsTest, BroadcastEmptiesC) {
+  SpecState pre;
+  pre.SetCondition(kC, ThreadSet{kT1, kT2, kT3});
+  SpecState post;
+  EXPECT_TRUE(
+      sem_.Check(pre, MakeBroadcast(kT1, kC, pre.Condition(kC)), post).Ok());
+  // Leaving anyone behind violates cpost = {}.
+  SpecState bad;
+  bad.SetCondition(kC, ThreadSet{kT2});
+  EXPECT_FALSE(
+      sem_.Check(pre, MakeBroadcast(kT1, kC, {}), bad).ensures_ok);
+}
+
+TEST_F(SemanticsTest, EveryBroadcastSatisfiesSignalsSpec) {
+  // "Any implementation that satisfies Broadcast's specification also
+  // satisfies Signal's."
+  SpecState pre;
+  pre.SetCondition(kC, ThreadSet{kT1, kT2});
+  SpecState post;  // broadcast outcome: c = {}
+  EXPECT_TRUE(
+      sem_.Check(pre, MakeSignal(kT3, kC, pre.Condition(kC)), post).Ok());
+}
+
+// --- P / V ---
+
+TEST_F(SemanticsTest, PWhenAvailable) {
+  SpecState pre;  // INITIALLY available
+  EXPECT_TRUE(sem_.Enabled(pre, MakeP(kT1, kS)));
+  SpecState post;
+  post.SetSemaphore(kS, SemState::kUnavailable);
+  EXPECT_TRUE(sem_.Check(pre, MakeP(kT1, kS), post).Ok());
+}
+
+TEST_F(SemanticsTest, PDisabledWhenUnavailable) {
+  SpecState pre;
+  pre.SetSemaphore(kS, SemState::kUnavailable);
+  EXPECT_FALSE(sem_.Enabled(pre, MakeP(kT1, kS)));
+}
+
+TEST_F(SemanticsTest, VAlwaysEnabledNoPrecondition) {
+  SpecState pre;
+  EXPECT_TRUE(sem_.Enabled(pre, MakeV(kT1, kS)));
+  SpecState post;  // available either way
+  EXPECT_TRUE(sem_.Check(pre, MakeV(kT1, kS), post).Ok());
+  pre.SetSemaphore(kS, SemState::kUnavailable);
+  EXPECT_TRUE(sem_.Check(pre, MakeV(kT1, kS), post).Ok());
+}
+
+// --- Alerts ---
+
+TEST_F(SemanticsTest, AlertInsertsTarget) {
+  SpecState pre;
+  SpecState post;
+  post.alerts = ThreadSet{kT2};
+  EXPECT_TRUE(sem_.Check(pre, MakeAlert(kT1, kT2), post).Ok());
+  // Idempotent insert.
+  EXPECT_TRUE(sem_.Check(post, MakeAlert(kT3, kT2), post).Ok());
+}
+
+TEST_F(SemanticsTest, TestAlertResultMustMatchMembership) {
+  SpecState pre;
+  pre.alerts = ThreadSet{kT1};
+  SpecState post;  // cleared
+  EXPECT_TRUE(sem_.Check(pre, MakeTestAlert(kT1, true), post).Ok());
+  EXPECT_FALSE(sem_.Check(pre, MakeTestAlert(kT1, false), post).ensures_ok);
+
+  SpecState none;
+  EXPECT_TRUE(sem_.Check(none, MakeTestAlert(kT1, false), none).Ok());
+  EXPECT_FALSE(sem_.Check(none, MakeTestAlert(kT1, true), none).ensures_ok);
+}
+
+TEST_F(SemanticsTest, AlertPReturnsLeavesAlerts) {
+  SpecState pre;
+  pre.alerts = ThreadSet{kT1};  // both WHEN clauses hold
+  SpecState post = pre;
+  post.SetSemaphore(kS, SemState::kUnavailable);
+  EXPECT_TRUE(sem_.Check(pre, MakeAlertPReturns(kT1, kS), post).Ok());
+}
+
+TEST_F(SemanticsTest, AlertPRaisesLeavesSemaphore) {
+  SpecState pre;
+  pre.alerts = ThreadSet{kT1};
+  pre.SetSemaphore(kS, SemState::kUnavailable);
+  SpecState post;
+  post.SetSemaphore(kS, SemState::kUnavailable);  // UNCHANGED [s]
+  EXPECT_TRUE(sem_.Check(pre, MakeAlertPRaises(kT1, kS), post).Ok());
+
+  SpecState bad = post;
+  bad.SetSemaphore(kS, SemState::kAvailable);  // may not free it
+  EXPECT_FALSE(sem_.Check(pre, MakeAlertPRaises(kT1, kS), bad).ensures_ok);
+}
+
+TEST_F(SemanticsTest, AlertPRaisesNeedsPendingAlert) {
+  SpecState pre;
+  EXPECT_FALSE(sem_.Enabled(pre, MakeAlertPRaises(kT1, kS)));
+}
+
+TEST_F(SemanticsTest, PreferAlertedPolicyFlagsNormalReturn) {
+  Semantics strict(SpecConfig{AlertWaitVariant::kCorrected,
+                              AlertChoicePolicy::kPreferAlerted});
+  SpecState pre;
+  pre.alerts = ThreadSet{kT1};
+  SpecState post = pre;
+  post.SetSemaphore(kS, SemState::kUnavailable);
+  Verdict v = strict.Check(pre, MakeAlertPReturns(kT1, kS), post);
+  EXPECT_FALSE(v.choice_ok);  // should have raised
+  // The released (nondeterministic) spec accepts it.
+  EXPECT_TRUE(sem_.Check(pre, MakeAlertPReturns(kT1, kS), post).Ok());
+}
+
+// --- AlertWait's AlertResume, corrected vs original buggy variant ---
+
+TEST_F(SemanticsTest, AlertResumeRaisesRemovesFromCCorrected) {
+  SpecState pre;
+  pre.SetCondition(kC, ThreadSet{kT1, kT2});
+  pre.alerts = ThreadSet{kT1};
+  SpecState post;
+  post.SetCondition(kC, ThreadSet{kT2});  // delete(c, SELF)
+  post.SetMutex(kM, kT1);
+  EXPECT_TRUE(
+      sem_.Check(pre, MakeAlertResumeRaises(kT1, kM, kC), post).Ok());
+
+  // Leaving SELF in c violates the corrected spec.
+  SpecState bad = post;
+  bad.SetCondition(kC, ThreadSet{kT1, kT2});
+  EXPECT_FALSE(
+      sem_.Check(pre, MakeAlertResumeRaises(kT1, kM, kC), bad).ensures_ok);
+}
+
+TEST_F(SemanticsTest, OriginalBuggySpecRequiresCUnchanged) {
+  Semantics buggy(SpecConfig{AlertWaitVariant::kOriginalBuggy,
+                             AlertChoicePolicy::kNondeterministic});
+  SpecState pre;
+  pre.SetCondition(kC, ThreadSet{kT1, kT2});
+  pre.alerts = ThreadSet{kT1};
+
+  // Under the buggy spec the raising thread must stay in c...
+  SpecState stays = pre;
+  stays.SetMutex(kM, kT1);
+  stays.alerts = ThreadSet{};
+  EXPECT_TRUE(
+      buggy.Check(pre, MakeAlertResumeRaises(kT1, kM, kC), stays).Ok());
+
+  // ...so the (correct) behaviour of leaving c VIOLATES the buggy spec,
+  SpecState leaves = stays;
+  leaves.SetCondition(kC, ThreadSet{kT2});
+  EXPECT_FALSE(
+      buggy.Check(pre, MakeAlertResumeRaises(kT1, kM, kC), leaves).Ok());
+  // ...and vice versa for the corrected spec.
+  EXPECT_TRUE(sem_.Check(pre, MakeAlertResumeRaises(kT1, kM, kC), leaves).Ok());
+  EXPECT_FALSE(sem_.Check(pre, MakeAlertResumeRaises(kT1, kM, kC), stays).Ok());
+}
+
+// --- Apply: post-state construction from recorded choices ---
+
+TEST_F(SemanticsTest, ApplyComputesDeterministicPosts) {
+  SpecState s;
+  SpecState next;
+  EXPECT_TRUE(sem_.Apply(s, MakeAcquire(kT1, kM), &next).Ok());
+  EXPECT_EQ(next.Mutex(kM), kT1);
+  s = next;
+  EXPECT_TRUE(sem_.Apply(s, MakeEnqueue(kT1, kM, kC), &next).Ok());
+  EXPECT_TRUE(next.Condition(kC).Contains(kT1));
+  EXPECT_EQ(next.Mutex(kM), kNil);
+  s = next;
+  EXPECT_TRUE(sem_.Apply(s, MakeSignal(kT2, kC, ThreadSet{kT1}), &next).Ok());
+  EXPECT_TRUE(next.Condition(kC).Empty());
+  s = next;
+  EXPECT_TRUE(sem_.Apply(s, MakeResume(kT1, kM, kC), &next).Ok());
+  EXPECT_EQ(next.Mutex(kM), kT1);
+}
+
+TEST_F(SemanticsTest, ApplyRejectsBogusRemovedSet) {
+  SpecState pre;
+  pre.SetCondition(kC, ThreadSet{kT1});
+  SpecState post;
+  // kT2 is not in c: the recorded choice is inconsistent.
+  Verdict v = sem_.Apply(pre, MakeSignal(kT3, kC, ThreadSet{kT1, kT2}), &post);
+  EXPECT_FALSE(v.choice_ok);
+}
+
+// Exhaustive WHEN-clause matrix: every action kind's enabling condition,
+// over the four orthogonal state bits that matter to it.
+TEST_F(SemanticsTest, EnabledMatrix) {
+  for (bool m_held : {false, true}) {
+    for (bool in_c : {false, true}) {
+      for (bool s_taken : {false, true}) {
+        for (bool alerted : {false, true}) {
+          SpecState s;
+          if (m_held) {
+            s.SetMutex(kM, kT2);
+          }
+          if (in_c) {
+            s.SetCondition(kC, ThreadSet{kT1});
+          }
+          if (s_taken) {
+            s.SetSemaphore(kS, SemState::kUnavailable);
+          }
+          if (alerted) {
+            s.alerts = ThreadSet{kT1};
+          }
+          const std::string ctx =
+              std::string("m_held=") + (m_held ? "1" : "0") +
+              " in_c=" + (in_c ? "1" : "0") +
+              " s_taken=" + (s_taken ? "1" : "0") +
+              " alerted=" + (alerted ? "1" : "0");
+
+          EXPECT_EQ(sem_.Enabled(s, MakeAcquire(kT1, kM)), !m_held) << ctx;
+          EXPECT_TRUE(sem_.Enabled(s, MakeRelease(kT1, kM))) << ctx;
+          EXPECT_TRUE(sem_.Enabled(s, MakeEnqueue(kT1, kM, kC))) << ctx;
+          EXPECT_EQ(sem_.Enabled(s, MakeResume(kT1, kM, kC)),
+                    !m_held && !in_c)
+              << ctx;
+          EXPECT_TRUE(sem_.Enabled(s, MakeSignal(kT1, kC, {}))) << ctx;
+          EXPECT_TRUE(sem_.Enabled(s, MakeBroadcast(kT1, kC, {}))) << ctx;
+          EXPECT_EQ(sem_.Enabled(s, MakeP(kT1, kS)), !s_taken) << ctx;
+          EXPECT_TRUE(sem_.Enabled(s, MakeV(kT1, kS))) << ctx;
+          EXPECT_TRUE(sem_.Enabled(s, MakeAlert(kT1, kT2))) << ctx;
+          EXPECT_TRUE(sem_.Enabled(s, MakeTestAlert(kT1, alerted))) << ctx;
+          EXPECT_EQ(sem_.Enabled(s, MakeAlertPReturns(kT1, kS)), !s_taken)
+              << ctx;
+          EXPECT_EQ(sem_.Enabled(s, MakeAlertPRaises(kT1, kS)), alerted)
+              << ctx;
+          EXPECT_TRUE(sem_.Enabled(s, MakeAlertEnqueue(kT1, kM, kC))) << ctx;
+          EXPECT_EQ(sem_.Enabled(s, MakeAlertResumeReturns(kT1, kM, kC)),
+                    !m_held && !in_c)
+              << ctx;
+          EXPECT_EQ(sem_.Enabled(s, MakeAlertResumeRaises(kT1, kM, kC)),
+                    !m_held && alerted)
+              << ctx;
+        }
+      }
+    }
+  }
+}
+
+// Parameterized sweep: WHEN-disabled actions are rejected for every thread
+// identity and object id combination.
+class WhenSweep : public ::testing::TestWithParam<ThreadId> {};
+
+TEST_P(WhenSweep, HeldMutexDisablesAcquireForEveryone) {
+  const ThreadId self = GetParam();
+  SpecState pre;
+  pre.SetMutex(kM, kT3);
+  EXPECT_FALSE(Semantics().Enabled(pre, MakeAcquire(self, kM)));
+}
+
+TEST_P(WhenSweep, NilMutexEnablesAcquireForEveryone) {
+  const ThreadId self = GetParam();
+  SpecState pre;
+  EXPECT_TRUE(Semantics().Enabled(pre, MakeAcquire(self, kM)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Spec, WhenSweep,
+                         ::testing::Values(kT1, kT2, 7, 19, 100));
+
+}  // namespace
+}  // namespace taos::spec

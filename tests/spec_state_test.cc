@@ -1,0 +1,104 @@
+// ThreadSet (the Larch SET OF Thread trait) and SpecState.
+
+#include "src/spec/state.h"
+
+#include <gtest/gtest.h>
+
+namespace taos::spec {
+namespace {
+
+TEST(ThreadSetTest, InsertDeleteContains) {
+  ThreadSet s;
+  EXPECT_TRUE(s.Empty());
+  s = s.Insert(1).Insert(2);
+  EXPECT_TRUE(s.Contains(1));
+  EXPECT_TRUE(s.Contains(2));
+  EXPECT_FALSE(s.Contains(3));
+  EXPECT_EQ(s.Size(), 2u);
+  s = s.Delete(1);
+  EXPECT_FALSE(s.Contains(1));
+  EXPECT_EQ(s.Size(), 1u);
+}
+
+TEST(ThreadSetTest, InsertIsIdempotent) {
+  ThreadSet s = ThreadSet{}.Insert(5).Insert(5);
+  EXPECT_EQ(s.Size(), 1u);
+}
+
+TEST(ThreadSetTest, DeleteAbsentIsIdentity) {
+  ThreadSet s{1, 2};
+  EXPECT_EQ(s.Delete(9), s);
+}
+
+TEST(ThreadSetTest, SubsetRelations) {
+  ThreadSet a{1, 2};
+  ThreadSet b{1, 2, 3};
+  EXPECT_TRUE(a.SubsetOf(b));
+  EXPECT_TRUE(a.ProperSubsetOf(b));
+  EXPECT_TRUE(a.SubsetOf(a));
+  EXPECT_FALSE(a.ProperSubsetOf(a));
+  EXPECT_FALSE(b.SubsetOf(a));
+  EXPECT_TRUE(ThreadSet{}.SubsetOf(a));
+  EXPECT_TRUE(ThreadSet{}.ProperSubsetOf(a));
+}
+
+TEST(ThreadSetTest, UnionAndMinus) {
+  ThreadSet a{1, 2};
+  ThreadSet b{2, 3};
+  EXPECT_EQ(a.Union(b), (ThreadSet{1, 2, 3}));
+  EXPECT_EQ(a.Minus(b), ThreadSet{1});
+  EXPECT_EQ(a.Minus(a), ThreadSet{});
+}
+
+TEST(SpecStateTest, InitiallyClauses) {
+  SpecState s;
+  EXPECT_EQ(s.Mutex(1), kNil);                        // INITIALLY NIL
+  EXPECT_TRUE(s.Condition(2).Empty());                // INITIALLY {}
+  EXPECT_EQ(s.Semaphore(3), SemState::kAvailable);    // INITIALLY available
+  EXPECT_TRUE(s.alerts.Empty());                      // INITIALLY {}
+}
+
+TEST(SpecStateTest, SettersAndAccessors) {
+  SpecState s;
+  s.SetMutex(1, 7);
+  EXPECT_EQ(s.Mutex(1), 7u);
+  s.SetCondition(2, ThreadSet{4, 5});
+  EXPECT_TRUE(s.Condition(2).Contains(4));
+  s.SetSemaphore(3, SemState::kUnavailable);
+  EXPECT_EQ(s.Semaphore(3), SemState::kUnavailable);
+}
+
+TEST(SpecStateTest, EqualityIgnoresTouchHistory) {
+  SpecState a;
+  SpecState b;
+  // Touch-and-restore must compare equal to never-touched.
+  b.SetMutex(1, 9);
+  b.SetMutex(1, kNil);
+  b.SetCondition(2, ThreadSet{1});
+  b.SetCondition(2, ThreadSet{});
+  b.SetSemaphore(3, SemState::kUnavailable);
+  b.SetSemaphore(3, SemState::kAvailable);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(SpecStateTest, EqualityDistinguishesRealDifferences) {
+  SpecState a;
+  SpecState b;
+  b.SetMutex(1, 2);
+  EXPECT_FALSE(a == b);
+  SpecState c;
+  c.alerts = ThreadSet{3};
+  EXPECT_FALSE(a == c);
+}
+
+TEST(SpecStateTest, ToStringMentionsContents) {
+  SpecState s;
+  s.SetMutex(1, 2);
+  s.SetCondition(3, ThreadSet{4});
+  const std::string str = s.ToString();
+  EXPECT_NE(str.find("m1=t2"), std::string::npos);
+  EXPECT_NE(str.find("t4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace taos::spec

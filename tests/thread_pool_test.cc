@@ -1,0 +1,149 @@
+// ThreadPool and Barrier: the derived components that exercise the whole
+// primitive vocabulary together (Wait loops, Broadcast shutdown, Alert
+// cancellation).
+
+#include "src/workload/thread_pool.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace taos::workload {
+namespace {
+
+TEST(ThreadPoolTest, ExecutesEverySubmittedTask) {
+  std::atomic<int> sum{0};
+  {
+    ThreadPool pool(4, 8);
+    for (int i = 1; i <= 200; ++i) {
+      ASSERT_TRUE(pool.Submit([&sum, i] {
+        sum.fetch_add(i, std::memory_order_relaxed);
+      }));
+    }
+    pool.Shutdown();
+    EXPECT_EQ(pool.tasks_executed(), 200u);
+  }
+  EXPECT_EQ(sum.load(), 200 * 201 / 2);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2, 16);
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_TRUE(pool.Submit([&ran] { ran.fetch_add(1); }));
+    }
+  }  // ~ThreadPool == Shutdown: everything queued still executes
+  EXPECT_EQ(ran.load(), 50);
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownRefused) {
+  ThreadPool pool(1, 4);
+  pool.Shutdown();
+  EXPECT_FALSE(pool.Submit([] {}));
+}
+
+TEST(ThreadPoolTest, SubmitBlocksOnFullQueueThenProceeds) {
+  ThreadPool pool(1, 2);
+  Semaphore gate;
+  gate.P();  // the first task blocks the single worker
+  std::atomic<int> ran{0};
+  ASSERT_TRUE(pool.Submit([&] {
+    gate.P();
+    ran.fetch_add(1);
+  }));
+  for (int i = 0; i < 4; ++i) {  // more than capacity: Submit must block
+    ASSERT_TRUE(pool.Submit([&ran] { ran.fetch_add(1); }));
+    if (i == 0) {
+      gate.V();  // let the worker start draining
+    }
+  }
+  pool.Shutdown();
+  EXPECT_EQ(ran.load(), 5);
+}
+
+TEST(ThreadPoolTest, CancelInterruptsIdleWorkers) {
+  ThreadPool pool(3, 4);
+  // No tasks at all: the workers are parked in AlertWait.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  pool.Cancel();  // must not hang
+  EXPECT_EQ(pool.tasks_executed(), 0u);
+}
+
+TEST(ThreadPoolTest, CancelDropsQueuedTasks) {
+  ThreadPool pool(1, 64);
+  Semaphore gate;
+  gate.P();
+  std::atomic<int> ran{0};
+  ASSERT_TRUE(pool.Submit([&] {
+    gate.P();  // hold the worker so the queue backs up
+    ran.fetch_add(1);
+  }));
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(pool.Submit([&ran] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      ran.fetch_add(1);
+    }));
+  }
+  gate.V();
+  pool.Cancel();
+  // Every task either executed or was dropped, exactly once.
+  EXPECT_EQ(pool.tasks_executed() + pool.tasks_dropped(), 21u);
+  // With 2 ms tasks, Cancel (issued immediately) beats the drain.
+  EXPECT_GT(pool.tasks_dropped(), 0u);
+}
+
+TEST(ThreadPoolTest, ManyPoolsSequentially) {
+  for (int round = 0; round < 10; ++round) {
+    std::atomic<int> ran{0};
+    ThreadPool pool(2, 4);
+    for (int i = 0; i < 20; ++i) {
+      ASSERT_TRUE(pool.Submit([&ran] { ran.fetch_add(1); }));
+    }
+    pool.Shutdown();
+    EXPECT_EQ(ran.load(), 20);
+  }
+}
+
+class BarrierSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BarrierSweep, AllPartiesReleasedTogetherEachGeneration) {
+  const int parties = GetParam();
+  constexpr int kGenerations = 20;
+  Barrier barrier(parties);
+  std::atomic<int> in_phase{0};
+  std::atomic<bool> overlap{false};
+  std::vector<Thread> threads;
+  for (int p = 0; p < parties; ++p) {
+    threads.push_back(Thread::Fork([&] {
+      for (int g = 0; g < kGenerations; ++g) {
+        in_phase.fetch_add(1, std::memory_order_relaxed);
+        const std::uint64_t gen = barrier.ArriveAndWait();
+        if (gen != static_cast<std::uint64_t>(g)) {
+          overlap.store(true);  // a thread raced past a generation
+        }
+        in_phase.fetch_sub(1, std::memory_order_relaxed);
+      }
+    }));
+  }
+  for (Thread& t : threads) {
+    t.Join();
+  }
+  EXPECT_FALSE(overlap.load());
+  EXPECT_EQ(in_phase.load(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Workload, BarrierSweep,
+                         ::testing::Values(1, 2, 3, 5, 8));
+
+TEST(BarrierTest, SingleParty) {
+  Barrier barrier(1);
+  EXPECT_EQ(barrier.ArriveAndWait(), 0u);
+  EXPECT_EQ(barrier.ArriveAndWait(), 1u);
+}
+
+}  // namespace
+}  // namespace taos::workload

@@ -1,0 +1,254 @@
+// Alerting: Alert / TestAlert / AlertWait / AlertP, including the
+// RETURNS-vs-RAISES nondeterminism (E10) and the timeout idiom (the paper's
+// stated use case).
+
+#include "src/threads/threads.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/workload/timeout.h"
+
+namespace taos {
+namespace {
+
+TEST(AlertTest, TestAlertSeesAndClearsPendingAlert) {
+  // Alert a thread that is not blocked: the request stays pending.
+  std::atomic<bool> first_saw{false};
+  std::atomic<bool> second_saw{true};
+  std::atomic<bool> alerted{false};
+  Thread t = Thread::Fork([&] {
+    while (!alerted.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+    first_saw.store(TestAlert());
+    second_saw.store(TestAlert());  // consumed: must now be false
+  });
+  Alert(t.Handle());
+  alerted.store(true, std::memory_order_release);
+  t.Join();
+  EXPECT_TRUE(first_saw.load());
+  EXPECT_FALSE(second_saw.load());
+}
+
+TEST(AlertTest, TestAlertFalseWhenNoAlertPending) { EXPECT_FALSE(TestAlert()); }
+
+TEST(AlertTest, AlertPRaisesWhenBlocked) {
+  Semaphore s;
+  s.P();  // make the next P block
+  std::atomic<bool> raised{false};
+  Thread t = Thread::Fork([&] {
+    try {
+      AlertP(s);
+    } catch (const Alerted&) {
+      raised.store(true);
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  Alert(t.Handle());
+  t.Join();
+  EXPECT_TRUE(raised.load());
+  // The semaphore was not taken by the alerted thread (UNCHANGED [s]).
+  EXPECT_FALSE(s.AvailableForDebug());  // still held by us
+  s.V();
+}
+
+TEST(AlertTest, AlertPReturnsWhenAvailableAndNotAlerted) {
+  Semaphore s;
+  AlertP(s);  // must not raise
+  EXPECT_FALSE(s.AvailableForDebug());
+  s.V();
+}
+
+TEST(AlertTest, AlertPPendingAlertBeforeBlockedPRaises) {
+  Semaphore s;
+  s.P();
+  Thread t = Thread::Fork([&] {
+    // The alert is already pending when we try to P; since the semaphore is
+    // unavailable, the Nub path must notice it and raise.
+    EXPECT_THROW(AlertP(s), Alerted);
+  });
+  Alert(t.Handle());
+  t.Join();
+  s.V();
+}
+
+TEST(AlertTest, AlertWaitRaisesWhileBlocked) {
+  Mutex m;
+  Condition c;
+  std::atomic<bool> raised{false};
+  Thread t = Thread::Fork([&] {
+    Lock lock(m);
+    try {
+      for (;;) {
+        AlertWait(m, c);
+      }
+    } catch (const Alerted&) {
+      // The mutex is held again here, as the spec's AlertResume ensures.
+      EXPECT_EQ(m.HolderForDebug(), Thread::Self().id());
+      raised.store(true);
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  Alert(t.Handle());
+  t.Join();
+  EXPECT_TRUE(raised.load());
+  EXPECT_EQ(m.HolderForDebug(), spec::kNil);
+}
+
+TEST(AlertTest, AlertWaitReturnsNormallyOnSignal) {
+  Mutex m;
+  Condition c;
+  bool flag = false;  // protected by m
+  std::atomic<bool> normal{false};
+  Thread t = Thread::Fork([&] {
+    Lock lock(m);
+    try {
+      while (!flag) {
+        AlertWait(m, c);
+      }
+      normal.store(true);
+    } catch (const Alerted&) {
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  {
+    Lock lock(m);
+    flag = true;
+  }
+  c.Signal();
+  t.Join();
+  EXPECT_TRUE(normal.load());
+}
+
+TEST(AlertTest, AlertBeforeForkIsDeliveredAtFirstAlertablePoint) {
+  Mutex m;
+  Condition c;
+  std::atomic<bool> raised{false};
+  // Build the thread, alert it via its handle before it has done anything.
+  Thread t = Thread::Fork([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    Lock lock(m);
+    try {
+      AlertWait(m, c);
+    } catch (const Alerted&) {
+      raised.store(true);
+    }
+  });
+  Alert(t.Handle());
+  t.Join();
+  EXPECT_TRUE(raised.load());
+}
+
+TEST(AlertTest, UncaughtAlertedEndsTheThreadQuietly) {
+  Semaphore s;
+  s.P();
+  Thread t = Thread::Fork([&] { AlertP(s); });  // will raise, uncaught
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  Alert(t.Handle());
+  t.Join();
+  EXPECT_TRUE(t.EndedByAlert());
+  s.V();
+}
+
+TEST(AlertTest, NondeterminismBothOutcomesOccur) {
+  // E10: when an alert and an available semaphore race, AlertP sometimes
+  // returns and sometimes raises. Hammer the race and require both.
+  std::atomic<int> normal{0};
+  std::atomic<int> raised{0};
+  for (int round = 0; round < 300 && (normal == 0 || raised == 0); ++round) {
+    Semaphore s;
+    s.P();
+    std::atomic<bool> ready{false};
+    Thread taker = Thread::Fork([&] {
+      ready.store(true, std::memory_order_release);
+      try {
+        AlertP(s);
+        normal.fetch_add(1);
+        s.V();
+      } catch (const Alerted&) {
+        raised.fetch_add(1);
+      }
+    });
+    while (!ready.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+    if (round % 2 == 0) {
+      Alert(taker.Handle());
+      s.V();
+    } else {
+      s.V();
+      Alert(taker.Handle());
+    }
+    taker.Join();
+    (void)TestAlert();
+  }
+  EXPECT_GT(normal.load(), 0);
+  EXPECT_GT(raised.load(), 0);
+}
+
+TEST(AlertTest, WaitWithTimeoutTimesOut) {
+  Mutex m;
+  Condition c;
+  m.Acquire();
+  const bool satisfied = workload::WaitWithTimeout(
+      m, c, [] { return false; }, std::chrono::milliseconds(30));
+  EXPECT_FALSE(satisfied);
+  EXPECT_EQ(m.HolderForDebug(), Thread::Self().id());  // still held
+  m.Release();
+}
+
+TEST(AlertTest, WaitWithTimeoutSatisfied) {
+  Mutex m;
+  Condition c;
+  bool flag = false;  // protected by m
+  Thread setter = Thread::Fork([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    {
+      Lock lock(m);
+      flag = true;
+    }
+    c.Signal();
+  });
+  m.Acquire();
+  const bool satisfied = workload::WaitWithTimeout(
+      m, c, [&flag] { return flag; }, std::chrono::milliseconds(2000));
+  EXPECT_TRUE(satisfied);
+  m.Release();
+  setter.Join();
+}
+
+TEST(AlertTest, AlertIsStickyAcrossOperations) {
+  // An alert posted while the target is between alertable points is seen at
+  // the next one, however many non-alertable operations intervene.
+  Mutex m;
+  std::atomic<bool> go{false};
+  std::atomic<bool> raised{false};
+  Semaphore s;
+  s.P();
+  Thread t = Thread::Fork([&] {
+    while (!go.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+    for (int i = 0; i < 100; ++i) {  // non-alertable work
+      Lock lock(m);
+    }
+    try {
+      AlertP(s);
+    } catch (const Alerted&) {
+      raised.store(true);
+    }
+  });
+  Alert(t.Handle());
+  go.store(true, std::memory_order_release);
+  t.Join();
+  EXPECT_TRUE(raised.load());
+  s.V();
+}
+
+}  // namespace
+}  // namespace taos

@@ -1,0 +1,166 @@
+// Semaphores: P / V, the identical-mechanism claim, interrupt-style use.
+
+#include "src/threads/threads.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace taos {
+namespace {
+
+TEST(SemaphoreTest, InitiallyAvailable) {
+  Semaphore s;
+  EXPECT_TRUE(s.AvailableForDebug());
+  s.P();  // must not block
+  EXPECT_FALSE(s.AvailableForDebug());
+  s.V();
+  EXPECT_TRUE(s.AvailableForDebug());
+}
+
+TEST(SemaphoreTest, TryP) {
+  Semaphore s;
+  EXPECT_TRUE(s.TryP());
+  EXPECT_FALSE(s.TryP());
+  s.V();
+  EXPECT_TRUE(s.TryP());
+  s.V();
+}
+
+TEST(SemaphoreTest, VIsIdempotentOnAvailable) {
+  // V has no precondition and ENSURES spost = available; repeated Vs do not
+  // accumulate tokens (binary, not counting).
+  Semaphore s;
+  s.V();
+  s.V();
+  s.V();
+  s.P();  // consumes the single "available"
+  EXPECT_FALSE(s.AvailableForDebug());
+  s.V();
+}
+
+TEST(SemaphoreTest, UncontendedPVStaysOnFastPath) {
+  Semaphore s;
+  s.ResetStats();
+  const std::uint64_t nub_before =
+      Nub::Get().nub_entries.load(std::memory_order_relaxed);
+  for (int i = 0; i < 1000; ++i) {
+    s.P();
+    s.V();
+  }
+  EXPECT_EQ(s.fast_ps(), 1000u);
+  EXPECT_EQ(s.slow_ps(), 0u);
+  EXPECT_EQ(Nub::Get().nub_entries.load(std::memory_order_relaxed),
+            nub_before);
+}
+
+TEST(SemaphoreTest, PBlocksUntilV) {
+  Semaphore s;
+  s.P();  // take the token
+  std::atomic<bool> resumed{false};
+  Thread waiter = Thread::Fork([&] {
+    s.P();
+    resumed.store(true, std::memory_order_release);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(resumed.load(std::memory_order_acquire));
+  s.V();
+  waiter.Join();
+  EXPECT_TRUE(resumed.load(std::memory_order_acquire));
+  s.V();
+}
+
+TEST(SemaphoreTest, InterruptStyleHandoff) {
+  // "A thread waits for an interrupt routine action by calling P(sem), and
+  //  the interrupt routine unblocks it by calling V(sem)." The V-side holds
+  // no mutex and no P/V textual pairing exists.
+  Semaphore sem;
+  sem.P();  // arm: next P waits for the "interrupt"
+  std::atomic<int> data{0};
+  std::atomic<int> observed{-1};
+
+  Thread driver = Thread::Fork([&] {
+    sem.P();
+    observed.store(data.load(std::memory_order_acquire),
+                   std::memory_order_relaxed);
+  });
+  Thread interrupt = Thread::Fork([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    data.store(42, std::memory_order_release);
+    sem.V();
+  });
+  driver.Join();
+  interrupt.Join();
+  EXPECT_EQ(observed.load(), 42);
+  sem.V();
+}
+
+TEST(SemaphoreTest, MutualExclusionWhenUsedAsALock) {
+  // "The implementation of semaphores is identical to mutexes" — P/V can
+  // bracket a critical section (though the interface discourages it).
+  Semaphore s;
+  constexpr int kThreads = 6;
+  constexpr int kIters = 1500;
+  std::int64_t counter = 0;  // protected by s
+
+  std::vector<Thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.push_back(Thread::Fork([&] {
+      for (int i = 0; i < kIters; ++i) {
+        s.P();
+        ++counter;
+        s.V();
+      }
+    }));
+  }
+  for (Thread& t : threads) {
+    t.Join();
+  }
+  EXPECT_EQ(counter, static_cast<std::int64_t>(kThreads) * kIters);
+}
+
+// Ping-pong chain: K stages, each a semaphore handoff; validates queuing
+// and wakeup ordering under repeated block/unblock.
+class SemaphoreChain : public ::testing::TestWithParam<int> {};
+
+TEST_P(SemaphoreChain, TokenTraversesAllStages) {
+  const int stages = GetParam();
+  constexpr int kRounds = 200;
+  std::vector<std::unique_ptr<Semaphore>> sems;
+  for (int i = 0; i <= stages; ++i) {
+    auto s = std::make_unique<Semaphore>();
+    s->P();  // all stages start armed
+    sems.push_back(std::move(s));
+  }
+
+  std::vector<Thread> threads;
+  std::atomic<int> hops{0};
+  for (int i = 0; i < stages; ++i) {
+    Semaphore* in = sems[static_cast<std::size_t>(i)].get();
+    Semaphore* out = sems[static_cast<std::size_t>(i) + 1].get();
+    threads.push_back(Thread::Fork([in, out, &hops] {
+      for (int r = 0; r < kRounds; ++r) {
+        in->P();
+        hops.fetch_add(1, std::memory_order_relaxed);
+        out->V();
+      }
+    }));
+  }
+  for (int r = 0; r < kRounds; ++r) {
+    sems.front()->V();           // inject the token
+    sems.back()->P();            // wait for it to come out
+  }
+  for (Thread& t : threads) {
+    t.Join();
+  }
+  EXPECT_EQ(hops.load(), stages * kRounds);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, SemaphoreChain,
+                         ::testing::Values(1, 2, 4, 8));
+
+}  // namespace
+}  // namespace taos

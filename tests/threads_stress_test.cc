@@ -1,0 +1,196 @@
+// Long-running mixed stress on the production (OS-thread) library: many
+// threads hammering overlapping sets of mutexes, conditions, semaphores and
+// alerts, with counting invariants checked at the end. The deterministic
+// twin of this test is the model fuzzer (tests/model_fuzz_test.cc); this
+// one exercises real preemption, real parallel RMW contention, and the
+// seq_cst enqueue/test pairings that only matter on real hardware.
+//
+// The random mixers use non-blocking try-variants of the cell operation so
+// no random interleaving can strand every thread in a Wait; a dedicated
+// producer/consumer pair with fixed roles exercises the blocking paths with
+// guaranteed progress.
+
+#include <atomic>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/base/xorshift.h"
+#include "src/threads/threads.h"
+
+namespace taos {
+namespace {
+
+class StressSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StressSweep, MixedPrimitives) {
+  constexpr int kMixers = 6;
+  constexpr int kOpsPerThread = 4000;
+  constexpr int kMutexes = 3;
+  constexpr int kSems = 2;
+  constexpr int kPingPongRounds = 3000;
+
+  struct Shared {
+    Mutex mutexes[kMutexes];
+    std::int64_t counters[kMutexes] = {0, 0, 0};  // each guarded by its mutex
+    Semaphore sems[kSems];
+    std::atomic<std::int64_t> sem_counter{0};
+    // The try-cell the mixers toggle (never waited on).
+    Mutex cell_m;
+    std::int64_t cell_toggles = 0;  // guarded by cell_m
+    int cell = 0;                   // guarded by cell_m
+    // The blocking ping-pong pair's own cell.
+    Mutex pp_m;
+    Condition pp_c;
+    int pp_cell = 0;  // guarded by pp_m
+  };
+  auto shared = std::make_unique<Shared>();
+
+  std::vector<Thread> threads;
+  // Fixed-role blocking pair: guaranteed progress, heavy Wait traffic.
+  threads.push_back(Thread::Fork([&s = *shared] {
+    for (int r = 0; r < kPingPongRounds; ++r) {
+      Lock lock(s.pp_m);
+      while (s.pp_cell != 0) {
+        s.pp_c.Wait(s.pp_m);
+      }
+      s.pp_cell = 1;
+      s.pp_c.Broadcast();
+    }
+  }));
+  threads.push_back(Thread::Fork([&s = *shared] {
+    for (int r = 0; r < kPingPongRounds; ++r) {
+      Lock lock(s.pp_m);
+      while (s.pp_cell == 0) {
+        s.pp_c.Wait(s.pp_m);
+      }
+      s.pp_cell = 0;
+      s.pp_c.Broadcast();
+    }
+  }));
+
+  // Random mixers.
+  for (int t = 0; t < kMixers; ++t) {
+    const std::uint64_t seed =
+        GetParam() * 977 + static_cast<std::uint64_t>(t);
+    threads.push_back(Thread::Fork([&s = *shared, seed] {
+      XorShift rng(seed);
+      for (int op = 0; op < kOpsPerThread; ++op) {
+        const std::uint32_t roll = rng.Below(100);
+        if (roll < 45) {
+          const std::size_t i = rng.Below(kMutexes);
+          Lock lock(s.mutexes[i]);
+          ++s.counters[i];
+        } else if (roll < 70) {
+          const std::size_t i = rng.Below(kSems);
+          s.sems[i].P();
+          s.sem_counter.fetch_add(1, std::memory_order_relaxed);
+          s.sems[i].V();
+        } else if (roll < 95) {  // non-blocking cell toggle
+          Lock lock(s.cell_m);
+          s.cell = 1 - s.cell;
+          ++s.cell_toggles;
+        } else {
+          (void)TestAlert();
+        }
+      }
+    }));
+  }
+  for (Thread& t : threads) {
+    t.Join();
+  }
+
+  std::int64_t mutex_total = 0;
+  for (int i = 0; i < kMutexes; ++i) {
+    mutex_total += shared->counters[i];
+  }
+  EXPECT_GT(mutex_total, 0);
+  EXPECT_GT(shared->sem_counter.load(), 0);
+  EXPECT_GT(shared->cell_toggles, 0);
+  EXPECT_EQ(shared->pp_cell, 0);  // the pair completed all rounds in step
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, StressSweep,
+                         ::testing::Values(1, 2, 3, 4));
+
+TEST(StressTest, ManyThreadsManyObjects) {
+  // Wide fan-out: 24 threads over 8 independent locks; checks the global
+  // Nub spin-lock under heavy cross-object traffic.
+  constexpr int kThreads = 24;
+  constexpr int kLocks = 8;
+  constexpr int kIters = 1000;
+  struct Cell {
+    Mutex m;
+    std::int64_t n = 0;
+  };
+  std::vector<std::unique_ptr<Cell>> cells;
+  for (int i = 0; i < kLocks; ++i) {
+    cells.push_back(std::make_unique<Cell>());
+  }
+  std::vector<Thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.push_back(Thread::Fork([&cells, t] {
+      XorShift rng(static_cast<std::uint64_t>(t) + 1);
+      for (int i = 0; i < kIters; ++i) {
+        Cell& cell = *cells[rng.Below(kLocks)];
+        Lock lock(cell.m);
+        ++cell.n;
+      }
+    }));
+  }
+  for (Thread& t : threads) {
+    t.Join();
+  }
+  std::int64_t total = 0;
+  for (const auto& cell : cells) {
+    total += cell->n;
+  }
+  EXPECT_EQ(total, static_cast<std::int64_t>(kThreads) * kIters);
+}
+
+TEST(StressTest, AlertStorm) {
+  // Alerts fired at threads that are randomly blocked, waiting, or
+  // running; every thread must terminate (each AlertP either consumes a
+  // token or raises).
+  constexpr int kWorkers = 6;
+  constexpr int kRounds = 300;
+  Semaphore sem;
+  sem.P();  // start unavailable: AlertP usually blocks
+  std::atomic<int> exits{0};
+  std::atomic<int> raises{0};
+  std::vector<Thread> workers;
+  std::vector<ThreadHandle> handles;
+  for (int w = 0; w < kWorkers; ++w) {
+    workers.push_back(Thread::Fork([&] {
+      for (int r = 0; r < kRounds; ++r) {
+        try {
+          AlertP(sem);
+          sem.V();  // give the token back
+        } catch (const Alerted&) {
+          raises.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      exits.fetch_add(1, std::memory_order_relaxed);
+    }));
+  }
+  for (const Thread& w : workers) {
+    handles.push_back(w.Handle());
+  }
+  // The storm: alert everyone repeatedly. Tokens only start flowing after
+  // the first raise, so at least one alert is guaranteed to hit a blocked
+  // (or about-to-block) AlertP while the semaphore is unavailable.
+  XorShift rng(99);
+  while (exits.load(std::memory_order_relaxed) < kWorkers) {
+    Alert(handles[rng.Below(kWorkers)]);
+    if (raises.load(std::memory_order_relaxed) > 0 && rng.Chance(1, 8)) {
+      sem.V();
+    }
+  }
+  for (Thread& w : workers) {
+    w.Join();
+  }
+  EXPECT_GT(raises.load(), 0);
+}
+
+}  // namespace
+}  // namespace taos

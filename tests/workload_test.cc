@@ -1,0 +1,141 @@
+// Workload generators: the same programs over every primitives family.
+
+#include <gtest/gtest.h>
+
+#include "src/baseline/naive_condition.h"
+#include "src/baseline/std_sync.h"
+#include "src/baseline/ticket_lock.h"
+#include "src/threads/threads.h"
+#include "src/workload/bounded_buffer.h"
+#include "src/workload/contention.h"
+#include "src/workload/prodcons.h"
+#include "src/workload/rwlock.h"
+#include "src/workload/work.h"
+
+namespace taos::workload {
+namespace {
+
+TEST(WorkTest, DoWorkDependsOnInput) {
+  EXPECT_NE(DoWork(10), DoWork(11));
+  EXPECT_EQ(DoWork(10), DoWork(10));
+}
+
+// --- bounded buffer over each primitives family (E4 correctness side) ---
+
+template <typename BufferT>
+void ExerciseBuffer(BufferT& buffer, int producers, int consumers,
+                    std::uint64_t items) {
+  ProdConsResult r = RunProducerConsumer(buffer, producers, consumers, items);
+  EXPECT_EQ(r.items, static_cast<std::uint64_t>(producers) * items);
+  EXPECT_EQ(r.checksum, ExpectedChecksum(producers, items));
+}
+
+TEST(BoundedBufferTest, TaosPrimitives) {
+  BoundedBuffer<Mutex, Condition> buffer(8);
+  ExerciseBuffer(buffer, 2, 2, 2000);
+  EXPECT_EQ(buffer.SizeForDebug(), 0u);
+}
+
+TEST(BoundedBufferTest, TaosSingleSlot) {
+  BoundedBuffer<Mutex, Condition> buffer(1);  // maximal signal traffic
+  ExerciseBuffer(buffer, 2, 2, 500);
+}
+
+TEST(BoundedBufferTest, StdPrimitives) {
+  BoundedBuffer<baseline::StdMutex, baseline::StdCondition> buffer(8);
+  ExerciseBuffer(buffer, 2, 2, 2000);
+}
+
+TEST(BoundedBufferTest, NaiveConditionSingleProducerSingleConsumer) {
+  // The strawman is sound for Signal with one waiter per condition; with
+  // one producer and one consumer at most one thread waits on each side.
+  BoundedBuffer<Mutex, baseline::NaiveCondition> buffer(8);
+  ExerciseBuffer(buffer, 1, 1, 2000);
+}
+
+TEST(BoundedBufferTest, HoarePrimitives) {
+  HoareBoundedBuffer buffer(8);
+  ExerciseBuffer(buffer, 1, 1, 1000);
+}
+
+TEST(BoundedBufferTest, HoareManyThreads) {
+  HoareBoundedBuffer buffer(4);
+  ExerciseBuffer(buffer, 3, 3, 400);
+}
+
+// Parameterized sweep: capacity × producers/consumers for the Taos buffer.
+class BufferSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(BufferSweep, DeliversEverythingExactlyOnce) {
+  const auto& [capacity, producers, consumers] = GetParam();
+  BoundedBuffer<Mutex, Condition> buffer(static_cast<std::size_t>(capacity));
+  ExerciseBuffer(buffer, producers, consumers, 500);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workload, BufferSweep,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(1, 2, 2),
+                      std::make_tuple(2, 1, 3), std::make_tuple(4, 3, 1),
+                      std::make_tuple(16, 4, 4), std::make_tuple(64, 2, 6)));
+
+// --- contention driver (E3 correctness side) ---
+
+TEST(ContentionTest, TaosMutexCounterExact) {
+  ContentionResult r = RunContention<Mutex>(4, 1000, 5, 5);
+  EXPECT_EQ(r.shared_counter, r.total_sections);
+  EXPECT_EQ(r.total_sections, 4000u);
+}
+
+TEST(ContentionTest, TicketLockCounterExact) {
+  ContentionResult r = RunContention<baseline::TicketSpinMutex>(4, 1000, 5, 5);
+  EXPECT_EQ(r.shared_counter, r.total_sections);
+}
+
+TEST(ContentionTest, StdMutexCounterExact) {
+  ContentionResult r = RunContention<baseline::StdMutex>(4, 1000, 5, 5);
+  EXPECT_EQ(r.shared_counter, r.total_sections);
+}
+
+TEST(ContentionTest, SemaphoreAsLockCounterExact) {
+  // P/V bracket the critical section (identical mechanism to the mutex).
+  struct SemLock {
+    Semaphore s;
+    void Acquire() { s.P(); }
+    void Release() { s.V(); }
+  };
+  ContentionResult r = RunContention<SemLock>(4, 1000, 5, 5);
+  EXPECT_EQ(r.shared_counter, r.total_sections);
+}
+
+// --- readers-writer lock (E4's broadcast motivation) ---
+
+TEST(RWLockTest, InvariantsHoldTaos) {
+  RWLock<Mutex, Condition> lock;
+  RWResult r = RunReadersWriters(lock, 4, 2, 500, 3, 3);
+  EXPECT_TRUE(r.invariant_ok);
+  EXPECT_EQ(r.reads, 2000u);
+  EXPECT_EQ(r.writes, 1000u);
+}
+
+TEST(RWLockTest, InvariantsHoldStd) {
+  RWLock<baseline::StdMutex, baseline::StdCondition> lock;
+  RWResult r = RunReadersWriters(lock, 4, 2, 500, 3, 3);
+  EXPECT_TRUE(r.invariant_ok);
+}
+
+TEST(RWLockTest, WriterHeavy) {
+  RWLock<Mutex, Condition> lock;
+  RWResult r = RunReadersWriters(lock, 2, 6, 300, 1, 1);
+  EXPECT_TRUE(r.invariant_ok);
+}
+
+TEST(RWLockTest, ReaderOnlyNeverBlocks) {
+  RWLock<Mutex, Condition> lock;
+  RWResult r = RunReadersWriters(lock, 6, 0, 500, 1, 0);
+  EXPECT_TRUE(r.invariant_ok);
+  EXPECT_EQ(r.writes, 0u);
+}
+
+}  // namespace
+}  // namespace taos::workload
