@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_alert.dir/bench_alert.cc.o"
+  "CMakeFiles/bench_alert.dir/bench_alert.cc.o.d"
+  "bench_alert"
+  "bench_alert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_alert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

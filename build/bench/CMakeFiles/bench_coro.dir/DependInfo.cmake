@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_coro.cc" "bench/CMakeFiles/bench_coro.dir/bench_coro.cc.o" "gcc" "bench/CMakeFiles/bench_coro.dir/bench_coro.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/coro/CMakeFiles/taos_coro.dir/DependInfo.cmake"
+  "/root/repo/build/src/threads/CMakeFiles/taos_threads.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/taos_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/taos_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_coro.dir/bench_coro.cc.o"
+  "CMakeFiles/bench_coro.dir/bench_coro.cc.o.d"
+  "bench_coro"
+  "bench_coro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_coro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_firefly.dir/bench_firefly.cc.o"
+  "CMakeFiles/bench_firefly.dir/bench_firefly.cc.o.d"
+  "bench_firefly"
+  "bench_firefly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_firefly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

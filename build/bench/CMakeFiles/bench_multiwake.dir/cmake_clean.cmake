@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multiwake.dir/bench_multiwake.cc.o"
+  "CMakeFiles/bench_multiwake.dir/bench_multiwake.cc.o.d"
+  "bench_multiwake"
+  "bench_multiwake.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multiwake.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_prodcons.dir/bench_prodcons.cc.o"
+  "CMakeFiles/bench_prodcons.dir/bench_prodcons.cc.o.d"
+  "bench_prodcons"
+  "bench_prodcons.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_prodcons.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

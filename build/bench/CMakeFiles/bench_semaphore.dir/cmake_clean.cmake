@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_semaphore.dir/bench_semaphore.cc.o"
+  "CMakeFiles/bench_semaphore.dir/bench_semaphore.cc.o.d"
+  "bench_semaphore"
+  "bench_semaphore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_semaphore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

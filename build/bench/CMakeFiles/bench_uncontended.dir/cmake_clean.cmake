@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_uncontended.dir/bench_uncontended.cc.o"
+  "CMakeFiles/bench_uncontended.dir/bench_uncontended.cc.o.d"
+  "bench_uncontended"
+  "bench_uncontended.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_uncontended.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

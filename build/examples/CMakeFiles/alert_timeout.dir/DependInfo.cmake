@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/alert_timeout.cpp" "examples/CMakeFiles/alert_timeout.dir/alert_timeout.cpp.o" "gcc" "examples/CMakeFiles/alert_timeout.dir/alert_timeout.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/threads/CMakeFiles/taos_threads.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/taos_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/taos_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/taos_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alert_timeout.dir/alert_timeout.cpp.o"
+  "CMakeFiles/alert_timeout.dir/alert_timeout.cpp.o.d"
+  "alert_timeout"
+  "alert_timeout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alert_timeout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

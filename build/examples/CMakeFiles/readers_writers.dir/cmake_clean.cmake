@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/readers_writers.dir/readers_writers.cpp.o"
+  "CMakeFiles/readers_writers.dir/readers_writers.cpp.o.d"
+  "readers_writers"
+  "readers_writers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/readers_writers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

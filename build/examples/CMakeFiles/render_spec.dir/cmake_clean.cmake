@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/render_spec.dir/render_spec.cpp.o"
+  "CMakeFiles/render_spec.dir/render_spec.cpp.o.d"
+  "render_spec"
+  "render_spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/render_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpc_server.dir/rpc_server.cpp.o"
+  "CMakeFiles/rpc_server.dir/rpc_server.cpp.o.d"
+  "rpc_server"
+  "rpc_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpc_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

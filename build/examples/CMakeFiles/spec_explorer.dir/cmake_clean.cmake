@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spec_explorer.dir/spec_explorer.cpp.o"
+  "CMakeFiles/spec_explorer.dir/spec_explorer.cpp.o.d"
+  "spec_explorer"
+  "spec_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spec_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

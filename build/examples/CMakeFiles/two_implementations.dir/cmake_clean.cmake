@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/two_implementations.dir/two_implementations.cpp.o"
+  "CMakeFiles/two_implementations.dir/two_implementations.cpp.o.d"
+  "two_implementations"
+  "two_implementations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/two_implementations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

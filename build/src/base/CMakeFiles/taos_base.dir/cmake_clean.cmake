@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taos_base.dir/check.cc.o"
+  "CMakeFiles/taos_base.dir/check.cc.o.d"
+  "libtaos_base.a"
+  "libtaos_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taos_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coro/scheduler.cc" "src/coro/CMakeFiles/taos_coro.dir/scheduler.cc.o" "gcc" "src/coro/CMakeFiles/taos_coro.dir/scheduler.cc.o.d"
+  "/root/repo/src/coro/sync.cc" "src/coro/CMakeFiles/taos_coro.dir/sync.cc.o" "gcc" "src/coro/CMakeFiles/taos_coro.dir/sync.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/taos_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/taos_spec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taos_coro.dir/scheduler.cc.o"
+  "CMakeFiles/taos_coro.dir/scheduler.cc.o.d"
+  "CMakeFiles/taos_coro.dir/sync.cc.o"
+  "CMakeFiles/taos_coro.dir/sync.cc.o.d"
+  "libtaos_coro.a"
+  "libtaos_coro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taos_coro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taos_firefly.dir/machine.cc.o"
+  "CMakeFiles/taos_firefly.dir/machine.cc.o.d"
+  "CMakeFiles/taos_firefly.dir/sync.cc.o"
+  "CMakeFiles/taos_firefly.dir/sync.cc.o.d"
+  "libtaos_firefly.a"
+  "libtaos_firefly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taos_firefly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taos_model.dir/explorer.cc.o"
+  "CMakeFiles/taos_model.dir/explorer.cc.o.d"
+  "CMakeFiles/taos_model.dir/fuzz.cc.o"
+  "CMakeFiles/taos_model.dir/fuzz.cc.o.d"
+  "CMakeFiles/taos_model.dir/litmus.cc.o"
+  "CMakeFiles/taos_model.dir/litmus.cc.o.d"
+  "libtaos_model.a"
+  "libtaos_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taos_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spec/action.cc" "src/spec/CMakeFiles/taos_spec.dir/action.cc.o" "gcc" "src/spec/CMakeFiles/taos_spec.dir/action.cc.o.d"
+  "/root/repo/src/spec/checker.cc" "src/spec/CMakeFiles/taos_spec.dir/checker.cc.o" "gcc" "src/spec/CMakeFiles/taos_spec.dir/checker.cc.o.d"
+  "/root/repo/src/spec/enumerate.cc" "src/spec/CMakeFiles/taos_spec.dir/enumerate.cc.o" "gcc" "src/spec/CMakeFiles/taos_spec.dir/enumerate.cc.o.d"
+  "/root/repo/src/spec/render.cc" "src/spec/CMakeFiles/taos_spec.dir/render.cc.o" "gcc" "src/spec/CMakeFiles/taos_spec.dir/render.cc.o.d"
+  "/root/repo/src/spec/semantics.cc" "src/spec/CMakeFiles/taos_spec.dir/semantics.cc.o" "gcc" "src/spec/CMakeFiles/taos_spec.dir/semantics.cc.o.d"
+  "/root/repo/src/spec/state.cc" "src/spec/CMakeFiles/taos_spec.dir/state.cc.o" "gcc" "src/spec/CMakeFiles/taos_spec.dir/state.cc.o.d"
+  "/root/repo/src/spec/trace.cc" "src/spec/CMakeFiles/taos_spec.dir/trace.cc.o" "gcc" "src/spec/CMakeFiles/taos_spec.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/taos_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

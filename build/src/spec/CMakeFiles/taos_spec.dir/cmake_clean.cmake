@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taos_spec.dir/action.cc.o"
+  "CMakeFiles/taos_spec.dir/action.cc.o.d"
+  "CMakeFiles/taos_spec.dir/checker.cc.o"
+  "CMakeFiles/taos_spec.dir/checker.cc.o.d"
+  "CMakeFiles/taos_spec.dir/enumerate.cc.o"
+  "CMakeFiles/taos_spec.dir/enumerate.cc.o.d"
+  "CMakeFiles/taos_spec.dir/render.cc.o"
+  "CMakeFiles/taos_spec.dir/render.cc.o.d"
+  "CMakeFiles/taos_spec.dir/semantics.cc.o"
+  "CMakeFiles/taos_spec.dir/semantics.cc.o.d"
+  "CMakeFiles/taos_spec.dir/state.cc.o"
+  "CMakeFiles/taos_spec.dir/state.cc.o.d"
+  "CMakeFiles/taos_spec.dir/trace.cc.o"
+  "CMakeFiles/taos_spec.dir/trace.cc.o.d"
+  "libtaos_spec.a"
+  "libtaos_spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taos_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/threads/alert.cc" "src/threads/CMakeFiles/taos_threads.dir/alert.cc.o" "gcc" "src/threads/CMakeFiles/taos_threads.dir/alert.cc.o.d"
+  "/root/repo/src/threads/condition.cc" "src/threads/CMakeFiles/taos_threads.dir/condition.cc.o" "gcc" "src/threads/CMakeFiles/taos_threads.dir/condition.cc.o.d"
+  "/root/repo/src/threads/mutex.cc" "src/threads/CMakeFiles/taos_threads.dir/mutex.cc.o" "gcc" "src/threads/CMakeFiles/taos_threads.dir/mutex.cc.o.d"
+  "/root/repo/src/threads/nub.cc" "src/threads/CMakeFiles/taos_threads.dir/nub.cc.o" "gcc" "src/threads/CMakeFiles/taos_threads.dir/nub.cc.o.d"
+  "/root/repo/src/threads/semaphore.cc" "src/threads/CMakeFiles/taos_threads.dir/semaphore.cc.o" "gcc" "src/threads/CMakeFiles/taos_threads.dir/semaphore.cc.o.d"
+  "/root/repo/src/threads/thread.cc" "src/threads/CMakeFiles/taos_threads.dir/thread.cc.o" "gcc" "src/threads/CMakeFiles/taos_threads.dir/thread.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/taos_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/taos_spec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taos_threads.dir/alert.cc.o"
+  "CMakeFiles/taos_threads.dir/alert.cc.o.d"
+  "CMakeFiles/taos_threads.dir/condition.cc.o"
+  "CMakeFiles/taos_threads.dir/condition.cc.o.d"
+  "CMakeFiles/taos_threads.dir/mutex.cc.o"
+  "CMakeFiles/taos_threads.dir/mutex.cc.o.d"
+  "CMakeFiles/taos_threads.dir/nub.cc.o"
+  "CMakeFiles/taos_threads.dir/nub.cc.o.d"
+  "CMakeFiles/taos_threads.dir/semaphore.cc.o"
+  "CMakeFiles/taos_threads.dir/semaphore.cc.o.d"
+  "CMakeFiles/taos_threads.dir/thread.cc.o"
+  "CMakeFiles/taos_threads.dir/thread.cc.o.d"
+  "libtaos_threads.a"
+  "libtaos_threads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taos_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

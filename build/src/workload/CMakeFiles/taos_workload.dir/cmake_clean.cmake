@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taos_workload.dir/thread_pool.cc.o"
+  "CMakeFiles/taos_workload.dir/thread_pool.cc.o.d"
+  "CMakeFiles/taos_workload.dir/work.cc.o"
+  "CMakeFiles/taos_workload.dir/work.cc.o.d"
+  "libtaos_workload.a"
+  "libtaos_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taos_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coro_fuzz_test.dir/coro_fuzz_test.cc.o"
+  "CMakeFiles/coro_fuzz_test.dir/coro_fuzz_test.cc.o.d"
+  "coro_fuzz_test"
+  "coro_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coro_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firefly_machine_test.dir/firefly_machine_test.cc.o"
+  "CMakeFiles/firefly_machine_test.dir/firefly_machine_test.cc.o.d"
+  "firefly_machine_test"
+  "firefly_machine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firefly_machine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

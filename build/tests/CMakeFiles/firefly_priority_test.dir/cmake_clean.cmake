@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firefly_priority_test.dir/firefly_priority_test.cc.o"
+  "CMakeFiles/firefly_priority_test.dir/firefly_priority_test.cc.o.d"
+  "firefly_priority_test"
+  "firefly_priority_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firefly_priority_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firefly_sync_test.dir/firefly_sync_test.cc.o"
+  "CMakeFiles/firefly_sync_test.dir/firefly_sync_test.cc.o.d"
+  "firefly_sync_test"
+  "firefly_sync_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firefly_sync_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

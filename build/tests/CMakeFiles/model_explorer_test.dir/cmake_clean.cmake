@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_explorer_test.dir/model_explorer_test.cc.o"
+  "CMakeFiles/model_explorer_test.dir/model_explorer_test.cc.o.d"
+  "model_explorer_test"
+  "model_explorer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_explorer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

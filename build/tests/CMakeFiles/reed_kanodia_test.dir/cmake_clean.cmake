@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reed_kanodia_test.dir/reed_kanodia_test.cc.o"
+  "CMakeFiles/reed_kanodia_test.dir/reed_kanodia_test.cc.o.d"
+  "reed_kanodia_test"
+  "reed_kanodia_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reed_kanodia_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

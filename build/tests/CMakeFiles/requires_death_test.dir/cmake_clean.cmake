@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/requires_death_test.dir/requires_death_test.cc.o"
+  "CMakeFiles/requires_death_test.dir/requires_death_test.cc.o.d"
+  "requires_death_test"
+  "requires_death_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/requires_death_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spec_checker_test.dir/spec_checker_test.cc.o"
+  "CMakeFiles/spec_checker_test.dir/spec_checker_test.cc.o.d"
+  "spec_checker_test"
+  "spec_checker_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spec_checker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spec_enumerate_test.dir/spec_enumerate_test.cc.o"
+  "CMakeFiles/spec_enumerate_test.dir/spec_enumerate_test.cc.o.d"
+  "spec_enumerate_test"
+  "spec_enumerate_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spec_enumerate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spec_render_test.dir/spec_render_test.cc.o"
+  "CMakeFiles/spec_render_test.dir/spec_render_test.cc.o.d"
+  "spec_render_test"
+  "spec_render_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spec_render_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

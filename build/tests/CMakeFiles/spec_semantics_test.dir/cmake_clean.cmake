@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spec_semantics_test.dir/spec_semantics_test.cc.o"
+  "CMakeFiles/spec_semantics_test.dir/spec_semantics_test.cc.o.d"
+  "spec_semantics_test"
+  "spec_semantics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spec_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

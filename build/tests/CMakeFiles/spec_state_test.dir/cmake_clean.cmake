@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spec_state_test.dir/spec_state_test.cc.o"
+  "CMakeFiles/spec_state_test.dir/spec_state_test.cc.o.d"
+  "spec_state_test"
+  "spec_state_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spec_state_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threads_alert_test.dir/threads_alert_test.cc.o"
+  "CMakeFiles/threads_alert_test.dir/threads_alert_test.cc.o.d"
+  "threads_alert_test"
+  "threads_alert_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threads_alert_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threads_condition_test.dir/threads_condition_test.cc.o"
+  "CMakeFiles/threads_condition_test.dir/threads_condition_test.cc.o.d"
+  "threads_condition_test"
+  "threads_condition_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threads_condition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threads_misc_test.dir/threads_misc_test.cc.o"
+  "CMakeFiles/threads_misc_test.dir/threads_misc_test.cc.o.d"
+  "threads_misc_test"
+  "threads_misc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threads_misc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

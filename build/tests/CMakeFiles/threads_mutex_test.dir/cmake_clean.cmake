@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threads_mutex_test.dir/threads_mutex_test.cc.o"
+  "CMakeFiles/threads_mutex_test.dir/threads_mutex_test.cc.o.d"
+  "threads_mutex_test"
+  "threads_mutex_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threads_mutex_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threads_semaphore_test.dir/threads_semaphore_test.cc.o"
+  "CMakeFiles/threads_semaphore_test.dir/threads_semaphore_test.cc.o.d"
+  "threads_semaphore_test"
+  "threads_semaphore_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threads_semaphore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

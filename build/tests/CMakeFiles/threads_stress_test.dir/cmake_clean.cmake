@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threads_stress_test.dir/threads_stress_test.cc.o"
+  "CMakeFiles/threads_stress_test.dir/threads_stress_test.cc.o.d"
+  "threads_stress_test"
+  "threads_stress_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threads_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threads_trace_test.dir/threads_trace_test.cc.o"
+  "CMakeFiles/threads_trace_test.dir/threads_trace_test.cc.o.d"
+  "threads_trace_test"
+  "threads_trace_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threads_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
