@@ -79,16 +79,39 @@ void BM_ReedKanodiaMutex(benchmark::State& state) {
   ContendedLoop(state, g_rk_mutex);
 }
 
+// The sharding A/B: disjoint thread pairs each hammer their own mutex, so no
+// user-level contention crosses pairs — with per-object Nub locks the pairs'
+// slow paths are fully independent, while TAOS_NUB_GLOBAL_LOCK=1 funnels
+// every park/unpark through the paper's single spin-lock bit. The
+// global_lock counter records which configuration a run measured.
+constexpr int kPairPool = 8;
+taos::Mutex g_pair_mutexes[kPairPool];
+void BM_TaosMutexPairedObjects(benchmark::State& state) {
+  taos::Mutex& m = g_pair_mutexes[(state.thread_index() / 2) % kPairPool];
+  ContendedLoop(state, m);
+  if (state.thread_index() == 0) {
+    state.counters["global_lock"] =
+        taos::Nub::Get().global_lock_mode() ? 1.0 : 0.0;
+  }
+}
+
 void Shapes(benchmark::internal::Benchmark* b) {
   // {cs_work, outside_work}: short and long critical sections.
   for (auto shape : {std::pair<int, int>{5, 20}, {100, 20}}) {
     b->Args({shape.first, shape.second});
   }
-  b->Threads(1)->Threads(2)->Threads(4);
+  b->Threads(1)->Threads(2)->Threads(4)->Threads(8);
+  b->UseRealTime();
+}
+
+void PairShapes(benchmark::internal::Benchmark* b) {
+  b->Args({5, 20});
+  b->Threads(2)->Threads(8)->Threads(16);
   b->UseRealTime();
 }
 
 BENCHMARK(BM_TaosMutex)->Apply(Shapes);
+BENCHMARK(BM_TaosMutexPairedObjects)->Apply(PairShapes);
 BENCHMARK(BM_SemaphoreLock)->Apply(Shapes);
 BENCHMARK(BM_TicketSpin)->Apply(Shapes);
 BENCHMARK(BM_HandoffMutex)->Apply(Shapes);

@@ -41,13 +41,15 @@ class SpinLock {
   // True if some thread currently holds the lock (racy; for diagnostics).
   bool IsHeld() const { return bit_.test(std::memory_order_relaxed); }
 
- private:
+  // One polite busy-wait beat, exposed for callers running their own retry
+  // loops (e.g. Alert's try-lock dance in src/threads/alert.cc).
   static void Pause() {
 #if defined(__x86_64__) || defined(__i386__)
     __builtin_ia32_pause();
 #endif
   }
 
+ private:
   std::atomic_flag bit_ = ATOMIC_FLAG_INIT;
 };
 

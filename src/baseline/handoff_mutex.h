@@ -41,14 +41,13 @@ class HandoffMutex {
     }
     bool parked = false;
     {
-      SpinGuard g(nub.lock());
+      NubGuard g(nub_lock_);
       std::uint32_t expected = 0;
       if (!bit_.compare_exchange_strong(expected, 1,
                                         std::memory_order_acquire)) {
         queue_.PushBack(self);
-        self->block_kind = ThreadRecord::BlockKind::kMutex;
-        self->blocked_obj = this;
-        self->alertable = false;
+        MarkBlocked(self, ThreadRecord::BlockKind::kMutex, this, &nub_lock_,
+                    /*alertable=*/false);
         parked = true;
       }
     }
@@ -67,11 +66,10 @@ class HandoffMutex {
     holder_.store(spec::kNil, std::memory_order_relaxed);
     ThreadRecord* next = nullptr;
     {
-      SpinGuard g(nub.lock());
+      NubGuard g(nub_lock_);
       next = queue_.PopFront();
       if (next != nullptr) {
-        next->block_kind = ThreadRecord::BlockKind::kNone;
-        next->blocked_obj = nullptr;
+        MarkUnblocked(next);
         // The bit stays 1: ownership transfers; no thread can barge in.
       } else {
         bit_.store(0, std::memory_order_release);
@@ -87,13 +85,14 @@ class HandoffMutex {
   }
 
   std::size_t WaitersForDebug() {
-    SpinGuard g(Nub::Get().lock());
+    NubGuard g(nub_lock_);
     return queue_.Size();
   }
 
  private:
   std::atomic<std::uint32_t> bit_{0};
-  IntrusiveQueue<ThreadRecord> queue_;  // guarded by the Nub spin-lock
+  ObjLock nub_lock_;                    // guards queue_
+  IntrusiveQueue<ThreadRecord> queue_;
   std::atomic<spec::ThreadId> holder_{spec::kNil};
 };
 

@@ -425,6 +425,121 @@ class AlertPRaceTest : public LitmusTest {
 };
 
 // ---------------------------------------------------------------------------
+// The Greg Nelson AlertWait bug path
+// ---------------------------------------------------------------------------
+
+class AlertWaitGhostTest : public LitmusTest {
+ public:
+  explicit AlertWaitGhostTest(Tally* tally) : tally_(tally) {}
+
+  void Setup(Machine& machine) override {
+    mu_ = std::make_unique<firefly::Mutex>(machine);
+    cv_ = std::make_unique<firefly::Condition>(machine);
+    firefly::FiberHandle waiter = machine.Fork(
+        [this, &machine] {
+          mu_->Acquire();
+          machine.Step();
+          try {
+            // A single AlertWait, no predicate loop: any wakeup ends it, so
+            // every schedule terminates and both exits occur across the
+            // exploration.
+            firefly::AlertWait(*mu_, *cv_);
+            normal_ = true;
+          } catch (const Alerted&) {
+            alerted_ = true;
+          }
+          mu_->Release();
+        },
+        /*priority=*/0, "waiter");
+    machine.Fork([waiter] { firefly::Alert(waiter); }, /*priority=*/0,
+                 "alerter");
+    machine.Fork(
+        [this, &machine] {
+          machine.Step();  // choice point: the Signal may land after the
+                           // waiter's Alerted exit — the ghost probe
+          cv_->Signal();
+        },
+        /*priority=*/0, "signaller");
+  }
+
+  std::string Verify(const RunResult& result) override {
+    if (tally_ != nullptr) {
+      tally_->normal_exits += normal_ ? 1 : 0;
+      tally_->alerted_exits += alerted_ ? 1 : 0;
+      tally_->completions += result.completed ? 1 : 0;
+      tally_->deadlocks += result.deadlock ? 1 : 0;
+    }
+    if (!result.completed) {
+      return "stuck: " + result.ToString();
+    }
+    if (!normal_ && !alerted_) {
+      return "waiter exited neither normally nor via Alerted";
+    }
+    return "";
+  }
+
+ private:
+  Tally* const tally_;
+  std::unique_ptr<firefly::Mutex> mu_;
+  std::unique_ptr<firefly::Condition> cv_;
+  bool normal_ = false;
+  bool alerted_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// The AlertP RETURNS/RAISES overlap
+// ---------------------------------------------------------------------------
+
+class AlertPOverlapTest : public LitmusTest {
+ public:
+  explicit AlertPOverlapTest(Tally* tally) : tally_(tally) {}
+
+  void Setup(Machine& machine) override {
+    sem_ = std::make_unique<firefly::Semaphore>(machine,
+                                                /*initially_available=*/true);
+    firefly::FiberHandle taker = machine.Fork(
+        [this] {
+          try {
+            firefly::AlertP(*sem_);
+            normal_ = true;
+            // An alert still pending after a return means both WHEN clauses
+            // held and the implementation chose RETURNS.
+            overlap_ = firefly::TestAlert();
+          } catch (const Alerted&) {
+            alerted_ = true;
+          }
+        },
+        /*priority=*/0, "taker");
+    machine.Fork([taker] { firefly::Alert(taker); }, /*priority=*/0,
+                 "alerter");
+  }
+
+  std::string Verify(const RunResult& result) override {
+    if (tally_ != nullptr) {
+      tally_->normal_exits += normal_ ? 1 : 0;
+      tally_->alerted_exits += alerted_ ? 1 : 0;
+      tally_->returns_with_alert_pending += overlap_ ? 1 : 0;
+      tally_->completions += result.completed ? 1 : 0;
+      tally_->deadlocks += result.deadlock ? 1 : 0;
+    }
+    if (!result.completed) {
+      return "AlertP stuck: " + result.ToString();
+    }
+    if (!normal_ && !alerted_) {
+      return "AlertP neither returned nor raised";
+    }
+    return "";
+  }
+
+ private:
+  Tally* const tally_;
+  std::unique_ptr<firefly::Semaphore> sem_;
+  bool normal_ = false;
+  bool alerted_ = false;
+  bool overlap_ = false;
+};
+
+// ---------------------------------------------------------------------------
 // One Signal may unblock more than one waiter
 // ---------------------------------------------------------------------------
 
@@ -587,6 +702,14 @@ LitmusFactory SemaphoreHandoffLitmus() {
 
 LitmusFactory AlertPRaceLitmus(Tally* tally) {
   return [tally] { return std::make_unique<AlertPRaceTest>(tally); };
+}
+
+LitmusFactory AlertWaitGhostLitmus(Tally* tally) {
+  return [tally] { return std::make_unique<AlertWaitGhostTest>(tally); };
+}
+
+LitmusFactory AlertPOverlapLitmus(Tally* tally) {
+  return [tally] { return std::make_unique<AlertPOverlapTest>(tally); };
 }
 
 LitmusFactory SignalUnblocksManyLitmus(Tally* tally) {

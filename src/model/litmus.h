@@ -23,6 +23,9 @@ struct Tally {
   std::uint64_t deadlocks = 0;
   std::uint64_t absorbed_wakeups = 0;
   std::uint64_t multi_unblock_signals = 0;
+  // AlertP returned with the caller's alert still pending: both of the
+  // spec's WHEN clauses held and the implementation chose RETURNS.
+  std::uint64_t returns_with_alert_pending = 0;
 };
 
 // N fibers each perform `iters` critical sections (with explicit internal
@@ -64,6 +67,23 @@ LitmusFactory SemaphoreHandoffLitmus();
 // AlertP racing a V and an Alert: both outcomes (return, raise) are legal
 // and both must occur across schedules (tallied).
 LitmusFactory AlertPRaceLitmus(Tally* tally = nullptr);
+
+// Greg Nelson's AlertWait bug, as a checkable scenario: a waiter that exits
+// AlertWait via Alerted while a Signal races in. Under the corrected spec
+// (AlertResume/RAISES deletes SELF from c) every serialization conforms;
+// under AlertWaitVariant::kOriginalBuggy (UNCHANGED [c] on the raising exit)
+// the raised waiter lingers in c as a ghost and a later Signal's ENSURES —
+// cpost empty or a proper subset — fails. Explore with check_traces and the
+// two spec configs to reproduce both halves of the paper's Discussion.
+LitmusFactory AlertWaitGhostLitmus(Tally* tally = nullptr);
+
+// The RETURNS/RAISES overlap of AlertP, isolated: the semaphore starts
+// available and only an Alert races the AlertP, so in some schedules both
+// WHEN clauses hold at once and this implementation's test-and-set picks
+// RETURNS (tallied via returns_with_alert_pending). The released spec
+// accepts every schedule; AlertChoicePolicy::kPreferAlerted — the
+// pre-release deterministic rule — flags exactly the overlap runs.
+LitmusFactory AlertPOverlapLitmus(Tally* tally = nullptr);
 
 // Two waiters, one Signal: at least one waiter must resume; with the
 // signaller racing the waiters' windows, some schedules legally unblock

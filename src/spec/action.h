@@ -51,6 +51,13 @@ struct Action {
   ThreadSet removed;
   bool result = false;
 
+  // Serialization stamp. Emitters whose actions commit under different locks
+  // (the sharded Nub) draw this from one global counter at commit time;
+  // Trace::Actions() orders by it. Emitters that are already serialized
+  // (the global-lock Nub emits in stamp order anyway; the simulator runs one
+  // fiber at a time) may leave it 0 — the sort is stable.
+  std::uint64_t seq = 0;
+
   std::string ToString() const;
 };
 

@@ -6,6 +6,7 @@
 #ifndef TAOS_SRC_SPEC_TRACE_H_
 #define TAOS_SRC_SPEC_TRACE_H_
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -15,9 +16,11 @@
 namespace taos::spec {
 
 // Anything that accepts emitted actions. The emitter must guarantee that the
-// order of Emit calls is a legal serialization of the actions (both the
-// instrumented Nub and the simulator emit while holding the lock that
-// serializes the actions themselves).
+// emitted actions, ordered by their `seq` stamp (ties broken by Emit-call
+// order), form a legal serialization. The global-lock Nub and the simulator
+// emit while holding the lock that serializes the actions themselves, so
+// call order alone suffices; the sharded Nub commits actions under different
+// per-object locks and relies on the stamp (see src/threads/nub.h).
 class TraceSink {
  public:
   virtual ~TraceSink() = default;
@@ -31,11 +34,19 @@ class Trace : public TraceSink {
     actions_.push_back(action);
   }
 
-  // Snapshot of the actions recorded so far. Safe to call while emitters are
-  // still running, but normally used after they have joined.
+  // The recorded serialization: the actions so far, in `seq`-stamp order
+  // (stable, so unstamped emitters keep their Emit order). Safe to call
+  // while emitters are still running, but normally used after they joined.
   std::vector<Action> Actions() const {
-    SpinGuard g(lock_);
-    return actions_;
+    std::vector<Action> sorted;
+    {
+      SpinGuard g(lock_);
+      sorted = actions_;
+    }
+    std::stable_sort(
+        sorted.begin(), sorted.end(),
+        [](const Action& a, const Action& b) { return a.seq < b.seq; });
+    return sorted;
   }
 
   std::size_t Size() const {

@@ -6,52 +6,76 @@
 
 namespace taos {
 
+// Alert is the one operation that reaches a synchronization object through a
+// thread record instead of the other way around, so it runs the ordering
+// discipline backwards (rule 3 in nub.h): take t's record lock, learn what t
+// is blocked on, then TRY-acquire that object's lock. On failure the record
+// lock is released and the whole inspection retried — the object lock's
+// holder may be concurrently waking t, and will need t's record lock to do
+// it. While the record lock is held and t is observed blocked on the object,
+// the object cannot be destroyed (t has not returned from its blocking
+// call), so the try-acquire never touches freed memory.
 void Alert(ThreadHandle h) {
   TAOS_CHECK(h.rec != nullptr);
   Nub& nub = Nub::Get();
   ThreadRecord* self = nub.Current();
   ThreadRecord* t = h.rec;
-  ThreadRecord* wake = nullptr;
-  {
-    SpinGuard g(nub.lock());
-    // alerts := insert(alerts, t)
-    t->alerted.store(true, std::memory_order_relaxed);
-    if (t->block_kind != ThreadRecord::BlockKind::kNone && t->alertable) {
-      switch (t->block_kind) {
-        case ThreadRecord::BlockKind::kSemaphore: {
-          auto* s = static_cast<Semaphore*>(t->blocked_obj);
-          s->queue_.Remove(t);
-          s->queue_len_.fetch_sub(1, std::memory_order_relaxed);
-          break;
-        }
-        case ThreadRecord::BlockKind::kCondition: {
-          auto* c = static_cast<Condition*>(t->blocked_obj);
-          c->queue_.Remove(t);
-          if (nub.tracing()) {
-            // The alerted thread will raise; it stays a spec-member of c
-            // until its AlertResume action fires (corrected AlertWait
-            // semantics), so a Signal in between may still remove it.
-            c->pending_raise_.push_back(t);
-          } else {
-            c->waiters_.fetch_sub(1, std::memory_order_relaxed);
-          }
-          break;
-        }
-        case ThreadRecord::BlockKind::kMutex:
-        case ThreadRecord::BlockKind::kNone:
-          TAOS_PANIC("alertable thread blocked on a mutex");
+  for (;;) {
+    t->lock.Acquire();
+    if (t->block_kind == ThreadRecord::BlockKind::kNone || !t->alertable) {
+      // Not alertably blocked: just record the pending alert. The emission
+      // under t's record lock serializes this action against the alerted
+      // checks in TestAlert / AlertWait / AlertP, which hold the same lock.
+      t->alerted.store(true, std::memory_order_seq_cst);
+      if (nub.tracing()) {
+        nub.EmitTraced(spec::MakeAlert(self->id, t->id));
       }
-      t->block_kind = ThreadRecord::BlockKind::kNone;
-      t->blocked_obj = nullptr;
-      t->alert_woken = true;
-      wake = t;
+      t->lock.Release();
+      return;
     }
+    SpinLock* obj_lock = t->blocked_lock->Resolve();
+    if (!obj_lock->TryAcquire()) {
+      t->lock.Release();
+      SpinLock::Pause();
+      continue;
+    }
+    // Both locks held: set the flag, dequeue and wake t — one atomic action.
+    // (Setting alerted on a failed iteration instead would let t consume the
+    // alert and emit its Raises action before this Alert's own emission.)
+    t->alerted.store(true, std::memory_order_relaxed);
+    switch (t->block_kind) {
+      case ThreadRecord::BlockKind::kSemaphore: {
+        auto* s = static_cast<Semaphore*>(t->blocked_obj);
+        s->queue_.Remove(t);
+        s->queue_len_.fetch_sub(1, std::memory_order_relaxed);
+        break;
+      }
+      case ThreadRecord::BlockKind::kCondition: {
+        auto* c = static_cast<Condition*>(t->blocked_obj);
+        c->queue_.Remove(t);
+        if (nub.tracing()) {
+          // The alerted thread will raise; it stays a spec-member of c
+          // until its AlertResume action fires (corrected AlertWait
+          // semantics), so a Signal in between may still remove it.
+          c->pending_raise_.push_back(t);
+        } else {
+          c->waiters_.fetch_sub(1, std::memory_order_relaxed);
+        }
+        break;
+      }
+      case ThreadRecord::BlockKind::kMutex:
+      case ThreadRecord::BlockKind::kNone:
+        TAOS_PANIC("alertable thread blocked on a mutex");
+    }
+    ClearBlockedLocked(t);
+    t->alert_woken = true;
     if (nub.tracing()) {
-      nub.trace()->Emit(spec::MakeAlert(self->id, t->id));
+      nub.EmitTraced(spec::MakeAlert(self->id, t->id));
     }
-  }
-  if (wake != nullptr) {
-    wake->park.release();
+    obj_lock->Release();
+    t->lock.Release();
+    t->park.release();
+    return;
   }
 }
 
@@ -59,9 +83,9 @@ bool TestAlert() {
   Nub& nub = Nub::Get();
   ThreadRecord* self = nub.Current();
   if (nub.tracing()) {
-    SpinGuard g(nub.lock());
+    SpinGuard g(self->lock);
     const bool b = self->alerted.exchange(false, std::memory_order_relaxed);
-    nub.trace()->Emit(spec::MakeTestAlert(self->id, b));
+    nub.EmitTraced(spec::MakeTestAlert(self->id, b));
     return b;
   }
   return self->alerted.exchange(false, std::memory_order_seq_cst);
@@ -75,25 +99,30 @@ void AlertWait(Mutex& m, Condition& c) {
 
   if (nub.tracing()) {
     // --- Traced (spec-emitting) path ---
-    // Atomic action Enqueue (AlertWait flavour: UNCHANGED [alerts]).
+    // Atomic action Enqueue (AlertWait flavour: UNCHANGED [alerts]). It
+    // touches both m and c, so both ObjLocks are held.
     EventCount::Value snapshot = 0;
     ThreadRecord* wake = nullptr;
     {
-      SpinGuard g(nub.lock());
+      NubGuard2 g(m.nub_lock_, &c.nub_lock_);
       snapshot = c.ec_.Read();
       wake = m.TracedReleaseLocked(self, /*emit_release=*/false);
       c.window_.push_back(self);
-      nub.trace()->Emit(spec::MakeAlertEnqueue(self->id, m.id_, c.id_));
+      nub.EmitTraced(spec::MakeAlertEnqueue(self->id, m.id_, c.id_));
     }
     if (wake != nullptr) {
       wake->park.release();
     }
 
-    // AlertBlock: like Block(c, i) but responsive to alerts.
+    // AlertBlock: like Block(c, i) but responsive to alerts. The record
+    // lock is held across the alerted check AND the block-state
+    // publication, so an Alert cannot slip between them (it would see "not
+    // blocked", leave only the flag, and strand us parked).
     bool parked = false;
     bool raise = false;
     {
-      SpinGuard g(nub.lock());
+      NubGuard g(c.nub_lock_);
+      SpinGuard sg(self->lock);
       if (self->alerted.load(std::memory_order_relaxed)) {
         raise = true;
         if (c.EraseWindow(self)) {
@@ -107,10 +136,8 @@ void AlertWait(Mutex& m, Condition& c) {
       } else {
         TAOS_CHECK(c.EraseWindow(self));
         c.queue_.PushBack(self);
-        self->block_kind = ThreadRecord::BlockKind::kCondition;
-        self->blocked_obj = &c;
-        self->alertable = true;
-        self->alert_woken = false;
+        SetBlockedLocked(self, ThreadRecord::BlockKind::kCondition, &c,
+                         &c.nub_lock_, /*alertable=*/true);
         parked = true;
       }
     }
@@ -121,16 +148,20 @@ void AlertWait(Mutex& m, Condition& c) {
       // by Signal/Broadcast (removed from c). If an alert is pending in
       // either case, this implementation chooses to raise — the spec
       // permits either outcome when both WHEN clauses hold.
+      SpinGuard sg(self->lock);
       raise = self->alert_woken ||
               self->alerted.load(std::memory_order_relaxed);
     }
 
     if (raise) {
       // Atomic action AlertResume / RAISES: regain m, leave c and alerts.
+      // The action touches m, c and the alert flag, so TracedAcquire takes
+      // c's lock alongside m's on every attempt and runs the callback with
+      // self's record lock also held.
       Condition* cp = &c;
       m.TracedAcquire(self,
                       spec::MakeAlertResumeRaises(self->id, m.id_, c.id_),
-                      [cp, self] {
+                      &c.nub_lock_, [cp, self] {
                         cp->ErasePendingRaise(self);
                         self->alerted.store(false, std::memory_order_relaxed);
                         self->alert_woken = false;
@@ -138,9 +169,8 @@ void AlertWait(Mutex& m, Condition& c) {
       throw Alerted();
     }
     // Atomic action AlertResume / RETURNS.
-    m.TracedAcquire(self,
-                    spec::MakeAlertResumeReturns(self->id, m.id_, c.id_));
-    self->alert_woken = false;
+    m.TracedAcquire(self, spec::MakeAlertResumeReturns(self->id, m.id_, c.id_),
+                    nullptr, [self] { self->alert_woken = false; });
     return;
   }
 
@@ -153,16 +183,15 @@ void AlertWait(Mutex& m, Condition& c) {
   bool parked = false;
   bool raise = false;
   {
-    SpinGuard g(nub.lock());
+    NubGuard g(c.nub_lock_);
+    SpinGuard sg(self->lock);
     if (self->alerted.load(std::memory_order_relaxed)) {
       raise = true;
       c.waiters_.fetch_sub(1, std::memory_order_relaxed);
     } else if (c.ec_.Read() == i) {
       c.queue_.PushBack(self);
-      self->block_kind = ThreadRecord::BlockKind::kCondition;
-      self->blocked_obj = &c;
-      self->alertable = true;
-      self->alert_woken = false;
+      SetBlockedLocked(self, ThreadRecord::BlockKind::kCondition, &c,
+                       &c.nub_lock_, /*alertable=*/true);
       parked = true;
     } else {
       c.waiters_.fetch_sub(1, std::memory_order_relaxed);
@@ -172,17 +201,22 @@ void AlertWait(Mutex& m, Condition& c) {
   if (parked) {
     self->parks.fetch_add(1, std::memory_order_relaxed);
     self->park.acquire();
+    SpinGuard sg(self->lock);
     raise = self->alert_woken ||
             self->alerted.load(std::memory_order_relaxed);
   }
 
   m.Acquire();
-  if (raise) {
-    self->alerted.store(false, std::memory_order_relaxed);
+  {
+    SpinGuard sg(self->lock);
     self->alert_woken = false;
+    if (raise) {
+      self->alerted.store(false, std::memory_order_relaxed);
+    }
+  }
+  if (raise) {
     throw Alerted();
   }
-  self->alert_woken = false;
 }
 
 void AlertP(Semaphore& s) {
@@ -191,41 +225,44 @@ void AlertP(Semaphore& s) {
 
   if (nub.tracing()) {
     // --- Traced (spec-emitting) path ---
-    // Under the spin-lock every check-act pair is one atomic action; this
+    // Each check-act pair below is one atomic action under s's ObjLock plus
+    // the record lock (the alert flag is part of the action's state); this
     // path prefers the RAISES outcome when both WHEN clauses hold, which
     // the spec allows.
     nub.nub_entries.fetch_add(1, std::memory_order_relaxed);
     for (;;) {
       bool parked = false;
       {
-        SpinGuard g(nub.lock());
+        NubGuard g(s.nub_lock_);
+        SpinGuard sg(self->lock);
         if (self->alerted.load(std::memory_order_relaxed)) {
           self->alerted.store(false, std::memory_order_relaxed);
           self->alert_woken = false;
-          nub.trace()->Emit(spec::MakeAlertPRaises(self->id, s.id_));
+          nub.EmitTraced(spec::MakeAlertPRaises(self->id, s.id_));
           throw Alerted();
         }
         if (s.bit_.load(std::memory_order_relaxed) == 0) {
           s.bit_.store(1, std::memory_order_relaxed);
-          nub.trace()->Emit(spec::MakeAlertPReturns(self->id, s.id_));
+          nub.EmitTraced(spec::MakeAlertPReturns(self->id, s.id_));
           return;
         }
         s.queue_.PushBack(self);
         s.queue_len_.fetch_add(1, std::memory_order_relaxed);
-        self->block_kind = ThreadRecord::BlockKind::kSemaphore;
-        self->blocked_obj = &s;
-        self->alertable = true;
-        self->alert_woken = false;
+        SetBlockedLocked(self, ThreadRecord::BlockKind::kSemaphore, &s,
+                         &s.nub_lock_, /*alertable=*/true);
         parked = true;
       }
       if (parked) {
         self->parks.fetch_add(1, std::memory_order_relaxed);
         self->park.acquire();
+        SpinGuard sg(self->lock);
         if (self->alert_woken) {
-          SpinGuard g(nub.lock());
           self->alert_woken = false;
           self->alerted.store(false, std::memory_order_relaxed);
-          nub.trace()->Emit(spec::MakeAlertPRaises(self->id, s.id_));
+          // The Alert that woke us already dequeued SELF and emitted its own
+          // action; this one touches only the alert flag, under the record
+          // lock.
+          nub.EmitTraced(spec::MakeAlertPRaises(self->id, s.id_));
           throw Alerted();
         }
       }
@@ -247,7 +284,8 @@ void AlertP(Semaphore& s) {
   for (;;) {
     bool parked = false;
     {
-      SpinGuard g(nub.lock());
+      NubGuard g(s.nub_lock_);
+      SpinGuard sg(self->lock);
       if (self->alerted.load(std::memory_order_relaxed)) {
         self->alerted.store(false, std::memory_order_relaxed);
         self->alert_woken = false;
@@ -256,10 +294,8 @@ void AlertP(Semaphore& s) {
       s.queue_.PushBack(self);
       s.queue_len_.fetch_add(1, std::memory_order_seq_cst);
       if (s.bit_.load(std::memory_order_seq_cst) != 0) {
-        self->block_kind = ThreadRecord::BlockKind::kSemaphore;
-        self->blocked_obj = &s;
-        self->alertable = true;
-        self->alert_woken = false;
+        SetBlockedLocked(self, ThreadRecord::BlockKind::kSemaphore, &s,
+                         &s.nub_lock_, /*alertable=*/true);
         parked = true;
       } else {
         s.queue_.Remove(self);
@@ -269,6 +305,7 @@ void AlertP(Semaphore& s) {
     if (parked) {
       self->parks.fetch_add(1, std::memory_order_relaxed);
       self->park.acquire();
+      SpinGuard sg(self->lock);
       if (self->alert_woken) {
         self->alert_woken = false;
         self->alerted.store(false, std::memory_order_relaxed);

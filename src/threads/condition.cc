@@ -42,13 +42,11 @@ void Condition::Block(ThreadRecord* self, EventCount::Value i) {
   nub.nub_entries.fetch_add(1, std::memory_order_relaxed);
   bool parked = false;
   {
-    SpinGuard g(nub.lock());
+    NubGuard g(nub_lock_);
     if (ec_.Read() == i) {
       queue_.PushBack(self);
-      self->block_kind = ThreadRecord::BlockKind::kCondition;
-      self->blocked_obj = this;
-      self->alertable = false;
-      self->alert_woken = false;
+      MarkBlocked(self, ThreadRecord::BlockKind::kCondition, this, &nub_lock_,
+                  /*alertable=*/false);
       parked = true;
     } else {
       // A Signal or Broadcast intervened between the eventcount read and
@@ -84,13 +82,12 @@ void Condition::NubSignal() {
   nub_signals_.fetch_add(1, std::memory_order_relaxed);
   ThreadRecord* wake = nullptr;
   {
-    SpinGuard g(nub.lock());
+    NubGuard g(nub_lock_);
     ec_.Advance();
     wake = queue_.PopFront();
     if (wake != nullptr) {
       waiters_.fetch_sub(1, std::memory_order_relaxed);
-      wake->block_kind = ThreadRecord::BlockKind::kNone;
-      wake->blocked_obj = nullptr;
+      MarkUnblocked(wake);
     }
   }
   if (wake != nullptr) {
@@ -116,12 +113,11 @@ void Condition::NubBroadcast() {
   nub.nub_entries.fetch_add(1, std::memory_order_relaxed);
   std::vector<ThreadRecord*> wake;
   {
-    SpinGuard g(nub.lock());
+    NubGuard g(nub_lock_);
     ec_.Advance();
     while (ThreadRecord* t = queue_.PopFront()) {
       waiters_.fetch_sub(1, std::memory_order_relaxed);
-      t->block_kind = ThreadRecord::BlockKind::kNone;
-      t->blocked_obj = nullptr;
+      MarkUnblocked(t);
       wake.push_back(t);
     }
   }
@@ -157,12 +153,13 @@ void Condition::TracedWait(Mutex& m, ThreadRecord* self) {
   EventCount::Value snapshot = 0;
   ThreadRecord* wake = nullptr;
   {
-    // Atomic action Enqueue: insert SELF into c and set m to NIL.
-    SpinGuard g(nub.lock());
+    // Atomic action Enqueue: insert SELF into c and set m to NIL. The action
+    // touches both objects, so both ObjLocks are held (NubGuard2 order).
+    NubGuard2 g(m.nub_lock_, &nub_lock_);
     snapshot = ec_.Read();
     wake = m.TracedReleaseLocked(self, /*emit_release=*/false);
     window_.push_back(self);
-    nub.trace()->Emit(spec::MakeEnqueue(self->id, m.id_, id_));
+    nub.EmitTraced(spec::MakeEnqueue(self->id, m.id_, id_));
   }
   if (wake != nullptr) {
     wake->park.release();
@@ -171,7 +168,7 @@ void Condition::TracedWait(Mutex& m, ThreadRecord* self) {
   // Nub subroutine Block(c, i).
   bool parked = false;
   {
-    SpinGuard g(nub.lock());
+    NubGuard g(nub_lock_);
     if (ec_.Read() != snapshot) {
       // Absorbed: the intervening Signal/Broadcast removed us from c (and
       // from window_) when it emitted its action.
@@ -181,10 +178,8 @@ void Condition::TracedWait(Mutex& m, ThreadRecord* self) {
     } else {
       TAOS_CHECK(EraseWindow(self));
       queue_.PushBack(self);
-      self->block_kind = ThreadRecord::BlockKind::kCondition;
-      self->blocked_obj = this;
-      self->alertable = false;
-      self->alert_woken = false;
+      MarkBlocked(self, ThreadRecord::BlockKind::kCondition, this, &nub_lock_,
+                  /*alertable=*/false);
       parked = true;
     }
   }
@@ -193,7 +188,11 @@ void Condition::TracedWait(Mutex& m, ThreadRecord* self) {
     self->park.acquire();
   }
 
-  // Atomic action Resume, emitted at the instant m is regained.
+  // Atomic action Resume, emitted at the instant m is regained. Its WHEN
+  // clause reads c (SELF NOT-IN c) but the emission holds only m's lock:
+  // the Signal/Broadcast/Enqueue actions that changed SELF's membership all
+  // happened-before this point, so their stamps precede this one, and no
+  // other thread can re-insert SELF.
   m.TracedAcquire(self, spec::MakeResume(self->id, m.id_, id_));
 }
 
@@ -202,14 +201,13 @@ void Condition::TracedSignal(ThreadRecord* self) {
   nub_signals_.fetch_add(1, std::memory_order_relaxed);
   ThreadRecord* wake = nullptr;
   {
-    SpinGuard g(nub.lock());
+    NubGuard g(nub_lock_);
     ec_.Advance();
     spec::ThreadSet removed;
     wake = queue_.PopFront();
     if (wake != nullptr) {
       removed = removed.Insert(wake->id);
-      wake->block_kind = ThreadRecord::BlockKind::kNone;
-      wake->blocked_obj = nullptr;
+      MarkUnblocked(wake);
     }
     // Every thread in the wakeup-waiting window absorbs this increment, so
     // this Signal removes them all from c.
@@ -225,7 +223,7 @@ void Condition::TracedSignal(ThreadRecord* self) {
       removed = removed.Insert(r->id);
     }
     pending_raise_.clear();
-    nub.trace()->Emit(spec::MakeSignal(self->id, id_, removed));
+    nub.EmitTraced(spec::MakeSignal(self->id, id_, removed));
   }
   if (wake != nullptr) {
     wake->park.release();
@@ -236,13 +234,12 @@ void Condition::TracedBroadcast(ThreadRecord* self) {
   Nub& nub = Nub::Get();
   std::vector<ThreadRecord*> wake;
   {
-    SpinGuard g(nub.lock());
+    NubGuard g(nub_lock_);
     ec_.Advance();
     spec::ThreadSet removed;
     while (ThreadRecord* t = queue_.PopFront()) {
       removed = removed.Insert(t->id);
-      t->block_kind = ThreadRecord::BlockKind::kNone;
-      t->blocked_obj = nullptr;
+      MarkUnblocked(t);
       wake.push_back(t);
     }
     for (ThreadRecord* r : window_) {
@@ -253,7 +250,7 @@ void Condition::TracedBroadcast(ThreadRecord* self) {
       removed = removed.Insert(r->id);
     }
     pending_raise_.clear();
-    nub.trace()->Emit(spec::MakeBroadcast(self->id, id_, removed));
+    nub.EmitTraced(spec::MakeBroadcast(self->id, id_, removed));
   }
   for (ThreadRecord* t : wake) {
     t->park.release();

@@ -104,18 +104,19 @@ class Condition {
   void TracedWait(Mutex& m, ThreadRecord* self);
   void TracedSignal(ThreadRecord* self);
   void TracedBroadcast(ThreadRecord* self);
-  bool EraseWindow(ThreadRecord* rec);        // spin-lock held
-  bool ErasePendingRaise(ThreadRecord* rec);  // spin-lock held
+  bool EraseWindow(ThreadRecord* rec);        // nub_lock_ held
+  bool ErasePendingRaise(ThreadRecord* rec);  // nub_lock_ held
 
   EventCount ec_;
-  IntrusiveQueue<ThreadRecord> queue_;  // guarded by the Nub spin-lock
+  ObjLock nub_lock_;  // guards queue_, window_, pending_raise_
+  IntrusiveQueue<ThreadRecord> queue_;
   std::atomic<std::int32_t> waiters_{0};
   spec::ObjId id_;
 
-  // Traced-mode bookkeeping (guarded by the Nub spin-lock): threads between
-  // their Enqueue action and their entry into Block (the wakeup-waiting
-  // window), and threads that have committed to raising Alerted but are
-  // still members of the spec-level set c.
+  // Traced-mode bookkeeping (guarded by nub_lock_): threads between their
+  // Enqueue action and their entry into Block (the wakeup-waiting window),
+  // and threads that have committed to raising Alerted but are still
+  // members of the spec-level set c.
   std::vector<ThreadRecord*> window_;
   std::vector<ThreadRecord*> pending_raise_;
 

@@ -34,13 +34,13 @@ bool Mutex::TryAcquire() {
   Nub& nub = Nub::Get();
   ThreadRecord* self = nub.Current();
   if (nub.tracing()) {
-    SpinGuard g(nub.lock());
+    NubGuard g(nub_lock_);
     if (bit_.load(std::memory_order_relaxed) != 0) {
       return false;
     }
     bit_.store(1, std::memory_order_relaxed);
     NoteAcquired(self);
-    nub.trace()->Emit(spec::MakeAcquire(self->id, id_));
+    nub.EmitTraced(spec::MakeAcquire(self->id, id_));
     return true;
   }
   if (bit_.exchange(1, std::memory_order_acquire) == 0) {
@@ -58,17 +58,15 @@ void Mutex::NubAcquire(ThreadRecord* self) {
   for (;;) {
     bool parked = false;
     {
-      SpinGuard g(nub.lock());
+      NubGuard g(nub_lock_);
       // Add the calling thread to the Queue, then test the Lock-bit again.
       queue_.PushBack(self);
       queue_len_.fetch_add(1, std::memory_order_seq_cst);
       if (bit_.load(std::memory_order_seq_cst) != 0) {
         // Still held: de-schedule this thread. It stays queued; Release will
         // make it ready.
-        self->block_kind = ThreadRecord::BlockKind::kMutex;
-        self->blocked_obj = this;
-        self->alertable = false;
-        self->alert_woken = false;
+        MarkBlocked(self, ThreadRecord::BlockKind::kMutex, this, &nub_lock_,
+                    /*alertable=*/false);
         parked = true;
       } else {
         // Released in the meantime: back out and retry the whole Acquire.
@@ -115,12 +113,11 @@ void Mutex::NubRelease() {
   nub.nub_entries.fetch_add(1, std::memory_order_relaxed);
   ThreadRecord* wake = nullptr;
   {
-    SpinGuard g(nub.lock());
+    NubGuard g(nub_lock_);
     wake = queue_.PopFront();
     if (wake != nullptr) {
       queue_len_.fetch_sub(1, std::memory_order_relaxed);
-      wake->block_kind = ThreadRecord::BlockKind::kNone;
-      wake->blocked_obj = nullptr;
+      MarkUnblocked(wake);
     }
   }
   if (wake != nullptr) {
@@ -130,32 +127,34 @@ void Mutex::NubRelease() {
 }
 
 void Mutex::TracedAcquire(ThreadRecord* self, const spec::Action& emit) {
-  TracedAcquire(self, emit, nullptr);
+  TracedAcquire(self, emit, nullptr, nullptr);
 }
 
 void Mutex::TracedAcquire(ThreadRecord* self, const spec::Action& emit,
+                          ObjLock* co_lock,
                           const std::function<void()>& at_success) {
   Nub& nub = Nub::Get();
   nub.nub_entries.fetch_add(1, std::memory_order_relaxed);
   for (;;) {
     bool parked = false;
     {
-      SpinGuard g(nub.lock());
+      NubGuard2 g(nub_lock_, co_lock);
       if (bit_.load(std::memory_order_relaxed) == 0) {
         bit_.store(1, std::memory_order_relaxed);
         NoteAcquired(self);
+        // Self's record lock serializes the emitted action against Alert's
+        // (at_success may read and clear the alert flag).
+        SpinGuard tg(self->lock);
         if (at_success) {
           at_success();
         }
-        nub.trace()->Emit(emit);
+        nub.EmitTraced(emit);
         return;
       }
       queue_.PushBack(self);
       queue_len_.fetch_add(1, std::memory_order_relaxed);
-      self->block_kind = ThreadRecord::BlockKind::kMutex;
-      self->blocked_obj = this;
-      self->alertable = false;
-      self->alert_woken = false;
+      MarkBlocked(self, ThreadRecord::BlockKind::kMutex, this, &nub_lock_,
+                  /*alertable=*/false);
       parked = true;
     }
     if (parked) {
@@ -166,10 +165,9 @@ void Mutex::TracedAcquire(ThreadRecord* self, const spec::Action& emit,
 }
 
 void Mutex::TracedRelease(ThreadRecord* self) {
-  Nub& nub = Nub::Get();
   ThreadRecord* wake = nullptr;
   {
-    SpinGuard g(nub.lock());
+    NubGuard g(nub_lock_);
     wake = TracedReleaseLocked(self, /*emit_release=*/true);
   }
   if (wake != nullptr) {
@@ -184,13 +182,12 @@ ThreadRecord* Mutex::TracedReleaseLocked(ThreadRecord* self,
   holder_.store(spec::kNil, std::memory_order_relaxed);
   bit_.store(0, std::memory_order_relaxed);
   if (emit_release) {
-    nub.trace()->Emit(spec::MakeRelease(self->id, id_));
+    nub.EmitTraced(spec::MakeRelease(self->id, id_));
   }
   ThreadRecord* wake = queue_.PopFront();
   if (wake != nullptr) {
     queue_len_.fetch_sub(1, std::memory_order_relaxed);
-    wake->block_kind = ThreadRecord::BlockKind::kNone;
-    wake->blocked_obj = nullptr;
+    MarkUnblocked(wake);
   }
   return wake;
 }

@@ -16,12 +16,15 @@
 // the retried test-and-set first, so the spec deliberately does not say
 // which blocked thread acquires next.
 //
-// Departures from the paper, both documented in DESIGN.md:
+// Departures from the paper, documented in DESIGN.md:
 //  - holder_ records the owning thread. The paper's implementation kept no
 //    holder (clients complained the debugger could not show one); we keep it
 //    to check the REQUIRES clause of Release and to support HolderForDebug().
 //  - queue_len_ is an atomic mirror of the queue length so Release's
 //    user-code "is the Queue non-empty?" test is a data-race-free load.
+//  - the Queue is guarded by this mutex's own ObjLock rather than the global
+//    Nub spin-lock (sharded slow paths; see nub.h for the discipline and the
+//    TAOS_NUB_GLOBAL_LOCK fallback).
 
 #ifndef TAOS_SRC_THREADS_MUTEX_H_
 #define TAOS_SRC_THREADS_MUTEX_H_
@@ -33,6 +36,7 @@
 #include "src/base/intrusive_queue.h"
 #include "src/spec/action.h"
 #include "src/spec/state.h"
+#include "src/threads/nub.h"
 #include "src/threads/thread_record.h"
 
 namespace taos {
@@ -93,21 +97,27 @@ class Mutex {
   // Traced (spec-emitting) paths. `emit` is the action recorded when the
   // acquisition succeeds: plain Acquire, or the Resume half of Wait /
   // AlertWait (which must be emitted at the instant the mutex is regained).
-  // `at_success` runs under the Nub spin-lock just before the emission, so a
-  // raising AlertWait can atomically leave the condition's pending-raise set
-  // and clear its alert flag as part of the same atomic action.
+  // When the successful action also touches a condition's state (the
+  // AlertResume/RAISES case leaves c's pending-raise set), `co_lock` names
+  // that condition's ObjLock; every attempt then takes both object locks in
+  // NubGuard2 order. `at_success` runs just before the emission, with the
+  // object lock(s) and self's record lock held, so the raise can atomically
+  // leave the pending-raise set and the alerts set as part of the same
+  // atomic action.
   void TracedAcquire(ThreadRecord* self, const spec::Action& emit);
   void TracedAcquire(ThreadRecord* self, const spec::Action& emit,
+                     ObjLock* co_lock,
                      const std::function<void()>& at_success);
   void TracedRelease(ThreadRecord* self);
 
-  // Core of TracedRelease; caller holds the Nub spin-lock. Returns the
-  // thread to unpark (after the spin-lock is dropped), if any.
+  // Core of TracedRelease; caller holds this mutex's ObjLock. Returns the
+  // thread to unpark (after the lock is dropped), if any.
   ThreadRecord* TracedReleaseLocked(ThreadRecord* self, bool emit_release);
 
   std::atomic<std::uint32_t> bit_{0};  // the Lock-bit: 1 iff inside a
                                        // critical section
-  IntrusiveQueue<ThreadRecord> queue_;           // guarded by the Nub spin-lock
+  ObjLock nub_lock_;                   // guards queue_ (the slow paths)
+  IntrusiveQueue<ThreadRecord> queue_;
   std::atomic<std::int32_t> queue_len_{0};
   std::atomic<spec::ThreadId> holder_{spec::kNil};
   spec::ObjId id_;

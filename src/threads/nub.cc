@@ -1,12 +1,22 @@
 #include "src/threads/nub.h"
 
+#include <cstdlib>
+#include <cstring>
+
 #include "src/base/check.h"
 
 namespace taos {
 
 namespace {
 thread_local ThreadRecord* tls_record = nullptr;
+
+bool GlobalLockModeFromEnv() {
+  const char* v = std::getenv("TAOS_NUB_GLOBAL_LOCK");
+  return v != nullptr && *v != '\0' && std::strcmp(v, "0") != 0;
+}
 }  // namespace
+
+Nub::Nub() { global_lock_mode_.store(GlobalLockModeFromEnv()); }
 
 Nub& Nub::Get() {
   static Nub* nub = new Nub();  // intentionally leaked; records must outlive

@@ -6,17 +6,47 @@
 // spin-lock, perform their visible actions, and release the spin-lock."
 //
 // On the Firefly the Nub lived in a shared kernel address space and also ran
-// the scheduler. Here the host OS supplies processors and scheduling, so the
-// Nub reduces to: the global spin-lock, the thread registry, and the
+// the scheduler, and a single globally shared spin-lock bit serialized every
+// slow path. Here the host OS supplies processors and scheduling, so the Nub
+// reduces to: the slow-path locking discipline, the thread registry, and the
 // spec-tracing machinery. Parking/unparking a thread's private semaphore
-// stands in for de-scheduling / adding to the ready pool (see
-// DESIGN.md, Substitutions).
+// stands in for de-scheduling / adding to the ready pool (see DESIGN.md,
+// Substitutions).
+//
+// Lock sharding (departure from the paper, documented in DESIGN.md §8): the
+// paper's single global spin-lock is the canonical non-scalable bottleneck,
+// so by default every Mutex, Condition and Semaphore carries its own ObjLock
+// and every ThreadRecord carries a parking-lot lock. Setting the environment
+// variable TAOS_NUB_GLOBAL_LOCK=1 (or calling Nub::SetGlobalLockMode while
+// quiescent) restores the paper-faithful configuration: every ObjLock then
+// resolves to the one global spin-lock bit, for A/B benchmarking.
+//
+// The lock-ordering discipline (deadlock freedom):
+//   1. Object locks are acquired before thread-record locks, never after.
+//   2. When one atomic action spans two objects (Wait/AlertWait's Enqueue
+//      releases m while inserting into c; AlertResume/RAISES regains m while
+//      leaving c), both ObjLocks are taken in ascending address order
+//      (NubGuard2). In global-lock mode both resolve to the same bit and it
+//      is acquired once.
+//   3. Alert(t) learns which object t is blocked on from t's record, so it
+//      must take the thread-record lock first — backwards. It therefore only
+//      TRY-acquires the object lock and, on failure, releases the record
+//      lock and retries (the holder of the object lock may be concurrently
+//      waking t). The try breaks the cycle with rule 1. While the record
+//      lock is held and t is observed blocked on the object, the object
+//      cannot be destroyed (t has not returned from its blocking call), so
+//      the try-acquire never touches freed memory.
 //
 // Spec tracing: when a TraceSink is installed, every synchronization
 // operation takes its Nub (slow) path and emits its spec-visible atomic
-// action while holding the spin-lock, so the emission order is a legal
-// serialization of the actions. Tracing must be enabled while the system is
-// quiescent (no concurrent synchronization in flight).
+// action while holding the lock(s) guarding every piece of spec state the
+// action reads or writes. Each emission is stamped with a globally unique
+// sequence number drawn from one atomic counter while those locks are held;
+// because every cross-thread ordering between actions is established by a
+// lock or atomic that also orders the counter increments, sorting a trace by
+// stamp yields a legal serialization of the actions (DESIGN.md §8 gives the
+// argument). Tracing must be enabled while the system is quiescent (no
+// concurrent synchronization in flight).
 
 #ifndef TAOS_SRC_THREADS_NUB_H_
 #define TAOS_SRC_THREADS_NUB_H_
@@ -24,6 +54,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "src/base/spinlock.h"
@@ -39,8 +70,24 @@ class Nub {
   Nub(const Nub&) = delete;
   Nub& operator=(const Nub&) = delete;
 
-  // The globally shared spin-lock bit protecting all Nub state.
+  // The globally shared spin-lock bit. In global-lock mode every ObjLock
+  // resolves to this; in sharded mode it is only used by baselines that
+  // want a process-wide lock (e.g. baseline::HandoffMutex).
   SpinLock& lock() { return lock_; }
+
+  // True when the paper-faithful single-global-spin-lock configuration is
+  // active. Initialized from the TAOS_NUB_GLOBAL_LOCK environment variable.
+  bool global_lock_mode() const {
+    return global_lock_mode_.load(std::memory_order_relaxed);
+  }
+
+  // Switches between the sharded and global-lock configurations. Only legal
+  // while the system is quiescent: no thread blocked or inside a
+  // synchronization operation (a lock taken in one mode must be released in
+  // the same mode).
+  void SetGlobalLockMode(bool on) {
+    global_lock_mode_.store(on, std::memory_order_relaxed);
+  }
 
   // The calling thread's record, registering it on first use.
   ThreadRecord* Current();
@@ -62,6 +109,16 @@ class Nub {
   }
   bool tracing() const { return trace() != nullptr; }
 
+  // Stamps the action with the global serialization sequence number and
+  // forwards it to the installed sink. The caller must hold the lock(s)
+  // guarding all spec state the action reads or writes, so that the stamp
+  // order restricted to any one object (or thread's alert flag) matches the
+  // order the state changes actually took effect.
+  void EmitTraced(spec::Action action) {
+    action.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+    trace()->Emit(action);
+  }
+
   // Fresh ObjId for a Mutex/Condition/Semaphore.
   spec::ObjId NextObjId() {
     return next_obj_id_.fetch_add(1, std::memory_order_relaxed);
@@ -73,15 +130,83 @@ class Nub {
   void ResetStats() { nub_entries.store(0, std::memory_order_relaxed); }
 
  private:
-  Nub() = default;
+  Nub();
 
   SpinLock lock_;
+  std::atomic<bool> global_lock_mode_{false};
   std::atomic<spec::TraceSink*> trace_{nullptr};
   std::atomic<spec::ObjId> next_obj_id_{1};
+  std::atomic<std::uint64_t> next_seq_{0};
 
   SpinLock registry_lock_;
   std::vector<std::unique_ptr<ThreadRecord>> registry_;
   std::atomic<spec::ThreadId> next_thread_id_{1};
+};
+
+// The slow-path lock carried by each Mutex, Condition and Semaphore. In the
+// default sharded mode it is the object's private spin-lock; in global-lock
+// mode it resolves to the Nub's one shared bit.
+class ObjLock {
+ public:
+  ObjLock() = default;
+  ObjLock(const ObjLock&) = delete;
+  ObjLock& operator=(const ObjLock&) = delete;
+
+  SpinLock* Resolve() {
+    Nub& nub = Nub::Get();
+    return nub.global_lock_mode() ? &nub.lock() : &own_;
+  }
+
+ private:
+  SpinLock own_;
+};
+
+// RAII bracket acquiring one object's slow-path lock.
+class NubGuard {
+ public:
+  explicit NubGuard(ObjLock& l) : lock_(l.Resolve()) { lock_->Acquire(); }
+  ~NubGuard() { lock_->Release(); }
+
+  NubGuard(const NubGuard&) = delete;
+  NubGuard& operator=(const NubGuard&) = delete;
+
+ private:
+  SpinLock* lock_;
+};
+
+// RAII bracket for an atomic action spanning two objects (rule 2 of the
+// lock-ordering discipline): acquires both locks in ascending address order.
+// `b` may be null (degenerates to NubGuard), and when both resolve to the
+// same spin-lock (global-lock mode) it is acquired once.
+class NubGuard2 {
+ public:
+  NubGuard2(ObjLock& a, ObjLock* b)
+      : first_(a.Resolve()), second_(b != nullptr ? b->Resolve() : nullptr) {
+    if (second_ == first_) {
+      second_ = nullptr;
+    } else if (second_ != nullptr &&
+               reinterpret_cast<std::uintptr_t>(second_) <
+                   reinterpret_cast<std::uintptr_t>(first_)) {
+      std::swap(first_, second_);
+    }
+    first_->Acquire();
+    if (second_ != nullptr) {
+      second_->Acquire();
+    }
+  }
+  ~NubGuard2() {
+    if (second_ != nullptr) {
+      second_->Release();
+    }
+    first_->Release();
+  }
+
+  NubGuard2(const NubGuard2&) = delete;
+  NubGuard2& operator=(const NubGuard2&) = delete;
+
+ private:
+  SpinLock* first_;
+  SpinLock* second_;
 };
 
 }  // namespace taos

@@ -28,12 +28,12 @@ bool Semaphore::TryP() {
   Nub& nub = Nub::Get();
   if (nub.tracing()) {
     ThreadRecord* self = nub.Current();
-    SpinGuard g(nub.lock());
+    NubGuard g(nub_lock_);
     if (bit_.load(std::memory_order_relaxed) != 0) {
       return false;
     }
     bit_.store(1, std::memory_order_relaxed);
-    nub.trace()->Emit(spec::MakeP(self->id, id_));
+    nub.EmitTraced(spec::MakeP(self->id, id_));
     return true;
   }
   if (bit_.exchange(1, std::memory_order_acquire) == 0) {
@@ -50,14 +50,12 @@ void Semaphore::NubP(ThreadRecord* self) {
   for (;;) {
     bool parked = false;
     {
-      SpinGuard g(nub.lock());
+      NubGuard g(nub_lock_);
       queue_.PushBack(self);
       queue_len_.fetch_add(1, std::memory_order_seq_cst);
       if (bit_.load(std::memory_order_seq_cst) != 0) {
-        self->block_kind = ThreadRecord::BlockKind::kSemaphore;
-        self->blocked_obj = this;
-        self->alertable = false;
-        self->alert_woken = false;
+        MarkBlocked(self, ThreadRecord::BlockKind::kSemaphore, this,
+                    &nub_lock_, /*alertable=*/false);
         parked = true;
       } else {
         queue_.Remove(self);
@@ -91,12 +89,11 @@ void Semaphore::NubV() {
   nub.nub_entries.fetch_add(1, std::memory_order_relaxed);
   ThreadRecord* wake = nullptr;
   {
-    SpinGuard g(nub.lock());
+    NubGuard g(nub_lock_);
     wake = queue_.PopFront();
     if (wake != nullptr) {
       queue_len_.fetch_sub(1, std::memory_order_relaxed);
-      wake->block_kind = ThreadRecord::BlockKind::kNone;
-      wake->blocked_obj = nullptr;
+      MarkUnblocked(wake);
     }
   }
   if (wake != nullptr) {
@@ -110,18 +107,16 @@ void Semaphore::TracedP(ThreadRecord* self) {
   for (;;) {
     bool parked = false;
     {
-      SpinGuard g(nub.lock());
+      NubGuard g(nub_lock_);
       if (bit_.load(std::memory_order_relaxed) == 0) {
         bit_.store(1, std::memory_order_relaxed);
-        nub.trace()->Emit(spec::MakeP(self->id, id_));
+        nub.EmitTraced(spec::MakeP(self->id, id_));
         return;
       }
       queue_.PushBack(self);
       queue_len_.fetch_add(1, std::memory_order_relaxed);
-      self->block_kind = ThreadRecord::BlockKind::kSemaphore;
-      self->blocked_obj = this;
-      self->alertable = false;
-      self->alert_woken = false;
+      MarkBlocked(self, ThreadRecord::BlockKind::kSemaphore, this, &nub_lock_,
+                  /*alertable=*/false);
       parked = true;
     }
     if (parked) {
@@ -135,14 +130,13 @@ void Semaphore::TracedV(ThreadRecord* self) {
   Nub& nub = Nub::Get();
   ThreadRecord* wake = nullptr;
   {
-    SpinGuard g(nub.lock());
+    NubGuard g(nub_lock_);
     bit_.store(0, std::memory_order_relaxed);
-    nub.trace()->Emit(spec::MakeV(self->id, id_));
+    nub.EmitTraced(spec::MakeV(self->id, id_));
     wake = queue_.PopFront();
     if (wake != nullptr) {
       queue_len_.fetch_sub(1, std::memory_order_relaxed);
-      wake->block_kind = ThreadRecord::BlockKind::kNone;
-      wake->blocked_obj = nullptr;
+      MarkUnblocked(wake);
     }
   }
   if (wake != nullptr) {

@@ -23,6 +23,7 @@
 
 #include "src/base/intrusive_queue.h"
 #include "src/spec/state.h"
+#include "src/threads/nub.h"
 #include "src/threads/thread_record.h"
 
 namespace taos {
@@ -73,8 +74,9 @@ class Semaphore {
   void TracedP(ThreadRecord* self);
   void TracedV(ThreadRecord* self);
 
-  std::atomic<std::uint32_t> bit_{0};  // 1 iff unavailable
-  IntrusiveQueue<ThreadRecord> queue_;  // guarded by the Nub spin-lock
+  std::atomic<std::uint32_t> bit_{0};   // 1 iff unavailable
+  ObjLock nub_lock_;                    // guards queue_ (the slow paths)
+  IntrusiveQueue<ThreadRecord> queue_;
   std::atomic<std::int32_t> queue_len_{0};
   spec::ObjId id_;
 

@@ -6,8 +6,10 @@
 // becomes parking on a private binary semaphore, and "add to the ready pool"
 // becomes releasing it).
 //
-// All fields below the "guarded by the Nub spin-lock" line are only touched
-// while holding the global Nub spin-lock.
+// All fields below the "guarded by `lock`" line are only touched while
+// holding this record's parking-lot lock (which the blocking, waking and
+// alerting paths all nest inside the blocked-on object's ObjLock, per the
+// ordering discipline in nub.h).
 
 #ifndef TAOS_SRC_THREADS_THREAD_RECORD_H_
 #define TAOS_SRC_THREADS_THREAD_RECORD_H_
@@ -18,6 +20,7 @@
 #include <string>
 
 #include "src/base/intrusive_queue.h"
+#include "src/base/spinlock.h"
 #include "src/spec/state.h"
 
 namespace taos {
@@ -25,6 +28,7 @@ namespace taos {
 class Mutex;
 class Condition;
 class Semaphore;
+class ObjLock;
 
 struct ThreadRecord {
   QueueNode queue_node;
@@ -36,16 +40,23 @@ struct ThreadRecord {
   std::binary_semaphore park{0};
 
   // The thread's membership in the spec's global `alerts` set. Set by
-  // Alert(t) (under the Nub spin-lock when an unblock may be needed), cleared
-  // by TestAlert and by the Alerted-raising paths of AlertP / AlertWait.
+  // Alert(t), cleared by TestAlert and by the Alerted-raising paths of
+  // AlertP / AlertWait. In spec-tracing mode every access that an emitted
+  // action depends on happens under `lock`, so the alert actions serialize.
   std::atomic<bool> alerted{false};
 
-  // ---- guarded by the Nub spin-lock ----
+  // The parking-lot lock: guards this record's blocking state against the
+  // one operation that cannot reach it through the blocked-on object's
+  // ObjLock — Alert(t), which must discover that object from here.
+  SpinLock lock;
+
+  // ---- guarded by `lock` ----
   enum class BlockKind : std::uint8_t { kNone, kMutex, kSemaphore, kCondition };
   BlockKind block_kind = BlockKind::kNone;
   bool alertable = false;    // blocked in AlertP / AlertWait
   bool alert_woken = false;  // dequeued by Alert rather than by V/Signal
   void* blocked_obj = nullptr;  // the Mutex/Semaphore/Condition blocked on
+  ObjLock* blocked_lock = nullptr;  // that object's slow-path lock
 
   // Set when the thread terminated because Alerted escaped its root
   // function (see Thread::Fork).
@@ -58,6 +69,36 @@ struct ThreadRecord {
   ThreadRecord(const ThreadRecord&) = delete;
   ThreadRecord& operator=(const ThreadRecord&) = delete;
 };
+
+// Blocking-state transitions. The *Locked variants require t->lock held;
+// the Mark* variants take it, nested inside the blocked-on object's ObjLock
+// which every caller already holds (ordering rule 1 in nub.h).
+inline void SetBlockedLocked(ThreadRecord* t, ThreadRecord::BlockKind kind,
+                             void* obj, ObjLock* obj_lock, bool alertable) {
+  t->block_kind = kind;
+  t->blocked_obj = obj;
+  t->blocked_lock = obj_lock;
+  t->alertable = alertable;
+  t->alert_woken = false;
+}
+
+inline void ClearBlockedLocked(ThreadRecord* t) {
+  t->block_kind = ThreadRecord::BlockKind::kNone;
+  t->blocked_obj = nullptr;
+  t->blocked_lock = nullptr;
+  t->alertable = false;
+}
+
+inline void MarkBlocked(ThreadRecord* t, ThreadRecord::BlockKind kind,
+                        void* obj, ObjLock* obj_lock, bool alertable) {
+  SpinGuard g(t->lock);
+  SetBlockedLocked(t, kind, obj, obj_lock, alertable);
+}
+
+inline void MarkUnblocked(ThreadRecord* t) {
+  SpinGuard g(t->lock);
+  ClearBlockedLocked(t);
+}
 
 // Opaque handle clients use to name a thread (e.g. Alert(t)).
 struct ThreadHandle {

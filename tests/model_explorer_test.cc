@@ -189,6 +189,68 @@ TEST(ModelTest, AlertPExhaustiveBothOutcomes) {
   EXPECT_GT(tally.alerted_exits, 0u);
 }
 
+// --- The Greg Nelson AlertWait bug, reproduced through the checker ---
+//
+// The implementation follows the corrected semantics (the Alerted exit
+// deletes SELF from c). Replaying its traces against the corrected spec
+// accepts every schedule; replaying the same program against the spec as
+// first released (UNCHANGED [c] on the raising exit) leaves the raised
+// waiter in c as a ghost, and the schedules where a Signal lands after the
+// Alerted exit fail that Signal's ENSURES — exactly the error report in the
+// paper's Discussion section.
+
+TEST(ModelTest, AlertWaitGhostConformsToCorrectedSpec) {
+  Tally tally;
+  Explorer ex(Opts(3, 30'000, /*check_traces=*/true));
+  ExplorationResult r = ex.ExploreRandom(AlertWaitGhostLitmus(&tally), 6'000);
+  EXPECT_EQ(r.violations, 0u) << r.ToString();
+  // Both exits genuinely occur, so the ghost path is really being explored.
+  EXPECT_GT(tally.alerted_exits, 0u);
+  EXPECT_GT(tally.normal_exits, 0u);
+}
+
+TEST(ModelTest, OriginalBuggySpecRejectsSignalAfterAlertedExit) {
+  ExplorerOptions opts = Opts(3, 30'000, /*check_traces=*/true);
+  opts.spec_config.alert_wait = spec::AlertWaitVariant::kOriginalBuggy;
+  Explorer ex(opts);
+  ExplorationResult r = ex.ExploreRandom(AlertWaitGhostLitmus(nullptr), 6'000);
+  ASSERT_GE(r.violations, 1u)
+      << "expected the ghost member to break a later Signal: " << r.ToString();
+  EXPECT_NE(r.first_violation.find("spec violation"), std::string::npos)
+      << r.first_violation;
+  // The counterexample replays deterministically to the same verdict.
+  std::string replayed = ex.Replay(AlertWaitGhostLitmus(nullptr),
+                                   r.counterexample);
+  EXPECT_EQ(replayed, r.first_violation);
+}
+
+// --- The AlertP RETURNS/RAISES overlap, isolated ---
+
+TEST(ModelTest, AlertPOverlapAllowedByReleasedSpec) {
+  Tally tally;
+  Explorer ex(Opts(2, 60'000, /*check_traces=*/true));
+  ExplorationResult r = ex.Explore(AlertPOverlapLitmus(&tally));
+  EXPECT_TRUE(r.exhausted) << r.ToString();
+  EXPECT_EQ(r.violations, 0u) << r.ToString();
+  // Some schedules hit the overlap: AlertP returned with the alert pending,
+  // i.e. both WHEN clauses held and the implementation chose RETURNS.
+  EXPECT_GT(tally.returns_with_alert_pending, 0u);
+  EXPECT_EQ(tally.alerted_exits, 0u);  // available semaphore: never raises
+}
+
+TEST(ModelTest, PreReleasePolicyFlagsTheOverlapChoice) {
+  // The pre-release spec made the choice deterministic ("must raise when an
+  // alert is pending"); the implementation's test-and-set fast path does
+  // not, which is why the released spec legitimized the nondeterminism.
+  ExplorerOptions opts = Opts(2, 60'000, /*check_traces=*/true);
+  opts.spec_config.alert_choice = spec::AlertChoicePolicy::kPreferAlerted;
+  Explorer ex(opts);
+  ExplorationResult r = ex.Explore(AlertPOverlapLitmus(nullptr));
+  ASSERT_GE(r.violations, 1u) << r.ToString();
+  EXPECT_NE(r.first_violation.find("policy"), std::string::npos)
+      << r.first_violation;
+}
+
 TEST(ModelTest, SemaphoreHandoffExhaustive) {
   Explorer ex(Opts(2, 60'000));
   ExplorationResult r = ex.Explore(SemaphoreHandoffLitmus());

@@ -55,5 +55,63 @@ TEST(RequiresDeathTest, AlertNullHandlePanics) {
   EXPECT_DEATH(Alert(ThreadHandle{}), "check failed");
 }
 
+// The checks must fire identically in both Nub locking configurations: the
+// REQUIRES tests read holder_, which lock sharding did not move.
+
+TEST(RequiresDeathTest, ReleaseByNonHolderPanicsInGlobalLockMode) {
+  EXPECT_DEATH(
+      {
+        Nub::Get().SetGlobalLockMode(true);
+        Mutex m;
+        m.Acquire();
+        Thread other = Thread::Fork([&m] { m.Release(); });
+        other.Join();
+      },
+      "check failed");
+}
+
+TEST(RequiresDeathTest, WaitWithoutMutexPanicsInGlobalLockMode) {
+  EXPECT_DEATH(
+      {
+        Nub::Get().SetGlobalLockMode(true);
+        Mutex m;
+        Condition c;
+        c.Wait(m);
+      },
+      "check failed");
+}
+
+TEST(RequiresDeathTest, ContendedReleaseByNonHolderPanics) {
+  // Exercise the sharded slow path, not just the inline check: a waiter is
+  // parked on the mutex's own queue when the bogus Release arrives.
+  EXPECT_DEATH(
+      {
+        Mutex m;
+        m.Acquire();
+        Thread contender = Thread::Fork([&m] {
+          m.Acquire();
+          m.Release();
+        });
+        Thread violator = Thread::Fork([&m] { m.Release(); });
+        violator.Join();
+        m.Release();
+        contender.Join();
+      },
+      "check failed");
+}
+
+TEST(RequiresDeathTest, TracedReleaseByNonHolderPanics) {
+  EXPECT_DEATH(
+      {
+        spec::Trace trace;
+        Nub::Get().SetTrace(&trace);
+        Mutex m;
+        m.Acquire();
+        Thread other = Thread::Fork([&m] { m.Release(); });
+        other.Join();
+      },
+      "check failed");
+}
+
 }  // namespace
 }  // namespace taos
