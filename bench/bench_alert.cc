@@ -152,4 +152,5 @@ BENCHMARK(BM_AlertPRace)->Unit(benchmark::kMicrosecond)->UseRealTime();
 
 }  // namespace
 
-BENCHMARK_MAIN();
+#include "bench/bench_main.h"
+TAOS_BENCH_MAIN("alert");

@@ -95,6 +95,39 @@ void BM_TaosMutexPairedObjects(benchmark::State& state) {
   }
 }
 
+// The spin-backoff A/B: the same contended loop over a raw Nub spin-lock,
+// with bounded-exponential backoff on (the default) and off. The spin-lock
+// feeds its iteration counts into the obs spin histograms either way, so the
+// BENCH json records how much spinning each policy cost.
+taos::SpinLock g_raw_spin_backoff;
+void BM_RawSpinBackoff(benchmark::State& state) {
+  struct AsLock {
+    taos::SpinLock& s;
+    void Acquire() { s.Acquire(); }
+    void Release() { s.Release(); }
+  } lock{g_raw_spin_backoff};
+  ContendedLoop(state, lock);
+}
+
+taos::SpinLock g_raw_spin_no_backoff;
+void BM_RawSpinNoBackoff(benchmark::State& state) {
+  struct AsLock {
+    taos::SpinLock& s;
+    void Acquire() { s.Acquire(); }
+    void Release() { s.Release(); }
+  } lock{g_raw_spin_no_backoff};
+  ContendedLoop(state, lock);
+}
+
+// Setup/Teardown run before any benchmark thread starts and after all have
+// joined, so the process-wide switch never flips mid-measurement.
+void DisableBackoff(const benchmark::State&) {
+  taos::SpinLock::SetBackoffEnabled(false);
+}
+void RestoreBackoff(const benchmark::State&) {
+  taos::SpinLock::SetBackoffEnabled(true);
+}
+
 void Shapes(benchmark::internal::Benchmark* b) {
   // {cs_work, outside_work}: short and long critical sections.
   for (auto shape : {std::pair<int, int>{5, 20}, {100, 20}}) {
@@ -111,6 +144,11 @@ void PairShapes(benchmark::internal::Benchmark* b) {
 }
 
 BENCHMARK(BM_TaosMutex)->Apply(Shapes);
+BENCHMARK(BM_RawSpinBackoff)->Apply(Shapes);
+BENCHMARK(BM_RawSpinNoBackoff)
+    ->Apply(Shapes)
+    ->Setup(DisableBackoff)
+    ->Teardown(RestoreBackoff);
 BENCHMARK(BM_TaosMutexPairedObjects)->Apply(PairShapes);
 BENCHMARK(BM_SemaphoreLock)->Apply(Shapes);
 BENCHMARK(BM_TicketSpin)->Apply(Shapes);
@@ -120,4 +158,5 @@ BENCHMARK(BM_ReedKanodiaMutex)->Apply(Shapes);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+#include "bench/bench_main.h"
+TAOS_BENCH_MAIN("contention");

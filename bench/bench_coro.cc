@@ -139,4 +139,5 @@ BENCHMARK(BM_ThreadsCondPingPong)->Unit(benchmark::kMillisecond)->UseRealTime();
 
 }  // namespace
 
-BENCHMARK_MAIN();
+#include "bench/bench_main.h"
+TAOS_BENCH_MAIN("coro");

@@ -107,4 +107,5 @@ BENCHMARK(BM_ExplorationRateWithTraceCheck)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+#include "bench/bench_main.h"
+TAOS_BENCH_MAIN("firefly");

@@ -90,4 +90,5 @@ BENCHMARK(BM_MonitorQueuePingPong)->UseRealTime();
 
 }  // namespace
 
-BENCHMARK_MAIN();
+#include "bench/bench_main.h"
+TAOS_BENCH_MAIN("monitor");

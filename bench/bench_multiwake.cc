@@ -73,4 +73,5 @@ BENCHMARK(BM_WindowAbsorption)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 
 }  // namespace
 
-BENCHMARK_MAIN();
+#include "bench/bench_main.h"
+TAOS_BENCH_MAIN("multiwake");

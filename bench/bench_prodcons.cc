@@ -121,4 +121,5 @@ BENCHMARK(BM_ReedKanodia)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+#include "bench/bench_main.h"
+TAOS_BENCH_MAIN("prodcons");

@@ -62,4 +62,5 @@ BENCHMARK(BM_StdRWLock)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+#include "bench/bench_main.h"
+TAOS_BENCH_MAIN("rwlock");

@@ -71,4 +71,5 @@ BENCHMARK(BM_HandoffRoundTrip)->UseRealTime();
 
 }  // namespace
 
-BENCHMARK_MAIN();
+#include "bench/bench_main.h"
+TAOS_BENCH_MAIN("semaphore");

@@ -164,4 +164,5 @@ BENCHMARK(BM_BroadcastNWaiters)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+#include "bench/bench_main.h"
+TAOS_BENCH_MAIN("signal");

@@ -96,4 +96,5 @@ BENCHMARK(BM_TraceCheckThroughput)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+#include "bench/bench_main.h"
+TAOS_BENCH_MAIN("trace");

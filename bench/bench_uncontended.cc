@@ -85,4 +85,5 @@ BENCHMARK(BM_TicketLockPair);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+#include "bench/bench_main.h"
+TAOS_BENCH_MAIN("uncontended");

@@ -13,6 +13,8 @@
 #include <atomic>
 #include <cstdint>
 
+#include "src/obs/metrics.h"
+
 namespace taos {
 
 class EventCount {
@@ -27,7 +29,10 @@ class EventCount {
   Value Read() const { return count_.load(std::memory_order_acquire); }
 
   // Monotonically increasing. Returns the value after the increment.
-  Value Advance() { return count_.fetch_add(1, std::memory_order_acq_rel) + 1; }
+  Value Advance() {
+    obs::Inc(obs::Counter::kEventCountAdvances);
+    return count_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  }
 
  private:
   std::atomic<Value> count_{0};

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "src/base/check.h"
+#include "src/obs/metrics.h"
+#include "src/obs/recorder.h"
 
 namespace taos::firefly {
 
@@ -13,6 +15,11 @@ void Emit(Machine& m, const spec::Action& a) {
     m.trace()->Emit(a);
   }
 }
+
+// Flight-recorder events from the simulator carry the *fiber* id as their
+// tid, so a rendered trace shows one row per simulated Taos thread rather
+// than one per backing OS thread.
+std::uint32_t Tid(const Fiber* f) { return static_cast<std::uint32_t>(f->id); }
 
 }  // namespace
 
@@ -35,6 +42,7 @@ Mutex::~Mutex() {
 
 void Mutex::Acquire() {
   Fiber* self = Machine::Self();
+  obs::ScopedEvent ev(obs::Op::kAcquire, id_, Tid(self));
   AcquireInternal(spec::MakeAcquire(self->id, id_));
 }
 
@@ -53,6 +61,7 @@ void Mutex::AcquireInternal(const spec::Action& emit,
       holder_ = self;
       if (first_attempt) {
         ++fast_acquires_;
+        obs::Inc(obs::Counter::kFastMutexAcquire);
       } else {
         ++slow_acquires_;
       }
@@ -61,6 +70,9 @@ void Mutex::AcquireInternal(const spec::Action& emit,
       }
       Emit(m, emit);
       return;
+    }
+    if (first_attempt) {
+      obs::Inc(obs::Counter::kNubAcquire);
     }
     first_attempt = false;
     // Nub subroutine for Acquire.
@@ -88,6 +100,7 @@ void Mutex::AcquireInternal(const spec::Action& emit,
 
 void Mutex::Release() {
   Fiber* self = Machine::Self();
+  obs::ScopedEvent ev(obs::Op::kRelease, id_, Tid(self));
   ReleaseInternal([this, self] {
     Emit(machine_, spec::MakeRelease(self->id, id_));
   });
@@ -106,13 +119,17 @@ void Mutex::ReleaseInternal(const std::function<void()>& at_clear) {
   m.Step();  // user-code test: is the Queue non-empty?
   if (!queue_.Empty()) {
     // Nub subroutine for Release: take one thread, add it to the ready pool.
+    obs::Inc(obs::Counter::kNubRelease);
     m.SpinAcquire();
     m.Step();
     Fiber* t = queue_.PopFront();
     if (t != nullptr) {
+      obs::Inc(obs::Counter::kHandoffs);
       m.MakeReady(t);
     }
     m.SpinRelease();
+  } else {
+    obs::Inc(obs::Counter::kFastMutexRelease);
   }
   // Drop any inherited boost only after the handoff: shedding it earlier
   // would let a medium-priority fiber preempt the releaser before the
@@ -162,6 +179,8 @@ bool Condition::ErasePendingRaise(Fiber* f) {
 void Condition::Wait(Mutex& m) {
   Machine& mach = machine_;
   Fiber* self = Machine::Self();
+  obs::ScopedEvent ev(obs::Op::kWait, id_, Tid(self));
+  obs::Inc(obs::Counter::kNubWait);
   TAOS_CHECK(m.holder_ == self || mach.ShuttingDown());  // REQUIRES m = SELF
 
   // Enqueue: linearizes at the mutex's clear step — SELF enters c exactly as
@@ -192,6 +211,7 @@ void Condition::Wait(Mutex& m) {
     // Absorbed: an intervening Signal/Broadcast advanced the eventcount and
     // removed us from c (and from window_) when it emitted.
     ++absorbed_;
+    obs::Inc(obs::Counter::kWakeupWaitingHits);
     mach.SpinRelease();
   }
 
@@ -202,12 +222,15 @@ void Condition::Wait(Mutex& m) {
 void Condition::Signal() {
   Machine& mach = machine_;
   Fiber* self = Machine::Self();
+  obs::ScopedEvent ev(obs::Op::kSignal, id_, Tid(self));
   mach.Step();  // user-code test: any threads to unblock?
   if (c_size_ == 0) {
     ++fast_signals_;
+    obs::Inc(obs::Counter::kFastSignal);
     Emit(mach, spec::MakeSignal(self->id, id_, {}));
     return;
   }
+  obs::Inc(obs::Counter::kNubSignal);
   mach.SpinAcquire();
   mach.Step();
   ++ec_;
@@ -218,6 +241,7 @@ void Condition::Signal() {
     removed = removed.Insert(t->id);
     DecSize();
     ++unblocked;
+    obs::Inc(obs::Counter::kHandoffs);
     mach.MakeReady(t);
   }
   for (Fiber* w : window_) {
@@ -241,12 +265,15 @@ void Condition::Signal() {
 void Condition::Broadcast() {
   Machine& mach = machine_;
   Fiber* self = Machine::Self();
+  obs::ScopedEvent ev(obs::Op::kBroadcast, id_, Tid(self));
   mach.Step();
   if (c_size_ == 0) {
     ++fast_signals_;
+    obs::Inc(obs::Counter::kFastBroadcast);
     Emit(mach, spec::MakeBroadcast(self->id, id_, {}));
     return;
   }
+  obs::Inc(obs::Counter::kNubBroadcast);
   mach.SpinAcquire();
   mach.Step();
   ++ec_;
@@ -254,6 +281,7 @@ void Condition::Broadcast() {
   while (Fiber* t = queue_.PopFront()) {
     removed = removed.Insert(t->id);
     DecSize();
+    obs::Inc(obs::Counter::kHandoffs);
     mach.MakeReady(t);
   }
   for (Fiber* w : window_) {
@@ -289,6 +317,8 @@ Semaphore::~Semaphore() {
 void Semaphore::P() {
   Machine& m = machine_;
   Fiber* self = Machine::Self();
+  obs::ScopedEvent ev(obs::Op::kP, id_, Tid(self));
+  bool first_attempt = true;
   for (;;) {
     if (m.ShuttingDown()) {
       return;
@@ -296,9 +326,16 @@ void Semaphore::P() {
     m.Step();  // test-and-set
     if (!bit_) {
       bit_ = true;
+      if (first_attempt) {
+        obs::Inc(obs::Counter::kFastSemP);
+      }
       Emit(m, spec::MakeP(self->id, id_));
       return;
     }
+    if (first_attempt) {
+      obs::Inc(obs::Counter::kNubP);
+    }
+    first_attempt = false;
     m.SpinAcquire();
     m.Step();
     queue_.PushBack(self);
@@ -319,18 +356,23 @@ void Semaphore::P() {
 void Semaphore::V() {
   Machine& m = machine_;
   Fiber* self = Machine::Self();
+  obs::ScopedEvent ev(obs::Op::kV, id_, Tid(self));
   m.Step();
   bit_ = false;
   Emit(m, spec::MakeV(self->id, id_));
   m.Step();
   if (!queue_.Empty()) {
+    obs::Inc(obs::Counter::kNubV);
     m.SpinAcquire();
     m.Step();
     Fiber* t = queue_.PopFront();
     if (t != nullptr) {
+      obs::Inc(obs::Counter::kHandoffs);
       m.MakeReady(t);
     }
     m.SpinRelease();
+  } else {
+    obs::Inc(obs::Counter::kFastSemV);
   }
 }
 
@@ -343,6 +385,9 @@ void Alert(FiberHandle h) {
   Fiber* t = h.fiber;
   Machine& m = *t->machine;
   Fiber* self = Machine::Self();
+  obs::ScopedEvent ev(obs::Op::kAlert, static_cast<std::uint64_t>(t->id),
+                      Tid(self));
+  obs::Inc(obs::Counter::kNubAlert);
   m.SpinAcquire();
   m.Step();
   t->alerted = true;  // alerts := insert(alerts, t)
@@ -365,6 +410,7 @@ void Alert(FiberHandle h) {
         TAOS_PANIC("alertable fiber blocked on a mutex");
     }
     t->alert_woken = true;
+    obs::Inc(obs::Counter::kHandoffs);
     m.MakeReady(t);
   }
   Emit(m, spec::MakeAlert(self->id, t->id));
@@ -384,6 +430,8 @@ bool TestAlert() {
 void AlertWait(Mutex& mu, Condition& c) {
   Machine& m = c.machine_;
   Fiber* self = Machine::Self();
+  obs::ScopedEvent ev(obs::Op::kAlertWait, c.id_, Tid(self));
+  obs::Inc(obs::Counter::kNubAlertWait);
   TAOS_CHECK(mu.holder_ == self || m.ShuttingDown());  // REQUIRES m = SELF
 
   // Enqueue (AlertWait flavour: UNCHANGED [alerts]).
@@ -410,6 +458,7 @@ void AlertWait(Mutex& mu, Condition& c) {
     m.SpinRelease();
   } else if (c.use_eventcount_ && c.ec_ != snapshot) {
     ++c.absorbed_;
+    obs::Inc(obs::Counter::kWakeupWaitingHits);
     m.SpinRelease();
   } else {
     c.EraseWindow(self);
@@ -443,6 +492,8 @@ void AlertWait(Mutex& mu, Condition& c) {
 void AlertP(Semaphore& s) {
   Machine& m = s.machine_;
   Fiber* self = Machine::Self();
+  obs::ScopedEvent ev(obs::Op::kAlertP, s.id_, Tid(self));
+  bool first_attempt = true;
   for (;;) {
     if (m.ShuttingDown()) {
       return;
@@ -451,9 +502,16 @@ void AlertP(Semaphore& s) {
                // RETURNS/RAISES nondeterminism the paper discusses
     if (!s.bit_) {
       s.bit_ = true;
+      if (first_attempt) {
+        obs::Inc(obs::Counter::kFastSemP);
+      }
       Emit(m, spec::MakeAlertPReturns(self->id, s.id_));
       return;
     }
+    if (first_attempt) {
+      obs::Inc(obs::Counter::kNubAlertP);
+    }
+    first_attempt = false;
     m.SpinAcquire();
     m.Step();
     if (self->alerted) {

@@ -1,0 +1,304 @@
+#include "src/obs/json.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace taos::obs::json {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<Value> Run(std::string* error) {
+    std::optional<Value> v = ParseValue();
+    if (v.has_value()) {
+      SkipSpace();
+      if (pos_ != text_.size()) {
+        Fail("trailing characters after document");
+        v.reset();
+      }
+    }
+    if (!v.has_value() && error != nullptr) {
+      *error = error_;
+    }
+    return v;
+  }
+
+ private:
+  void Fail(const std::string& what) {
+    if (error_.empty()) {
+      error_ = what + " at offset " + std::to_string(pos_);
+    }
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool Literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<Value> ParseValue() {
+    SkipSpace();
+    if (pos_ >= text_.size()) {
+      Fail("unexpected end of input");
+      return std::nullopt;
+    }
+    const char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject();
+      case '[':
+        return ParseArray();
+      case '"':
+        return ParseString();
+      case 't':
+        if (Literal("true")) {
+          Value v;
+          v.kind = Value::Kind::kBool;
+          v.boolean = true;
+          return v;
+        }
+        break;
+      case 'f':
+        if (Literal("false")) {
+          Value v;
+          v.kind = Value::Kind::kBool;
+          return v;
+        }
+        break;
+      case 'n':
+        if (Literal("null")) {
+          return Value{};
+        }
+        break;
+      default:
+        if (c == '-' || (c >= '0' && c <= '9')) {
+          return ParseNumber();
+        }
+        break;
+    }
+    Fail("unexpected character");
+    return std::nullopt;
+  }
+
+  std::optional<Value> ParseObject() {
+    ++pos_;  // '{'
+    Value v;
+    v.kind = Value::Kind::kObject;
+    SkipSpace();
+    if (Consume('}')) {
+      return v;
+    }
+    for (;;) {
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        Fail("expected object key");
+        return std::nullopt;
+      }
+      std::optional<Value> key = ParseString();
+      if (!key.has_value()) {
+        return std::nullopt;
+      }
+      if (!Consume(':')) {
+        Fail("expected ':'");
+        return std::nullopt;
+      }
+      std::optional<Value> member = ParseValue();
+      if (!member.has_value()) {
+        return std::nullopt;
+      }
+      v.object.emplace_back(std::move(key->string), std::move(*member));
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume('}')) {
+        return v;
+      }
+      Fail("expected ',' or '}'");
+      return std::nullopt;
+    }
+  }
+
+  std::optional<Value> ParseArray() {
+    ++pos_;  // '['
+    Value v;
+    v.kind = Value::Kind::kArray;
+    SkipSpace();
+    if (Consume(']')) {
+      return v;
+    }
+    for (;;) {
+      std::optional<Value> element = ParseValue();
+      if (!element.has_value()) {
+        return std::nullopt;
+      }
+      v.array.push_back(std::move(*element));
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume(']')) {
+        return v;
+      }
+      Fail("expected ',' or ']'");
+      return std::nullopt;
+    }
+  }
+
+  std::optional<Value> ParseString() {
+    ++pos_;  // '"'
+    Value v;
+    v.kind = Value::Kind::kString;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return v;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        Fail("control character in string");
+        return std::nullopt;
+      }
+      if (c != '\\') {
+        v.string.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        break;
+      }
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': v.string.push_back('"'); break;
+        case '\\': v.string.push_back('\\'); break;
+        case '/': v.string.push_back('/'); break;
+        case 'b': v.string.push_back('\b'); break;
+        case 'f': v.string.push_back('\f'); break;
+        case 'n': v.string.push_back('\n'); break;
+        case 'r': v.string.push_back('\r'); break;
+        case 't': v.string.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            Fail("truncated \\u escape");
+            return std::nullopt;
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code += static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code += static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code += static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              Fail("bad \\u escape");
+              return std::nullopt;
+            }
+          }
+          // UTF-8 encode (BMP only; surrogate pairs land as two encodings,
+          // fine for a schema checker).
+          if (code < 0x80) {
+            v.string.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            v.string.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            v.string.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            v.string.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            v.string.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            v.string.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          Fail("bad escape character");
+          return std::nullopt;
+      }
+    }
+    Fail("unterminated string");
+    return std::nullopt;
+  }
+
+  std::optional<Value> ParseNumber() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') {
+      ++pos_;
+    }
+    auto digits = [&] {
+      const std::size_t before = pos_;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+      return pos_ > before;
+    };
+    if (!digits()) {
+      Fail("bad number");
+      return std::nullopt;
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (!digits()) {
+        Fail("bad number fraction");
+        return std::nullopt;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (!digits()) {
+        Fail("bad number exponent");
+        return std::nullopt;
+      }
+    }
+    Value v;
+    v.kind = Value::Kind::kNumber;
+    v.number = std::strtod(std::string(text_.substr(start, pos_ - start)).c_str(),
+                           nullptr);
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+const Value* Value::Find(std::string_view key) const {
+  if (kind != Kind::kObject) {
+    return nullptr;
+  }
+  for (const auto& [k, v] : object) {
+    if (k == key) {
+      return &v;
+    }
+  }
+  return nullptr;
+}
+
+std::optional<Value> Parse(std::string_view text, std::string* error) {
+  return Parser(text).Run(error);
+}
+
+}  // namespace taos::obs::json

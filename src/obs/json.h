@@ -1,0 +1,43 @@
+// A minimal JSON reader, just enough to schema-check the observability
+// layer's own output (flight-recorder Chrome traces, metrics reports, bench
+// JSON) in tests without an external dependency. Accepts strict JSON;
+// numbers become double, \u escapes decode the BMP only.
+
+#ifndef TAOS_SRC_OBS_JSON_H_
+#define TAOS_SRC_OBS_JSON_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace taos::obs::json {
+
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Value> array;
+  std::vector<std::pair<std::string, Value>> object;
+
+  bool IsObject() const { return kind == Kind::kObject; }
+  bool IsArray() const { return kind == Kind::kArray; }
+  bool IsString() const { return kind == Kind::kString; }
+  bool IsNumber() const { return kind == Kind::kNumber; }
+
+  // Object member lookup; nullptr if absent or not an object.
+  const Value* Find(std::string_view key) const;
+};
+
+// Parses a complete JSON document (trailing whitespace allowed, trailing
+// garbage is an error). On failure returns nullopt and, if `error` is
+// non-null, a message with the byte offset.
+std::optional<Value> Parse(std::string_view text, std::string* error = nullptr);
+
+}  // namespace taos::obs::json
+
+#endif  // TAOS_SRC_OBS_JSON_H_

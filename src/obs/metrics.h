@@ -1,0 +1,179 @@
+// Sharded runtime metrics: the always-compiled counting half of the
+// observability layer (the other half is the flight recorder, recorder.h).
+//
+// Why sharding: the paper's headline claim is that the uncontended fast
+// paths never leave user code, so the measurement of the fast path must not
+// itself create sharing. Every thread owns one cache-line-aligned Cell of
+// counters; an increment is a plain load+add+store through the thread's own
+// cell (no lock prefix, no cross-core traffic), legal because the cell has a
+// single writer and every reader aggregates with relaxed atomic loads.
+// Snapshot() walks the registry of cells and sums; totals are therefore
+// eventually consistent (exact once the counting threads are quiescent,
+// which is when experiments read them).
+//
+// ResetStats() also walks the registry and zeroes every slot of every cell
+// by array length, so a counter or histogram added to the enums below can
+// never be silently missed by a reset. Reset while other threads are
+// actively counting loses increments that race the zeroing; callers reset
+// between measurement phases, while quiescent, as with Snapshot().
+//
+// This header is self-contained (standard library only): it is included by
+// src/base/spinlock.h and eventcount.h, which everything else includes, so
+// it must not depend on any other taos library.
+
+#ifndef TAOS_SRC_OBS_METRICS_H_
+#define TAOS_SRC_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace taos::obs {
+
+// One slot per distinguishable runtime event. Grouped: the user-code fast
+// paths (the ops the paper compiles in-line), the Nub slow-path entries by
+// operation kind (the per-op split of Nub::nub_entries), the race/rescue
+// accounting, and the spin-lock / eventcount internals.
+enum class Counter : int {
+  // --- user-code fast paths (never entered the Nub) ---
+  kFastMutexAcquire,   // Acquire/TryAcquire won the in-line test-and-set
+  kFastMutexRelease,   // Release cleared the bit, queue empty, no Nub call
+  kFastSemP,           // P/TryP/AlertP won the in-line test-and-set
+  kFastSemV,           // V cleared the bit, queue empty, no Nub call
+  kFastSignal,         // Signal skipped the Nub: no threads to unblock
+  kFastBroadcast,      // Broadcast skipped the Nub likewise
+
+  // --- Nub (slow-path) entries, by operation kind ---
+  kNubAcquire,
+  kNubRelease,
+  kNubWait,            // every Wait enters Block, the Nub subroutine
+  kNubSignal,
+  kNubBroadcast,
+  kNubP,
+  kNubV,
+  kNubAlert,
+  kNubAlertWait,
+  kNubAlertP,
+
+  // --- races covered and work handed over ---
+  kWakeupWaitingHits,  // Block returned without sleeping: the eventcount
+                       // moved in the window, a lost wakeup was prevented
+  kSpuriousWakeups,    // unparked but the retried test-and-set lost (barging)
+  kHandoffs,           // a slow path made another thread ready (unpark)
+  kLockBitRetries,     // failed test-and-set retries inside a Nub slow loop
+
+  // --- spin-lock and eventcount internals ---
+  kSpinIterations,        // total busy-wait beats across contended Acquires
+  kContendedSpinAcquires, // SpinLock::Acquire calls that had to spin
+  kEventCountAdvances,    // EventCount::Advance calls (Signal/Broadcast)
+
+  kNumCounters,
+};
+
+// Log2-bucket histograms. Bucket 0 holds the value 0; bucket i (i >= 1)
+// holds values in [2^(i-1), 2^i); the last bucket is a catch-all.
+enum class Histogram : int {
+  kSpinAcquireNanos,        // contended SpinLock::Acquire wall latency
+  kSpinIterationsPerAcquire,// busy-wait beats per contended Acquire
+  kBlockedNanos,            // park duration (de-scheduled time)
+
+  kNumHistograms,
+};
+
+inline constexpr int kNumCounters = static_cast<int>(Counter::kNumCounters);
+inline constexpr int kNumHistograms =
+    static_cast<int>(Histogram::kNumHistograms);
+inline constexpr int kHistogramBuckets = 32;
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+const char* CounterName(Counter c);
+const char* HistogramName(Histogram h);
+
+// A thread's private block of counters. Cache-line aligned (and therefore
+// cache-line padded: alignas rounds sizeof up to a multiple of 64) so two
+// threads' cells never share a line. Written only by the owning thread;
+// read (and zeroed) cross-thread via the relaxed atomic API.
+struct alignas(kCacheLineBytes) Cell {
+  std::atomic<std::uint64_t> counters[kNumCounters];
+  std::atomic<std::uint64_t> histograms[kNumHistograms][kHistogramBuckets];
+};
+
+// Allocates and registers the calling thread's cell. Cells live in the
+// global registry forever (a thread's counts survive its exit), so the
+// pointer never dangles.
+Cell* RegisterCell();
+
+namespace internal {
+// Namespace-scope with constant (zero) initialization: access compiles to a
+// plain TLS load with no init-on-first-use guard, which matters because
+// every fast-path increment goes through here. RegisterCell() sets it.
+extern thread_local Cell* g_cell;
+}  // namespace internal
+
+inline Cell& LocalCell() {
+  Cell* cell = internal::g_cell;
+  if (cell == nullptr) [[unlikely]] {
+    cell = RegisterCell();
+  }
+  return *cell;
+}
+
+// Single-writer increment: a relaxed load+store pair instead of fetch_add.
+// The owning thread is the only writer, so no update can be lost, and the
+// atomic API keeps concurrent Snapshot()/ResetStats() readers race-free —
+// without the lock-prefixed RMW that would otherwise be the fast path's
+// single most expensive instruction.
+inline void BumpSlot(std::atomic<std::uint64_t>& slot, std::uint64_t n) {
+  slot.store(slot.load(std::memory_order_relaxed) + n,
+             std::memory_order_relaxed);
+}
+
+inline void Inc(Counter c) {
+  BumpSlot(LocalCell().counters[static_cast<int>(c)], 1);
+}
+
+inline void Add(Counter c, std::uint64_t n) {
+  BumpSlot(LocalCell().counters[static_cast<int>(c)], n);
+}
+
+// Bucket index for a log2 histogram: 0 -> 0, v -> bit_width(v) capped.
+int HistogramBucket(std::uint64_t value);
+
+inline void Record(Histogram h, std::uint64_t value) {
+  BumpSlot(
+      LocalCell().histograms[static_cast<int>(h)][HistogramBucket(value)], 1);
+}
+
+// Monotonic nanoseconds since the first call in the process (steady clock).
+// Shared by the latency histograms and the flight recorder so their
+// timestamps are directly comparable.
+std::uint64_t NowNanos();
+
+// Aggregated totals across every registered cell.
+struct Stats {
+  std::uint64_t counters[kNumCounters] = {};
+  std::uint64_t histograms[kNumHistograms][kHistogramBuckets] = {};
+
+  std::uint64_t Count(Counter c) const {
+    return counters[static_cast<int>(c)];
+  }
+  // Total samples recorded into a histogram.
+  std::uint64_t HistogramTotal(Histogram h) const;
+};
+
+Stats Snapshot();
+
+// The snapshot rendered as a JSON object:
+//   {"counters": {"fast_mutex_acquire": 12, ...},
+//    "histograms": {"spin_acquire_ns": [0,3,...], ...}}
+std::string StatsJson(const Stats& stats);
+std::string ReportJson();
+
+// Zeroes every counter and histogram slot of every registered cell (by
+// walking the registry and the enum-sized arrays — nothing to forget).
+void ResetStats();
+
+}  // namespace taos::obs
+
+#endif  // TAOS_SRC_OBS_METRICS_H_

@@ -1,0 +1,158 @@
+#include "src/obs/recorder.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+namespace taos::obs {
+
+namespace internal {
+std::atomic<bool> g_recorder_enabled{false};
+}  // namespace internal
+
+namespace {
+
+// 4096 events * 32 bytes = 128 KiB per recording thread.
+constexpr std::uint64_t kRingCapacity = 4096;
+static_assert((kRingCapacity & (kRingCapacity - 1)) == 0);
+
+struct Ring {
+  std::uint32_t tid = 0;
+  // Total events ever written; slot i lives at slots[i % capacity]. The
+  // owner stores it with release order after filling the slot; the drain
+  // reads it with acquire order (see the memory model in recorder.h).
+  std::atomic<std::uint64_t> next{0};
+  Event slots[kRingCapacity];
+};
+
+std::mutex& RegistryLock() {
+  static std::mutex* m = new std::mutex();
+  return *m;
+}
+
+std::vector<Ring*>& Registry() {
+  static std::vector<Ring*>* v = new std::vector<Ring*>();
+  return *v;
+}
+
+std::uint32_t NextTid() {
+  static std::atomic<std::uint32_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+Ring& LocalRing() {
+  thread_local Ring* ring = [] {
+    Ring* r = new Ring();  // leaked: events survive thread exit until drained
+    r->tid = NextTid();
+    std::lock_guard<std::mutex> g(RegistryLock());
+    Registry().push_back(r);
+    return r;
+  }();
+  return *ring;
+}
+
+constexpr const char* kOpNames[static_cast<int>(Op::kNumOps)] = {
+    "Acquire", "Release", "Wait",  "Signal",    "Broadcast",
+    "P",       "V",       "Alert", "AlertWait", "AlertP",
+};
+
+// Fixed-point microseconds with nanosecond precision, avoiding double
+// formatting drift: 1234 ns -> "1.234".
+void AppendMicros(std::ostringstream& os, std::uint64_t ns) {
+  os << ns / 1000 << '.' << static_cast<char>('0' + (ns / 100) % 10)
+     << static_cast<char>('0' + (ns / 10) % 10)
+     << static_cast<char>('0' + ns % 10);
+}
+
+}  // namespace
+
+const char* OpName(Op op) { return kOpNames[static_cast<int>(op)]; }
+
+void ScopedEvent::Arm(Op op, std::uint64_t obj, std::uint32_t tid) {
+  armed_ = true;
+  op_ = op;
+  tid_ = tid;
+  obj_ = obj;
+  start_ = NowNanos();
+}
+
+void ScopedEvent::Finish() {
+  RecordEvent(op_, obj_, start_, NowNanos() - start_, tid_);
+}
+
+void SetRecorderEnabled(bool on) {
+  internal::g_recorder_enabled.store(on, std::memory_order_relaxed);
+}
+
+void RecordEvent(Op op, std::uint64_t obj, std::uint64_t ts_ns,
+                 std::uint64_t dur_ns, std::uint32_t tid) {
+  Ring& ring = LocalRing();
+  const std::uint64_t i = ring.next.load(std::memory_order_relaxed);
+  Event& slot = ring.slots[i % kRingCapacity];
+  slot.ts_ns = ts_ns;
+  slot.dur_ns = dur_ns;
+  slot.obj = obj;
+  slot.tid = tid == 0 ? ring.tid : tid;
+  slot.op = op;
+  ring.next.store(i + 1, std::memory_order_release);
+}
+
+std::string DrainChromeTraceJson() {
+  std::ostringstream os;
+  std::uint64_t dropped_total = 0;
+  os << "{\"displayTimeUnit\": \"ns\", \"traceEvents\": [";
+  bool first = true;
+  std::lock_guard<std::mutex> g(RegistryLock());
+  for (Ring* ring : Registry()) {
+    const std::uint64_t next = ring->next.load(std::memory_order_acquire);
+    const std::uint64_t begin = next > kRingCapacity ? next - kRingCapacity : 0;
+    dropped_total += begin;
+    if (next != begin) {
+      os << (first ? "" : ",")
+         << "\n {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
+            "\"tid\": "
+         << ring->tid << ", \"args\": {\"name\": \"taos-thread-" << ring->tid
+         << "\"}}";
+      first = false;
+    }
+    // Ring order is completion order; nested ScopedEvents (e.g. Wait's
+    // mutex re-acquisition inside Wait) complete before their enclosing
+    // scope. Sort by start time so each thread's row is monotone and
+    // Perfetto renders enclosing scopes as enclosing slices.
+    std::vector<Event> events;
+    events.reserve(static_cast<std::size_t>(next - begin));
+    for (std::uint64_t i = begin; i < next; ++i) {
+      events.push_back(ring->slots[i % kRingCapacity]);
+    }
+    std::stable_sort(events.begin(), events.end(),
+                     [](const Event& a, const Event& b) {
+                       return a.ts_ns < b.ts_ns;
+                     });
+    for (const Event& e : events) {
+      os << ",\n {\"name\": \"" << OpName(e.op)
+         << "\", \"cat\": \"sync\", \"ph\": \"X\", \"pid\": 1, \"tid\": "
+         << e.tid << ", \"ts\": ";
+      AppendMicros(os, e.ts_ns);
+      os << ", \"dur\": ";
+      AppendMicros(os, e.dur_ns);
+      os << ", \"args\": {\"obj\": " << e.obj << "}}";
+    }
+    ring->next.store(0, std::memory_order_relaxed);
+  }
+  os << "\n], \"otherData\": {\"dropped_events\": " << dropped_total << "}}\n";
+  return os.str();
+}
+
+bool DrainChromeTraceJsonToFile(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  out << DrainChromeTraceJson();
+  return static_cast<bool>(out);
+}
+
+}  // namespace taos::obs

@@ -1,6 +1,8 @@
 #include "src/threads/alert.h"
 
 #include "src/base/check.h"
+#include "src/obs/metrics.h"
+#include "src/obs/recorder.h"
 #include "src/spec/action.h"
 #include "src/threads/nub.h"
 
@@ -17,6 +19,8 @@ namespace taos {
 // call), so the try-acquire never touches freed memory.
 void Alert(ThreadHandle h) {
   TAOS_CHECK(h.rec != nullptr);
+  obs::ScopedEvent ev(obs::Op::kAlert, h.rec->id);
+  obs::Inc(obs::Counter::kNubAlert);
   Nub& nub = Nub::Get();
   ThreadRecord* self = nub.Current();
   ThreadRecord* t = h.rec;
@@ -74,6 +78,7 @@ void Alert(ThreadHandle h) {
     }
     obj_lock->Release();
     t->lock.Release();
+    obs::Inc(obs::Counter::kHandoffs);
     t->park.release();
     return;
   }
@@ -92,6 +97,8 @@ bool TestAlert() {
 }
 
 void AlertWait(Mutex& m, Condition& c) {
+  obs::ScopedEvent ev(obs::Op::kAlertWait, c.id_);
+  obs::Inc(obs::Counter::kNubAlertWait);
   Nub& nub = Nub::Get();
   ThreadRecord* self = nub.Current();
   // REQUIRES m = SELF.
@@ -111,6 +118,7 @@ void AlertWait(Mutex& m, Condition& c) {
       nub.EmitTraced(spec::MakeAlertEnqueue(self->id, m.id_, c.id_));
     }
     if (wake != nullptr) {
+      obs::Inc(obs::Counter::kHandoffs);
       wake->park.release();
     }
 
@@ -133,6 +141,7 @@ void AlertWait(Mutex& m, Condition& c) {
         // Absorbed by an intervening Signal/Broadcast (which removed us
         // from c when it emitted): resume normally.
         c.absorbed_.fetch_add(1, std::memory_order_relaxed);
+        obs::Inc(obs::Counter::kWakeupWaitingHits);
       } else {
         TAOS_CHECK(c.EraseWindow(self));
         c.queue_.PushBack(self);
@@ -142,8 +151,7 @@ void AlertWait(Mutex& m, Condition& c) {
       }
     }
     if (parked) {
-      self->parks.fetch_add(1, std::memory_order_relaxed);
-      self->park.acquire();
+      ParkBlocked(self);
       // Woken either by Alert (alert_woken, already in pending_raise_) or
       // by Signal/Broadcast (removed from c). If an alert is pending in
       // either case, this implementation chooses to raise — the spec
@@ -196,11 +204,11 @@ void AlertWait(Mutex& m, Condition& c) {
     } else {
       c.waiters_.fetch_sub(1, std::memory_order_relaxed);
       c.absorbed_.fetch_add(1, std::memory_order_relaxed);
+      obs::Inc(obs::Counter::kWakeupWaitingHits);
     }
   }
   if (parked) {
-    self->parks.fetch_add(1, std::memory_order_relaxed);
-    self->park.acquire();
+    ParkBlocked(self);
     SpinGuard sg(self->lock);
     raise = self->alert_woken ||
             self->alerted.load(std::memory_order_relaxed);
@@ -220,6 +228,7 @@ void AlertWait(Mutex& m, Condition& c) {
 }
 
 void AlertP(Semaphore& s) {
+  obs::ScopedEvent ev(obs::Op::kAlertP, s.id_);
   Nub& nub = Nub::Get();
   ThreadRecord* self = nub.Current();
 
@@ -230,6 +239,7 @@ void AlertP(Semaphore& s) {
     // path prefers the RAISES outcome when both WHEN clauses hold, which
     // the spec allows.
     nub.nub_entries.fetch_add(1, std::memory_order_relaxed);
+    obs::Inc(obs::Counter::kNubAlertP);
     for (;;) {
       bool parked = false;
       {
@@ -253,8 +263,7 @@ void AlertP(Semaphore& s) {
         parked = true;
       }
       if (parked) {
-        self->parks.fetch_add(1, std::memory_order_relaxed);
-        self->park.acquire();
+        ParkBlocked(self);
         SpinGuard sg(self->lock);
         if (self->alert_woken) {
           self->alert_woken = false;
@@ -276,11 +285,13 @@ void AlertP(Semaphore& s) {
   // legitimized it).
   if (s.bit_.exchange(1, std::memory_order_acquire) == 0) {
     s.fast_ps_.fetch_add(1, std::memory_order_relaxed);
+    obs::Inc(obs::Counter::kFastSemP);
     return;
   }
 
   nub.nub_entries.fetch_add(1, std::memory_order_relaxed);
   s.slow_ps_.fetch_add(1, std::memory_order_relaxed);
+  obs::Inc(obs::Counter::kNubAlertP);
   for (;;) {
     bool parked = false;
     {
@@ -303,8 +314,7 @@ void AlertP(Semaphore& s) {
       }
     }
     if (parked) {
-      self->parks.fetch_add(1, std::memory_order_relaxed);
-      self->park.acquire();
+      ParkBlocked(self);
       SpinGuard sg(self->lock);
       if (self->alert_woken) {
         self->alert_woken = false;
@@ -314,6 +324,10 @@ void AlertP(Semaphore& s) {
     }
     if (s.bit_.exchange(1, std::memory_order_acquire) == 0) {
       return;
+    }
+    obs::Inc(obs::Counter::kLockBitRetries);
+    if (parked) {
+      obs::Inc(obs::Counter::kSpuriousWakeups);
     }
   }
 }

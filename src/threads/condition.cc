@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "src/base/check.h"
+#include "src/obs/metrics.h"
+#include "src/obs/recorder.h"
 #include "src/spec/action.h"
 #include "src/threads/nub.h"
 
@@ -17,29 +19,32 @@ Condition::~Condition() {
 }
 
 void Condition::Wait(Mutex& m) {
-  Nub& nub = Nub::Get();
-  ThreadRecord* self = nub.Current();
-  // REQUIRES m = SELF.
-  TAOS_CHECK(m.holder_.load(std::memory_order_relaxed) == self->id);
-  if (nub.tracing()) {
-    TracedWait(m, self);
-    return;
-  }
-  // First read c's Eventcount (still inside the critical section)...
-  const EventCount::Value i = ec_.Read();
-  // ...announce ourselves to Signal's fast path before the critical section
-  // ends, so "no waiters" can never be concluded while we are in flight...
-  waiters_.fetch_add(1, std::memory_order_seq_cst);
-  // ...then leave the critical section and call the Nub subroutine Block.
-  m.Release();
-  Block(self, i);
-  // On return from Block, re-enter a critical section.
-  m.Acquire();
+  obs::WithEvent(obs::Op::kWait, id_, [&] {
+    Nub& nub = Nub::Get();
+    ThreadRecord* self = nub.Current();
+    // REQUIRES m = SELF.
+    TAOS_CHECK(m.holder_.load(std::memory_order_relaxed) == self->id);
+    if (nub.tracing()) {
+      TracedWait(m, self);
+      return;
+    }
+    // First read c's Eventcount (still inside the critical section)...
+    const EventCount::Value i = ec_.Read();
+    // ...announce ourselves to Signal's fast path before the critical section
+    // ends, so "no waiters" can never be concluded while we are in flight...
+    waiters_.fetch_add(1, std::memory_order_seq_cst);
+    // ...then leave the critical section and call the Nub subroutine Block.
+    m.Release();
+    Block(self, i);
+    // On return from Block, re-enter a critical section.
+    m.Acquire();
+  });
 }
 
 void Condition::Block(ThreadRecord* self, EventCount::Value i) {
   Nub& nub = Nub::Get();
   nub.nub_entries.fetch_add(1, std::memory_order_relaxed);
+  obs::Inc(obs::Counter::kNubWait);
   bool parked = false;
   {
     NubGuard g(nub_lock_);
@@ -54,32 +59,37 @@ void Condition::Block(ThreadRecord* self, EventCount::Value i) {
       // covered, and why one Signal can unblock several threads.
       waiters_.fetch_sub(1, std::memory_order_relaxed);
       absorbed_.fetch_add(1, std::memory_order_relaxed);
+      obs::Inc(obs::Counter::kWakeupWaitingHits);
     }
   }
   if (parked) {
-    self->parks.fetch_add(1, std::memory_order_relaxed);
-    self->park.acquire();
+    ParkBlocked(self);
   }
 }
 
 void Condition::Signal() {
-  Nub& nub = Nub::Get();
-  if (nub.tracing()) {
-    TracedSignal(nub.Current());
-    return;
-  }
-  // User code: avoid calling the Nub if there are no threads to unblock.
-  if (waiters_.load(std::memory_order_seq_cst) == 0) {
-    fast_signals_.fetch_add(1, std::memory_order_relaxed);
-    return;
-  }
-  NubSignal();
+  obs::WithEvent(obs::Op::kSignal, id_, [&] {
+    Nub& nub = Nub::Get();
+    if (nub.tracing()) {
+      obs::Inc(obs::Counter::kNubSignal);
+      TracedSignal(nub.Current());
+      return;
+    }
+    // User code: avoid calling the Nub if there are no threads to unblock.
+    if (waiters_.load(std::memory_order_seq_cst) == 0) {
+      fast_signals_.fetch_add(1, std::memory_order_relaxed);
+      obs::Inc(obs::Counter::kFastSignal);
+      return;
+    }
+    NubSignal();
+  });
 }
 
 void Condition::NubSignal() {
   Nub& nub = Nub::Get();
   nub.nub_entries.fetch_add(1, std::memory_order_relaxed);
   nub_signals_.fetch_add(1, std::memory_order_relaxed);
+  obs::Inc(obs::Counter::kNubSignal);
   ThreadRecord* wake = nullptr;
   {
     NubGuard g(nub_lock_);
@@ -91,26 +101,32 @@ void Condition::NubSignal() {
     }
   }
   if (wake != nullptr) {
+    obs::Inc(obs::Counter::kHandoffs);
     wake->park.release();
   }
 }
 
 void Condition::Broadcast() {
-  Nub& nub = Nub::Get();
-  if (nub.tracing()) {
-    TracedBroadcast(nub.Current());
-    return;
-  }
-  if (waiters_.load(std::memory_order_seq_cst) == 0) {
-    fast_signals_.fetch_add(1, std::memory_order_relaxed);
-    return;
-  }
-  NubBroadcast();
+  obs::WithEvent(obs::Op::kBroadcast, id_, [&] {
+    Nub& nub = Nub::Get();
+    if (nub.tracing()) {
+      obs::Inc(obs::Counter::kNubBroadcast);
+      TracedBroadcast(nub.Current());
+      return;
+    }
+    if (waiters_.load(std::memory_order_seq_cst) == 0) {
+      fast_signals_.fetch_add(1, std::memory_order_relaxed);
+      obs::Inc(obs::Counter::kFastBroadcast);
+      return;
+    }
+    NubBroadcast();
+  });
 }
 
 void Condition::NubBroadcast() {
   Nub& nub = Nub::Get();
   nub.nub_entries.fetch_add(1, std::memory_order_relaxed);
+  obs::Inc(obs::Counter::kNubBroadcast);
   std::vector<ThreadRecord*> wake;
   {
     NubGuard g(nub_lock_);
@@ -121,6 +137,7 @@ void Condition::NubBroadcast() {
       wake.push_back(t);
     }
   }
+  obs::Add(obs::Counter::kHandoffs, wake.size());
   for (ThreadRecord* t : wake) {
     t->park.release();
   }
@@ -150,6 +167,7 @@ bool Condition::ErasePendingRaise(ThreadRecord* rec) {
 
 void Condition::TracedWait(Mutex& m, ThreadRecord* self) {
   Nub& nub = Nub::Get();
+  obs::Inc(obs::Counter::kNubWait);
   EventCount::Value snapshot = 0;
   ThreadRecord* wake = nullptr;
   {
@@ -162,6 +180,7 @@ void Condition::TracedWait(Mutex& m, ThreadRecord* self) {
     nub.EmitTraced(spec::MakeEnqueue(self->id, m.id_, id_));
   }
   if (wake != nullptr) {
+    obs::Inc(obs::Counter::kHandoffs);
     wake->park.release();
   }
 
@@ -175,6 +194,7 @@ void Condition::TracedWait(Mutex& m, ThreadRecord* self) {
       TAOS_DCHECK(std::find(window_.begin(), window_.end(), self) ==
                   window_.end());
       absorbed_.fetch_add(1, std::memory_order_relaxed);
+      obs::Inc(obs::Counter::kWakeupWaitingHits);
     } else {
       TAOS_CHECK(EraseWindow(self));
       queue_.PushBack(self);
@@ -184,8 +204,7 @@ void Condition::TracedWait(Mutex& m, ThreadRecord* self) {
     }
   }
   if (parked) {
-    self->parks.fetch_add(1, std::memory_order_relaxed);
-    self->park.acquire();
+    ParkBlocked(self);
   }
 
   // Atomic action Resume, emitted at the instant m is regained. Its WHEN
@@ -226,6 +245,7 @@ void Condition::TracedSignal(ThreadRecord* self) {
     nub.EmitTraced(spec::MakeSignal(self->id, id_, removed));
   }
   if (wake != nullptr) {
+    obs::Inc(obs::Counter::kHandoffs);
     wake->park.release();
   }
 }
@@ -252,6 +272,7 @@ void Condition::TracedBroadcast(ThreadRecord* self) {
     pending_raise_.clear();
     nub.EmitTraced(spec::MakeBroadcast(self->id, id_, removed));
   }
+  obs::Add(obs::Counter::kHandoffs, wake.size());
   for (ThreadRecord* t : wake) {
     t->park.release();
   }

@@ -1,6 +1,8 @@
 #include "src/threads/mutex.h"
 
 #include "src/base/check.h"
+#include "src/obs/metrics.h"
+#include "src/obs/recorder.h"
 #include "src/spec/action.h"
 #include "src/threads/nub.h"
 
@@ -14,20 +16,24 @@ Mutex::~Mutex() {
 }
 
 void Mutex::Acquire() {
-  Nub& nub = Nub::Get();
-  ThreadRecord* self = nub.Current();
-  if (nub.tracing()) {
-    TracedAcquire(self, spec::MakeAcquire(self->id, id_));
-    return;
-  }
-  // User-code fast path: one test-and-set when there is no contention.
-  if (bit_.exchange(1, std::memory_order_acquire) == 0) {
-    fast_acquires_.fetch_add(1, std::memory_order_relaxed);
+  obs::WithEvent(obs::Op::kAcquire, id_, [&] {
+    Nub& nub = Nub::Get();
+    ThreadRecord* self = nub.Current();
+    if (nub.tracing()) {
+      obs::Inc(obs::Counter::kNubAcquire);
+      TracedAcquire(self, spec::MakeAcquire(self->id, id_));
+      return;
+    }
+    // User-code fast path: one test-and-set when there is no contention.
+    if (bit_.exchange(1, std::memory_order_acquire) == 0) {
+      fast_acquires_.fetch_add(1, std::memory_order_relaxed);
+      obs::Inc(obs::Counter::kFastMutexAcquire);
+      NoteAcquired(self);
+      return;
+    }
+    NubAcquire(self);
     NoteAcquired(self);
-    return;
-  }
-  NubAcquire(self);
-  NoteAcquired(self);
+  });
 }
 
 bool Mutex::TryAcquire() {
@@ -45,6 +51,7 @@ bool Mutex::TryAcquire() {
   }
   if (bit_.exchange(1, std::memory_order_acquire) == 0) {
     fast_acquires_.fetch_add(1, std::memory_order_relaxed);
+    obs::Inc(obs::Counter::kFastMutexAcquire);
     NoteAcquired(self);
     return true;
   }
@@ -55,6 +62,7 @@ void Mutex::NubAcquire(ThreadRecord* self) {
   Nub& nub = Nub::Get();
   nub.nub_entries.fetch_add(1, std::memory_order_relaxed);
   slow_acquires_.fetch_add(1, std::memory_order_relaxed);
+  obs::Inc(obs::Counter::kNubAcquire);
   for (;;) {
     bool parked = false;
     {
@@ -75,8 +83,7 @@ void Mutex::NubAcquire(ThreadRecord* self) {
       }
     }
     if (parked) {
-      self->parks.fetch_add(1, std::memory_order_relaxed);
-      self->park.acquire();
+      ParkBlocked(self);
     }
     // Retry the entire Acquire operation, beginning at the test-and-set.
     // Another thread may barge in and win; the spec does not say which
@@ -84,33 +91,44 @@ void Mutex::NubAcquire(ThreadRecord* self) {
     if (bit_.exchange(1, std::memory_order_acquire) == 0) {
       return;
     }
+    obs::Inc(obs::Counter::kLockBitRetries);
+    if (parked) {
+      // Unparked, but a barging thread won the retried test-and-set.
+      obs::Inc(obs::Counter::kSpuriousWakeups);
+    }
   }
 }
 
 void Mutex::Release() {
-  Nub& nub = Nub::Get();
-  ThreadRecord* self = nub.Current();
-  // REQUIRES m = SELF. (Checked here as a library extension; the paper's
-  // implementation trusted the caller.)
-  TAOS_CHECK(holder_.load(std::memory_order_relaxed) == self->id);
-  if (nub.tracing()) {
-    TracedRelease(self);
-    return;
-  }
-  holder_.store(spec::kNil, std::memory_order_relaxed);
-  // User code: clear the Lock-bit; call the Nub only if the Queue is
-  // non-empty. The seq_cst store/load pair below pairs with the
-  // enqueue-then-test in NubAcquire so that at least one side sees the
-  // other (no thread is left parked with the mutex free).
-  bit_.store(0, std::memory_order_seq_cst);
-  if (queue_len_.load(std::memory_order_seq_cst) > 0) {
-    NubRelease();
-  }
+  obs::WithEvent(obs::Op::kRelease, id_, [&] {
+    Nub& nub = Nub::Get();
+    ThreadRecord* self = nub.Current();
+    // REQUIRES m = SELF. (Checked here as a library extension; the paper's
+    // implementation trusted the caller.)
+    TAOS_CHECK(holder_.load(std::memory_order_relaxed) == self->id);
+    if (nub.tracing()) {
+      obs::Inc(obs::Counter::kNubRelease);
+      TracedRelease(self);
+      return;
+    }
+    holder_.store(spec::kNil, std::memory_order_relaxed);
+    // User code: clear the Lock-bit; call the Nub only if the Queue is
+    // non-empty. The seq_cst store/load pair below pairs with the
+    // enqueue-then-test in NubAcquire so that at least one side sees the
+    // other (no thread is left parked with the mutex free).
+    bit_.store(0, std::memory_order_seq_cst);
+    if (queue_len_.load(std::memory_order_seq_cst) > 0) {
+      NubRelease();
+    } else {
+      obs::Inc(obs::Counter::kFastMutexRelease);
+    }
+  });
 }
 
 void Mutex::NubRelease() {
   Nub& nub = Nub::Get();
   nub.nub_entries.fetch_add(1, std::memory_order_relaxed);
+  obs::Inc(obs::Counter::kNubRelease);
   ThreadRecord* wake = nullptr;
   {
     NubGuard g(nub_lock_);
@@ -122,6 +140,7 @@ void Mutex::NubRelease() {
   }
   if (wake != nullptr) {
     // Add it to the ready pool: here, hand its processor back by unparking.
+    obs::Inc(obs::Counter::kHandoffs);
     wake->park.release();
   }
 }
@@ -158,8 +177,7 @@ void Mutex::TracedAcquire(ThreadRecord* self, const spec::Action& emit,
       parked = true;
     }
     if (parked) {
-      self->parks.fetch_add(1, std::memory_order_relaxed);
-      self->park.acquire();
+      ParkBlocked(self);
     }
   }
 }
@@ -171,6 +189,7 @@ void Mutex::TracedRelease(ThreadRecord* self) {
     wake = TracedReleaseLocked(self, /*emit_release=*/true);
   }
   if (wake != nullptr) {
+    obs::Inc(obs::Counter::kHandoffs);
     wake->park.release();
   }
 }

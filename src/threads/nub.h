@@ -113,10 +113,19 @@ class Nub {
   // forwards it to the installed sink. The caller must hold the lock(s)
   // guarding all spec state the action reads or writes, so that the stamp
   // order restricted to any one object (or thread's alert flag) matches the
-  // order the state changes actually took effect.
+  // order the state changes actually took effect. The sink is loaded once:
+  // callers race their tracing() check against SetTrace(nullptr), so the
+  // action is dropped — not emitted through a dangling pointer — when the
+  // sink was removed in between. (SetTrace(nullptr) is documented
+  // quiescent-only; this makes the failure mode of a violation a truncated
+  // trace rather than a null dereference.)
   void EmitTraced(spec::Action action) {
+    spec::TraceSink* sink = trace();
+    if (sink == nullptr) {
+      return;
+    }
     action.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
-    trace()->Emit(action);
+    sink->Emit(action);
   }
 
   // Fresh ObjId for a Mutex/Condition/Semaphore.

@@ -1,6 +1,8 @@
 #include "src/threads/semaphore.h"
 
 #include "src/base/check.h"
+#include "src/obs/metrics.h"
+#include "src/obs/recorder.h"
 #include "src/spec/action.h"
 #include "src/threads/nub.h"
 
@@ -11,17 +13,21 @@ Semaphore::Semaphore() : id_(Nub::Get().NextObjId()) {}
 Semaphore::~Semaphore() { TAOS_CHECK(queue_.Empty()); }
 
 void Semaphore::P() {
-  Nub& nub = Nub::Get();
-  ThreadRecord* self = nub.Current();
-  if (nub.tracing()) {
-    TracedP(self);
-    return;
-  }
-  if (bit_.exchange(1, std::memory_order_acquire) == 0) {
-    fast_ps_.fetch_add(1, std::memory_order_relaxed);
-    return;
-  }
-  NubP(self);
+  obs::WithEvent(obs::Op::kP, id_, [&] {
+    Nub& nub = Nub::Get();
+    ThreadRecord* self = nub.Current();
+    if (nub.tracing()) {
+      obs::Inc(obs::Counter::kNubP);
+      TracedP(self);
+      return;
+    }
+    if (bit_.exchange(1, std::memory_order_acquire) == 0) {
+      fast_ps_.fetch_add(1, std::memory_order_relaxed);
+      obs::Inc(obs::Counter::kFastSemP);
+      return;
+    }
+    NubP(self);
+  });
 }
 
 bool Semaphore::TryP() {
@@ -38,6 +44,7 @@ bool Semaphore::TryP() {
   }
   if (bit_.exchange(1, std::memory_order_acquire) == 0) {
     fast_ps_.fetch_add(1, std::memory_order_relaxed);
+    obs::Inc(obs::Counter::kFastSemP);
     return true;
   }
   return false;
@@ -47,6 +54,7 @@ void Semaphore::NubP(ThreadRecord* self) {
   Nub& nub = Nub::Get();
   nub.nub_entries.fetch_add(1, std::memory_order_relaxed);
   slow_ps_.fetch_add(1, std::memory_order_relaxed);
+  obs::Inc(obs::Counter::kNubP);
   for (;;) {
     bool parked = false;
     {
@@ -63,30 +71,39 @@ void Semaphore::NubP(ThreadRecord* self) {
       }
     }
     if (parked) {
-      self->parks.fetch_add(1, std::memory_order_relaxed);
-      self->park.acquire();
+      ParkBlocked(self);
     }
     if (bit_.exchange(1, std::memory_order_acquire) == 0) {
       return;
+    }
+    obs::Inc(obs::Counter::kLockBitRetries);
+    if (parked) {
+      obs::Inc(obs::Counter::kSpuriousWakeups);
     }
   }
 }
 
 void Semaphore::V() {
-  Nub& nub = Nub::Get();
-  if (nub.tracing()) {
-    TracedV(nub.Current());
-    return;
-  }
-  bit_.store(0, std::memory_order_seq_cst);
-  if (queue_len_.load(std::memory_order_seq_cst) > 0) {
-    NubV();
-  }
+  obs::WithEvent(obs::Op::kV, id_, [&] {
+    Nub& nub = Nub::Get();
+    if (nub.tracing()) {
+      obs::Inc(obs::Counter::kNubV);
+      TracedV(nub.Current());
+      return;
+    }
+    bit_.store(0, std::memory_order_seq_cst);
+    if (queue_len_.load(std::memory_order_seq_cst) > 0) {
+      NubV();
+    } else {
+      obs::Inc(obs::Counter::kFastSemV);
+    }
+  });
 }
 
 void Semaphore::NubV() {
   Nub& nub = Nub::Get();
   nub.nub_entries.fetch_add(1, std::memory_order_relaxed);
+  obs::Inc(obs::Counter::kNubV);
   ThreadRecord* wake = nullptr;
   {
     NubGuard g(nub_lock_);
@@ -97,6 +114,7 @@ void Semaphore::NubV() {
     }
   }
   if (wake != nullptr) {
+    obs::Inc(obs::Counter::kHandoffs);
     wake->park.release();
   }
 }
@@ -120,8 +138,7 @@ void Semaphore::TracedP(ThreadRecord* self) {
       parked = true;
     }
     if (parked) {
-      self->parks.fetch_add(1, std::memory_order_relaxed);
-      self->park.acquire();
+      ParkBlocked(self);
     }
   }
 }
@@ -140,6 +157,7 @@ void Semaphore::TracedV(ThreadRecord* self) {
     }
   }
   if (wake != nullptr) {
+    obs::Inc(obs::Counter::kHandoffs);
     wake->park.release();
   }
 }

@@ -21,6 +21,7 @@
 
 #include "src/base/intrusive_queue.h"
 #include "src/base/spinlock.h"
+#include "src/obs/metrics.h"
 #include "src/spec/state.h"
 
 namespace taos {
@@ -98,6 +99,16 @@ inline void MarkBlocked(ThreadRecord* t, ThreadRecord::BlockKind kind,
 inline void MarkUnblocked(ThreadRecord* t) {
   SpinGuard g(t->lock);
   ClearBlockedLocked(t);
+}
+
+// "De-schedule this thread": park on the private semaphore, counting the
+// park and feeding the de-scheduled duration into the blocked-time
+// histogram. Every blocking site in src/threads goes through here.
+inline void ParkBlocked(ThreadRecord* t) {
+  t->parks.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t start = obs::NowNanos();
+  t->park.acquire();
+  obs::Record(obs::Histogram::kBlockedNanos, obs::NowNanos() - start);
 }
 
 // Opaque handle clients use to name a thread (e.g. Alert(t)).
