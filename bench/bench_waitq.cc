@@ -1,0 +1,229 @@
+// Waitq A/B — the same workloads on the classic intrusive waiter queues and
+// on the waitq substrate (segment cells + Parker), flipped per-benchmark via
+// the runtime switch the TAOS_WAITQ env var drives:
+//
+//   UncontendedAcquireRelease   fast-path parity: the substrate is slow-path
+//                               only, so classic and waitq must tie (~22ns)
+//   ContendedMutex              park/unpark handoff under real contention
+//   SemaphorePingPong           blocking P/V handoff between two threads
+//   AlertStorm                  alert a blocked AlertP per iteration — waitq
+//                               cancels a cell in O(1) under the record lock
+//                               alone, classic walks the object queue
+//   ParkerPingPong              the parking backends head-to-head, no queue
+//   QueueEnqueueResume          raw substrate cycle: claim, install, resume
+//
+// Setup/Teardown run with no benchmark threads alive, satisfying the
+// quiescent-switch contract of Nub::SetWaitqMode.
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <thread>
+
+#include "src/threads/threads.h"
+#include "src/waitq/parker.h"
+#include "src/waitq/waitq.h"
+#include "src/workload/work.h"
+
+namespace {
+
+void UseWaitq(const benchmark::State&) { taos::Nub::Get().SetWaitqMode(true); }
+void UseClassic(const benchmark::State&) {
+  taos::Nub::Get().SetWaitqMode(false);
+}
+
+// ---- uncontended parity ---------------------------------------------------
+
+taos::Mutex g_uncontended;
+void UncontendedLoop(benchmark::State& state) {
+  for (auto _ : state) {
+    g_uncontended.Acquire();
+    g_uncontended.Release();
+  }
+}
+void BM_UncontendedAcquireReleaseClassic(benchmark::State& state) {
+  UncontendedLoop(state);
+}
+void BM_UncontendedAcquireReleaseWaitq(benchmark::State& state) {
+  UncontendedLoop(state);
+}
+BENCHMARK(BM_UncontendedAcquireReleaseClassic)
+    ->Setup(UseClassic)
+    ->Teardown(UseClassic);
+BENCHMARK(BM_UncontendedAcquireReleaseWaitq)
+    ->Setup(UseWaitq)
+    ->Teardown(UseClassic);
+
+// ---- contended handoff ----------------------------------------------------
+
+taos::Mutex g_contended;
+void ContendedLoop(benchmark::State& state) {
+  std::uint64_t local = 0;
+  for (auto _ : state) {
+    g_contended.Acquire();
+    local ^= taos::workload::DoWork(5);
+    g_contended.Release();
+    local ^= taos::workload::DoWork(20);
+  }
+  benchmark::DoNotOptimize(local);
+}
+void BM_ContendedMutexClassic(benchmark::State& state) { ContendedLoop(state); }
+void BM_ContendedMutexWaitq(benchmark::State& state) { ContendedLoop(state); }
+BENCHMARK(BM_ContendedMutexClassic)
+    ->Setup(UseClassic)
+    ->Teardown(UseClassic)
+    ->Threads(2)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
+BENCHMARK(BM_ContendedMutexWaitq)
+    ->Setup(UseWaitq)
+    ->Teardown(UseClassic)
+    ->Threads(2)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
+
+// ---- blocking semaphore ping-pong -----------------------------------------
+
+void SemaphorePingPong(benchmark::State& state) {
+  taos::Semaphore ping;
+  ping.P();  // start unavailable
+  taos::Semaphore pong;
+  pong.P();
+  std::atomic<bool> stop{false};
+  taos::Thread worker = taos::Thread::Fork([&] {
+    for (;;) {
+      ping.P();
+      if (stop.load(std::memory_order_acquire)) {
+        return;
+      }
+      pong.V();
+    }
+  });
+  for (auto _ : state) {
+    ping.V();
+    pong.P();
+  }
+  stop.store(true, std::memory_order_release);
+  ping.V();
+  worker.Join();
+}
+void BM_SemaphorePingPongClassic(benchmark::State& state) {
+  SemaphorePingPong(state);
+}
+void BM_SemaphorePingPongWaitq(benchmark::State& state) {
+  SemaphorePingPong(state);
+}
+BENCHMARK(BM_SemaphorePingPongClassic)
+    ->Setup(UseClassic)
+    ->Teardown(UseClassic)
+    ->UseRealTime();
+BENCHMARK(BM_SemaphorePingPongWaitq)
+    ->Setup(UseWaitq)
+    ->Teardown(UseClassic)
+    ->UseRealTime();
+
+// ---- alert storm ----------------------------------------------------------
+
+// One worker repeatedly blocks in AlertP; the driver alerts it once per
+// iteration. Classic Alert removes the worker from the semaphore's intrusive
+// queue under the object lock (the backwards try-lock dance); waitq Alert
+// cancels the published cell in O(1) holding only the record lock.
+void AlertStorm(benchmark::State& state) {
+  taos::Semaphore ready;
+  ready.P();
+  taos::Semaphore blocked;
+  blocked.P();
+  std::atomic<bool> stop{false};
+  std::atomic<bool> done{false};
+  taos::Thread worker = taos::Thread::Fork([&] {
+    for (;;) {
+      ready.V();
+      try {
+        taos::AlertP(blocked);
+      } catch (const taos::Alerted&) {
+      }
+      if (stop.load(std::memory_order_acquire)) {
+        done.store(true, std::memory_order_release);
+        return;
+      }
+    }
+  });
+  const taos::ThreadHandle target = worker.Handle();
+  for (auto _ : state) {
+    ready.P();
+    taos::Alert(target);
+  }
+  stop.store(true, std::memory_order_release);
+  while (!done.load(std::memory_order_acquire)) {
+    taos::Alert(target);
+    std::this_thread::yield();
+  }
+  worker.Join();
+  (void)taos::TestAlert();
+}
+void BM_AlertStormClassic(benchmark::State& state) { AlertStorm(state); }
+void BM_AlertStormWaitq(benchmark::State& state) { AlertStorm(state); }
+BENCHMARK(BM_AlertStormClassic)
+    ->Setup(UseClassic)
+    ->Teardown(UseClassic)
+    ->UseRealTime();
+BENCHMARK(BM_AlertStormWaitq)
+    ->Setup(UseWaitq)
+    ->Teardown(UseClassic)
+    ->UseRealTime();
+
+// ---- parking backends -----------------------------------------------------
+
+void ParkerPingPong(benchmark::State& state, taos::waitq::Parker::Backend b) {
+  taos::waitq::Parker ping(b);
+  taos::waitq::Parker pong(b);
+  std::atomic<bool> stop{false};
+  std::thread worker([&] {
+    for (;;) {
+      ping.Park();
+      if (stop.load(std::memory_order_acquire)) {
+        return;
+      }
+      pong.Unpark();
+    }
+  });
+  for (auto _ : state) {
+    ping.Unpark();
+    pong.Park();
+  }
+  stop.store(true, std::memory_order_release);
+  ping.Unpark();
+  worker.join();
+}
+void BM_ParkerPingPongFutex(benchmark::State& state) {
+  ParkerPingPong(state, taos::waitq::Parker::Backend::kFutex);
+}
+void BM_ParkerPingPongCondvar(benchmark::State& state) {
+  ParkerPingPong(state, taos::waitq::Parker::Backend::kCondvar);
+}
+BENCHMARK(BM_ParkerPingPongFutex)->UseRealTime();
+BENCHMARK(BM_ParkerPingPongCondvar)->UseRealTime();
+
+// ---- raw substrate cycle --------------------------------------------------
+
+// One claim/install/resume/detach round trip, single-threaded: the queue-
+// machinery cost floor under the park/unpark numbers above. Includes segment
+// allocation amortized at one slot per kCells iterations.
+void BM_QueueEnqueueResume(benchmark::State& state) {
+  taos::waitq::WaitQueue q;
+  taos::waitq::Parker p(taos::waitq::Parker::Backend::kCondvar);
+  for (auto _ : state) {
+    taos::waitq::WaitCell* cell = q.Enqueue();
+    benchmark::DoNotOptimize(cell->Install(&p, nullptr));
+    benchmark::DoNotOptimize(q.ResumeOne().resumed);
+    taos::waitq::WaitQueue::Detach(cell);
+  }
+}
+BENCHMARK(BM_QueueEnqueueResume);
+
+}  // namespace
+
+#include "bench/bench_main.h"
+TAOS_BENCH_MAIN("waitq");

@@ -25,13 +25,18 @@ class EventCount {
   EventCount(const EventCount&) = delete;
   EventCount& operator=(const EventCount&) = delete;
 
-  // Atomically readable.
-  Value Read() const { return count_.load(std::memory_order_acquire); }
+  // Atomically readable. seq_cst: in the lock-free waiter-queue mode
+  // (TAOS_WAITQ=1) Wait's claim-then-Read races Signal's Advance-then-scan
+  // with no common lock, and the wakeup-waiting race is closed by a
+  // Dekker-style argument over the seq_cst total order — at least one side
+  // must see the other (condition.cc). Under the classic Nub both sides run
+  // under the object's spin-lock and acquire/release would suffice.
+  Value Read() const { return count_.load(std::memory_order_seq_cst); }
 
   // Monotonically increasing. Returns the value after the increment.
   Value Advance() {
     obs::Inc(obs::Counter::kEventCountAdvances);
-    return count_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    return count_.fetch_add(1, std::memory_order_seq_cst) + 1;
   }
 
  private:

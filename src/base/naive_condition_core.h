@@ -1,0 +1,98 @@
+// The paper's strawman condition variable, shared between its two layerings:
+//
+//   "The semantics of Wait and Signal could be achieved by representing each
+//    condition variable as a semaphore, and implementing Wait(m, c) as
+//    Release(m); P(c); Acquire(m) and Signal(c) as V(c). [...]
+//    Unfortunately, this implementation does not generalize to Broadcast(c).
+//    The reason is that there might be arbitrarily many threads in the race
+//    (at the semicolon between Release(m) and P(c)), and the implementation
+//    of Broadcast would have no way of indicating that they should all
+//    resume execution."
+//
+// Broadcast below does the best a binary semaphore allows — one V per
+// waiter it can count — and still loses wakeups: consecutive V operations
+// collapse into a single "available" state while waiters are between
+// Release(m) and P(c), so some waiter sleeps forever.
+//
+// The algorithm is instantiated twice, and only the glue differs:
+//  - src/firefly/naive_condition.h runs it inside the deterministic
+//    simulator (Machine::Step at every yield point, a plain waiter count)
+//    so the model checker can find the losing schedule exhaustively;
+//  - src/baseline/naive_condition.h runs it on real threads (no step hook,
+//    an atomic waiter count) for benchmarks and stress demonstrations.
+
+#ifndef TAOS_SRC_BASE_NAIVE_CONDITION_CORE_H_
+#define TAOS_SRC_BASE_NAIVE_CONDITION_CORE_H_
+
+#include <atomic>
+
+namespace taos::base {
+
+// Waiter-count policies. The simulator wants a plain int (every access is a
+// separate interleaving point already); real threads need an atomic with the
+// publication ordering the baseline relies on (the seq_cst increment is
+// published before Release(m) ends the critical section, so a Broadcast
+// cannot undercount a waiter that is still on its way into P).
+class PlainWaiterCount {
+ public:
+  void Increment() { ++count_; }
+  void Decrement() { --count_; }
+  int Read() const { return count_; }
+
+ private:
+  int count_ = 0;
+};
+
+class AtomicWaiterCount {
+ public:
+  void Increment() { count_.fetch_add(1, std::memory_order_seq_cst); }
+  void Decrement() { count_.fetch_sub(1, std::memory_order_relaxed); }
+  int Read() const { return count_.load(std::memory_order_seq_cst); }
+
+ private:
+  std::atomic<int> count_{0};
+};
+
+// The strawman itself. SemaphoreT must be binary (P/V) and start
+// unavailable — a Wait's P should sleep until some Signal's V; the owner
+// constructs it accordingly and keeps it alive for the core's lifetime.
+// StepFn is called at the layer's yield points (no-op on real threads).
+template <typename MutexT, typename SemaphoreT, typename WaitersT,
+          typename StepFn>
+class NaiveConditionCore {
+ public:
+  NaiveConditionCore(SemaphoreT& sem, StepFn step) : sem_(sem), step_(step) {}
+
+  void Wait(MutexT& m) {
+    step_();
+    waiters_.Increment();
+    m.Release();
+    sem_.P();  // the race window is the boundary right here
+    m.Acquire();
+    step_();
+    waiters_.Decrement();
+  }
+
+  // Signal(c) = V(c): correct for a single waiter — the one bit in the
+  // semaphore covers the wakeup-waiting race.
+  void Signal() { sem_.V(); }
+
+  // One V per current waiter: the strongest broadcast a binary semaphore
+  // admits, and still wrong — the Vs collapse while waiters race.
+  void Broadcast() {
+    step_();
+    const int n = waiters_.Read();
+    for (int i = 0; i < n; ++i) {
+      sem_.V();
+    }
+  }
+
+ private:
+  SemaphoreT& sem_;
+  StepFn step_;
+  WaitersT waiters_;
+};
+
+}  // namespace taos::base
+
+#endif  // TAOS_SRC_BASE_NAIVE_CONDITION_CORE_H_

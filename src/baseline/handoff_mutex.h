@@ -53,7 +53,7 @@ class HandoffMutex {
     }
     if (parked) {
       self->parks.fetch_add(1, std::memory_order_relaxed);
-      self->park.acquire();
+      self->park.Park();
       // Ownership was handed to us inside Release: the bit never cleared.
     }
     holder_.store(self->id, std::memory_order_relaxed);
@@ -76,7 +76,7 @@ class HandoffMutex {
       }
     }
     if (next != nullptr) {
-      next->park.release();
+      next->park.Unpark();
     }
   }
 

@@ -1,21 +1,15 @@
 // The paper's strawman condition variable on real threads (baseline for
-// experiments E4/E8): each condition variable is a binary semaphore;
-// Wait(m, c) = Release(m); P(c); Acquire(m) and Signal(c) = V(c).
-//
-// "The one bit in the semaphore c would cover the wakeup-waiting race.
-//  Unfortunately, this implementation does not generalize to Broadcast(c)."
-//
-// Broadcast below issues one V per counted waiter — the strongest broadcast
-// a binary semaphore admits — and still collapses consecutive Vs while
-// waiters sit between Release(m) and P(c). Use only in benchmarks and in
-// tests that demonstrate the failure; the deterministic demonstration is the
-// simulator twin (src/firefly/naive_condition.h) under the model checker.
+// experiments E4/E8). The algorithm — and the quotation explaining why its
+// Broadcast loses wakeups — lives in src/base/naive_condition_core.h; this
+// layer supplies the real-thread glue: no step hook and an atomic waiter
+// count. Use only in benchmarks and in tests that demonstrate the failure;
+// the deterministic demonstration is the simulator twin
+// (src/firefly/naive_condition.h) under the model checker.
 
 #ifndef TAOS_SRC_BASELINE_NAIVE_CONDITION_H_
 #define TAOS_SRC_BASELINE_NAIVE_CONDITION_H_
 
-#include <atomic>
-
+#include "src/base/naive_condition_core.h"
 #include "src/threads/mutex.h"
 #include "src/threads/semaphore.h"
 
@@ -23,30 +17,22 @@ namespace taos::baseline {
 
 class NaiveCondition {
  public:
-  NaiveCondition() {
+  NaiveCondition() : core_(sem_, NoStep{}) {
     sem_.P();  // start unavailable: a Wait's P sleeps until a Signal's V
   }
 
-  void Wait(Mutex& m) {
-    waiters_.fetch_add(1, std::memory_order_seq_cst);
-    m.Release();
-    sem_.P();
-    m.Acquire();
-    waiters_.fetch_sub(1, std::memory_order_relaxed);
-  }
-
-  void Signal() { sem_.V(); }
-
-  void Broadcast() {
-    const int n = waiters_.load(std::memory_order_seq_cst);
-    for (int i = 0; i < n; ++i) {
-      sem_.V();
-    }
-  }
+  void Wait(Mutex& m) { core_.Wait(m); }
+  void Signal() { core_.Signal(); }
+  void Broadcast() { core_.Broadcast(); }
 
  private:
+  struct NoStep {
+    void operator()() const {}
+  };
+
   Semaphore sem_;
-  std::atomic<int> waiters_{0};
+  base::NaiveConditionCore<Mutex, Semaphore, base::AtomicWaiterCount, NoStep>
+      core_;
 };
 
 }  // namespace taos::baseline

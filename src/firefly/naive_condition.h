@@ -1,23 +1,14 @@
-// The paper's strawman condition variable, for experiment E8:
-//
-//   "The semantics of Wait and Signal could be achieved by representing each
-//    condition variable as a semaphore, and implementing Wait(m, c) as
-//    Release(m); P(c); Acquire(m) and Signal(c) as V(c). [...]
-//    Unfortunately, this implementation does not generalize to Broadcast(c).
-//    The reason is that there might be arbitrarily many threads in the race
-//    (at the semicolon between Release(m) and P(c)), and the implementation
-//    of Broadcast would have no way of indicating that they should all
-//    resume execution."
-//
-// Broadcast below does the best a binary semaphore allows — one V per
-// waiter it can count — and still loses wakeups: consecutive V operations
-// collapse into a single "available" state while waiters are between
-// Release(m) and P(c), so some waiter sleeps forever. The model checker
-// (src/model) finds the losing schedule exhaustively.
+// The paper's strawman condition variable under the deterministic simulator,
+// for experiment E8. The algorithm — and the quotation explaining why its
+// Broadcast loses wakeups — lives in src/base/naive_condition_core.h; this
+// layer supplies the simulator glue: a Machine::Step at every yield point
+// (so the model checker can interleave there) and a plain waiter count. The
+// checker (src/model) finds the losing Broadcast schedule exhaustively.
 
 #ifndef TAOS_SRC_FIREFLY_NAIVE_CONDITION_H_
 #define TAOS_SRC_FIREFLY_NAIVE_CONDITION_H_
 
+#include "src/base/naive_condition_core.h"
 #include "src/firefly/sync.h"
 
 namespace taos::firefly {
@@ -25,39 +16,25 @@ namespace taos::firefly {
 class NaiveCondition {
  public:
   explicit NaiveCondition(Machine& machine)
-      : machine_(machine),
-        // The semaphore must start unavailable: a Wait's P should sleep
+      : // The semaphore must start unavailable: a Wait's P should sleep
         // until some Signal's V.
-        sem_(machine, /*initially_available=*/false) {}
+        sem_(machine, /*initially_available=*/false),
+        core_(sem_, MachineStep{&machine}) {}
 
-  void Wait(Mutex& m) {
-    machine_.Step();
-    ++waiters_;
-    m.Release();
-    sem_.P();  // the race window is the step boundary right here
-    m.Acquire();
-    machine_.Step();
-    --waiters_;
-  }
-
-  // Signal(c) = V(c): correct for a single waiter — the one bit in the
-  // semaphore covers the wakeup-waiting race.
-  void Signal() { sem_.V(); }
-
-  // One V per current waiter: the strongest broadcast a binary semaphore
-  // admits, and still wrong — the Vs collapse while waiters race.
-  void Broadcast() {
-    machine_.Step();
-    const int n = waiters_;
-    for (int i = 0; i < n; ++i) {
-      sem_.V();
-    }
-  }
+  void Wait(Mutex& m) { core_.Wait(m); }
+  void Signal() { core_.Signal(); }
+  void Broadcast() { core_.Broadcast(); }
 
  private:
-  Machine& machine_;
+  struct MachineStep {
+    Machine* machine;
+    void operator()() const { machine->Step(); }
+  };
+
   Semaphore sem_;
-  int waiters_ = 0;
+  base::NaiveConditionCore<Mutex, Semaphore, base::PlainWaiterCount,
+                           MachineStep>
+      core_;
 };
 
 }  // namespace taos::firefly

@@ -2,6 +2,7 @@
 
 #include <bit>
 #include <chrono>
+#include <iterator>
 #include <mutex>
 #include <sstream>
 #include <vector>
@@ -22,7 +23,11 @@ std::vector<Cell*>& Registry() {
   return *v;
 }
 
-constexpr const char* kCounterNames[kNumCounters] = {
+// Deliberately unsized: the static_asserts below pin the table lengths to
+// the enums, so adding a Counter/Histogram without naming it (or naming one
+// twice) is a compile error instead of a silent trailing null that
+// Snapshot/StatsJson would walk into.
+constexpr const char* kCounterNames[] = {
     "fast_mutex_acquire",
     "fast_mutex_release",
     "fast_sem_p",
@@ -46,13 +51,29 @@ constexpr const char* kCounterNames[kNumCounters] = {
     "spin_iterations",
     "contended_spin_acquires",
     "eventcount_advances",
+    "waitq_enqueues",
+    "waitq_resumes",
+    "waitq_immediate_grants",
+    "waitq_cancels",
+    "waitq_cancel_skips",
+    "waitq_segments_allocated",
+    "waitq_segments_retired",
+    "park_futex_waits",
+    "park_condvar_waits",
 };
+static_assert(std::size(kCounterNames) == static_cast<std::size_t>(kNumCounters),
+              "kCounterNames must name every Counter exactly once");
 
-constexpr const char* kHistogramNames[kNumHistograms] = {
+constexpr const char* kHistogramNames[] = {
     "spin_acquire_ns",
     "spin_iters_per_acquire",
     "blocked_ns",
+    "park_wait_ns",
+    "unpark_ns",
 };
+static_assert(
+    std::size(kHistogramNames) == static_cast<std::size_t>(kNumHistograms),
+    "kHistogramNames must name every Histogram exactly once");
 
 }  // namespace
 

@@ -68,6 +68,19 @@ enum class Counter : int {
   kContendedSpinAcquires, // SpinLock::Acquire calls that had to spin
   kEventCountAdvances,    // EventCount::Advance calls (Signal/Broadcast)
 
+  // --- waiter-queue substrate (src/waitq; active with TAOS_WAITQ=1) ---
+  kWaitqEnqueues,          // cells claimed (lock-free enqueues)
+  kWaitqResumes,           // WAITING cells granted FIFO (a parker to unpark)
+  kWaitqImmediateGrants,   // EMPTY cells granted (claimant not yet parked)
+  kWaitqCancels,           // cells cancelled (Alert or claimant back-out)
+  kWaitqCancelSkips,       // cancelled cells the consumer stepped over
+  kWaitqSegmentsAllocated,
+  kWaitqSegmentsRetired,
+
+  // --- parker backends (src/waitq/parker) ---
+  kParkFutexWaits,    // FUTEX_WAIT calls (incl. re-checks after EAGAIN)
+  kParkCondvarWaits,  // condition_variable::wait calls (incl. spurious)
+
   kNumCounters,
 };
 
@@ -77,6 +90,8 @@ enum class Histogram : int {
   kSpinAcquireNanos,        // contended SpinLock::Acquire wall latency
   kSpinIterationsPerAcquire,// busy-wait beats per contended Acquire
   kBlockedNanos,            // park duration (de-scheduled time)
+  kParkWaitNanos,           // Parker::Park wall latency (inside kBlockedNanos)
+  kUnparkNanos,             // Parker::Unpark wall latency (the waker's cost)
 
   kNumHistograms,
 };

@@ -24,6 +24,46 @@ void Alert(ThreadHandle h) {
   Nub& nub = Nub::Get();
   ThreadRecord* self = nub.Current();
   ThreadRecord* t = h.rec;
+
+  if (!nub.tracing() && nub.waitq_mode()) {
+    // Waiter-queue mode, production: Alert needs no object lock at all.
+    // Cancelling the published cell is one CAS; losing that CAS means a
+    // V/Signal resume is already in flight, and the flag alone suffices
+    // (exactly the classic behaviour when Alert runs after the dequeue).
+    // The blocked_obj dereference is safe for the usual rule-3 reason:
+    // while t's record lock is held and t is observed blocked, t has not
+    // returned from its blocking call, so the object is alive.
+    waitq::Parker* unpark = nullptr;
+    t->lock.Acquire();
+    t->alerted.store(true, std::memory_order_seq_cst);
+    if (t->block_kind != ThreadRecord::BlockKind::kNone && t->alertable &&
+        t->wait_cell != nullptr &&
+        t->wait_cell->Cancel() == waitq::WaitCell::CancelOutcome::kCancelled) {
+      switch (t->block_kind) {
+        case ThreadRecord::BlockKind::kSemaphore:
+          static_cast<Semaphore*>(t->blocked_obj)
+              ->queue_len_.fetch_sub(1, std::memory_order_relaxed);
+          break;
+        case ThreadRecord::BlockKind::kCondition:
+          static_cast<Condition*>(t->blocked_obj)
+              ->waiters_.fetch_sub(1, std::memory_order_relaxed);
+          break;
+        case ThreadRecord::BlockKind::kMutex:
+        case ThreadRecord::BlockKind::kNone:
+          TAOS_PANIC("alertable thread blocked on a mutex");
+      }
+      t->alert_woken = true;
+      ClearBlockedLocked(t);
+      unpark = &t->park;
+    }
+    t->lock.Release();
+    if (unpark != nullptr) {
+      obs::Inc(obs::Counter::kHandoffs);
+      unpark->Unpark();
+    }
+    return;
+  }
+
   for (;;) {
     t->lock.Acquire();
     if (t->block_kind == ThreadRecord::BlockKind::kNone || !t->alertable) {
@@ -47,16 +87,34 @@ void Alert(ThreadHandle h) {
     // (Setting alerted on a failed iteration instead would let t consume the
     // alert and emit its Raises action before this Alert's own emission.)
     t->alerted.store(true, std::memory_order_relaxed);
+    if (nub.waitq_mode()) {
+      // Traced run on the waiter-queue backend: the dequeue is a cancel CAS
+      // on t's published cell. Losing it means a resume — emitted earlier
+      // under this same object lock — is in flight and t has not yet
+      // cleaned up; deliver the flag only, like the not-blocked branch.
+      TAOS_CHECK(t->wait_cell != nullptr);
+      if (t->wait_cell->Cancel() !=
+          waitq::WaitCell::CancelOutcome::kCancelled) {
+        nub.EmitTraced(spec::MakeAlert(self->id, t->id));
+        obj_lock->Release();
+        t->lock.Release();
+        return;
+      }
+    }
     switch (t->block_kind) {
       case ThreadRecord::BlockKind::kSemaphore: {
         auto* s = static_cast<Semaphore*>(t->blocked_obj);
-        s->queue_.Remove(t);
+        if (!nub.waitq_mode()) {
+          s->queue_.Remove(t);
+        }
         s->queue_len_.fetch_sub(1, std::memory_order_relaxed);
         break;
       }
       case ThreadRecord::BlockKind::kCondition: {
         auto* c = static_cast<Condition*>(t->blocked_obj);
-        c->queue_.Remove(t);
+        if (!nub.waitq_mode()) {
+          c->queue_.Remove(t);
+        }
         if (nub.tracing()) {
           // The alerted thread will raise; it stays a spec-member of c
           // until its AlertResume action fires (corrected AlertWait
@@ -79,7 +137,7 @@ void Alert(ThreadHandle h) {
     obj_lock->Release();
     t->lock.Release();
     obs::Inc(obs::Counter::kHandoffs);
-    t->park.release();
+    t->park.Unpark();
     return;
   }
 }
@@ -119,13 +177,14 @@ void AlertWait(Mutex& m, Condition& c) {
     }
     if (wake != nullptr) {
       obs::Inc(obs::Counter::kHandoffs);
-      wake->park.release();
+      wake->park.Unpark();
     }
 
     // AlertBlock: like Block(c, i) but responsive to alerts. The record
     // lock is held across the alerted check AND the block-state
     // publication, so an Alert cannot slip between them (it would see "not
     // blocked", leave only the flag, and strand us parked).
+    waitq::WaitCell* cell = nullptr;
     bool parked = false;
     bool raise = false;
     {
@@ -144,14 +203,26 @@ void AlertWait(Mutex& m, Condition& c) {
         obs::Inc(obs::Counter::kWakeupWaitingHits);
       } else {
         TAOS_CHECK(c.EraseWindow(self));
-        c.queue_.PushBack(self);
-        SetBlockedLocked(self, ThreadRecord::BlockKind::kCondition, &c,
-                         &c.nub_lock_, /*alertable=*/true);
+        if (nub.waitq_mode()) {
+          cell = c.wqueue_.Enqueue();
+          // Cannot fail: resumers hold c's ObjLock, which we hold.
+          TAOS_CHECK(InstallBlockedLocked(self, cell,
+                                          ThreadRecord::BlockKind::kCondition,
+                                          &c, &c.nub_lock_,
+                                          /*alertable=*/true));
+        } else {
+          c.queue_.PushBack(self);
+          SetBlockedLocked(self, ThreadRecord::BlockKind::kCondition, &c,
+                           &c.nub_lock_, /*alertable=*/true);
+        }
         parked = true;
       }
     }
     if (parked) {
       ParkBlocked(self);
+      if (cell != nullptr) {
+        FinishWaitCell(self, cell);
+      }
       // Woken either by Alert (alert_woken, already in pending_raise_) or
       // by Signal/Broadcast (removed from c). If an alert is pending in
       // either case, this implementation chooses to raise — the spec
@@ -190,6 +261,60 @@ void AlertWait(Mutex& m, Condition& c) {
   nub.nub_entries.fetch_add(1, std::memory_order_relaxed);
   bool parked = false;
   bool raise = false;
+  if (nub.waitq_mode()) {
+    // As in Condition::Block, the cell claim (before the eventcount
+    // re-read) is the Dekker pairing with Signal's advance-then-scan. The
+    // record lock is held across the alerted check and the install so an
+    // Alert cannot slip between them.
+    waitq::WaitCell* cell = c.wqueue_.Enqueue();
+    {
+      SpinGuard sg(self->lock);
+      if (self->alerted.load(std::memory_order_relaxed)) {
+        raise = true;
+        if (cell->Cancel() == waitq::WaitCell::CancelOutcome::kCancelled) {
+          c.waiters_.fetch_sub(1, std::memory_order_relaxed);
+        }
+        // Cancel lost: a signaller consumed the claim (and decremented
+        // waiters_). Both an alert and a signal were delivered; raising is
+        // the outcome this implementation picks, which the spec permits.
+      } else if (c.ec_.Read() != i) {
+        if (cell->Cancel() == waitq::WaitCell::CancelOutcome::kCancelled) {
+          c.waiters_.fetch_sub(1, std::memory_order_relaxed);
+          c.absorbed_.fetch_add(1, std::memory_order_relaxed);
+          obs::Inc(obs::Counter::kWakeupWaitingHits);
+        }
+      } else {
+        parked = InstallBlockedLocked(self, cell,
+                                      ThreadRecord::BlockKind::kCondition, &c,
+                                      &c.nub_lock_, /*alertable=*/true);
+      }
+    }
+    if (parked) {
+      ParkBlocked(self);
+      // A cancelled cell means Alert dequeued us (it set alert_woken); a
+      // resumed one means Signal/Broadcast did. Either way pick up a
+      // pending alert, as the classic path does.
+      raise =
+          FinishWaitCell(self, cell) == waitq::WaitCell::State::kCancelled;
+      SpinGuard sg(self->lock);
+      raise = raise || self->alert_woken ||
+              self->alerted.load(std::memory_order_relaxed);
+    } else {
+      waitq::WaitQueue::Detach(cell);
+    }
+    m.Acquire();
+    {
+      SpinGuard sg(self->lock);
+      self->alert_woken = false;
+      if (raise) {
+        self->alerted.store(false, std::memory_order_relaxed);
+      }
+    }
+    if (raise) {
+      throw Alerted();
+    }
+    return;
+  }
   {
     NubGuard g(c.nub_lock_);
     SpinGuard sg(self->lock);
@@ -241,6 +366,7 @@ void AlertP(Semaphore& s) {
     nub.nub_entries.fetch_add(1, std::memory_order_relaxed);
     obs::Inc(obs::Counter::kNubAlertP);
     for (;;) {
+      waitq::WaitCell* cell = nullptr;
       bool parked = false;
       {
         NubGuard g(s.nub_lock_);
@@ -256,14 +382,27 @@ void AlertP(Semaphore& s) {
           nub.EmitTraced(spec::MakeAlertPReturns(self->id, s.id_));
           return;
         }
-        s.queue_.PushBack(self);
-        s.queue_len_.fetch_add(1, std::memory_order_relaxed);
-        SetBlockedLocked(self, ThreadRecord::BlockKind::kSemaphore, &s,
-                         &s.nub_lock_, /*alertable=*/true);
+        if (nub.waitq_mode()) {
+          cell = s.wqueue_.Enqueue();
+          s.queue_len_.fetch_add(1, std::memory_order_relaxed);
+          // Cannot fail: resumers hold s's ObjLock, which we hold.
+          TAOS_CHECK(InstallBlockedLocked(self, cell,
+                                          ThreadRecord::BlockKind::kSemaphore,
+                                          &s, &s.nub_lock_,
+                                          /*alertable=*/true));
+        } else {
+          s.queue_.PushBack(self);
+          s.queue_len_.fetch_add(1, std::memory_order_relaxed);
+          SetBlockedLocked(self, ThreadRecord::BlockKind::kSemaphore, &s,
+                           &s.nub_lock_, /*alertable=*/true);
+        }
         parked = true;
       }
       if (parked) {
         ParkBlocked(self);
+        if (cell != nullptr) {
+          FinishWaitCell(self, cell);
+        }
         SpinGuard sg(self->lock);
         if (self->alert_woken) {
           self->alert_woken = false;
@@ -292,6 +431,73 @@ void AlertP(Semaphore& s) {
   nub.nub_entries.fetch_add(1, std::memory_order_relaxed);
   s.slow_ps_.fetch_add(1, std::memory_order_relaxed);
   obs::Inc(obs::Counter::kNubAlertP);
+
+  if (nub.waitq_mode()) {
+    for (;;) {
+      {
+        SpinGuard sg(self->lock);
+        if (self->alerted.load(std::memory_order_relaxed)) {
+          self->alerted.store(false, std::memory_order_relaxed);
+          self->alert_woken = false;
+          throw Alerted();
+        }
+      }
+      waitq::WaitCell* cell = s.wqueue_.Enqueue();
+      s.queue_len_.fetch_add(1, std::memory_order_seq_cst);
+      bool parked = false;
+      bool raise = false;
+      {
+        SpinGuard sg(self->lock);
+        if (self->alerted.load(std::memory_order_relaxed)) {
+          // An Alert slipped in after the check above; it saw this thread
+          // unpublished and left only the flag. Withdraw the claim and
+          // raise — unless a V's resume already landed on the cell, in
+          // which case the wakeup must stand (raising here would lose the
+          // V): proceed to the retry with the flag still pending.
+          if (cell->Cancel() == waitq::WaitCell::CancelOutcome::kCancelled) {
+            s.queue_len_.fetch_sub(1, std::memory_order_relaxed);
+            self->alerted.store(false, std::memory_order_relaxed);
+            self->alert_woken = false;
+            raise = true;
+          }
+        } else if (s.bit_.load(std::memory_order_seq_cst) != 0) {
+          parked = InstallBlockedLocked(self, cell,
+                                        ThreadRecord::BlockKind::kSemaphore,
+                                        &s, &s.nub_lock_, /*alertable=*/true);
+        } else {
+          // Available in the meantime: withdraw the claim and retry.
+          if (cell->Cancel() == waitq::WaitCell::CancelOutcome::kCancelled) {
+            s.queue_len_.fetch_sub(1, std::memory_order_relaxed);
+          }
+        }
+      }
+      if (raise) {
+        waitq::WaitQueue::Detach(cell);
+        throw Alerted();
+      }
+      if (parked) {
+        ParkBlocked(self);
+        if (FinishWaitCell(self, cell) ==
+            waitq::WaitCell::State::kCancelled) {
+          // Alert dequeued us with its cancel CAS.
+          SpinGuard sg(self->lock);
+          self->alerted.store(false, std::memory_order_relaxed);
+          self->alert_woken = false;
+          throw Alerted();
+        }
+      } else {
+        waitq::WaitQueue::Detach(cell);
+      }
+      if (s.bit_.exchange(1, std::memory_order_acquire) == 0) {
+        return;
+      }
+      obs::Inc(obs::Counter::kLockBitRetries);
+      if (parked) {
+        obs::Inc(obs::Counter::kSpuriousWakeups);
+      }
+    }
+  }
+
   for (;;) {
     bool parked = false;
     {

@@ -14,6 +14,7 @@ Condition::Condition() : id_(Nub::Get().NextObjId()) {}
 
 Condition::~Condition() {
   TAOS_CHECK(queue_.Empty());
+  TAOS_CHECK(wqueue_.DrainedForDebug());
   TAOS_CHECK(window_.empty());
   TAOS_CHECK(pending_raise_.empty());
 }
@@ -45,6 +46,38 @@ void Condition::Block(ThreadRecord* self, EventCount::Value i) {
   Nub& nub = Nub::Get();
   nub.nub_entries.fetch_add(1, std::memory_order_relaxed);
   obs::Inc(obs::Counter::kNubWait);
+  if (nub.waitq_mode()) {
+    // Lock-free Block: claim a cell, then re-read the eventcount. The
+    // claim-then-read here against Signal's advance-then-scan is the Dekker
+    // pairing that closes the wakeup-waiting race on this backend (both the
+    // cell claim and EventCount accesses are seq_cst); a Signal that
+    // advanced past i either sees our claim, or we see its advance.
+    waitq::WaitCell* cell = wqueue_.Enqueue();
+    if (ec_.Read() != i) {
+      // A Signal or Broadcast intervened: withdraw the claim and return. If
+      // its resume already landed on the cell, accept the wakeup (the
+      // signaller then did the waiters_ decrement).
+      if (cell->Cancel() == waitq::WaitCell::CancelOutcome::kCancelled) {
+        waiters_.fetch_sub(1, std::memory_order_relaxed);
+        absorbed_.fetch_add(1, std::memory_order_relaxed);
+        obs::Inc(obs::Counter::kWakeupWaitingHits);
+      }
+      waitq::WaitQueue::Detach(cell);
+      return;
+    }
+    bool parked;
+    {
+      SpinGuard tg(self->lock);
+      parked = InstallBlockedLocked(self, cell,
+                                    ThreadRecord::BlockKind::kCondition, this,
+                                    &nub_lock_, /*alertable=*/false);
+    }
+    if (parked) {
+      ParkBlocked(self);
+    }
+    FinishWaitCell(self, cell);
+    return;
+  }
   bool parked = false;
   {
     NubGuard g(nub_lock_);
@@ -90,19 +123,28 @@ void Condition::NubSignal() {
   nub.nub_entries.fetch_add(1, std::memory_order_relaxed);
   nub_signals_.fetch_add(1, std::memory_order_relaxed);
   obs::Inc(obs::Counter::kNubSignal);
-  ThreadRecord* wake = nullptr;
+  waitq::Parker* unpark = nullptr;
   {
     NubGuard g(nub_lock_);
     ec_.Advance();
-    wake = queue_.PopFront();
-    if (wake != nullptr) {
-      waiters_.fetch_sub(1, std::memory_order_relaxed);
-      MarkUnblocked(wake);
+    if (nub.waitq_mode()) {
+      const waitq::WaitQueue::Resumed r = wqueue_.ResumeOne();
+      if (r.resumed) {
+        waiters_.fetch_sub(1, std::memory_order_relaxed);
+        unpark = r.parker;  // null on an immediate grant
+      }
+    } else {
+      ThreadRecord* wake = queue_.PopFront();
+      if (wake != nullptr) {
+        waiters_.fetch_sub(1, std::memory_order_relaxed);
+        MarkUnblocked(wake);
+        unpark = &wake->park;
+      }
     }
   }
-  if (wake != nullptr) {
+  if (unpark != nullptr) {
     obs::Inc(obs::Counter::kHandoffs);
-    wake->park.release();
+    unpark->Unpark();
   }
 }
 
@@ -127,19 +169,32 @@ void Condition::NubBroadcast() {
   Nub& nub = Nub::Get();
   nub.nub_entries.fetch_add(1, std::memory_order_relaxed);
   obs::Inc(obs::Counter::kNubBroadcast);
-  std::vector<ThreadRecord*> wake;
+  std::vector<waitq::Parker*> unpark;
   {
     NubGuard g(nub_lock_);
     ec_.Advance();
-    while (ThreadRecord* t = queue_.PopFront()) {
-      waiters_.fetch_sub(1, std::memory_order_relaxed);
-      MarkUnblocked(t);
-      wake.push_back(t);
+    if (nub.waitq_mode()) {
+      for (;;) {
+        const waitq::WaitQueue::Resumed r = wqueue_.ResumeOne();
+        if (!r.resumed) {
+          break;
+        }
+        waiters_.fetch_sub(1, std::memory_order_relaxed);
+        if (r.parker != nullptr) {  // immediate grants need no unpark
+          unpark.push_back(r.parker);
+        }
+      }
+    } else {
+      while (ThreadRecord* t = queue_.PopFront()) {
+        waiters_.fetch_sub(1, std::memory_order_relaxed);
+        MarkUnblocked(t);
+        unpark.push_back(&t->park);
+      }
     }
   }
-  obs::Add(obs::Counter::kHandoffs, wake.size());
-  for (ThreadRecord* t : wake) {
-    t->park.release();
+  obs::Add(obs::Counter::kHandoffs, unpark.size());
+  for (waitq::Parker* p : unpark) {
+    p->Unpark();
   }
 }
 
@@ -181,10 +236,11 @@ void Condition::TracedWait(Mutex& m, ThreadRecord* self) {
   }
   if (wake != nullptr) {
     obs::Inc(obs::Counter::kHandoffs);
-    wake->park.release();
+    wake->park.Unpark();
   }
 
   // Nub subroutine Block(c, i).
+  waitq::WaitCell* cell = nullptr;
   bool parked = false;
   {
     NubGuard g(nub_lock_);
@@ -197,14 +253,27 @@ void Condition::TracedWait(Mutex& m, ThreadRecord* self) {
       obs::Inc(obs::Counter::kWakeupWaitingHits);
     } else {
       TAOS_CHECK(EraseWindow(self));
-      queue_.PushBack(self);
-      MarkBlocked(self, ThreadRecord::BlockKind::kCondition, this, &nub_lock_,
-                  /*alertable=*/false);
+      if (nub.waitq_mode()) {
+        cell = wqueue_.Enqueue();
+        SpinGuard tg(self->lock);
+        // Cannot fail: resumers hold this ObjLock, which we hold.
+        TAOS_CHECK(InstallBlockedLocked(self, cell,
+                                        ThreadRecord::BlockKind::kCondition,
+                                        this, &nub_lock_,
+                                        /*alertable=*/false));
+      } else {
+        queue_.PushBack(self);
+        MarkBlocked(self, ThreadRecord::BlockKind::kCondition, this,
+                    &nub_lock_, /*alertable=*/false);
+      }
       parked = true;
     }
   }
   if (parked) {
     ParkBlocked(self);
+    if (cell != nullptr) {
+      FinishWaitCell(self, cell);
+    }
   }
 
   // Atomic action Resume, emitted at the instant m is regained. Its WHEN
@@ -223,10 +292,20 @@ void Condition::TracedSignal(ThreadRecord* self) {
     NubGuard g(nub_lock_);
     ec_.Advance();
     spec::ThreadSet removed;
-    wake = queue_.PopFront();
-    if (wake != nullptr) {
-      removed = removed.Insert(wake->id);
-      MarkUnblocked(wake);
+    if (nub.waitq_mode()) {
+      const waitq::WaitQueue::Resumed r = wqueue_.ResumeOne();
+      if (r.resumed) {
+        wake = static_cast<ThreadRecord*>(r.tag);
+        TAOS_CHECK(wake != nullptr);  // no immediate grants in traced mode
+        removed = removed.Insert(wake->id);
+        // The waiter unblocks itself in FinishWaitCell.
+      }
+    } else {
+      wake = queue_.PopFront();
+      if (wake != nullptr) {
+        removed = removed.Insert(wake->id);
+        MarkUnblocked(wake);
+      }
     }
     // Every thread in the wakeup-waiting window absorbs this increment, so
     // this Signal removes them all from c.
@@ -246,7 +325,7 @@ void Condition::TracedSignal(ThreadRecord* self) {
   }
   if (wake != nullptr) {
     obs::Inc(obs::Counter::kHandoffs);
-    wake->park.release();
+    wake->park.Unpark();
   }
 }
 
@@ -257,10 +336,23 @@ void Condition::TracedBroadcast(ThreadRecord* self) {
     NubGuard g(nub_lock_);
     ec_.Advance();
     spec::ThreadSet removed;
-    while (ThreadRecord* t = queue_.PopFront()) {
-      removed = removed.Insert(t->id);
-      MarkUnblocked(t);
-      wake.push_back(t);
+    if (nub.waitq_mode()) {
+      for (;;) {
+        const waitq::WaitQueue::Resumed r = wqueue_.ResumeOne();
+        if (!r.resumed) {
+          break;
+        }
+        ThreadRecord* t = static_cast<ThreadRecord*>(r.tag);
+        TAOS_CHECK(t != nullptr);  // no immediate grants in traced mode
+        removed = removed.Insert(t->id);
+        wake.push_back(t);
+      }
+    } else {
+      while (ThreadRecord* t = queue_.PopFront()) {
+        removed = removed.Insert(t->id);
+        MarkUnblocked(t);
+        wake.push_back(t);
+      }
     }
     for (ThreadRecord* r : window_) {
       removed = removed.Insert(r->id);
@@ -274,7 +366,7 @@ void Condition::TracedBroadcast(ThreadRecord* self) {
   }
   obs::Add(obs::Counter::kHandoffs, wake.size());
   for (ThreadRecord* t : wake) {
-    t->park.release();
+    t->park.Unpark();
   }
 }
 

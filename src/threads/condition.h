@@ -42,6 +42,7 @@
 #include "src/base/intrusive_queue.h"
 #include "src/threads/mutex.h"
 #include "src/threads/thread_record.h"
+#include "src/waitq/waitq.h"
 
 namespace taos {
 
@@ -109,7 +110,8 @@ class Condition {
 
   EventCount ec_;
   ObjLock nub_lock_;  // guards queue_, window_, pending_raise_
-  IntrusiveQueue<ThreadRecord> queue_;
+  IntrusiveQueue<ThreadRecord> queue_;  // classic backend
+  waitq::WaitQueue wqueue_;             // waiter-queue backend (TAOS_WAITQ)
   std::atomic<std::int32_t> waiters_{0};
   spec::ObjId id_;
 

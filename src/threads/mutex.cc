@@ -12,6 +12,7 @@ Mutex::Mutex() : id_(Nub::Get().NextObjId()) {}
 
 Mutex::~Mutex() {
   TAOS_CHECK(queue_.Empty());
+  TAOS_CHECK(wqueue_.DrainedForDebug());
   TAOS_CHECK(bit_.load(std::memory_order_relaxed) == 0);
 }
 
@@ -63,6 +64,10 @@ void Mutex::NubAcquire(ThreadRecord* self) {
   nub.nub_entries.fetch_add(1, std::memory_order_relaxed);
   slow_acquires_.fetch_add(1, std::memory_order_relaxed);
   obs::Inc(obs::Counter::kNubAcquire);
+  if (nub.waitq_mode()) {
+    WaitqAcquire(self);
+    return;
+  }
   for (;;) {
     bool parked = false;
     {
@@ -99,6 +104,51 @@ void Mutex::NubAcquire(ThreadRecord* self) {
   }
 }
 
+void Mutex::WaitqAcquire(ThreadRecord* self) {
+  for (;;) {
+    bool parked = false;
+    // Claim a cell (lock-free), publish the queue length, then re-test the
+    // Lock-bit. The claim-then-test here against Release's clear-then-scan
+    // is the same Dekker pairing as the classic backend's
+    // enqueue-then-test; all four accesses are seq_cst.
+    waitq::WaitCell* cell = wqueue_.Enqueue();
+    queue_len_.fetch_add(1, std::memory_order_seq_cst);
+    if (bit_.load(std::memory_order_seq_cst) != 0) {
+      {
+        SpinGuard tg(self->lock);
+        parked = InstallBlockedLocked(self, cell,
+                                      ThreadRecord::BlockKind::kMutex, this,
+                                      &nub_lock_, /*alertable=*/false);
+      }
+      if (parked) {
+        ParkBlocked(self);
+      }
+      // Install lost only to a resume (mutex waits are not alertable), so
+      // either way the cell was granted and the resumer decremented
+      // queue_len_.
+      FinishWaitCell(self, cell);
+    } else {
+      // Released in the meantime: withdraw the claim and retry. If a racing
+      // Release already granted the cell, the grant stands in for the
+      // unpark this thread no longer needs (queue_len_ then was decremented
+      // by the resumer).
+      if (cell->Cancel() == waitq::WaitCell::CancelOutcome::kCancelled) {
+        queue_len_.fetch_sub(1, std::memory_order_relaxed);
+      }
+      waitq::WaitQueue::Detach(cell);
+    }
+    // Retry the entire Acquire operation, beginning at the test-and-set;
+    // barging is possible exactly as in the classic backend.
+    if (bit_.exchange(1, std::memory_order_acquire) == 0) {
+      return;
+    }
+    obs::Inc(obs::Counter::kLockBitRetries);
+    if (parked) {
+      obs::Inc(obs::Counter::kSpuriousWakeups);
+    }
+  }
+}
+
 void Mutex::Release() {
   obs::WithEvent(obs::Op::kRelease, id_, [&] {
     Nub& nub = Nub::Get();
@@ -129,19 +179,30 @@ void Mutex::NubRelease() {
   Nub& nub = Nub::Get();
   nub.nub_entries.fetch_add(1, std::memory_order_relaxed);
   obs::Inc(obs::Counter::kNubRelease);
-  ThreadRecord* wake = nullptr;
+  waitq::Parker* unpark = nullptr;
   {
     NubGuard g(nub_lock_);
-    wake = queue_.PopFront();
-    if (wake != nullptr) {
-      queue_len_.fetch_sub(1, std::memory_order_relaxed);
-      MarkUnblocked(wake);
+    if (nub.waitq_mode()) {
+      const waitq::WaitQueue::Resumed r = wqueue_.ResumeOne();
+      if (r.resumed) {
+        queue_len_.fetch_sub(1, std::memory_order_relaxed);
+        // r.parker is null on an immediate grant (the claimant had not
+        // installed yet and proceeds without parking).
+        unpark = r.parker;
+      }
+    } else {
+      ThreadRecord* wake = queue_.PopFront();
+      if (wake != nullptr) {
+        queue_len_.fetch_sub(1, std::memory_order_relaxed);
+        MarkUnblocked(wake);
+        unpark = &wake->park;
+      }
     }
   }
-  if (wake != nullptr) {
+  if (unpark != nullptr) {
     // Add it to the ready pool: here, hand its processor back by unparking.
     obs::Inc(obs::Counter::kHandoffs);
-    wake->park.release();
+    unpark->Unpark();
   }
 }
 
@@ -155,6 +216,7 @@ void Mutex::TracedAcquire(ThreadRecord* self, const spec::Action& emit,
   Nub& nub = Nub::Get();
   nub.nub_entries.fetch_add(1, std::memory_order_relaxed);
   for (;;) {
+    waitq::WaitCell* cell = nullptr;
     bool parked = false;
     {
       NubGuard2 g(nub_lock_, co_lock);
@@ -170,14 +232,27 @@ void Mutex::TracedAcquire(ThreadRecord* self, const spec::Action& emit,
         nub.EmitTraced(emit);
         return;
       }
-      queue_.PushBack(self);
-      queue_len_.fetch_add(1, std::memory_order_relaxed);
-      MarkBlocked(self, ThreadRecord::BlockKind::kMutex, this, &nub_lock_,
-                  /*alertable=*/false);
+      if (nub.waitq_mode()) {
+        cell = wqueue_.Enqueue();
+        queue_len_.fetch_add(1, std::memory_order_relaxed);
+        SpinGuard tg(self->lock);
+        // Cannot fail: resumers hold this ObjLock, which we hold.
+        TAOS_CHECK(InstallBlockedLocked(self, cell,
+                                        ThreadRecord::BlockKind::kMutex, this,
+                                        &nub_lock_, /*alertable=*/false));
+      } else {
+        queue_.PushBack(self);
+        queue_len_.fetch_add(1, std::memory_order_relaxed);
+        MarkBlocked(self, ThreadRecord::BlockKind::kMutex, this, &nub_lock_,
+                    /*alertable=*/false);
+      }
       parked = true;
     }
     if (parked) {
       ParkBlocked(self);
+      if (cell != nullptr) {
+        FinishWaitCell(self, cell);
+      }
     }
   }
 }
@@ -190,7 +265,7 @@ void Mutex::TracedRelease(ThreadRecord* self) {
   }
   if (wake != nullptr) {
     obs::Inc(obs::Counter::kHandoffs);
-    wake->park.release();
+    wake->park.Unpark();
   }
 }
 
@@ -203,10 +278,23 @@ ThreadRecord* Mutex::TracedReleaseLocked(ThreadRecord* self,
   if (emit_release) {
     nub.EmitTraced(spec::MakeRelease(self->id, id_));
   }
-  ThreadRecord* wake = queue_.PopFront();
-  if (wake != nullptr) {
-    queue_len_.fetch_sub(1, std::memory_order_relaxed);
-    MarkUnblocked(wake);
+  ThreadRecord* wake = nullptr;
+  if (nub.waitq_mode()) {
+    const waitq::WaitQueue::Resumed r = wqueue_.ResumeOne();
+    if (r.resumed) {
+      queue_len_.fetch_sub(1, std::memory_order_relaxed);
+      // Immediate grants are impossible in traced mode (install happens
+      // under this ObjLock), so the tag is always a published record. The
+      // waiter unblocks itself in FinishWaitCell.
+      wake = static_cast<ThreadRecord*>(r.tag);
+      TAOS_CHECK(wake != nullptr);
+    }
+  } else {
+    wake = queue_.PopFront();
+    if (wake != nullptr) {
+      queue_len_.fetch_sub(1, std::memory_order_relaxed);
+      MarkUnblocked(wake);
+    }
   }
   return wake;
 }

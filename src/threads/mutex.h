@@ -38,6 +38,7 @@
 #include "src/spec/state.h"
 #include "src/threads/nub.h"
 #include "src/threads/thread_record.h"
+#include "src/waitq/waitq.h"
 
 namespace taos {
 
@@ -86,6 +87,11 @@ class Mutex {
   // if still held; retry the whole Acquire from the test-and-set.
   void NubAcquire(ThreadRecord* self);
 
+  // NubAcquire on the waiter-queue substrate (TAOS_WAITQ): the enqueue is a
+  // lock-free cell claim instead of an ObjLock-guarded list insert; the
+  // claim-then-test ordering against Release's clear-then-scan is preserved.
+  void WaitqAcquire(ThreadRecord* self);
+
   // Nub subroutine for Release: unblock one queued thread.
   void NubRelease();
 
@@ -117,7 +123,8 @@ class Mutex {
   std::atomic<std::uint32_t> bit_{0};  // the Lock-bit: 1 iff inside a
                                        // critical section
   ObjLock nub_lock_;                   // guards queue_ (the slow paths)
-  IntrusiveQueue<ThreadRecord> queue_;
+  IntrusiveQueue<ThreadRecord> queue_;  // classic backend
+  waitq::WaitQueue wqueue_;             // waiter-queue backend (TAOS_WAITQ)
   std::atomic<std::int32_t> queue_len_{0};
   std::atomic<spec::ThreadId> holder_{spec::kNil};
   spec::ObjId id_;

@@ -89,6 +89,22 @@ class Nub {
     global_lock_mode_.store(on, std::memory_order_relaxed);
   }
 
+  // True when the slow paths run on the waiter-queue substrate (src/waitq):
+  // lock-free segment-queue enqueue, FIFO resume, Alert-as-cancellation —
+  // instead of the classic ObjLock-guarded intrusive queues. Initialized
+  // from the TAOS_WAITQ environment variable (compile-time default via the
+  // TAOS_WAITQ CMake option). Orthogonal to global_lock_mode: the resume
+  // side still serializes on the ObjLock either way.
+  bool waitq_mode() const {
+    return waitq_mode_.load(std::memory_order_relaxed);
+  }
+
+  // Quiescent-only, like SetGlobalLockMode: a thread enqueued by one
+  // backend must be resumed by the same backend.
+  void SetWaitqMode(bool on) {
+    waitq_mode_.store(on, std::memory_order_relaxed);
+  }
+
   // The calling thread's record, registering it on first use.
   ThreadRecord* Current();
 
@@ -143,6 +159,7 @@ class Nub {
 
   SpinLock lock_;
   std::atomic<bool> global_lock_mode_{false};
+  std::atomic<bool> waitq_mode_{false};
   std::atomic<spec::TraceSink*> trace_{nullptr};
   std::atomic<spec::ObjId> next_obj_id_{1};
   std::atomic<std::uint64_t> next_seq_{0};

@@ -10,7 +10,10 @@ namespace taos {
 
 Semaphore::Semaphore() : id_(Nub::Get().NextObjId()) {}
 
-Semaphore::~Semaphore() { TAOS_CHECK(queue_.Empty()); }
+Semaphore::~Semaphore() {
+  TAOS_CHECK(queue_.Empty());
+  TAOS_CHECK(wqueue_.DrainedForDebug());
+}
 
 void Semaphore::P() {
   obs::WithEvent(obs::Op::kP, id_, [&] {
@@ -55,6 +58,10 @@ void Semaphore::NubP(ThreadRecord* self) {
   nub.nub_entries.fetch_add(1, std::memory_order_relaxed);
   slow_ps_.fetch_add(1, std::memory_order_relaxed);
   obs::Inc(obs::Counter::kNubP);
+  if (nub.waitq_mode()) {
+    WaitqP(self);
+    return;
+  }
   for (;;) {
     bool parked = false;
     {
@@ -72,6 +79,39 @@ void Semaphore::NubP(ThreadRecord* self) {
     }
     if (parked) {
       ParkBlocked(self);
+    }
+    if (bit_.exchange(1, std::memory_order_acquire) == 0) {
+      return;
+    }
+    obs::Inc(obs::Counter::kLockBitRetries);
+    if (parked) {
+      obs::Inc(obs::Counter::kSpuriousWakeups);
+    }
+  }
+}
+
+// Identical in structure to Mutex::WaitqAcquire; see the commentary there.
+void Semaphore::WaitqP(ThreadRecord* self) {
+  for (;;) {
+    bool parked = false;
+    waitq::WaitCell* cell = wqueue_.Enqueue();
+    queue_len_.fetch_add(1, std::memory_order_seq_cst);
+    if (bit_.load(std::memory_order_seq_cst) != 0) {
+      {
+        SpinGuard tg(self->lock);
+        parked = InstallBlockedLocked(self, cell,
+                                      ThreadRecord::BlockKind::kSemaphore,
+                                      this, &nub_lock_, /*alertable=*/false);
+      }
+      if (parked) {
+        ParkBlocked(self);
+      }
+      FinishWaitCell(self, cell);
+    } else {
+      if (cell->Cancel() == waitq::WaitCell::CancelOutcome::kCancelled) {
+        queue_len_.fetch_sub(1, std::memory_order_relaxed);
+      }
+      waitq::WaitQueue::Detach(cell);
     }
     if (bit_.exchange(1, std::memory_order_acquire) == 0) {
       return;
@@ -104,18 +144,27 @@ void Semaphore::NubV() {
   Nub& nub = Nub::Get();
   nub.nub_entries.fetch_add(1, std::memory_order_relaxed);
   obs::Inc(obs::Counter::kNubV);
-  ThreadRecord* wake = nullptr;
+  waitq::Parker* unpark = nullptr;
   {
     NubGuard g(nub_lock_);
-    wake = queue_.PopFront();
-    if (wake != nullptr) {
-      queue_len_.fetch_sub(1, std::memory_order_relaxed);
-      MarkUnblocked(wake);
+    if (nub.waitq_mode()) {
+      const waitq::WaitQueue::Resumed r = wqueue_.ResumeOne();
+      if (r.resumed) {
+        queue_len_.fetch_sub(1, std::memory_order_relaxed);
+        unpark = r.parker;  // null on an immediate grant
+      }
+    } else {
+      ThreadRecord* wake = queue_.PopFront();
+      if (wake != nullptr) {
+        queue_len_.fetch_sub(1, std::memory_order_relaxed);
+        MarkUnblocked(wake);
+        unpark = &wake->park;
+      }
     }
   }
-  if (wake != nullptr) {
+  if (unpark != nullptr) {
     obs::Inc(obs::Counter::kHandoffs);
-    wake->park.release();
+    unpark->Unpark();
   }
 }
 
@@ -123,6 +172,7 @@ void Semaphore::TracedP(ThreadRecord* self) {
   Nub& nub = Nub::Get();
   nub.nub_entries.fetch_add(1, std::memory_order_relaxed);
   for (;;) {
+    waitq::WaitCell* cell = nullptr;
     bool parked = false;
     {
       NubGuard g(nub_lock_);
@@ -131,14 +181,28 @@ void Semaphore::TracedP(ThreadRecord* self) {
         nub.EmitTraced(spec::MakeP(self->id, id_));
         return;
       }
-      queue_.PushBack(self);
-      queue_len_.fetch_add(1, std::memory_order_relaxed);
-      MarkBlocked(self, ThreadRecord::BlockKind::kSemaphore, this, &nub_lock_,
-                  /*alertable=*/false);
+      if (nub.waitq_mode()) {
+        cell = wqueue_.Enqueue();
+        queue_len_.fetch_add(1, std::memory_order_relaxed);
+        SpinGuard tg(self->lock);
+        // Cannot fail: resumers hold this ObjLock, which we hold.
+        TAOS_CHECK(InstallBlockedLocked(self, cell,
+                                        ThreadRecord::BlockKind::kSemaphore,
+                                        this, &nub_lock_,
+                                        /*alertable=*/false));
+      } else {
+        queue_.PushBack(self);
+        queue_len_.fetch_add(1, std::memory_order_relaxed);
+        MarkBlocked(self, ThreadRecord::BlockKind::kSemaphore, this,
+                    &nub_lock_, /*alertable=*/false);
+      }
       parked = true;
     }
     if (parked) {
       ParkBlocked(self);
+      if (cell != nullptr) {
+        FinishWaitCell(self, cell);
+      }
     }
   }
 }
@@ -150,15 +214,24 @@ void Semaphore::TracedV(ThreadRecord* self) {
     NubGuard g(nub_lock_);
     bit_.store(0, std::memory_order_relaxed);
     nub.EmitTraced(spec::MakeV(self->id, id_));
-    wake = queue_.PopFront();
-    if (wake != nullptr) {
-      queue_len_.fetch_sub(1, std::memory_order_relaxed);
-      MarkUnblocked(wake);
+    if (nub.waitq_mode()) {
+      const waitq::WaitQueue::Resumed r = wqueue_.ResumeOne();
+      if (r.resumed) {
+        queue_len_.fetch_sub(1, std::memory_order_relaxed);
+        wake = static_cast<ThreadRecord*>(r.tag);
+        TAOS_CHECK(wake != nullptr);  // no immediate grants in traced mode
+      }
+    } else {
+      wake = queue_.PopFront();
+      if (wake != nullptr) {
+        queue_len_.fetch_sub(1, std::memory_order_relaxed);
+        MarkUnblocked(wake);
+      }
     }
   }
   if (wake != nullptr) {
     obs::Inc(obs::Counter::kHandoffs);
-    wake->park.release();
+    wake->park.Unpark();
   }
 }
 

@@ -25,6 +25,7 @@
 #include "src/spec/state.h"
 #include "src/threads/nub.h"
 #include "src/threads/thread_record.h"
+#include "src/waitq/waitq.h"
 
 namespace taos {
 
@@ -70,13 +71,15 @@ class Semaphore {
   friend void AlertP(Semaphore& s);
 
   void NubP(ThreadRecord* self);
+  void WaitqP(ThreadRecord* self);  // NubP on the TAOS_WAITQ substrate
   void NubV();
   void TracedP(ThreadRecord* self);
   void TracedV(ThreadRecord* self);
 
   std::atomic<std::uint32_t> bit_{0};   // 1 iff unavailable
   ObjLock nub_lock_;                    // guards queue_ (the slow paths)
-  IntrusiveQueue<ThreadRecord> queue_;
+  IntrusiveQueue<ThreadRecord> queue_;  // classic backend
+  waitq::WaitQueue wqueue_;             // waiter-queue backend (TAOS_WAITQ)
   std::atomic<std::int32_t> queue_len_{0};
   spec::ObjId id_;
 

@@ -3,26 +3,28 @@
 // A ThreadRecord is on at most one queue at a time (a mutex queue, a
 // semaphore queue, a condition queue — there is no explicit ready pool here
 // because the host OS schedules runnable threads; "de-schedule this thread"
-// becomes parking on a private binary semaphore, and "add to the ready pool"
-// becomes releasing it).
+// becomes parking on a private Parker, and "add to the ready pool" becomes
+// unparking it).
 //
 // All fields below the "guarded by `lock`" line are only touched while
 // holding this record's parking-lot lock (which the blocking, waking and
 // alerting paths all nest inside the blocked-on object's ObjLock, per the
-// ordering discipline in nub.h).
+// ordering discipline in nub.h — except the waiter-queue mode's Alert,
+// which needs no object lock at all; see wait_cell below).
 
 #ifndef TAOS_SRC_THREADS_THREAD_RECORD_H_
 #define TAOS_SRC_THREADS_THREAD_RECORD_H_
 
 #include <atomic>
 #include <cstdint>
-#include <semaphore>
 #include <string>
 
 #include "src/base/intrusive_queue.h"
 #include "src/base/spinlock.h"
 #include "src/obs/metrics.h"
 #include "src/spec/state.h"
+#include "src/waitq/parker.h"
+#include "src/waitq/waitq.h"
 
 namespace taos {
 
@@ -36,9 +38,10 @@ struct ThreadRecord {
 
   spec::ThreadId id = spec::kNil;
 
-  // "De-scheduled" threads park here; making a thread ready releases it.
-  // The queue discipline guarantees at most one outstanding release.
-  std::binary_semaphore park{0};
+  // "De-scheduled" threads park here; making a thread ready unparks it.
+  // The queue discipline guarantees at most one outstanding unpark. The
+  // backend (futex / condvar) is the process default; see waitq/parker.h.
+  waitq::Parker park;
 
   // The thread's membership in the spec's global `alerts` set. Set by
   // Alert(t), cleared by TestAlert and by the Alerted-raising paths of
@@ -58,6 +61,11 @@ struct ThreadRecord {
   bool alert_woken = false;  // dequeued by Alert rather than by V/Signal
   void* blocked_obj = nullptr;  // the Mutex/Semaphore/Condition blocked on
   ObjLock* blocked_lock = nullptr;  // that object's slow-path lock
+  // Waiter-queue mode only: the cell this thread is (about to be) parked
+  // in. Published under `lock` so Alert can cancel it with one CAS instead
+  // of taking the object lock; unpublished (again under `lock`) before the
+  // waiter detaches the cell, so a canceller never touches a detached cell.
+  waitq::WaitCell* wait_cell = nullptr;
 
   // Set when the thread terminated because Alerted escaped its root
   // function (see Thread::Fork).
@@ -88,6 +96,7 @@ inline void ClearBlockedLocked(ThreadRecord* t) {
   t->blocked_obj = nullptr;
   t->blocked_lock = nullptr;
   t->alertable = false;
+  t->wait_cell = nullptr;
 }
 
 inline void MarkBlocked(ThreadRecord* t, ThreadRecord::BlockKind kind,
@@ -101,14 +110,50 @@ inline void MarkUnblocked(ThreadRecord* t) {
   ClearBlockedLocked(t);
 }
 
-// "De-schedule this thread": park on the private semaphore, counting the
+// "De-schedule this thread": park on the private parker, counting the
 // park and feeding the de-scheduled duration into the blocked-time
 // histogram. Every blocking site in src/threads goes through here.
 inline void ParkBlocked(ThreadRecord* t) {
   t->parks.fetch_add(1, std::memory_order_relaxed);
   const std::uint64_t start = obs::NowNanos();
-  t->park.acquire();
+  t->park.Park();
   obs::Record(obs::Histogram::kBlockedNanos, obs::NowNanos() - start);
+}
+
+// --- waiter-queue (TAOS_WAITQ) blocking protocol helpers ---
+
+// Publishes the blocked state plus the claimed cell and installs the
+// parker, all under t->lock (already held by the caller). Returns true if
+// the thread must park; false if a resume or cancel beat the Install (the
+// cell is unpublished again and the thread proceeds without parking).
+inline bool InstallBlockedLocked(ThreadRecord* t, waitq::WaitCell* cell,
+                                 ThreadRecord::BlockKind kind, void* obj,
+                                 ObjLock* obj_lock, bool alertable) {
+  SetBlockedLocked(t, kind, obj, obj_lock, alertable);
+  t->wait_cell = cell;
+  if (cell->Install(&t->park, t)) {
+    return true;
+  }
+  ClearBlockedLocked(t);
+  return false;
+}
+
+// The waiter's epilogue for a claimed cell: reads the terminal state,
+// unpublishes whatever is still published (a resumer never touches the
+// record; an alerter already cleared it), and detaches the cell — the
+// claimant's last touch. Returns the terminal state (kResumed or
+// kCancelled).
+inline waitq::WaitCell::State FinishWaitCell(ThreadRecord* t,
+                                             waitq::WaitCell* cell) {
+  const waitq::WaitCell::State st = cell->state();
+  {
+    SpinGuard g(t->lock);
+    if (t->wait_cell == cell) {
+      ClearBlockedLocked(t);
+    }
+  }
+  waitq::WaitQueue::Detach(cell);
+  return st;
 }
 
 // Opaque handle clients use to name a thread (e.g. Alert(t)).

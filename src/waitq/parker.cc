@@ -1,0 +1,139 @@
+#include "src/waitq/parker.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "src/obs/metrics.h"
+
+#if defined(__linux__)
+#include <linux/futex.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace taos::waitq {
+
+namespace {
+
+#if defined(__linux__)
+void FutexWait(std::atomic<std::uint32_t>& word, std::uint32_t expected) {
+  // Returns on wake, on EAGAIN (word already changed), or spuriously; the
+  // caller re-checks the word either way.
+  syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(&word),
+          FUTEX_WAIT_PRIVATE, expected, nullptr, nullptr, 0);
+}
+
+void FutexWakeOne(std::atomic<std::uint32_t>& word) {
+  syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(&word),
+          FUTEX_WAKE_PRIVATE, 1, nullptr, nullptr, 0);
+}
+#endif
+
+}  // namespace
+
+Parker::Backend Parker::Resolve(Backend b) {
+#if defined(__linux__)
+  return b;
+#else
+  (void)b;
+  return Backend::kCondvar;
+#endif
+}
+
+Parker::Backend Parker::DefaultBackend() {
+  static const Backend backend = [] {
+    const char* v = std::getenv("TAOS_WAITQ_PARKER");
+    if (v != nullptr) {
+      if (std::strcmp(v, "condvar") == 0) {
+        return Backend::kCondvar;
+      }
+      if (std::strcmp(v, "futex") == 0) {
+        return Resolve(Backend::kFutex);
+      }
+    }
+    return Resolve(Backend::kFutex);
+  }();
+  return backend;
+}
+
+void Parker::Park() {
+  const std::uint64_t start = obs::NowNanos();
+  if (backend_ == Backend::kFutex) {
+    FutexPark();
+  } else {
+    CondvarPark();
+  }
+  obs::Record(obs::Histogram::kParkWaitNanos, obs::NowNanos() - start);
+}
+
+void Parker::Unpark() {
+  const std::uint64_t start = obs::NowNanos();
+  if (backend_ == Backend::kFutex) {
+    FutexUnpark();
+  } else {
+    CondvarUnpark();
+  }
+  obs::Record(obs::Histogram::kUnparkNanos, obs::NowNanos() - start);
+}
+
+void Parker::FutexPark() {
+#if defined(__linux__)
+  for (;;) {
+    std::uint32_t cur = state_.load(std::memory_order_relaxed);
+    if (cur == kNotified) {
+      // Permit already deposited: consume it without sleeping. acquire pairs
+      // with Unpark's release so everything before the Unpark is visible.
+      if (state_.compare_exchange_weak(cur, kEmpty,
+                                       std::memory_order_acquire,
+                                       std::memory_order_relaxed)) {
+        return;
+      }
+      continue;
+    }
+    if (cur == kEmpty) {
+      if (!state_.compare_exchange_weak(cur, kParked,
+                                        std::memory_order_relaxed,
+                                        std::memory_order_relaxed)) {
+        continue;  // lost to a concurrent Unpark: re-read
+      }
+    }
+    // state_ is kParked (set by us, or left over from a spurious return).
+    obs::Inc(obs::Counter::kParkFutexWaits);
+    FutexWait(state_, kParked);
+  }
+#else
+  CondvarPark();
+#endif
+}
+
+void Parker::FutexUnpark() {
+#if defined(__linux__)
+  // release pairs with the consuming CAS in FutexPark.
+  const std::uint32_t old =
+      state_.exchange(kNotified, std::memory_order_release);
+  if (old == kParked) {
+    FutexWakeOne(state_);
+  }
+#else
+  CondvarUnpark();
+#endif
+}
+
+void Parker::CondvarPark() {
+  std::unique_lock<std::mutex> lk(mu_);
+  while (state_.load(std::memory_order_relaxed) != kNotified) {
+    obs::Inc(obs::Counter::kParkCondvarWaits);
+    cv_.wait(lk);
+  }
+  state_.store(kEmpty, std::memory_order_relaxed);
+}
+
+void Parker::CondvarUnpark() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    state_.store(kNotified, std::memory_order_relaxed);
+  }
+  cv_.notify_one();
+}
+
+}  // namespace taos::waitq

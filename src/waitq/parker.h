@@ -1,0 +1,81 @@
+// Parker: the one-permit park/unpark primitive the waiter-queue substrate
+// (waitq.h) suspends threads on. It is the "de-schedule this thread / add it
+// to the ready pool" substitution point of the Nub, factored out of
+// ThreadRecord so the blocking mechanism is pluggable:
+//
+//   - kFutex    — a 3-state futex protocol (Linux only): EMPTY/PARKED/
+//                 NOTIFIED in one 32-bit word, one FUTEX_WAIT per real sleep
+//                 and one FUTEX_WAKE per handoff, no heap or kernel object
+//                 per parker.
+//   - kCondvar  — std::mutex + std::condition_variable + the same permit
+//                 word, the portable fallback.
+//
+// The permit discipline matches std::binary_semaphore{0}: Unpark deposits at
+// most one permit; Park consumes one, sleeping until it arrives. An Unpark
+// that races ahead of the Park is never lost (the permit waits), and a
+// spurious futex return re-checks the word. The waitq cell protocol
+// guarantees at most one Unpark per Park, but the parker itself also
+// tolerates Unpark-with-no-parker (the permit is consumed by the next Park).
+//
+// Backend selection: the process default is futex on Linux, condvar
+// elsewhere, overridable with TAOS_WAITQ_PARKER=futex|condvar (read once);
+// individual parkers can pin a backend for A/B benches and tests.
+
+#ifndef TAOS_SRC_WAITQ_PARKER_H_
+#define TAOS_SRC_WAITQ_PARKER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace taos::waitq {
+
+class Parker {
+ public:
+  enum class Backend { kFutex, kCondvar };
+
+  // The process-wide default: TAOS_WAITQ_PARKER if set, else futex on Linux
+  // and condvar elsewhere. A futex request on a non-futex platform degrades
+  // to condvar.
+  static Backend DefaultBackend();
+
+  Parker() : backend_(DefaultBackend()) {}
+  explicit Parker(Backend b) : backend_(Resolve(b)) {}
+  Parker(const Parker&) = delete;
+  Parker& operator=(const Parker&) = delete;
+
+  Backend backend() const { return backend_; }
+
+  // Consumes one permit, blocking until it is deposited.
+  void Park();
+
+  // Deposits one permit, waking the parked thread if there is one. Safe from
+  // any thread; never blocks (beyond the condvar backend's short critical
+  // section).
+  void Unpark();
+
+ private:
+  // Values of state_. For the futex backend the word carries the whole
+  // protocol; for the condvar backend only kEmpty/kNotified are used (the
+  // permit), under mu_.
+  static constexpr std::uint32_t kEmpty = 0;
+  static constexpr std::uint32_t kParked = 1;
+  static constexpr std::uint32_t kNotified = 2;
+
+  static Backend Resolve(Backend b);
+
+  void FutexPark();
+  void FutexUnpark();
+  void CondvarPark();
+  void CondvarUnpark();
+
+  const Backend backend_;
+  std::atomic<std::uint32_t> state_{kEmpty};
+  std::mutex mu_;               // condvar backend only
+  std::condition_variable cv_;  // condvar backend only
+};
+
+}  // namespace taos::waitq
+
+#endif  // TAOS_SRC_WAITQ_PARKER_H_

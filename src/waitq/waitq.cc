@@ -1,0 +1,259 @@
+#include "src/waitq/waitq.h"
+
+#include "src/base/check.h"
+#include "src/base/spinlock.h"
+#include "src/obs/metrics.h"
+
+namespace taos::waitq {
+
+// ---------------------------------------------------------------------------
+// WaitCell
+// ---------------------------------------------------------------------------
+
+bool WaitCell::Install(Parker* parker, void* tag) {
+  tag_ = tag;  // plain store: published by the CAS-release below
+  std::uintptr_t expected = kEmptyBits;
+  return state_.compare_exchange_strong(
+      expected, reinterpret_cast<std::uintptr_t>(parker),
+      std::memory_order_acq_rel, std::memory_order_acquire);
+}
+
+WaitCell::CancelOutcome WaitCell::Cancel() {
+  std::uintptr_t cur = state_.load(std::memory_order_relaxed);
+  for (;;) {
+    if (cur == kResumedBits) {
+      return CancelOutcome::kLostToResume;
+    }
+    // At most one canceller ever names a cell: an alerter reaches it through
+    // the published ThreadRecord::wait_cell (record lock held), a claimant
+    // backs out only a cell it never published.
+    TAOS_DCHECK(cur != kCancelledBits);
+    if (state_.compare_exchange_weak(cur, kCancelledBits,
+                                     std::memory_order_acq_rel,
+                                     std::memory_order_relaxed)) {
+      obs::Inc(obs::Counter::kWaitqCancels);
+      return CancelOutcome::kCancelled;
+    }
+  }
+}
+
+WaitCell::State WaitCell::state() const {
+  switch (state_.load(std::memory_order_acquire)) {
+    case kEmptyBits:
+      return State::kEmpty;
+    case kResumedBits:
+      return State::kResumed;
+    case kCancelledBits:
+      return State::kCancelled;
+    default:
+      return State::kWaiting;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Segment
+// ---------------------------------------------------------------------------
+
+Segment::Segment(std::uint64_t base_index) : base(base_index) {
+  for (WaitCell& c : cells) {
+    c.segment_ = this;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// WaitQueue
+// ---------------------------------------------------------------------------
+
+WaitQueue::~WaitQueue() {
+  Segment* s = retired_;
+  while (s != nullptr) {
+    Segment* next = s->retired_link;
+    delete s;
+    s = next;
+  }
+  s = head_.load(std::memory_order_relaxed);
+  while (s != nullptr) {
+    Segment* next = s->next.load(std::memory_order_relaxed);
+    delete s;
+    s = next;
+  }
+}
+
+WaitCell* WaitQueue::Enqueue() {
+  obs::Inc(obs::Counter::kWaitqEnqueues);
+  in_flight_.fetch_add(1, std::memory_order_seq_cst);
+  // Snapshot the tail BEFORE claiming: the tail only ever advances to a
+  // segment some already-claimed index needed, so a pre-claim snapshot can
+  // never lie past our own index's segment. seq_cst (all tail_ accesses
+  // are): paired with ReclaimRetired's tail-then-in_flight reads, it
+  // guarantees a claimant the reclaimer did not see reads a tail at or past
+  // the reclaimer's snapshot — so it never walks into a freed segment.
+  Segment* seg = tail_.load(std::memory_order_seq_cst);
+  if (seg == nullptr) {
+    Segment* fresh = new Segment(0);
+    if (tail_.compare_exchange_strong(seg, fresh,
+                                      std::memory_order_seq_cst,
+                                      std::memory_order_seq_cst)) {
+      obs::Inc(obs::Counter::kWaitqSegmentsAllocated);
+      head_.store(fresh, std::memory_order_release);
+      seg = fresh;
+    } else {
+      delete fresh;  // `seg` now holds the winner's segment
+    }
+  }
+  const std::uint64_t index = enq_.fetch_add(1, std::memory_order_seq_cst);
+  seg = SegmentForIndex(seg, index);
+  WaitCell* cell = &seg->cells[index - seg->base];
+  in_flight_.fetch_sub(1, std::memory_order_release);
+  return cell;
+}
+
+Segment* WaitQueue::SegmentForIndex(Segment* seg, std::uint64_t index) {
+  TAOS_DCHECK(seg->base <= index);
+  while (index >= seg->base + Segment::kCells) {
+    Segment* next = seg->next.load(std::memory_order_acquire);
+    if (next == nullptr) {
+      Segment* fresh = new Segment(seg->base + Segment::kCells);
+      if (seg->next.compare_exchange_strong(next, fresh,
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_acquire)) {
+        obs::Inc(obs::Counter::kWaitqSegmentsAllocated);
+        next = fresh;
+      } else {
+        delete fresh;  // `next` now holds the winner's segment
+      }
+    }
+    // Help the tail forward: later claimants start their walk closer, and
+    // reclamation's base < tail->base safety bound advances.
+    Segment* t = tail_.load(std::memory_order_seq_cst);
+    while (t->base < next->base &&
+           !tail_.compare_exchange_weak(t, next, std::memory_order_seq_cst,
+                                        std::memory_order_seq_cst)) {
+    }
+    seg = next;
+  }
+  return seg;
+}
+
+WaitQueue::Resumed WaitQueue::ResumeOne() {
+  Resumed out;
+  std::uint64_t deq = deq_.load(std::memory_order_relaxed);
+  // seq_cst: pairs with the claimants' seq_cst fetch_add so that a claim the
+  // caller's gating load observed (queue_len_ / waiters_) is observed here
+  // too (see the Dekker pairings in mutex.cc / condition.cc).
+  while (deq < enq_.load(std::memory_order_seq_cst)) {
+    Segment* head = head_.load(std::memory_order_acquire);
+    while (head == nullptr) {
+      // The very first claimant won the tail CAS but has not published the
+      // head yet; the window is a few instructions.
+      SpinLock::Pause();
+      head = head_.load(std::memory_order_acquire);
+    }
+    while (deq >= head->base + Segment::kCells) {
+      Segment* next = head->next.load(std::memory_order_acquire);
+      while (next == nullptr) {
+        // A claimant of a later index is mid-allocation; its claim is
+        // already visible (deq < enq), so the segment is moments away.
+        SpinLock::Pause();
+        next = head->next.load(std::memory_order_acquire);
+      }
+      head_.store(next, std::memory_order_release);
+      RetireConsumed(head);
+      head = next;
+    }
+    WaitCell& cell = head->cells[deq - head->base];
+    ++deq;
+    deq_.store(deq, std::memory_order_relaxed);
+    std::uintptr_t cur = cell.state_.load(std::memory_order_relaxed);
+    for (;;) {
+      if (cur == WaitCell::kCancelledBits) {
+        obs::Inc(obs::Counter::kWaitqCancelSkips);
+        break;  // O(1) amortized: each cancelled cell is skipped once, ever
+      }
+      TAOS_DCHECK(cur != WaitCell::kResumedBits);  // single consumer
+      if (cell.state_.compare_exchange_weak(cur, WaitCell::kResumedBits,
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_relaxed)) {
+        out.resumed = true;
+        if (cur == WaitCell::kEmptyBits) {
+          // Immediate grant: the claimant is between claim and Install; its
+          // Install will fail and it proceeds without parking.
+          obs::Inc(obs::Counter::kWaitqImmediateGrants);
+        } else {
+          out.parker = reinterpret_cast<Parker*>(cur);
+          out.tag = cell.tag_;  // published by Install's CAS-release
+          obs::Inc(obs::Counter::kWaitqResumes);
+        }
+        break;
+      }
+    }
+    if (out.resumed) {
+      break;
+    }
+  }
+  ReclaimRetired();
+  return out;
+}
+
+void WaitQueue::Detach(WaitCell* cell) {
+  // release: the claimant's last touches happen-before the consumer's
+  // acquire load of `detached` in ReclaimRetired, hence before the free.
+  cell->segment_->detached.fetch_add(1, std::memory_order_release);
+}
+
+void WaitQueue::RetireConsumed(Segment* seg) {
+  obs::Inc(obs::Counter::kWaitqSegmentsRetired);
+  seg->retired_link = retired_;
+  retired_ = seg;
+}
+
+void WaitQueue::ReclaimRetired() {
+  if (retired_ == nullptr) {
+    return;
+  }
+  // Free a retired segment only when (a) every claimant detached, (b) no
+  // claimant is inside the claim/walk window (a stale tail snapshot may
+  // still be walking retired segments), and (c) it lies strictly before the
+  // tail snapshot below. Order matters and everything is seq_cst: the tail
+  // is read BEFORE in_flight, so a claimant whose in_flight increment this
+  // load misses ordered its own tail read after ours — it starts at or past
+  // our snapshot, walks forward only, and never reaches what we free.
+  Segment* tail = tail_.load(std::memory_order_seq_cst);
+  if (in_flight_.load(std::memory_order_seq_cst) != 0) {
+    return;
+  }
+  Segment** link = &retired_;
+  while (*link != nullptr) {
+    Segment* s = *link;
+    if (s->base < tail->base &&
+        s->detached.load(std::memory_order_acquire) == Segment::kCells) {
+      *link = s->retired_link;
+      delete s;
+    } else {
+      link = &s->retired_link;
+    }
+  }
+}
+
+bool WaitQueue::DrainedForDebug() const {
+  const std::uint64_t enq = enq_.load(std::memory_order_acquire);
+  std::uint64_t deq = deq_.load(std::memory_order_acquire);
+  const Segment* seg = head_.load(std::memory_order_acquire);
+  for (; deq < enq; ++deq) {
+    while (seg != nullptr && deq >= seg->base + Segment::kCells) {
+      seg = seg->next.load(std::memory_order_acquire);
+    }
+    if (seg == nullptr) {
+      return false;
+    }
+    // Claimed-but-unconsumed cells must all be cancelled leftovers; a live
+    // waiter (or an undelivered resume) means the queue is not drained.
+    if (seg->cells[deq - seg->base].state_.load(std::memory_order_acquire) !=
+        WaitCell::kCancelledBits) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace taos::waitq

@@ -1,0 +1,176 @@
+// A CQS-inspired waiter-queue substrate (after Koval, Khalanskiy & Alistarh,
+// "CQS: A Formally-Verified Framework for Fair and Abortable
+// Synchronization", 2021): a segment-based MPSC queue of parked-thread cells
+// with
+//
+//   - lock-free enqueue: a waiter claims the next cell with one fetch_add
+//     and never takes the object's slow-path lock to join the queue,
+//   - FIFO resume: a single consumer (the Release/V/Signal slow path,
+//     serialized by the object's ObjLock) grants cells strictly in claim
+//     order,
+//   - O(1) cancellation: Alert marks the victim's cell CANCELLED with one
+//     CAS instead of taking the object lock and unlinking a list node —
+//     closing the Alert-vs-Signal race structurally (the CAS on the cell
+//     state is the arbitration; exactly one side wins).
+//
+// Cell state machine (DESIGN.md §10):
+//
+//     EMPTY --Install--> WAITING --ResumeOne--> RESUMED
+//       |                   |
+//       |                   +------Cancel-----> CANCELLED
+//       +------ResumeOne--> RESUMED        (immediate grant: the claimant
+//       +------Cancel-----> CANCELLED       had not installed yet)
+//
+// RESUMED and CANCELLED are terminal; the transition into them is a CAS and
+// its winner owns the cell's side effects (the resumer unparks, the
+// canceller delivers the alert, the claimant's back-out gives up its claim).
+// A resume that lands on EMPTY is an "immediate grant": the claimant is
+// still between claiming and installing, its Install will fail, and it
+// proceeds without parking — no unpark is needed or issued.
+//
+// Concurrency contract:
+//   - Enqueue: any thread, lock-free.
+//   - ResumeOne: ONE thread at a time (callers serialize on the object's
+//     ObjLock; in global-lock mode all ObjLocks are the same bit, which is
+//     stricter still).
+//   - Cancel: any thread, any time before the cell is detached.
+//   - Detach: exactly once per claimed cell, by the claimant, after its last
+//     touch of the cell AND after the cell can no longer be named by a
+//     canceller (the Nub unpublishes ThreadRecord::wait_cell under the
+//     record lock first).
+//
+// Memory reclamation: a segment is freed by the consumer once every cell in
+// it has been consumed (deq passed it) and detached (no claimant or
+// canceller can touch it again), and no enqueuer is mid-walk (in_flight == 0
+// and the tail pointer has moved on). Segments are small (kCells) so
+// boundary conditions are exercised constantly in tests.
+
+#ifndef TAOS_SRC_WAITQ_WAITQ_H_
+#define TAOS_SRC_WAITQ_WAITQ_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/waitq/parker.h"
+
+namespace taos::waitq {
+
+struct Segment;
+
+class WaitCell {
+ public:
+  enum class State { kEmpty, kWaiting, kResumed, kCancelled };
+
+  // Publishes the claimant's parker (and an opaque tag the resumer hands
+  // back, here the ThreadRecord*). Returns true if the cell is now WAITING;
+  // false if a resume or cancel got there first (the claimant must not
+  // park). `tag` is written before the CAS-release and read by the resumer
+  // after its CAS-acquire, so it needs no atomicity of its own.
+  bool Install(Parker* parker, void* tag);
+
+  enum class CancelOutcome { kCancelled, kLostToResume };
+
+  // One-CAS transition to CANCELLED from EMPTY or WAITING. kLostToResume
+  // means the cell was already RESUMED: the wakeup is in flight and the
+  // caller must let it stand (an alerter falls back to flag-only delivery;
+  // a backing-out claimant proceeds as woken).
+  CancelOutcome Cancel();
+
+  // Racy outside the protocol; stable once terminal (which is the only time
+  // the claimant reads it after parking).
+  State state() const;
+
+ private:
+  friend class WaitQueue;
+  friend struct Segment;
+
+  static constexpr std::uintptr_t kEmptyBits = 0;
+  static constexpr std::uintptr_t kResumedBits = 1;
+  static constexpr std::uintptr_t kCancelledBits = 2;
+  // Any other value is the installed Parker* (pointers are aligned, so the
+  // low values above are never valid parkers).
+
+  std::atomic<std::uintptr_t> state_{kEmptyBits};
+  void* tag_ = nullptr;
+  Segment* segment_ = nullptr;
+};
+
+struct Segment {
+  // Small on purpose: segment birth, retirement and the cross-segment walk
+  // are exercised every few waiters instead of once per 2^k.
+  static constexpr std::uint32_t kCells = 8;
+
+  explicit Segment(std::uint64_t base_index);
+
+  WaitCell cells[kCells];
+  const std::uint64_t base;                 // global index of cells[0]
+  std::atomic<Segment*> next{nullptr};      // forward chain, never unlinked
+  std::atomic<std::uint32_t> detached{0};   // claimants done with their cell
+  Segment* retired_link = nullptr;          // consumer-private retired list
+};
+
+class WaitQueue {
+ public:
+  WaitQueue() = default;
+  ~WaitQueue();
+  WaitQueue(const WaitQueue&) = delete;
+  WaitQueue& operator=(const WaitQueue&) = delete;
+
+  // Claims the next cell in FIFO order. Lock-free (one fetch_add plus an
+  // occasional segment allocation); callable from any thread.
+  WaitCell* Enqueue();
+
+  struct Resumed {
+    bool resumed = false;    // false: queue empty (every claimed cell done)
+    Parker* parker = nullptr;  // null on an immediate grant (EMPTY->RESUMED)
+    void* tag = nullptr;       // Install's tag; null on an immediate grant
+  };
+
+  // Grants the oldest live cell: skips CANCELLED cells, CASes the first
+  // EMPTY/WAITING cell to RESUMED. The caller unparks `parker` (if any)
+  // after dropping its locks. Single consumer at a time — callers serialize
+  // on the owning object's ObjLock.
+  Resumed ResumeOne();
+
+  // The claimant's last act on its cell (see the contract above).
+  static void Detach(WaitCell* cell);
+
+  // True when every claimed cell has reached a terminal state — the
+  // destructor's precondition, analogous to IntrusiveQueue::Empty() in the
+  // object destructors. Racy: call quiescent.
+  bool DrainedForDebug() const;
+
+  // Total cells ever claimed. Racy; for tests and benches.
+  std::uint64_t ClaimedForDebug() const {
+    return enq_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  Segment* SegmentForIndex(Segment* start, std::uint64_t index);
+  void RetireConsumed(Segment* seg);
+  void ReclaimRetired();
+
+  // Claim order. seq_cst: the claim participates in the Dekker-style
+  // pairings with the object's lock-bit / eventcount (claim-then-test on
+  // the waiter side vs publish-then-scan on the waker side; see mutex.cc,
+  // condition.cc).
+  std::atomic<std::uint64_t> enq_{0};
+  // Consume cursor; consumer-private, atomic only for debug reads.
+  std::atomic<std::uint64_t> deq_{0};
+  // First not-fully-consumed segment; consumer-private after initialization
+  // (the first enqueuer installs it).
+  std::atomic<Segment*> head_{nullptr};
+  // Highest allocated segment; enqueuers start their walk here. An
+  // enqueuer's snapshot taken BEFORE its fetch_add can never be past its
+  // claimed index's segment (the tail only advances to a segment some
+  // already-claimed index needed).
+  std::atomic<Segment*> tail_{nullptr};
+  // Enqueuers inside the claim/walk window. Retired segments are only freed
+  // when this is zero: a stale tail_ snapshot may still be walking them.
+  std::atomic<std::uint32_t> in_flight_{0};
+  Segment* retired_ = nullptr;  // consumer-private
+};
+
+}  // namespace taos::waitq
+
+#endif  // TAOS_SRC_WAITQ_WAITQ_H_

@@ -9,6 +9,8 @@
 
 #include <atomic>
 #include <cstdint>
+#include <set>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -198,6 +200,46 @@ TEST(ObsMetricsTest, ResetStatsZeroesEverything) {
   for (int h = 0; h < obs::kNumHistograms; ++h) {
     EXPECT_EQ(zeroed.HistogramTotal(static_cast<Histogram>(h)), 0u)
         << obs::HistogramName(static_cast<Histogram>(h));
+  }
+}
+
+// Registry self-check: the enum-indexed name tables must cover every slot
+// (the .cc static_asserts pin their sizes at compile time; this validates
+// the content), with no empty, null or duplicate names — a duplicate would
+// silently merge two series in every JSON report.
+TEST(ObsMetricsTest, CounterAndHistogramRegistriesAreComplete) {
+  std::set<std::string> seen;
+  for (int c = 0; c < obs::kNumCounters; ++c) {
+    const char* name = obs::CounterName(static_cast<Counter>(c));
+    ASSERT_NE(name, nullptr) << "counter slot " << c;
+    EXPECT_STRNE(name, "") << "counter slot " << c;
+    EXPECT_TRUE(seen.insert(name).second) << "duplicate counter name " << name;
+  }
+  seen.clear();
+  for (int h = 0; h < obs::kNumHistograms; ++h) {
+    const char* name = obs::HistogramName(static_cast<Histogram>(h));
+    ASSERT_NE(name, nullptr) << "histogram slot " << h;
+    EXPECT_STRNE(name, "") << "histogram slot " << h;
+    EXPECT_TRUE(seen.insert(name).second)
+        << "duplicate histogram name " << name;
+  }
+}
+
+// The JSON report must carry every registered series, including the last
+// enum slot of each table (the one an off-by-one in the emission loop or a
+// forgotten name-table entry would drop).
+TEST(ObsMetricsTest, ReportJsonCoversEveryRegisteredSeries) {
+  const std::string report = obs::ReportJson();
+  for (int c = 0; c < obs::kNumCounters; ++c) {
+    const std::string key =
+        std::string("\"") + obs::CounterName(static_cast<Counter>(c)) + "\"";
+    EXPECT_NE(report.find(key), std::string::npos) << key;
+  }
+  for (int h = 0; h < obs::kNumHistograms; ++h) {
+    const std::string key =
+        std::string("\"") + obs::HistogramName(static_cast<Histogram>(h)) +
+        "\"";
+    EXPECT_NE(report.find(key), std::string::npos) << key;
   }
 }
 

@@ -1,10 +1,12 @@
 // Conformance harness for the sharded Nub: real threads hammer the
 // production primitives in spec-tracing mode, and every recorded trace is
 // replayed through the executable specification's checker. Each scenario
-// runs twice — once with the default per-object locks and once with
-// TAOS_NUB_GLOBAL_LOCK semantics (every ObjLock resolving to the one global
-// spin-lock bit) — so the sharded slow paths are held to exactly the
-// serializations the paper-faithful configuration admits.
+// runs over the full backend matrix — {per-object locks, TAOS_NUB_GLOBAL_LOCK
+// semantics} x {classic intrusive queues, the TAOS_WAITQ waiter-queue
+// substrate} — so every slow-path configuration is held to exactly the
+// serializations the paper-faithful one admits. The waitq rows are the
+// spec gate the substrate must pass: AlertWait's UNCHANGED [c] ghost check
+// and the AlertP RETURNS/RAISES overlap both bite on its cancel CAS.
 //
 // The trace is sorted by the global sequence stamp (src/spec/trace.h), so a
 // passing check here is evidence for the serialization argument in
@@ -15,6 +17,7 @@
 #include <cstdint>
 #include <string>
 #include <thread>
+#include <tuple>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -34,24 +37,33 @@ constexpr int kScale = 4;
 #endif
 
 enum class LockMode { kSharded, kGlobal };
+enum class QueueMode { kClassic, kWaitq };
 
-std::string LockModeName(const ::testing::TestParamInfo<LockMode>& info) {
-  return info.param == LockMode::kSharded ? "Sharded" : "Global";
+std::string ModeName(
+    const ::testing::TestParamInfo<std::tuple<LockMode, QueueMode>>& info) {
+  std::string name =
+      std::get<0>(info.param) == LockMode::kSharded ? "Sharded" : "Global";
+  name += std::get<1>(info.param) == QueueMode::kClassic ? "Classic" : "Waitq";
+  return name;
 }
 
-class ConformanceTest : public ::testing::TestWithParam<LockMode> {
+class ConformanceTest
+    : public ::testing::TestWithParam<std::tuple<LockMode, QueueMode>> {
  protected:
   void SetUp() override {
     ASSERT_FALSE(Nub::Get().tracing());
-    saved_mode_ = Nub::Get().global_lock_mode();
+    saved_lock_mode_ = Nub::Get().global_lock_mode();
+    saved_waitq_mode_ = Nub::Get().waitq_mode();
     // The system is quiescent between tests, so switching is legal.
-    Nub::Get().SetGlobalLockMode(GetParam() == LockMode::kGlobal);
+    Nub::Get().SetGlobalLockMode(std::get<0>(GetParam()) == LockMode::kGlobal);
+    Nub::Get().SetWaitqMode(std::get<1>(GetParam()) == QueueMode::kWaitq);
     Nub::Get().SetTrace(&trace_);
   }
 
   void TearDown() override {
     Nub::Get().SetTrace(nullptr);
-    Nub::Get().SetGlobalLockMode(saved_mode_);
+    Nub::Get().SetGlobalLockMode(saved_lock_mode_);
+    Nub::Get().SetWaitqMode(saved_waitq_mode_);
   }
 
   void CheckConformance() {
@@ -66,7 +78,8 @@ class ConformanceTest : public ::testing::TestWithParam<LockMode> {
 
   spec::Trace trace_;
   spec::CheckResult checked_;
-  bool saved_mode_ = false;
+  bool saved_lock_mode_ = false;
+  bool saved_waitq_mode_ = false;
 };
 
 // Many threads over many mutexes: the scenario sharding exists for. Each
@@ -267,10 +280,12 @@ TEST_P(ConformanceTest, TwoBoundedBuffers) {
   CheckConformance();
 }
 
-INSTANTIATE_TEST_SUITE_P(LockModes, ConformanceTest,
-                         ::testing::Values(LockMode::kSharded,
-                                           LockMode::kGlobal),
-                         LockModeName);
+INSTANTIATE_TEST_SUITE_P(
+    Backends, ConformanceTest,
+    ::testing::Combine(::testing::Values(LockMode::kSharded, LockMode::kGlobal),
+                       ::testing::Values(QueueMode::kClassic,
+                                         QueueMode::kWaitq)),
+    ModeName);
 
 }  // namespace
 }  // namespace taos
