@@ -121,17 +121,23 @@ void Parker::FutexUnpark() {
 
 void Parker::CondvarPark() {
   std::unique_lock<std::mutex> lk(mu_);
-  while (state_.load(std::memory_order_relaxed) != kNotified) {
+  // acquire pairs with CondvarUnpark's release: the park-return edge must
+  // carry the unparker's prior writes on the permit word alone (see the
+  // header's fence argument), not lean on mu_ happening to synchronize.
+  while (state_.load(std::memory_order_acquire) != kNotified) {
     obs::Inc(obs::Counter::kParkCondvarWaits);
     cv_.wait(lk);
   }
+  // The reset may stay relaxed: it is a store sequenced after the acquire
+  // load above, and only the owning thread's next Park reads it.
   state_.store(kEmpty, std::memory_order_relaxed);
 }
 
 void Parker::CondvarUnpark() {
   {
     std::lock_guard<std::mutex> lk(mu_);
-    state_.store(kNotified, std::memory_order_relaxed);
+    // release pairs with the acquire load in CondvarPark.
+    state_.store(kNotified, std::memory_order_release);
   }
   cv_.notify_one();
 }

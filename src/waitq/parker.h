@@ -17,6 +17,23 @@
 // guarantees at most one Unpark per Park, but the parker itself also
 // tolerates Unpark-with-no-parker (the permit is consumed by the next Park).
 //
+// Memory ordering (the fence argument): Park-returns is an acquire edge
+// paired with Unpark's release on the permit word, in BOTH backends. The
+// unparker writes the reason for the wakeup (a granted mutex bit, a filled
+// condition slot, a cancelled wait cell) before Unpark; the parked thread
+// reads it right after Park returns. Those payload reads must not be
+// reorderable above the observation of kNotified, so the edge has to stand
+// on the permit word itself:
+//   - futex: the consuming CAS kNotified -> kEmpty is acquire, pairing with
+//     the release exchange in FutexUnpark (the kernel sleep provides no
+//     ordering of its own).
+//   - condvar: the spin re-check of state_ loads with acquire, pairing with
+//     the release store in CondvarUnpark. mu_ usually also synchronizes the
+//     pair, but Park may observe kNotified on its first check without
+//     blocking after an Unpark that already left the critical section, and
+//     the permit protocol must not depend on the lock being taken on both
+//     sides of every handoff.
+//
 // Backend selection: the process default is futex on Linux, condvar
 // elsewhere, overridable with TAOS_WAITQ_PARKER=futex|condvar (read once);
 // individual parkers can pin a backend for A/B benches and tests.

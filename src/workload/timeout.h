@@ -26,13 +26,15 @@ inline bool WaitWithTimeout(Mutex& m, Condition& c,
     return true;
   }
   std::atomic<bool> done{false};
+  std::atomic<bool> fired{false};
   const ThreadHandle waiter = Thread::Self();
   // The watchdog lives above the blocking abstraction: it knows nothing of
   // m or c, only the thread to interrupt.
-  std::thread watchdog([&done, waiter, timeout] {
+  std::thread watchdog([&done, &fired, waiter, timeout] {
     const auto deadline = std::chrono::steady_clock::now() + timeout;
     while (!done.load(std::memory_order_acquire)) {
       if (std::chrono::steady_clock::now() >= deadline) {
+        fired.store(true, std::memory_order_release);
         Alert(waiter);
         return;
       }
@@ -41,18 +43,35 @@ inline bool WaitWithTimeout(Mutex& m, Condition& c,
   });
 
   bool satisfied = true;
+  bool alerted_raised = false;
   try {
     while (!predicate()) {
       AlertWait(m, c);
     }
   } catch (const Alerted&) {
+    alerted_raised = true;
     satisfied = predicate();  // the predicate may have just come true
   }
   done.store(true, std::memory_order_release);
+  // Join outside the critical section: the watchdog sleeps in 1 ms slices,
+  // so joining under m would extend every caller's hold time by up to that.
+  m.Release();
   watchdog.join();
-  // A stale alert may still be pending (posted after we stopped waiting);
-  // absorb it so it cannot leak into the caller's next alertable wait.
-  (void)TestAlert();
+  m.Acquire();
+  if (!satisfied) {
+    satisfied = predicate();  // may have come true while m was released
+  }
+  // Alert accounting. The raise consumed one pending alert; it was ours to
+  // consume only if the watchdog genuinely fired and the wait was not
+  // satisfied (the timeout outcome). In every other raise the alert belongs
+  // to a third party (or is ambiguous) — re-post it so the caller's next
+  // alertable wait still raises. Never drain the flag: an alert posted after
+  // we stopped waiting is not ours either.
+  const bool timed_out =
+      fired.load(std::memory_order_acquire) && !satisfied;
+  if (alerted_raised && !timed_out) {
+    Alert(Thread::Self());
+  }
   return satisfied;
 }
 

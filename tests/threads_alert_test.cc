@@ -222,6 +222,52 @@ TEST(AlertTest, WaitWithTimeoutSatisfied) {
   setter.Join();
 }
 
+// Regression (lost alert): an Alert posted by a *third party* while a thread
+// sits in WaitWithTimeout must still be deliverable afterwards — the helper
+// may use Alerted internally to break out of the wait, but an alert it did
+// not post itself is not its to swallow. The buggy version drained the flag
+// unconditionally on exit, so the caller's next alertable wait never raised.
+TEST(AlertTest, WaitWithTimeoutPreservesThirdPartyAlert) {
+  Mutex m;
+  Condition c;
+  std::atomic<bool> entered{false};
+  std::atomic<bool> second_wait_done{false};
+  std::atomic<bool> second_wait_raised{false};
+  Thread waiter = Thread::Fork([&] {
+    m.Acquire();
+    entered.store(true, std::memory_order_release);
+    // Generous deadline: the third-party Alert, not the watchdog, is what
+    // ends this wait.
+    (void)workload::WaitWithTimeout(
+        m, c, [] { return false; }, std::chrono::milliseconds(10'000));
+    // The caller's next alertable wait must still raise.
+    try {
+      AlertWait(m, c);
+    } catch (const Alerted&) {
+      second_wait_raised.store(true, std::memory_order_relaxed);
+    }
+    second_wait_done.store(true, std::memory_order_release);
+    m.Release();
+  });
+  while (!entered.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+  // AlertWait releases m only after enqueuing on c, so once we hold m the
+  // waiter is blocked (alertably) inside the timed wait.
+  m.Acquire();
+  m.Release();
+  Alert(waiter.Handle());
+  // Backstop so a swallowed alert shows up as a failure, not a hang: keep
+  // signalling until the second wait finishes one way or the other.
+  while (!second_wait_done.load(std::memory_order_acquire)) {
+    c.Signal();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  waiter.Join();
+  EXPECT_TRUE(second_wait_raised.load(std::memory_order_relaxed))
+      << "the third party's alert was swallowed by WaitWithTimeout";
+}
+
 TEST(AlertTest, AlertIsStickyAcrossOperations) {
   // An alert posted while the target is between alertable points is seen at
   // the next one, however many non-alertable operations intervene.
