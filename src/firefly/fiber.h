@@ -55,6 +55,20 @@ struct Fiber {
   bool alert_woken = false;
   void* blocked_obj = nullptr;
 
+  // Timed-wait bookkeeping. Virtual time is the machine's step counter: a
+  // timed block sets `timed` and an absolute `deadline_step` before
+  // de-scheduling, and names the routine that removes it from its wait
+  // queue should the clock win. The driver plays the clock interrupt: when
+  // steps_ reaches the deadline (or when the machine would otherwise be
+  // idle, in which case it jumps the clock forward), it dequeues the fiber
+  // via `timeout_dequeue`, sets `timeout_woken`, and makes it ready. A
+  // grant that dequeues the fiber first wins: MakeReady clears `timed`, so
+  // the expiry never fires on a fiber some Signal/Release already took.
+  bool timed = false;
+  std::uint64_t deadline_step = 0;
+  bool timeout_woken = false;
+  void (*timeout_dequeue)(Fiber*) = nullptr;
+
   // Membership in the spec's `alerts` set.
   bool alerted = false;
 

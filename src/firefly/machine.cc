@@ -4,6 +4,7 @@
 
 #include "src/base/alerted.h"
 #include "src/base/check.h"
+#include "src/obs/metrics.h"
 
 namespace taos::firefly {
 
@@ -216,11 +217,57 @@ void Machine::MakeReady(Fiber* f) {
   }
   TAOS_CHECK(spin_holder_ == Self());
   TAOS_CHECK(f->run_state == Fiber::Run::kBlocked);
+  ReadyCommon(f);
+}
+
+void Machine::ReadyCommon(Fiber* f) {
   f->block_kind = Fiber::BlockKind::kNone;
   f->blocked_obj = nullptr;
+  // A grant (or alert) that readies the fiber first disarms its deadline;
+  // the clock interrupt only ever expires fibers still marked timed.
+  f->timed = false;
+  f->timeout_dequeue = nullptr;
   f->run_state = Fiber::Run::kReadyPool;
   f->slice_steps = 0;
   ready_pool_[f->priority].PushBack(f);
+}
+
+void Machine::ExpireDueTimedWaits() {
+  if (spin_bit_) {
+    return;  // a fiber is inside the Nub; the interrupt stays masked
+  }
+  for (auto& f : fibers_) {
+    if (f->run_state != Fiber::Run::kBlocked || !f->timed ||
+        f->deadline_step > steps_) {
+      continue;
+    }
+    TAOS_CHECK(f->timeout_dequeue != nullptr);
+    f->timeout_dequeue(f.get());
+    f->timeout_woken = true;
+    ++timer_expiries_;
+    obs::Inc(obs::Counter::kTimersExpired);
+    ReadyCommon(f.get());
+  }
+}
+
+bool Machine::JumpToNextDeadline() {
+  std::uint64_t earliest = UINT64_MAX;
+  for (const auto& f : fibers_) {
+    if (f->run_state == Fiber::Run::kBlocked && f->timed &&
+        f->deadline_step < earliest) {
+      earliest = f->deadline_step;
+    }
+  }
+  if (earliest == UINT64_MAX) {
+    return false;
+  }
+  // The machine is idle until the next clock interrupt: virtual time skips
+  // straight to it. (If nothing was runnable the spin-lock is free — a
+  // holder would be on a processor — so the expiry fires next iteration.)
+  if (steps_ < earliest) {
+    steps_ = earliest;
+  }
+  return true;
 }
 
 void Machine::SetFiberPriority(Fiber* f, int priority) {
@@ -282,9 +329,13 @@ RunResult Machine::Run() {
   RunResult result;
   std::vector<Fiber*> runnable;
   for (;;) {
+    ExpireDueTimedWaits();
     Dispatch();
     CollectRunnable(&runnable);
     if (runnable.empty()) {
+      if (JumpToNextDeadline()) {
+        continue;  // not deadlock: a timed wait will expire at the new now
+      }
       bool all_done = true;
       for (const auto& f : fibers_) {
         if (f->run_state != Fiber::Run::kDone) {

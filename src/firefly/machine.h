@@ -158,6 +158,9 @@ class Machine {
   // Failed test-and-set attempts on the Nub spin-lock (contention events).
   std::uint64_t spin_contentions() const { return spin_contentions_; }
 
+  // Timed waits the simulated clock interrupt expired (for tests).
+  std::uint64_t timer_expiries() const { return timer_expiries_; }
+
   // True once Run() ended in deadlock or at the step limit. Simulated
   // synchronization objects skip their "no one still queued" destructor
   // checks on an aborted machine.
@@ -178,6 +181,16 @@ class Machine {
   void CollectRunnable(std::vector<Fiber*>* out) const;
   void MaybePreempt(Fiber* f);
   bool ReadyFiberAtOrAbove(int priority) const;
+  void ReadyCommon(Fiber* f);  // shared tail of MakeReady / timed expiry
+
+  // The simulated clock interrupt: expires due timed waits. Fires only with
+  // the spin-lock free (a real Nub's interrupt handler would acquire it; the
+  // driver runs the whole handler between steps instead).
+  void ExpireDueTimedWaits();
+  // When nothing is runnable but timed waits are pending, advances steps_
+  // to the earliest deadline (the idle machine sleeps until the next clock
+  // interrupt). Returns false if no timed-blocked fiber exists.
+  bool JumpToNextDeadline();
 
   MachineConfig config_;
   std::unique_ptr<Chooser> owned_chooser_;
@@ -199,6 +212,7 @@ class Machine {
   std::uint64_t preemptions_ = 0;
   std::uint64_t migrations_ = 0;
   std::uint64_t spin_contentions_ = 0;
+  std::uint64_t timer_expiries_ = 0;
   spec::ThreadId next_thread_id_ = 1;
   spec::ObjId next_obj_id_ = 1;
 };

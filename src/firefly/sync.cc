@@ -156,6 +156,7 @@ Condition::~Condition() {
   TAOS_CHECK(queue_.Empty());
   TAOS_CHECK(window_.empty());
   TAOS_CHECK(pending_raise_.empty());
+  TAOS_CHECK(pending_timeout_.empty());
 }
 
 bool Condition::EraseWindow(Fiber* f) {
@@ -174,6 +175,23 @@ bool Condition::ErasePendingRaise(Fiber* f) {
   }
   pending_raise_.erase(it);
   return true;
+}
+
+bool Condition::ErasePendingTimeout(Fiber* f) {
+  auto it = std::find(pending_timeout_.begin(), pending_timeout_.end(), f);
+  if (it == pending_timeout_.end()) {
+    return false;
+  }
+  pending_timeout_.erase(it);
+  return true;
+}
+
+void Condition::TimeoutDequeue(Fiber* f) {
+  auto* c = static_cast<Condition*>(f->blocked_obj);
+  c->queue_.Remove(f);
+  // Still a spec-member of c (and counted in c_size_) until its
+  // TimeoutResume action fires or a Signal/Broadcast removes it.
+  c->pending_timeout_.push_back(f);
 }
 
 void Condition::Wait(Mutex& m) {
@@ -219,6 +237,73 @@ void Condition::Wait(Mutex& m) {
   m.AcquireInternal(spec::MakeResume(self->id, m.id_, id_));
 }
 
+WaitResult Condition::WaitFor(Mutex& m, std::uint64_t timeout_steps) {
+  Machine& mach = machine_;
+  Fiber* self = Machine::Self();
+  obs::ScopedEvent ev(obs::Op::kWait, id_, Tid(self));
+  obs::Inc(obs::Counter::kNubWait);
+  TAOS_CHECK(m.holder_ == self || mach.ShuttingDown());  // REQUIRES m = SELF
+
+  if (timeout_steps == 0) {
+    // The deadline has already passed: no Enqueue, m is never released.
+    mach.Step();
+    obs::Inc(obs::Counter::kTimedWaitTimeouts);
+    return WaitResult::kTimeout;
+  }
+  const std::uint64_t deadline = mach.steps() + timeout_steps;
+
+  // Enqueue, exactly as Wait's.
+  std::uint64_t snapshot = 0;
+  m.ReleaseInternal([&] {
+    snapshot = ec_;
+    window_.push_back(self);
+    ++c_size_;
+    Emit(mach, spec::MakeEnqueue(self->id, m.id_, id_));
+  });
+
+  // Nub subroutine Block(c, i), deadline-armed.
+  bool expired = false;
+  mach.SpinAcquire();
+  mach.Step();
+  if (mach.ShuttingDown()) {
+    return WaitResult::kTimeout;
+  }
+  if (!use_eventcount_ || ec_ == snapshot) {
+    EraseWindow(self);
+    queue_.PushBack(self);
+    self->block_kind = Fiber::BlockKind::kCondition;
+    self->blocked_obj = this;
+    self->alertable = false;
+    self->alert_woken = false;
+    self->timed = true;
+    self->deadline_step = deadline;
+    self->timeout_woken = false;
+    self->timeout_dequeue = &Condition::TimeoutDequeue;
+    mach.DescheduleSelf();
+    expired = self->timeout_woken;
+    self->timeout_woken = false;
+  } else {
+    ++absorbed_;
+    obs::Inc(obs::Counter::kWakeupWaitingHits);
+    mach.SpinRelease();
+  }
+
+  if (expired) {
+    Condition* cp = this;
+    m.AcquireInternal(spec::MakeTimeoutResume(self->id, m.id_, id_),
+                      [cp, self] {
+                        if (cp->ErasePendingTimeout(self)) {
+                          cp->DecSize();
+                        }
+                      });
+    obs::Inc(obs::Counter::kTimedWaitTimeouts);
+    return WaitResult::kTimeout;
+  }
+  m.AcquireInternal(spec::MakeResume(self->id, m.id_, id_));
+  obs::Inc(obs::Counter::kTimedWaitSatisfied);
+  return WaitResult::kSatisfied;
+}
+
 void Condition::Signal() {
   Machine& mach = machine_;
   Fiber* self = Machine::Self();
@@ -255,6 +340,15 @@ void Condition::Signal() {
     DecSize();
   }
   pending_raise_.clear();
+  // Timer-dequeued fibers are still spec-members of c; leaving them out
+  // would let a Signal that pops nobody emit removed = {} against a
+  // nonempty c, violating its own ENSURES. Their later TimeoutResume
+  // delete() is idempotent, so the double removal is harmless.
+  for (Fiber* p : pending_timeout_) {
+    removed = removed.Insert(p->id);
+    DecSize();
+  }
+  pending_timeout_.clear();
   if (unblocked > 1) {
     ++multi_unblock_signals_;
   }
@@ -294,6 +388,15 @@ void Condition::Broadcast() {
     DecSize();
   }
   pending_raise_.clear();
+  // Timer-dequeued fibers are still spec-members of c; leaving them out
+  // would let a Signal that pops nobody emit removed = {} against a
+  // nonempty c, violating its own ENSURES. Their later TimeoutResume
+  // delete() is idempotent, so the double removal is harmless.
+  for (Fiber* p : pending_timeout_) {
+    removed = removed.Insert(p->id);
+    DecSize();
+  }
+  pending_timeout_.clear();
   Emit(mach, spec::MakeBroadcast(self->id, id_, removed));
   mach.SpinRelease();
 }
@@ -487,6 +590,101 @@ void AlertWait(Mutex& mu, Condition& c) {
   }
   mu.AcquireInternal(spec::MakeAlertResumeReturns(self->id, mu.id_, c.id_));
   self->alert_woken = false;
+}
+
+WaitResult AlertWaitFor(Mutex& mu, Condition& c, std::uint64_t timeout_steps) {
+  Machine& m = c.machine_;
+  Fiber* self = Machine::Self();
+  obs::ScopedEvent ev(obs::Op::kAlertWait, c.id_, Tid(self));
+  obs::Inc(obs::Counter::kNubAlertWait);
+  TAOS_CHECK(mu.holder_ == self || m.ShuttingDown());  // REQUIRES m = SELF
+
+  if (timeout_steps == 0) {
+    m.Step();
+    obs::Inc(obs::Counter::kTimedWaitTimeouts);
+    return WaitResult::kTimeout;
+  }
+  const std::uint64_t deadline = m.steps() + timeout_steps;
+
+  // Enqueue (AlertWait flavour: UNCHANGED [alerts]).
+  std::uint64_t snapshot = 0;
+  mu.ReleaseInternal([&] {
+    snapshot = c.ec_;
+    c.window_.push_back(self);
+    ++c.c_size_;
+    Emit(m, spec::MakeAlertEnqueue(self->id, mu.id_, c.id_));
+  });
+
+  // AlertBlock, deadline-armed.
+  m.SpinAcquire();
+  m.Step();
+  if (m.ShuttingDown()) {
+    return WaitResult::kTimeout;
+  }
+  bool raise = false;
+  bool expired = false;
+  if (self->alerted) {
+    raise = true;
+    if (c.EraseWindow(self)) {
+      c.pending_raise_.push_back(self);  // still in c until AlertResume
+    }
+    m.SpinRelease();
+  } else if (c.use_eventcount_ && c.ec_ != snapshot) {
+    ++c.absorbed_;
+    obs::Inc(obs::Counter::kWakeupWaitingHits);
+    m.SpinRelease();
+  } else {
+    c.EraseWindow(self);
+    c.queue_.PushBack(self);
+    self->block_kind = Fiber::BlockKind::kCondition;
+    self->blocked_obj = &c;
+    self->alertable = true;
+    self->alert_woken = false;
+    self->timed = true;
+    self->deadline_step = deadline;
+    self->timeout_woken = false;
+    self->timeout_dequeue = &Condition::TimeoutDequeue;
+    m.DescheduleSelf();
+    expired = self->timeout_woken;
+    self->timeout_woken = false;
+    // The three exits are arbitrated by who dequeued us: the clock
+    // interrupt (timed cleared only after it fired), an Alert
+    // (alert_woken), or a Signal. An alert that arrived around a signal
+    // wakeup still wins, as in AlertWait; a pending alert never converts a
+    // timeout, and is left deliverable.
+    if (!expired) {
+      raise = self->alert_woken || self->alerted;
+    }
+  }
+
+  Condition* cp = &c;
+  if (expired) {
+    mu.AcquireInternal(spec::MakeTimeoutResume(self->id, mu.id_, c.id_),
+                       [cp, self] {
+                         if (cp->ErasePendingTimeout(self)) {
+                           cp->DecSize();
+                         }
+                       });
+    obs::Inc(obs::Counter::kTimedWaitTimeouts);
+    return WaitResult::kTimeout;
+  }
+  if (raise) {
+    // The alert ends the wait, but as a reported value, not an exception.
+    mu.AcquireInternal(spec::MakeAlertResumeRaises(self->id, mu.id_, c.id_),
+                       [cp, self] {
+                         if (cp->ErasePendingRaise(self)) {
+                           cp->DecSize();
+                         }
+                         self->alerted = false;
+                         self->alert_woken = false;
+                       });
+    obs::Inc(obs::Counter::kTimedWaitAlerted);
+    return WaitResult::kAlerted;
+  }
+  mu.AcquireInternal(spec::MakeAlertResumeReturns(self->id, mu.id_, c.id_));
+  self->alert_woken = false;
+  obs::Inc(obs::Counter::kTimedWaitSatisfied);
+  return WaitResult::kSatisfied;
 }
 
 void AlertP(Semaphore& s) {

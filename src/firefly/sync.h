@@ -33,6 +33,7 @@
 #include "src/base/intrusive_queue.h"
 #include "src/firefly/machine.h"
 #include "src/spec/action.h"
+#include "src/threads/wait_result.h"
 
 namespace taos::firefly {
 
@@ -63,6 +64,8 @@ class Mutex {
  private:
   friend class Condition;
   friend void AlertWait(Mutex& m, Condition& c);
+  friend WaitResult AlertWaitFor(Mutex& m, Condition& c,
+                                 std::uint64_t timeout_steps);
 
   // Acquire loop; emits `emit` at the successful test-and-set, running
   // `at_success` (still within that atomic step) first.
@@ -104,6 +107,16 @@ class Condition {
   Condition& operator=(const Condition&) = delete;
 
   void Wait(Mutex& m);
+
+  // Wait with a deadline, in virtual time: `timeout_steps` machine steps
+  // from now. kSatisfied after a Signal/Broadcast wakeup, kTimeout once the
+  // simulated clock reached the deadline first; either way m is held again
+  // on return. A Signal that dequeues this fiber always beats the clock
+  // (the expiry only fires on fibers still on the queue). timeout_steps ==
+  // 0 returns kTimeout immediately without releasing m. On a traced
+  // machine the expiry path emits the spec's TimeoutResume action.
+  WaitResult WaitFor(Mutex& m, std::uint64_t timeout_steps);
+
   void Signal();
   void Broadcast();
 
@@ -124,9 +137,16 @@ class Condition {
  private:
   friend void Alert(FiberHandle t);
   friend void AlertWait(Mutex& m, Condition& c);
+  friend WaitResult AlertWaitFor(Mutex& m, Condition& c,
+                                 std::uint64_t timeout_steps);
 
   bool EraseWindow(Fiber* f);
   bool ErasePendingRaise(Fiber* f);
+  bool ErasePendingTimeout(Fiber* f);
+  // Fiber::timeout_dequeue target: the clock interrupt removes the expired
+  // fiber from queue_ (it stays a spec-member of c, in pending_timeout_,
+  // until its TimeoutResume action fires).
+  static void TimeoutDequeue(Fiber* f);
   void DecSize() {
     if (c_size_ > 0) {
       --c_size_;
@@ -144,6 +164,7 @@ class Condition {
   int c_size_ = 0;
   std::vector<Fiber*> window_;
   std::vector<Fiber*> pending_raise_;
+  std::vector<Fiber*> pending_timeout_;
 
   std::uint64_t absorbed_ = 0;
   std::uint64_t fast_signals_ = 0;
@@ -181,6 +202,15 @@ void Alert(FiberHandle t);
 bool TestAlert();
 void AlertWait(Mutex& m, Condition& c);  // raises taos::Alerted
 void AlertP(Semaphore& s);               // raises taos::Alerted
+
+// AlertWait with a virtual-time deadline, reporting all three outcomes as a
+// value instead of raising (the simulator twin of taos::AlertWaitFor):
+// kSatisfied on a signal wakeup, kTimeout when the simulated clock expired
+// the wait first, kAlerted when an Alert ended it (the alert flag is
+// consumed, no Alerted is thrown). On the kTimeout path a pending alert is
+// deliberately NOT consumed. m is held again on return in every case;
+// timeout_steps == 0 returns kTimeout immediately without releasing m.
+WaitResult AlertWaitFor(Mutex& m, Condition& c, std::uint64_t timeout_steps);
 
 }  // namespace taos::firefly
 

@@ -60,6 +60,12 @@ constexpr const char* kCounterNames[] = {
     "waitq_segments_retired",
     "park_futex_waits",
     "park_condvar_waits",
+    "timers_armed",
+    "timers_cancelled",
+    "timers_expired",
+    "timed_wait_satisfied",
+    "timed_wait_timeouts",
+    "timed_wait_alerted",
 };
 static_assert(std::size(kCounterNames) == static_cast<std::size_t>(kNumCounters),
               "kCounterNames must name every Counter exactly once");
@@ -70,6 +76,7 @@ constexpr const char* kHistogramNames[] = {
     "blocked_ns",
     "park_wait_ns",
     "unpark_ns",
+    "timer_expiry_lag_ns",
 };
 static_assert(
     std::size(kHistogramNames) == static_cast<std::size_t>(kNumHistograms),

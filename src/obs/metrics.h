@@ -81,6 +81,14 @@ enum class Counter : int {
   kParkFutexWaits,    // FUTEX_WAIT calls (incl. re-checks after EAGAIN)
   kParkCondvarWaits,  // condition_variable::wait calls (incl. spurious)
 
+  // --- timer wheel and timed waits (src/threads/timer) ---
+  kTimersArmed,          // deadlines inserted into the wheel
+  kTimersCancelled,      // deadlines removed before expiry (waiter won)
+  kTimersExpired,        // deadlines the timer thread fired
+  kTimedWaitSatisfied,   // timed waits that ended by grant/signal
+  kTimedWaitTimeouts,    // timed waits that ended by expiry
+  kTimedWaitAlerted,     // timed alertable waits that ended by Alert
+
   kNumCounters,
 };
 
@@ -92,6 +100,7 @@ enum class Histogram : int {
   kBlockedNanos,            // park duration (de-scheduled time)
   kParkWaitNanos,           // Parker::Park wall latency (inside kBlockedNanos)
   kUnparkNanos,             // Parker::Unpark wall latency (the waker's cost)
+  kTimerExpiryLagNanos,     // expiry-processing time minus the deadline
 
   kNumHistograms,
 };

@@ -36,6 +36,12 @@ const char* ActionKindName(ActionKind kind) {
       return "AlertWait.Resume/RETURNS";
     case ActionKind::kAlertResumeRaises:
       return "AlertWait.Resume/RAISES";
+    case ActionKind::kAcquireTimeout:
+      return "AcquireFor/TIMEOUT";
+    case ActionKind::kPTimeout:
+      return "PFor/TIMEOUT";
+    case ActionKind::kTimeoutResume:
+      return "WaitFor.Resume/TIMEOUT";
   }
   return "?";
 }
@@ -46,6 +52,7 @@ std::string Action::ToString() const {
   switch (kind) {
     case ActionKind::kAcquire:
     case ActionKind::kRelease:
+    case ActionKind::kAcquireTimeout:
       os << "(m" << mutex << ")";
       break;
     case ActionKind::kEnqueue:
@@ -53,6 +60,7 @@ std::string Action::ToString() const {
     case ActionKind::kAlertEnqueue:
     case ActionKind::kAlertResumeReturns:
     case ActionKind::kAlertResumeRaises:
+    case ActionKind::kTimeoutResume:
       os << "(m" << mutex << ", c" << condition << ")";
       break;
     case ActionKind::kSignal:
@@ -63,6 +71,7 @@ std::string Action::ToString() const {
     case ActionKind::kV:
     case ActionKind::kAlertPReturns:
     case ActionKind::kAlertPRaises:
+    case ActionKind::kPTimeout:
       os << "(s" << semaphore << ")";
       break;
     case ActionKind::kAlert:
@@ -176,6 +185,25 @@ Action MakeAlertResumeReturns(ThreadId self, ObjId m, ObjId c) {
 
 Action MakeAlertResumeRaises(ThreadId self, ObjId m, ObjId c) {
   Action a = Base(ActionKind::kAlertResumeRaises, self);
+  a.mutex = m;
+  a.condition = c;
+  return a;
+}
+
+Action MakeAcquireTimeout(ThreadId self, ObjId m) {
+  Action a = Base(ActionKind::kAcquireTimeout, self);
+  a.mutex = m;
+  return a;
+}
+
+Action MakePTimeout(ThreadId self, ObjId s) {
+  Action a = Base(ActionKind::kPTimeout, self);
+  a.semaphore = s;
+  return a;
+}
+
+Action MakeTimeoutResume(ThreadId self, ObjId m, ObjId c) {
+  Action a = Base(ActionKind::kTimeoutResume, self);
   a.mutex = m;
   a.condition = c;
   return a;

@@ -31,6 +31,15 @@ enum class ActionKind : std::uint8_t {
   kAlertEnqueue,        // AlertWait's first action
   kAlertResumeReturns,  // AlertWait's second action, normal outcome
   kAlertResumeRaises,   // AlertWait's second action, Alerted outcome
+
+  // Timed-wait extension (not in SRC Report 20; see DESIGN.md §11). The
+  // timeout outcomes of AcquireFor / PFor are WHEN TRUE no-ops on the
+  // object; the timeout outcome of WaitFor / AlertWaitFor is a Resume
+  // variant that regains m and leaves c without consuming a signal or an
+  // alert.
+  kAcquireTimeout,      // AcquireFor, deadline expired (m unchanged)
+  kPTimeout,            // PFor, deadline expired (s unchanged)
+  kTimeoutResume,       // WaitFor/AlertWaitFor's second action on expiry
 };
 
 const char* ActionKindName(ActionKind kind);
@@ -77,6 +86,9 @@ Action MakeAlertPRaises(ThreadId self, ObjId s);
 Action MakeAlertEnqueue(ThreadId self, ObjId m, ObjId c);
 Action MakeAlertResumeReturns(ThreadId self, ObjId m, ObjId c);
 Action MakeAlertResumeRaises(ThreadId self, ObjId m, ObjId c);
+Action MakeAcquireTimeout(ThreadId self, ObjId m);
+Action MakePTimeout(ThreadId self, ObjId s);
+Action MakeTimeoutResume(ThreadId self, ObjId m, ObjId c);
 
 }  // namespace taos::spec
 

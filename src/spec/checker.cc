@@ -15,13 +15,18 @@ struct PendingResume {
 };
 
 bool IsResumeFor(const Action& a, const PendingResume& p) {
+  // TimeoutResume is a legal second half for both compositions: a timed
+  // WaitFor is an Enqueue, a timed AlertWaitFor an AlertEnqueue, and either
+  // may end by expiry.
   if (p.kind == PendingResume::Kind::kWait) {
-    return a.kind == ActionKind::kResume && a.mutex == p.mutex &&
-           a.condition == p.condition;
+    return (a.kind == ActionKind::kResume ||
+            a.kind == ActionKind::kTimeoutResume) &&
+           a.mutex == p.mutex && a.condition == p.condition;
   }
   if (p.kind == PendingResume::Kind::kAlertWait) {
     return (a.kind == ActionKind::kAlertResumeReturns ||
-            a.kind == ActionKind::kAlertResumeRaises) &&
+            a.kind == ActionKind::kAlertResumeRaises ||
+            a.kind == ActionKind::kTimeoutResume) &&
            a.mutex == p.mutex && a.condition == p.condition;
   }
   return false;

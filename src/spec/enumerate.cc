@@ -80,6 +80,7 @@ void SpecEnumerator::AppendIfLegal(
     case ActionKind::kResume:
     case ActionKind::kAlertResumeReturns:
     case ActionKind::kAlertResumeRaises:
+    case ActionKind::kTimeoutResume:
       next.pending[action.self] = {};
       break;
     default:
@@ -98,6 +99,12 @@ std::vector<std::pair<Action, WorldState>> SpecEnumerator::Successors(
 
     if (pw.kind == PendingWait::Kind::kWait) {
       AppendIfLegal(world, MakeResume(t, pw.mutex, pw.condition), &out);
+      if (semantics_.config().model_timeouts) {
+        // The timer may dequeue the waiter at any moment, even while it is
+        // still a member of c (TimeoutResume deletes it itself).
+        AppendIfLegal(world, MakeTimeoutResume(t, pw.mutex, pw.condition),
+                      &out);
+      }
       continue;  // COMPOSITION OF: nothing else until the Resume
     }
     if (pw.kind == PendingWait::Kind::kAlertWait) {
@@ -105,6 +112,10 @@ std::vector<std::pair<Action, WorldState>> SpecEnumerator::Successors(
                     &out);
       AppendIfLegal(world, MakeAlertResumeRaises(t, pw.mutex, pw.condition),
                     &out);
+      if (semantics_.config().model_timeouts) {
+        AppendIfLegal(world, MakeTimeoutResume(t, pw.mutex, pw.condition),
+                      &out);
+      }
       continue;
     }
 

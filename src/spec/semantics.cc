@@ -51,6 +51,18 @@ Frame FrameOf(const Action& a) {
       f.condition = true;
       f.alerts = true;
       break;
+    case ActionKind::kAcquireTimeout:
+      f.mutex = true;
+      break;
+    case ActionKind::kPTimeout:
+      f.semaphore = true;
+      break;
+    case ActionKind::kTimeoutResume:
+      // Regains m and leaves c; the alert flag is deliberately NOT in the
+      // frame — a timeout never consumes a pending alert.
+      f.mutex = true;
+      f.condition = true;
+      break;
   }
   return f;
 }
@@ -83,6 +95,10 @@ bool Semantics::Enabled(const SpecState& pre, const Action& a) const {
       return pre.Mutex(a.mutex) == kNil && !pre.Condition(a.condition).Contains(a.self);
     case ActionKind::kAlertResumeRaises:
       return pre.Mutex(a.mutex) == kNil && pre.alerts.Contains(a.self);
+    case ActionKind::kTimeoutResume:
+      // Unlike Resume, SELF may still be in c: the timer dequeued the
+      // waiter without a Signal, and the action itself deletes it from c.
+      return pre.Mutex(a.mutex) == kNil;
     default:
       return true;  // omitted WHEN clause == WHEN TRUE
   }
@@ -197,6 +213,20 @@ Verdict Semantics::CheckClauses(const SpecState& pre, const Action& a,
         // The original (buggy) released spec: UNCHANGED [c].
         ensure(c_post == c_pre, "UNCHANGED [c]  (original buggy spec)");
       }
+      break;
+    case ActionKind::kAcquireTimeout:
+      ensure(m_post == pre.Mutex(a.mutex), "UNCHANGED [m]");
+      break;
+    case ActionKind::kPTimeout:
+      ensure(s_post == s_pre, "UNCHANGED [s]");
+      break;
+    case ActionKind::kTimeoutResume:
+      ensure(m_post == a.self, "mpost = SELF");
+      // delete() is a no-op when SELF already left c (a Signal raced the
+      // timer and removed it first), so one clause covers both interleavings
+      // — the lesson of the corrected AlertResume/RAISES applied from the
+      // start.
+      ensure(c_post == c_pre.Delete(a.self), "cpost = delete(c, SELF)");
       break;
   }
 
@@ -315,6 +345,14 @@ Verdict Semantics::Apply(const SpecState& pre, const Action& a,
         post->SetCondition(a.condition,
                            pre.Condition(a.condition).Delete(a.self));
       }
+      break;
+    case ActionKind::kAcquireTimeout:
+    case ActionKind::kPTimeout:
+      break;  // UNCHANGED: a timed-out acquire leaves no trace
+    case ActionKind::kTimeoutResume:
+      post->SetMutex(a.mutex, a.self);
+      post->SetCondition(a.condition,
+                         pre.Condition(a.condition).Delete(a.self));
       break;
   }
 

@@ -30,6 +30,11 @@ enum class AlertChoicePolicy : std::uint8_t {
 struct SpecConfig {
   AlertWaitVariant alert_wait = AlertWaitVariant::kCorrected;
   AlertChoicePolicy alert_choice = AlertChoicePolicy::kNondeterministic;
+  // When true, the enumerator also explores the timed-wait extension's
+  // timeout transitions (a pending waiter may leave c via TimeoutResume as
+  // well as Resume). Off by default: the paper's spec has no timeouts, and
+  // the baseline state-space counts assume their absence.
+  bool model_timeouts = false;
 };
 
 // The result of evaluating one action against the spec.

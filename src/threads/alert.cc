@@ -5,6 +5,7 @@
 #include "src/obs/recorder.h"
 #include "src/spec/action.h"
 #include "src/threads/nub.h"
+#include "src/threads/timer.h"
 
 namespace taos {
 
@@ -350,6 +351,235 @@ void AlertWait(Mutex& m, Condition& c) {
   if (raise) {
     throw Alerted();
   }
+}
+
+WaitResult AlertWaitFor(Mutex& m, Condition& c,
+                        std::chrono::nanoseconds timeout) {
+  obs::ScopedEvent ev(obs::Op::kAlertWait, c.id_);
+  obs::Inc(obs::Counter::kNubAlertWait);
+  Nub& nub = Nub::Get();
+  ThreadRecord* self = nub.Current();
+  // REQUIRES m = SELF.
+  TAOS_CHECK(m.holder_.load(std::memory_order_relaxed) == self->id);
+
+  WaitResult result = WaitResult::kSatisfied;
+  if (timeout.count() <= 0) {
+    // Deadline already passed: no enqueue, no actions, m stays held, and a
+    // pending alert stays pending (the kTimeout outcome never consumes one).
+    result = WaitResult::kTimeout;
+  } else if (nub.tracing()) {
+    // --- Traced (spec-emitting) path ---
+    const std::uint64_t deadline = DeadlineAfter(timeout);
+    // Atomic action AlertEnqueue, exactly as in AlertWait.
+    EventCount::Value snapshot = 0;
+    ThreadRecord* wake = nullptr;
+    {
+      NubGuard2 g(m.nub_lock_, &c.nub_lock_);
+      snapshot = c.ec_.Read();
+      wake = m.TracedReleaseLocked(self, /*emit_release=*/false);
+      c.window_.push_back(self);
+      nub.EmitTraced(spec::MakeAlertEnqueue(self->id, m.id_, c.id_));
+    }
+    if (wake != nullptr) {
+      obs::Inc(obs::Counter::kHandoffs);
+      wake->park.Unpark();
+    }
+
+    // AlertBlock with a deadline: as in AlertWait, the record lock covers
+    // the alerted check and the block-state publication together.
+    waitq::WaitCell* cell = nullptr;
+    bool parked = false;
+    bool raise = false;
+    std::uint64_t gen = 0;
+    {
+      NubGuard g(c.nub_lock_);
+      SpinGuard sg(self->lock);
+      if (self->alerted.load(std::memory_order_relaxed)) {
+        raise = true;
+        if (c.EraseWindow(self)) {
+          c.pending_raise_.push_back(self);
+        }
+      } else if (c.ec_.Read() != snapshot) {
+        c.absorbed_.fetch_add(1, std::memory_order_relaxed);
+        obs::Inc(obs::Counter::kWakeupWaitingHits);
+      } else {
+        TAOS_CHECK(c.EraseWindow(self));
+        gen = ++self->next_timer_gen;
+        if (nub.waitq_mode()) {
+          cell = c.wqueue_.Enqueue();
+          // Cannot fail: resumers hold c's ObjLock, which we hold.
+          TAOS_CHECK(InstallBlockedLocked(self, cell,
+                                          ThreadRecord::BlockKind::kCondition,
+                                          &c, &c.nub_lock_,
+                                          /*alertable=*/true));
+        } else {
+          c.queue_.PushBack(self);
+          SetBlockedLocked(self, ThreadRecord::BlockKind::kCondition, &c,
+                           &c.nub_lock_, /*alertable=*/true);
+        }
+        PublishTimedLocked(self, gen);
+        parked = true;
+      }
+    }
+    bool expired = false;
+    if (parked) {
+      Timer::Get().Arm(self, gen, deadline);
+      ParkBlocked(self);
+      Timer::Get().Cancel(self, gen);
+      if (cell != nullptr) {
+        FinishWaitCell(self, cell);
+      }
+      expired = ConsumeTimeoutWoken(self);
+      if (!expired) {
+        SpinGuard sg(self->lock);
+        raise = self->alert_woken ||
+                self->alerted.load(std::memory_order_relaxed);
+      }
+    }
+
+    if (expired) {
+      // Atomic action TimeoutResume. Its frame excludes the alerts set: a
+      // pending alert survives the timeout untouched.
+      Condition* cp = &c;
+      m.TracedAcquire(self, spec::MakeTimeoutResume(self->id, m.id_, c.id_),
+                      &c.nub_lock_,
+                      [cp, self] { cp->ErasePendingTimeout(self); });
+      result = WaitResult::kTimeout;
+    } else if (raise) {
+      // Atomic action AlertResume / RAISES — but reported as a value, not
+      // thrown: the alert and the pending-raise membership are consumed
+      // exactly as in AlertWait.
+      Condition* cp = &c;
+      m.TracedAcquire(self,
+                      spec::MakeAlertResumeRaises(self->id, m.id_, c.id_),
+                      &c.nub_lock_, [cp, self] {
+                        cp->ErasePendingRaise(self);
+                        self->alerted.store(false, std::memory_order_relaxed);
+                        self->alert_woken = false;
+                      });
+      result = WaitResult::kAlerted;
+    } else {
+      m.TracedAcquire(self,
+                      spec::MakeAlertResumeReturns(self->id, m.id_, c.id_),
+                      nullptr, [self] { self->alert_woken = false; });
+      result = WaitResult::kSatisfied;
+    }
+  } else {
+    // --- Production path ---
+    const std::uint64_t deadline = DeadlineAfter(timeout);
+    const EventCount::Value i = c.ec_.Read();
+    c.waiters_.fetch_add(1, std::memory_order_seq_cst);
+    m.Release();
+
+    nub.nub_entries.fetch_add(1, std::memory_order_relaxed);
+    bool parked = false;
+    bool raise = false;
+    bool expired = false;
+    if (nub.waitq_mode()) {
+      waitq::WaitCell* cell = c.wqueue_.Enqueue();
+      std::uint64_t gen = 0;
+      {
+        SpinGuard sg(self->lock);
+        if (self->alerted.load(std::memory_order_relaxed)) {
+          raise = true;
+          if (cell->Cancel() == waitq::WaitCell::CancelOutcome::kCancelled) {
+            c.waiters_.fetch_sub(1, std::memory_order_relaxed);
+          }
+        } else if (c.ec_.Read() != i) {
+          if (cell->Cancel() == waitq::WaitCell::CancelOutcome::kCancelled) {
+            c.waiters_.fetch_sub(1, std::memory_order_relaxed);
+            c.absorbed_.fetch_add(1, std::memory_order_relaxed);
+            obs::Inc(obs::Counter::kWakeupWaitingHits);
+          }
+        } else {
+          parked = InstallBlockedLocked(self, cell,
+                                        ThreadRecord::BlockKind::kCondition,
+                                        &c, &c.nub_lock_, /*alertable=*/true);
+          if (parked) {
+            gen = ++self->next_timer_gen;
+            PublishTimedLocked(self, gen);
+          }
+        }
+      }
+      if (parked) {
+        Timer::Get().Arm(self, gen, deadline);
+        ParkBlocked(self);
+        Timer::Get().Cancel(self, gen);
+        // A cancelled cell means Alert OR the timer dequeued us; the
+        // timeout_woken receipt says which. A resumed one means
+        // Signal/Broadcast did.
+        const bool cancelled = FinishWaitCell(self, cell) ==
+                               waitq::WaitCell::State::kCancelled;
+        SpinGuard sg(self->lock);
+        expired = self->timeout_woken;
+        self->timeout_woken = false;
+        if (!expired) {
+          raise = cancelled || self->alert_woken ||
+                  self->alerted.load(std::memory_order_relaxed);
+        }
+      } else {
+        waitq::WaitQueue::Detach(cell);
+      }
+    } else {
+      std::uint64_t gen = 0;
+      {
+        NubGuard g(c.nub_lock_);
+        SpinGuard sg(self->lock);
+        if (self->alerted.load(std::memory_order_relaxed)) {
+          raise = true;
+          c.waiters_.fetch_sub(1, std::memory_order_relaxed);
+        } else if (c.ec_.Read() == i) {
+          c.queue_.PushBack(self);
+          SetBlockedLocked(self, ThreadRecord::BlockKind::kCondition, &c,
+                           &c.nub_lock_, /*alertable=*/true);
+          gen = ++self->next_timer_gen;
+          PublishTimedLocked(self, gen);
+          parked = true;
+        } else {
+          c.waiters_.fetch_sub(1, std::memory_order_relaxed);
+          c.absorbed_.fetch_add(1, std::memory_order_relaxed);
+          obs::Inc(obs::Counter::kWakeupWaitingHits);
+        }
+      }
+      if (parked) {
+        Timer::Get().Arm(self, gen, deadline);
+        ParkBlocked(self);
+        Timer::Get().Cancel(self, gen);
+        SpinGuard sg(self->lock);
+        expired = self->timeout_woken;
+        self->timeout_woken = false;
+        if (!expired) {
+          raise = self->alert_woken ||
+                  self->alerted.load(std::memory_order_relaxed);
+        }
+      }
+    }
+
+    m.Acquire();
+    {
+      SpinGuard sg(self->lock);
+      self->alert_woken = false;
+      // kTimeout never consumes a pending alert; kAlerted always does.
+      if (!expired && raise) {
+        self->alerted.store(false, std::memory_order_relaxed);
+      }
+    }
+    result = expired ? WaitResult::kTimeout
+                     : (raise ? WaitResult::kAlerted : WaitResult::kSatisfied);
+  }
+
+  switch (result) {
+    case WaitResult::kSatisfied:
+      obs::Inc(obs::Counter::kTimedWaitSatisfied);
+      break;
+    case WaitResult::kTimeout:
+      obs::Inc(obs::Counter::kTimedWaitTimeouts);
+      break;
+    case WaitResult::kAlerted:
+      obs::Inc(obs::Counter::kTimedWaitAlerted);
+      break;
+  }
+  return result;
 }
 
 void AlertP(Semaphore& s) {

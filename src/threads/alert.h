@@ -33,11 +33,14 @@
 #ifndef TAOS_SRC_THREADS_ALERT_H_
 #define TAOS_SRC_THREADS_ALERT_H_
 
+#include <chrono>
+
 #include "src/base/alerted.h"
 #include "src/threads/condition.h"
 #include "src/threads/mutex.h"
 #include "src/threads/semaphore.h"
 #include "src/threads/thread_record.h"
+#include "src/threads/wait_result.h"
 
 namespace taos {
 
@@ -52,6 +55,18 @@ bool TestAlert();
 // Like Condition::Wait, but may raise Alerted instead of returning. Either
 // way the mutex is held again on exit from the procedure.
 void AlertWait(Mutex& m, Condition& c);
+
+// AlertWait with a deadline, reporting all three outcomes as a value
+// instead of raising: kSatisfied (a Signal/Broadcast woke us), kTimeout
+// (the deadline passed first), or kAlerted (an alert was delivered; the
+// pending alert is consumed, but no Alerted is thrown — the caller decides
+// what an alert means for a timed wait). On the kTimeout path a pending
+// alert is deliberately NOT consumed: the timeout already happened, and the
+// alert stays deliverable at the next alert-responsive point. The mutex is
+// held again on return in every case. A nonpositive timeout returns
+// kTimeout immediately without releasing m.
+WaitResult AlertWaitFor(Mutex& m, Condition& c,
+                        std::chrono::nanoseconds timeout);
 
 // Like Semaphore::P, but may raise Alerted instead of returning (in which
 // case the semaphore was not taken).

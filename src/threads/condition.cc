@@ -7,6 +7,7 @@
 #include "src/obs/recorder.h"
 #include "src/spec/action.h"
 #include "src/threads/nub.h"
+#include "src/threads/timer.h"
 
 namespace taos {
 
@@ -17,6 +18,7 @@ Condition::~Condition() {
   TAOS_CHECK(wqueue_.DrainedForDebug());
   TAOS_CHECK(window_.empty());
   TAOS_CHECK(pending_raise_.empty());
+  TAOS_CHECK(pending_timeout_.empty());
 }
 
 void Condition::Wait(Mutex& m) {
@@ -40,6 +42,37 @@ void Condition::Wait(Mutex& m) {
     // On return from Block, re-enter a critical section.
     m.Acquire();
   });
+}
+
+WaitResult Condition::WaitFor(Mutex& m, std::chrono::nanoseconds timeout) {
+  WaitResult result = WaitResult::kSatisfied;
+  obs::WithEvent(obs::Op::kWait, id_, [&] {
+    Nub& nub = Nub::Get();
+    ThreadRecord* self = nub.Current();
+    // REQUIRES m = SELF.
+    TAOS_CHECK(m.holder_.load(std::memory_order_relaxed) == self->id);
+    if (timeout.count() <= 0) {
+      // The deadline has already passed: don't enqueue (and in traced mode
+      // don't emit — nothing changed). m stays held throughout.
+      result = WaitResult::kTimeout;
+      return;
+    }
+    const std::uint64_t deadline = DeadlineAfter(timeout);
+    if (nub.tracing()) {
+      result = TracedWaitFor(m, self, deadline);
+      return;
+    }
+    const EventCount::Value i = ec_.Read();
+    waiters_.fetch_add(1, std::memory_order_seq_cst);
+    m.Release();
+    const bool expired = BlockFor(self, i, deadline);
+    m.Acquire();
+    result = expired ? WaitResult::kTimeout : WaitResult::kSatisfied;
+  });
+  obs::Inc(result == WaitResult::kSatisfied
+               ? obs::Counter::kTimedWaitSatisfied
+               : obs::Counter::kTimedWaitTimeouts);
+  return result;
 }
 
 void Condition::Block(ThreadRecord* self, EventCount::Value i) {
@@ -98,6 +131,72 @@ void Condition::Block(ThreadRecord* self, EventCount::Value i) {
   if (parked) {
     ParkBlocked(self);
   }
+}
+
+bool Condition::BlockFor(ThreadRecord* self, EventCount::Value i,
+                         std::uint64_t deadline_ns) {
+  Nub& nub = Nub::Get();
+  nub.nub_entries.fetch_add(1, std::memory_order_relaxed);
+  obs::Inc(obs::Counter::kNubWait);
+  if (nub.waitq_mode()) {
+    // As Block, plus the arm/park/cancel episode; the timer's cell-cancel
+    // CAS against a signaller's resume decides expiry-vs-wakeup, so a
+    // Signal that dequeues this thread can never be turned into a timeout.
+    waitq::WaitCell* cell = wqueue_.Enqueue();
+    if (ec_.Read() != i) {
+      if (cell->Cancel() == waitq::WaitCell::CancelOutcome::kCancelled) {
+        waiters_.fetch_sub(1, std::memory_order_relaxed);
+        absorbed_.fetch_add(1, std::memory_order_relaxed);
+        obs::Inc(obs::Counter::kWakeupWaitingHits);
+      }
+      waitq::WaitQueue::Detach(cell);
+      return false;
+    }
+    bool parked;
+    std::uint64_t gen = 0;
+    {
+      SpinGuard tg(self->lock);
+      parked = InstallBlockedLocked(self, cell,
+                                    ThreadRecord::BlockKind::kCondition, this,
+                                    &nub_lock_, /*alertable=*/false);
+      if (parked) {
+        gen = ++self->next_timer_gen;
+        PublishTimedLocked(self, gen);
+      }
+    }
+    if (parked) {
+      Timer::Get().Arm(self, gen, deadline_ns);
+      ParkBlocked(self);
+      Timer::Get().Cancel(self, gen);
+    }
+    FinishWaitCell(self, cell);
+    return parked && ConsumeTimeoutWoken(self);
+  }
+  bool parked = false;
+  std::uint64_t gen = 0;
+  {
+    NubGuard g(nub_lock_);
+    if (ec_.Read() == i) {
+      queue_.PushBack(self);
+      gen = ++self->next_timer_gen;
+      SpinGuard tg(self->lock);
+      SetBlockedLocked(self, ThreadRecord::BlockKind::kCondition, this,
+                       &nub_lock_, /*alertable=*/false);
+      PublishTimedLocked(self, gen);
+      parked = true;
+    } else {
+      waiters_.fetch_sub(1, std::memory_order_relaxed);
+      absorbed_.fetch_add(1, std::memory_order_relaxed);
+      obs::Inc(obs::Counter::kWakeupWaitingHits);
+    }
+  }
+  if (!parked) {
+    return false;
+  }
+  Timer::Get().Arm(self, gen, deadline_ns);
+  ParkBlocked(self);
+  Timer::Get().Cancel(self, gen);
+  return ConsumeTimeoutWoken(self);
 }
 
 void Condition::Signal() {
@@ -220,6 +319,15 @@ bool Condition::ErasePendingRaise(ThreadRecord* rec) {
   return true;
 }
 
+bool Condition::ErasePendingTimeout(ThreadRecord* rec) {
+  auto it = std::find(pending_timeout_.begin(), pending_timeout_.end(), rec);
+  if (it == pending_timeout_.end()) {
+    return false;
+  }
+  pending_timeout_.erase(it);
+  return true;
+}
+
 void Condition::TracedWait(Mutex& m, ThreadRecord* self) {
   Nub& nub = Nub::Get();
   obs::Inc(obs::Counter::kNubWait);
@@ -284,6 +392,86 @@ void Condition::TracedWait(Mutex& m, ThreadRecord* self) {
   m.TracedAcquire(self, spec::MakeResume(self->id, m.id_, id_));
 }
 
+WaitResult Condition::TracedWaitFor(Mutex& m, ThreadRecord* self,
+                                    std::uint64_t deadline_ns) {
+  Nub& nub = Nub::Get();
+  obs::Inc(obs::Counter::kNubWait);
+  // Atomic action Enqueue, exactly as in TracedWait: a timed wait enters c
+  // the same way an untimed one does; only the way it may leave differs.
+  EventCount::Value snapshot = 0;
+  ThreadRecord* wake = nullptr;
+  {
+    NubGuard2 g(m.nub_lock_, &nub_lock_);
+    snapshot = ec_.Read();
+    wake = m.TracedReleaseLocked(self, /*emit_release=*/false);
+    window_.push_back(self);
+    nub.EmitTraced(spec::MakeEnqueue(self->id, m.id_, id_));
+  }
+  if (wake != nullptr) {
+    obs::Inc(obs::Counter::kHandoffs);
+    wake->park.Unpark();
+  }
+
+  // Block(c, i) with a deadline.
+  waitq::WaitCell* cell = nullptr;
+  bool parked = false;
+  std::uint64_t gen = 0;
+  {
+    NubGuard g(nub_lock_);
+    if (ec_.Read() != snapshot) {
+      TAOS_DCHECK(std::find(window_.begin(), window_.end(), self) ==
+                  window_.end());
+      absorbed_.fetch_add(1, std::memory_order_relaxed);
+      obs::Inc(obs::Counter::kWakeupWaitingHits);
+    } else {
+      TAOS_CHECK(EraseWindow(self));
+      gen = ++self->next_timer_gen;
+      if (nub.waitq_mode()) {
+        cell = wqueue_.Enqueue();
+        SpinGuard tg(self->lock);
+        // Cannot fail: resumers hold this ObjLock, which we hold.
+        TAOS_CHECK(InstallBlockedLocked(self, cell,
+                                        ThreadRecord::BlockKind::kCondition,
+                                        this, &nub_lock_,
+                                        /*alertable=*/false));
+        PublishTimedLocked(self, gen);
+      } else {
+        queue_.PushBack(self);
+        SpinGuard tg(self->lock);
+        SetBlockedLocked(self, ThreadRecord::BlockKind::kCondition, this,
+                         &nub_lock_, /*alertable=*/false);
+        PublishTimedLocked(self, gen);
+      }
+      parked = true;
+    }
+  }
+  bool expired = false;
+  if (parked) {
+    Timer::Get().Arm(self, gen, deadline_ns);
+    ParkBlocked(self);
+    Timer::Get().Cancel(self, gen);
+    if (cell != nullptr) {
+      FinishWaitCell(self, cell);
+    }
+    expired = ConsumeTimeoutWoken(self);
+  }
+
+  if (expired) {
+    // Atomic action TimeoutResume: regain m and leave c in one step. The
+    // timer left SELF in pending_timeout_ — still a spec-member of c, as a
+    // raiser stays in pending_raise_ — so the action's delete(c, SELF) and
+    // the bookkeeping erase happen together under m's and c's locks.
+    Condition* cp = this;
+    m.TracedAcquire(self, spec::MakeTimeoutResume(self->id, m.id_, id_),
+                    &nub_lock_,
+                    [cp, self] { cp->ErasePendingTimeout(self); });
+    return WaitResult::kTimeout;
+  }
+  // Atomic action Resume, as in TracedWait.
+  m.TracedAcquire(self, spec::MakeResume(self->id, m.id_, id_));
+  return WaitResult::kSatisfied;
+}
+
 void Condition::TracedSignal(ThreadRecord* self) {
   Nub& nub = Nub::Get();
   nub_signals_.fetch_add(1, std::memory_order_relaxed);
@@ -321,6 +509,15 @@ void Condition::TracedSignal(ThreadRecord* self) {
       removed = removed.Insert(r->id);
     }
     pending_raise_.clear();
+    // Likewise for threads the timer already dequeued: the implementation
+    // cannot wake them, so leaving them in c would let a Signal whose
+    // removed set is otherwise empty violate its own ENSURES
+    // (cpost = c is neither {} nor a proper subset). TimeoutResume's
+    // delete(c, SELF) is idempotent, so removing them here is safe.
+    for (ThreadRecord* r : pending_timeout_) {
+      removed = removed.Insert(r->id);
+    }
+    pending_timeout_.clear();
     nub.EmitTraced(spec::MakeSignal(self->id, id_, removed));
   }
   if (wake != nullptr) {
@@ -362,6 +559,10 @@ void Condition::TracedBroadcast(ThreadRecord* self) {
       removed = removed.Insert(r->id);
     }
     pending_raise_.clear();
+    for (ThreadRecord* r : pending_timeout_) {
+      removed = removed.Insert(r->id);
+    }
+    pending_timeout_.clear();
     nub.EmitTraced(spec::MakeBroadcast(self->id, id_, removed));
   }
   obs::Add(obs::Counter::kHandoffs, wake.size());

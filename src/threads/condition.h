@@ -35,6 +35,7 @@
 #define TAOS_SRC_THREADS_CONDITION_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <vector>
 
@@ -42,6 +43,7 @@
 #include "src/base/intrusive_queue.h"
 #include "src/threads/mutex.h"
 #include "src/threads/thread_record.h"
+#include "src/threads/wait_result.h"
 #include "src/waitq/waitq.h"
 
 namespace taos {
@@ -57,6 +59,16 @@ class Condition {
   // calling thread; returns inside a new critical section on m. The caller
   // must hold m and must re-evaluate its predicate on return.
   void Wait(Mutex& m);
+
+  // Wait with a deadline: kSatisfied after a Signal/Broadcast wakeup,
+  // kTimeout once `timeout` elapsed first. Either way the mutex is held
+  // again on return (on the timeout path the caller re-acquires before
+  // returning, like the spec's TimeoutResume action), and the caller must
+  // re-evaluate its predicate — a kTimeout may race a just-missed Signal,
+  // and Mesa semantics already force the re-check. A nonpositive timeout
+  // returns kTimeout immediately without releasing m. A signal that
+  // dequeues this thread always wins a race with the deadline.
+  WaitResult WaitFor(Mutex& m, std::chrono::nanoseconds timeout);
 
   // Unblocks at least one waiting thread, if any are waiting. May unblock
   // more than one.
@@ -93,20 +105,29 @@ class Condition {
   }
 
  private:
+  friend class Timer;
   friend void Alert(ThreadHandle t);
   friend void AlertWait(Mutex& m, Condition& c);
+  friend WaitResult AlertWaitFor(Mutex& m, Condition& c,
+                                 std::chrono::nanoseconds timeout);
 
   // Nub subroutine Block(c, i): sleep unless the eventcount moved past i.
   void Block(ThreadRecord* self, EventCount::Value i);
+  // Block with a deadline; returns true iff the wait ended by expiry.
+  bool BlockFor(ThreadRecord* self, EventCount::Value i,
+                std::uint64_t deadline_ns);
   void NubSignal();
   void NubBroadcast();
 
   // Traced (spec-emitting) paths.
   void TracedWait(Mutex& m, ThreadRecord* self);
+  WaitResult TracedWaitFor(Mutex& m, ThreadRecord* self,
+                           std::uint64_t deadline_ns);
   void TracedSignal(ThreadRecord* self);
   void TracedBroadcast(ThreadRecord* self);
-  bool EraseWindow(ThreadRecord* rec);        // nub_lock_ held
-  bool ErasePendingRaise(ThreadRecord* rec);  // nub_lock_ held
+  bool EraseWindow(ThreadRecord* rec);          // nub_lock_ held
+  bool ErasePendingRaise(ThreadRecord* rec);    // nub_lock_ held
+  bool ErasePendingTimeout(ThreadRecord* rec);  // nub_lock_ held
 
   EventCount ec_;
   ObjLock nub_lock_;  // guards queue_, window_, pending_raise_
@@ -117,10 +138,12 @@ class Condition {
 
   // Traced-mode bookkeeping (guarded by nub_lock_): threads between their
   // Enqueue action and their entry into Block (the wakeup-waiting window),
-  // and threads that have committed to raising Alerted but are still
-  // members of the spec-level set c.
+  // threads that have committed to raising Alerted but are still members of
+  // the spec-level set c, and threads the timer dequeued whose
+  // TimeoutResume action has not yet fired (still spec-members likewise).
   std::vector<ThreadRecord*> window_;
   std::vector<ThreadRecord*> pending_raise_;
+  std::vector<ThreadRecord*> pending_timeout_;
 
   std::atomic<std::uint64_t> fast_signals_{0};
   std::atomic<std::uint64_t> nub_signals_{0};

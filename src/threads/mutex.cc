@@ -5,6 +5,7 @@
 #include "src/obs/recorder.h"
 #include "src/spec/action.h"
 #include "src/threads/nub.h"
+#include "src/threads/timer.h"
 
 namespace taos {
 
@@ -57,6 +58,39 @@ bool Mutex::TryAcquire() {
     return true;
   }
   return false;
+}
+
+WaitResult Mutex::AcquireFor(std::chrono::nanoseconds timeout) {
+  WaitResult result = WaitResult::kSatisfied;
+  obs::WithEvent(obs::Op::kAcquire, id_, [&] {
+    Nub& nub = Nub::Get();
+    ThreadRecord* self = nub.Current();
+    if (nub.tracing()) {
+      obs::Inc(obs::Counter::kNubAcquire);
+      // deadline 0 is always in the past, so a nonpositive timeout becomes
+      // one locked attempt followed by the timeout action.
+      const std::uint64_t deadline =
+          timeout.count() > 0 ? DeadlineAfter(timeout) : 0;
+      result = TracedAcquireFor(self, deadline) ? WaitResult::kSatisfied
+                                                : WaitResult::kTimeout;
+    } else if (bit_.exchange(1, std::memory_order_acquire) == 0) {
+      // Same user-code fast path as Acquire — tried even with an expired
+      // deadline, so AcquireFor(0) is TryAcquire with a WaitResult.
+      fast_acquires_.fetch_add(1, std::memory_order_relaxed);
+      obs::Inc(obs::Counter::kFastMutexAcquire);
+      NoteAcquired(self);
+    } else if (timeout.count() <= 0) {
+      result = WaitResult::kTimeout;
+    } else if (NubAcquireFor(self, DeadlineAfter(timeout))) {
+      NoteAcquired(self);
+    } else {
+      result = WaitResult::kTimeout;
+    }
+  });
+  obs::Inc(result == WaitResult::kSatisfied
+               ? obs::Counter::kTimedWaitSatisfied
+               : obs::Counter::kTimedWaitTimeouts);
+  return result;
 }
 
 void Mutex::NubAcquire(ThreadRecord* self) {
@@ -145,6 +179,102 @@ void Mutex::WaitqAcquire(ThreadRecord* self) {
     obs::Inc(obs::Counter::kLockBitRetries);
     if (parked) {
       obs::Inc(obs::Counter::kSpuriousWakeups);
+    }
+  }
+}
+
+bool Mutex::NubAcquireFor(ThreadRecord* self, std::uint64_t deadline_ns) {
+  Nub& nub = Nub::Get();
+  nub.nub_entries.fetch_add(1, std::memory_order_relaxed);
+  slow_acquires_.fetch_add(1, std::memory_order_relaxed);
+  obs::Inc(obs::Counter::kNubAcquire);
+  if (nub.waitq_mode()) {
+    return WaitqAcquireFor(self, deadline_ns);
+  }
+  for (;;) {
+    bool parked = false;
+    std::uint64_t gen = 0;
+    {
+      NubGuard g(nub_lock_);
+      queue_.PushBack(self);
+      queue_len_.fetch_add(1, std::memory_order_seq_cst);
+      if (bit_.load(std::memory_order_seq_cst) != 0) {
+        gen = ++self->next_timer_gen;
+        SpinGuard tg(self->lock);
+        SetBlockedLocked(self, ThreadRecord::BlockKind::kMutex, this,
+                         &nub_lock_, /*alertable=*/false);
+        PublishTimedLocked(self, gen);
+        parked = true;
+      } else {
+        queue_.Remove(self);
+        queue_len_.fetch_sub(1, std::memory_order_relaxed);
+      }
+    }
+    if (parked) {
+      // Arm outside every lock (the wheel lock is a leaf); the parker's
+      // permit absorbs an expiry or grant that lands before the park.
+      Timer::Get().Arm(self, gen, deadline_ns);
+      ParkBlocked(self);
+      Timer::Get().Cancel(self, gen);
+    }
+    const bool expired = parked && ConsumeTimeoutWoken(self);
+    // Exchange FIRST, deadline second: a wake delivered because the mutex
+    // was released must never be thrown away on a co-incident expiry.
+    if (bit_.exchange(1, std::memory_order_acquire) == 0) {
+      return true;
+    }
+    obs::Inc(obs::Counter::kLockBitRetries);
+    if (parked) {
+      obs::Inc(obs::Counter::kSpuriousWakeups);
+    }
+    if (expired || obs::NowNanos() >= deadline_ns) {
+      // Timed out (or unparked by a grant, barged, and found the deadline
+      // gone). Whoever dequeued this record — timer or releaser — already
+      // removed it from the queue; there is nothing to back out.
+      return false;
+    }
+  }
+}
+
+bool Mutex::WaitqAcquireFor(ThreadRecord* self, std::uint64_t deadline_ns) {
+  for (;;) {
+    bool parked = false;
+    waitq::WaitCell* cell = wqueue_.Enqueue();
+    queue_len_.fetch_add(1, std::memory_order_seq_cst);
+    if (bit_.load(std::memory_order_seq_cst) != 0) {
+      std::uint64_t gen = 0;
+      {
+        SpinGuard tg(self->lock);
+        parked = InstallBlockedLocked(self, cell,
+                                      ThreadRecord::BlockKind::kMutex, this,
+                                      &nub_lock_, /*alertable=*/false);
+        if (parked) {
+          gen = ++self->next_timer_gen;
+          PublishTimedLocked(self, gen);
+        }
+      }
+      if (parked) {
+        Timer::Get().Arm(self, gen, deadline_ns);
+        ParkBlocked(self);
+        Timer::Get().Cancel(self, gen);
+      }
+      FinishWaitCell(self, cell);
+    } else {
+      if (cell->Cancel() == waitq::WaitCell::CancelOutcome::kCancelled) {
+        queue_len_.fetch_sub(1, std::memory_order_relaxed);
+      }
+      waitq::WaitQueue::Detach(cell);
+    }
+    const bool expired = parked && ConsumeTimeoutWoken(self);
+    if (bit_.exchange(1, std::memory_order_acquire) == 0) {
+      return true;
+    }
+    obs::Inc(obs::Counter::kLockBitRetries);
+    if (parked) {
+      obs::Inc(obs::Counter::kSpuriousWakeups);
+    }
+    if (expired || obs::NowNanos() >= deadline_ns) {
+      return false;
     }
   }
 }
@@ -253,6 +383,65 @@ void Mutex::TracedAcquire(ThreadRecord* self, const spec::Action& emit,
       if (cell != nullptr) {
         FinishWaitCell(self, cell);
       }
+    }
+  }
+}
+
+bool Mutex::TracedAcquireFor(ThreadRecord* self, std::uint64_t deadline_ns) {
+  Nub& nub = Nub::Get();
+  nub.nub_entries.fetch_add(1, std::memory_order_relaxed);
+  for (;;) {
+    waitq::WaitCell* cell = nullptr;
+    bool parked = false;
+    std::uint64_t gen = 0;
+    {
+      NubGuard g(nub_lock_);
+      // The acquire test comes before the deadline test, so a grant always
+      // beats a co-incident expiry.
+      if (bit_.load(std::memory_order_relaxed) == 0) {
+        bit_.store(1, std::memory_order_relaxed);
+        NoteAcquired(self);
+        SpinGuard tg(self->lock);
+        nub.EmitTraced(spec::MakeAcquire(self->id, id_));
+        return true;
+      }
+      if (obs::NowNanos() >= deadline_ns) {
+        // Deadline passed with the mutex still held: the spec's
+        // AcquireFor/TIMEOUT action, a no-op on m, emitted as one atomic
+        // action under the object lock. This check subsumes timeout_woken —
+        // an expiry implies the deadline is behind us (round-up placement).
+        SpinGuard tg(self->lock);
+        nub.EmitTraced(spec::MakeAcquireTimeout(self->id, id_));
+        return false;
+      }
+      gen = ++self->next_timer_gen;
+      if (nub.waitq_mode()) {
+        cell = wqueue_.Enqueue();
+        queue_len_.fetch_add(1, std::memory_order_relaxed);
+        SpinGuard tg(self->lock);
+        // Cannot fail: resumers hold this ObjLock, which we hold.
+        TAOS_CHECK(InstallBlockedLocked(self, cell,
+                                        ThreadRecord::BlockKind::kMutex, this,
+                                        &nub_lock_, /*alertable=*/false));
+        PublishTimedLocked(self, gen);
+      } else {
+        queue_.PushBack(self);
+        queue_len_.fetch_add(1, std::memory_order_relaxed);
+        SpinGuard tg(self->lock);
+        SetBlockedLocked(self, ThreadRecord::BlockKind::kMutex, this,
+                         &nub_lock_, /*alertable=*/false);
+        PublishTimedLocked(self, gen);
+      }
+      parked = true;
+    }
+    if (parked) {
+      Timer::Get().Arm(self, gen, deadline_ns);
+      ParkBlocked(self);
+      Timer::Get().Cancel(self, gen);
+      if (cell != nullptr) {
+        FinishWaitCell(self, cell);
+      }
+      ConsumeTimeoutWoken(self);  // loop-top deadline check decides
     }
   }
 }

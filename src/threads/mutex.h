@@ -30,6 +30,7 @@
 #define TAOS_SRC_THREADS_MUTEX_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 
@@ -38,6 +39,7 @@
 #include "src/spec/state.h"
 #include "src/threads/nub.h"
 #include "src/threads/thread_record.h"
+#include "src/threads/wait_result.h"
 #include "src/waitq/waitq.h"
 
 namespace taos {
@@ -56,6 +58,14 @@ class Mutex {
   // Single attempt; returns true on success. (Not in the paper's interface,
   // but implied by the user-code fast path; handy for tests.)
   bool TryAcquire();
+
+  // Acquire with a deadline: kSatisfied with the mutex held, or kTimeout
+  // (mutex not held) once `timeout` has elapsed. A zero or negative timeout
+  // degenerates to a single TryAcquire. Timed acquires are not alertable
+  // (kAlerted is impossible), matching Acquire. A release that grants this
+  // thread the mutex always wins a race with the deadline: the grant is
+  // kept, never converted into a timeout.
+  WaitResult AcquireFor(std::chrono::nanoseconds timeout);
 
   void Release();
 
@@ -81,7 +91,10 @@ class Mutex {
 
  private:
   friend class Condition;
+  friend class Timer;
   friend void AlertWait(Mutex& m, Condition& c);
+  friend WaitResult AlertWaitFor(Mutex& m, Condition& c,
+                                 std::chrono::nanoseconds timeout);
 
   // Nub subroutine for Acquire: enqueue, re-test the lock bit, de-schedule
   // if still held; retry the whole Acquire from the test-and-set.
@@ -91,6 +104,14 @@ class Mutex {
   // lock-free cell claim instead of an ObjLock-guarded list insert; the
   // claim-then-test ordering against Release's clear-then-scan is preserved.
   void WaitqAcquire(ThreadRecord* self);
+
+  // Deadline-carrying slow paths (AcquireFor). Each parked episode arms the
+  // process timer wheel (src/threads/timer.h); the timer dequeues an expired
+  // waiter exactly as Alert dequeues an alertable one. Return false on
+  // timeout.
+  bool NubAcquireFor(ThreadRecord* self, std::uint64_t deadline_ns);
+  bool WaitqAcquireFor(ThreadRecord* self, std::uint64_t deadline_ns);
+  bool TracedAcquireFor(ThreadRecord* self, std::uint64_t deadline_ns);
 
   // Nub subroutine for Release: unblock one queued thread.
   void NubRelease();

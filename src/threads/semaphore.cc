@@ -5,6 +5,7 @@
 #include "src/obs/recorder.h"
 #include "src/spec/action.h"
 #include "src/threads/nub.h"
+#include "src/threads/timer.h"
 
 namespace taos {
 
@@ -51,6 +52,34 @@ bool Semaphore::TryP() {
     return true;
   }
   return false;
+}
+
+WaitResult Semaphore::PFor(std::chrono::nanoseconds timeout) {
+  WaitResult result = WaitResult::kSatisfied;
+  obs::WithEvent(obs::Op::kP, id_, [&] {
+    Nub& nub = Nub::Get();
+    ThreadRecord* self = nub.Current();
+    if (nub.tracing()) {
+      obs::Inc(obs::Counter::kNubP);
+      const std::uint64_t deadline =
+          timeout.count() > 0 ? DeadlineAfter(timeout) : 0;
+      result = TracedPFor(self, deadline) ? WaitResult::kSatisfied
+                                          : WaitResult::kTimeout;
+    } else if (bit_.exchange(1, std::memory_order_acquire) == 0) {
+      // Fast path tried even with an expired deadline: PFor(0) is TryP with
+      // a WaitResult.
+      fast_ps_.fetch_add(1, std::memory_order_relaxed);
+      obs::Inc(obs::Counter::kFastSemP);
+    } else if (timeout.count() <= 0) {
+      result = WaitResult::kTimeout;
+    } else if (!NubPFor(self, DeadlineAfter(timeout))) {
+      result = WaitResult::kTimeout;
+    }
+  });
+  obs::Inc(result == WaitResult::kSatisfied
+               ? obs::Counter::kTimedWaitSatisfied
+               : obs::Counter::kTimedWaitTimeouts);
+  return result;
 }
 
 void Semaphore::NubP(ThreadRecord* self) {
@@ -119,6 +148,99 @@ void Semaphore::WaitqP(ThreadRecord* self) {
     obs::Inc(obs::Counter::kLockBitRetries);
     if (parked) {
       obs::Inc(obs::Counter::kSpuriousWakeups);
+    }
+  }
+}
+
+bool Semaphore::NubPFor(ThreadRecord* self, std::uint64_t deadline_ns) {
+  Nub& nub = Nub::Get();
+  nub.nub_entries.fetch_add(1, std::memory_order_relaxed);
+  slow_ps_.fetch_add(1, std::memory_order_relaxed);
+  obs::Inc(obs::Counter::kNubP);
+  if (nub.waitq_mode()) {
+    return WaitqPFor(self, deadline_ns);
+  }
+  for (;;) {
+    bool parked = false;
+    std::uint64_t gen = 0;
+    {
+      NubGuard g(nub_lock_);
+      queue_.PushBack(self);
+      queue_len_.fetch_add(1, std::memory_order_seq_cst);
+      if (bit_.load(std::memory_order_seq_cst) != 0) {
+        gen = ++self->next_timer_gen;
+        SpinGuard tg(self->lock);
+        SetBlockedLocked(self, ThreadRecord::BlockKind::kSemaphore, this,
+                         &nub_lock_, /*alertable=*/false);
+        PublishTimedLocked(self, gen);
+        parked = true;
+      } else {
+        queue_.Remove(self);
+        queue_len_.fetch_sub(1, std::memory_order_relaxed);
+      }
+    }
+    if (parked) {
+      Timer::Get().Arm(self, gen, deadline_ns);
+      ParkBlocked(self);
+      Timer::Get().Cancel(self, gen);
+    }
+    const bool expired = parked && ConsumeTimeoutWoken(self);
+    // Exchange FIRST, deadline second: a V's grant is never converted into
+    // a timeout by a co-incident expiry.
+    if (bit_.exchange(1, std::memory_order_acquire) == 0) {
+      return true;
+    }
+    obs::Inc(obs::Counter::kLockBitRetries);
+    if (parked) {
+      obs::Inc(obs::Counter::kSpuriousWakeups);
+    }
+    if (expired || obs::NowNanos() >= deadline_ns) {
+      return false;
+    }
+  }
+}
+
+// Identical in structure to Mutex::WaitqAcquireFor; see the commentary
+// there.
+bool Semaphore::WaitqPFor(ThreadRecord* self, std::uint64_t deadline_ns) {
+  for (;;) {
+    bool parked = false;
+    waitq::WaitCell* cell = wqueue_.Enqueue();
+    queue_len_.fetch_add(1, std::memory_order_seq_cst);
+    if (bit_.load(std::memory_order_seq_cst) != 0) {
+      std::uint64_t gen = 0;
+      {
+        SpinGuard tg(self->lock);
+        parked = InstallBlockedLocked(self, cell,
+                                      ThreadRecord::BlockKind::kSemaphore,
+                                      this, &nub_lock_, /*alertable=*/false);
+        if (parked) {
+          gen = ++self->next_timer_gen;
+          PublishTimedLocked(self, gen);
+        }
+      }
+      if (parked) {
+        Timer::Get().Arm(self, gen, deadline_ns);
+        ParkBlocked(self);
+        Timer::Get().Cancel(self, gen);
+      }
+      FinishWaitCell(self, cell);
+    } else {
+      if (cell->Cancel() == waitq::WaitCell::CancelOutcome::kCancelled) {
+        queue_len_.fetch_sub(1, std::memory_order_relaxed);
+      }
+      waitq::WaitQueue::Detach(cell);
+    }
+    const bool expired = parked && ConsumeTimeoutWoken(self);
+    if (bit_.exchange(1, std::memory_order_acquire) == 0) {
+      return true;
+    }
+    obs::Inc(obs::Counter::kLockBitRetries);
+    if (parked) {
+      obs::Inc(obs::Counter::kSpuriousWakeups);
+    }
+    if (expired || obs::NowNanos() >= deadline_ns) {
+      return false;
     }
   }
 }
@@ -203,6 +325,63 @@ void Semaphore::TracedP(ThreadRecord* self) {
       if (cell != nullptr) {
         FinishWaitCell(self, cell);
       }
+    }
+  }
+}
+
+bool Semaphore::TracedPFor(ThreadRecord* self, std::uint64_t deadline_ns) {
+  Nub& nub = Nub::Get();
+  nub.nub_entries.fetch_add(1, std::memory_order_relaxed);
+  for (;;) {
+    waitq::WaitCell* cell = nullptr;
+    bool parked = false;
+    std::uint64_t gen = 0;
+    {
+      NubGuard g(nub_lock_);
+      // Take-test before deadline-test: a grant beats a co-incident expiry.
+      if (bit_.load(std::memory_order_relaxed) == 0) {
+        bit_.store(1, std::memory_order_relaxed);
+        SpinGuard tg(self->lock);
+        nub.EmitTraced(spec::MakeP(self->id, id_));
+        return true;
+      }
+      if (obs::NowNanos() >= deadline_ns) {
+        // PFor/TIMEOUT: a no-op on s, one atomic action under the object
+        // lock. Subsumes timeout_woken (round-up placement means an expiry
+        // implies the deadline is behind us).
+        SpinGuard tg(self->lock);
+        nub.EmitTraced(spec::MakePTimeout(self->id, id_));
+        return false;
+      }
+      gen = ++self->next_timer_gen;
+      if (nub.waitq_mode()) {
+        cell = wqueue_.Enqueue();
+        queue_len_.fetch_add(1, std::memory_order_relaxed);
+        SpinGuard tg(self->lock);
+        // Cannot fail: resumers hold this ObjLock, which we hold.
+        TAOS_CHECK(InstallBlockedLocked(self, cell,
+                                        ThreadRecord::BlockKind::kSemaphore,
+                                        this, &nub_lock_,
+                                        /*alertable=*/false));
+        PublishTimedLocked(self, gen);
+      } else {
+        queue_.PushBack(self);
+        queue_len_.fetch_add(1, std::memory_order_relaxed);
+        SpinGuard tg(self->lock);
+        SetBlockedLocked(self, ThreadRecord::BlockKind::kSemaphore, this,
+                         &nub_lock_, /*alertable=*/false);
+        PublishTimedLocked(self, gen);
+      }
+      parked = true;
+    }
+    if (parked) {
+      Timer::Get().Arm(self, gen, deadline_ns);
+      ParkBlocked(self);
+      Timer::Get().Cancel(self, gen);
+      if (cell != nullptr) {
+        FinishWaitCell(self, cell);
+      }
+      ConsumeTimeoutWoken(self);  // loop-top deadline check decides
     }
   }
 }

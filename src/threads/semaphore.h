@@ -19,12 +19,14 @@
 #define TAOS_SRC_THREADS_SEMAPHORE_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 
 #include "src/base/intrusive_queue.h"
 #include "src/spec/state.h"
 #include "src/threads/nub.h"
 #include "src/threads/thread_record.h"
+#include "src/threads/wait_result.h"
 #include "src/waitq/waitq.h"
 
 namespace taos {
@@ -42,6 +44,13 @@ class Semaphore {
 
   // Single attempt; returns true if the semaphore was taken.
   bool TryP();
+
+  // P with a deadline: kSatisfied with the semaphore taken, or kTimeout
+  // (not taken) once `timeout` has elapsed. A zero or negative timeout
+  // degenerates to a single TryP. Not alertable — AlertP is the alertable
+  // variant; kAlerted is impossible here. A V that grants this thread
+  // always wins a race with the deadline.
+  WaitResult PFor(std::chrono::nanoseconds timeout);
 
   // Makes the semaphore available. Safe to call from any thread — including
   // one acting as an interrupt routine — with no precondition.
@@ -67,6 +76,7 @@ class Semaphore {
   }
 
  private:
+  friend class Timer;
   friend void Alert(ThreadHandle t);
   friend void AlertP(Semaphore& s);
 
@@ -75,6 +85,12 @@ class Semaphore {
   void NubV();
   void TracedP(ThreadRecord* self);
   void TracedV(ThreadRecord* self);
+
+  // Deadline-carrying slow paths (PFor); see Mutex::NubAcquireFor, whose
+  // structure these mirror. Return false on timeout.
+  bool NubPFor(ThreadRecord* self, std::uint64_t deadline_ns);
+  bool WaitqPFor(ThreadRecord* self, std::uint64_t deadline_ns);
+  bool TracedPFor(ThreadRecord* self, std::uint64_t deadline_ns);
 
   std::atomic<std::uint32_t> bit_{0};   // 1 iff unavailable
   ObjLock nub_lock_;                    // guards queue_ (the slow paths)

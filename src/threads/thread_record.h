@@ -32,6 +32,21 @@ class Mutex;
 class Condition;
 class Semaphore;
 class ObjLock;
+struct ThreadRecord;
+
+// Intrusive node linking a thread into the timer wheel (src/threads/timer.h)
+// while it sits in a timed wait. Every field is guarded by the wheel's own
+// lock — never by the record's `lock` — so arming and expiry never contend
+// with the blocking protocol itself.
+struct TimerNode {
+  TimerNode* prev = nullptr;
+  TimerNode* next = nullptr;
+  std::uint64_t deadline_ns = 0;  // on the obs::NowNanos timeline
+  std::uint64_t gen = 0;          // which wait instance armed this node
+  int level = 0;                  // which wheel level the node sits in
+  bool armed = false;
+  ThreadRecord* owner = nullptr;
+};
 
 struct ThreadRecord {
   QueueNode queue_node;
@@ -66,10 +81,27 @@ struct ThreadRecord {
   // of taking the object lock; unpublished (again under `lock`) before the
   // waiter detaches the cell, so a canceller never touches a detached cell.
   waitq::WaitCell* wait_cell = nullptr;
+  // Timed-wait state. `timed` marks the current blocked episode as having a
+  // deadline and `timer_gen` names which wait instance armed it, so a stale
+  // expiry (the waiter already woke, maybe even re-blocked) validates as a
+  // no-op under `lock`. `timeout_woken` is the expiry path's receipt: set by
+  // the timer thread after it dequeued/cancelled this waiter, read by the
+  // waiter after it wakes to pick the kTimeout outcome.
+  bool timed = false;
+  std::uint64_t timer_gen = 0;
+  bool timeout_woken = false;
 
   // Set when the thread terminated because Alerted escaped its root
   // function (see Thread::Fork).
   std::atomic<bool> ended_by_alert{false};
+
+  // ---- owner-thread private (no lock) ----
+  // Source of `timer_gen` values: bumped by the owning thread at the start
+  // of each timed wait, before the new value is published under `lock`.
+  std::uint64_t next_timer_gen = 0;
+
+  // ---- guarded by the timer wheel's lock ----
+  TimerNode timer;
 
   // ---- statistics (relaxed; for tests and experiments) ----
   std::atomic<std::uint64_t> parks{0};
@@ -97,6 +129,10 @@ inline void ClearBlockedLocked(ThreadRecord* t) {
   t->blocked_lock = nullptr;
   t->alertable = false;
   t->wait_cell = nullptr;
+  // A dequeuer (granter, alerter or the timer) that unblocks this record
+  // also invalidates its deadline; `timeout_woken` is NOT cleared here —
+  // the timer sets it right after this call and the waiter consumes it.
+  t->timed = false;
 }
 
 inline void MarkBlocked(ThreadRecord* t, ThreadRecord::BlockKind kind,
@@ -108,6 +144,25 @@ inline void MarkBlocked(ThreadRecord* t, ThreadRecord::BlockKind kind,
 inline void MarkUnblocked(ThreadRecord* t) {
   SpinGuard g(t->lock);
   ClearBlockedLocked(t);
+}
+
+// Marks the blocked episode being published in this same critical section
+// (t->lock held) as having a deadline. Clearing timeout_woken here is what
+// makes a leftover receipt from an earlier episode harmless: the only reads
+// are after an episode that published first.
+inline void PublishTimedLocked(ThreadRecord* t, std::uint64_t gen) {
+  t->timed = true;
+  t->timer_gen = gen;
+  t->timeout_woken = false;
+}
+
+// The waiter's post-wake read of the expiry receipt, cleared for the next
+// episode. Returns true iff the timer thread is what dequeued this waiter.
+inline bool ConsumeTimeoutWoken(ThreadRecord* t) {
+  SpinGuard g(t->lock);
+  const bool expired = t->timeout_woken;
+  t->timeout_woken = false;
+  return expired;
 }
 
 // "De-schedule this thread": park on the private parker, counting the

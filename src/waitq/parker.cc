@@ -16,11 +16,13 @@ namespace taos::waitq {
 namespace {
 
 #if defined(__linux__)
-void FutexWait(std::atomic<std::uint32_t>& word, std::uint32_t expected) {
-  // Returns on wake, on EAGAIN (word already changed), or spuriously; the
-  // caller re-checks the word either way.
+void FutexWait(std::atomic<std::uint32_t>& word, std::uint32_t expected,
+               const struct timespec* timeout = nullptr) {
+  // Returns on wake, on EAGAIN (word already changed), on ETIMEDOUT (when a
+  // relative `timeout` is given), or spuriously; the caller re-checks the
+  // word either way.
   syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(&word),
-          FUTEX_WAIT_PRIVATE, expected, nullptr, nullptr, 0);
+          FUTEX_WAIT_PRIVATE, expected, timeout, nullptr, 0);
 }
 
 void FutexWakeOne(std::atomic<std::uint32_t>& word) {
@@ -66,6 +68,15 @@ void Parker::Park() {
   obs::Record(obs::Histogram::kParkWaitNanos, obs::NowNanos() - start);
 }
 
+bool Parker::ParkUntil(std::uint64_t deadline_ns) {
+  const std::uint64_t start = obs::NowNanos();
+  const bool notified = backend_ == Backend::kFutex
+                            ? FutexParkUntil(deadline_ns)
+                            : CondvarParkUntil(deadline_ns);
+  obs::Record(obs::Histogram::kParkWaitNanos, obs::NowNanos() - start);
+  return notified;
+}
+
 void Parker::Unpark() {
   const std::uint64_t start = obs::NowNanos();
   if (backend_ == Backend::kFutex) {
@@ -106,6 +117,50 @@ void Parker::FutexPark() {
 #endif
 }
 
+bool Parker::FutexParkUntil(std::uint64_t deadline_ns) {
+#if defined(__linux__)
+  for (;;) {
+    std::uint32_t cur = state_.load(std::memory_order_relaxed);
+    if (cur == kNotified) {
+      if (state_.compare_exchange_weak(cur, kEmpty,
+                                       std::memory_order_acquire,
+                                       std::memory_order_relaxed)) {
+        return true;
+      }
+      continue;
+    }
+    if (cur == kEmpty) {
+      if (!state_.compare_exchange_weak(cur, kParked,
+                                        std::memory_order_relaxed,
+                                        std::memory_order_relaxed)) {
+        continue;  // lost to a concurrent Unpark: re-read
+      }
+    }
+    const std::uint64_t now = obs::NowNanos();
+    if (now >= deadline_ns) {
+      // Deadline passed while the word says kParked. Put it back to kEmpty;
+      // if the CAS loses, an Unpark just landed — consume it next pass (the
+      // permit, not the deadline, decides the return value in that race).
+      std::uint32_t parked = kParked;
+      if (state_.compare_exchange_strong(parked, kEmpty,
+                                         std::memory_order_relaxed,
+                                         std::memory_order_relaxed)) {
+        return false;
+      }
+      continue;
+    }
+    const std::uint64_t rel = deadline_ns - now;
+    struct timespec ts;
+    ts.tv_sec = static_cast<time_t>(rel / 1'000'000'000ull);
+    ts.tv_nsec = static_cast<long>(rel % 1'000'000'000ull);
+    obs::Inc(obs::Counter::kParkFutexWaits);
+    FutexWait(state_, kParked, &ts);
+  }
+#else
+  return CondvarParkUntil(deadline_ns);
+#endif
+}
+
 void Parker::FutexUnpark() {
 #if defined(__linux__)
   // release pairs with the consuming CAS in FutexPark.
@@ -131,6 +186,24 @@ void Parker::CondvarPark() {
   // The reset may stay relaxed: it is a store sequenced after the acquire
   // load above, and only the owning thread's next Park reads it.
   state_.store(kEmpty, std::memory_order_relaxed);
+}
+
+bool Parker::CondvarParkUntil(std::uint64_t deadline_ns) {
+  std::unique_lock<std::mutex> lk(mu_);
+  // Same acquire pairing as CondvarPark (see the header's fence argument).
+  while (state_.load(std::memory_order_acquire) != kNotified) {
+    const std::uint64_t now = obs::NowNanos();
+    if (now >= deadline_ns) {
+      return false;
+    }
+    obs::Inc(obs::Counter::kParkCondvarWaits);
+    // obs::NowNanos is steady-clock based, so translating the remaining
+    // nanoseconds onto steady_clock keeps wait_until on the same timeline.
+    cv_.wait_until(lk, std::chrono::steady_clock::now() +
+                           std::chrono::nanoseconds(deadline_ns - now));
+  }
+  state_.store(kEmpty, std::memory_order_relaxed);
+  return true;
 }
 
 void Parker::CondvarUnpark() {

@@ -67,6 +67,15 @@ class Parker {
   // Consumes one permit, blocking until it is deposited.
   void Park();
 
+  // Consumes one permit if it is deposited before `deadline_ns` on the
+  // obs::NowNanos() timeline. Returns true if a permit was consumed (even
+  // if it raced past the deadline), false if the deadline passed with no
+  // permit — in which case no permit is consumed and the parker is reusable
+  // immediately. Futex backend: FUTEX_WAIT with a timeout; condvar backend:
+  // wait_until against the same clock. Same acquire/release pairing as
+  // Park/Unpark.
+  bool ParkUntil(std::uint64_t deadline_ns);
+
   // Deposits one permit, waking the parked thread if there is one. Safe from
   // any thread; never blocks (beyond the condvar backend's short critical
   // section).
@@ -86,6 +95,8 @@ class Parker {
   void FutexUnpark();
   void CondvarPark();
   void CondvarUnpark();
+  bool FutexParkUntil(std::uint64_t deadline_ns);
+  bool CondvarParkUntil(std::uint64_t deadline_ns);
 
   const Backend backend_;
   std::atomic<std::uint32_t> state_{kEmpty};

@@ -1,19 +1,23 @@
-// Timeouts via alerting — the use case the paper names for Alert:
-// "typically to implement things such as timeouts and aborts [...] at an
-// abstraction level higher than that in which the thread is blocked."
+// Timeouts — the use case the paper names for Alert: "typically to
+// implement things such as timeouts and aborts [...] at an abstraction
+// level higher than that in which the thread is blocked."
 //
-// WaitWithTimeout runs `predicate`-guarded AlertWait, with a watchdog thread
-// that Alerts the waiter when the deadline passes. Returns true if the
-// predicate came true, false on timeout. The caller must hold the mutex;
-// it is held again on return either way.
+// WaitWithTimeout is the predicate-guarded timed wait. Historically it was
+// built the way the quote suggests: a watchdog thread per call that
+// Alert()ed the waiter when the deadline passed — one thread creation, one
+// join, and a 1 ms polling loop per timed wait. Deadlines are now
+// first-class in the Nub (src/threads/timer.h), so the same contract rides
+// on AlertWaitFor: zero threads per call, no polling, and the expiry-vs-
+// signal race arbitrated by the wheel's cancellation protocol instead of by
+// alert-flag accounting. Returns true if the predicate came true, false on
+// timeout. The caller must hold the mutex; it is held again on return
+// either way.
 
 #ifndef TAOS_SRC_WORKLOAD_TIMEOUT_H_
 #define TAOS_SRC_WORKLOAD_TIMEOUT_H_
 
-#include <atomic>
 #include <chrono>
 #include <functional>
-#include <thread>
 
 #include "src/threads/threads.h"
 
@@ -22,57 +26,26 @@ namespace taos::workload {
 inline bool WaitWithTimeout(Mutex& m, Condition& c,
                             const std::function<bool()>& predicate,
                             std::chrono::milliseconds timeout) {
-  if (predicate()) {
-    return true;
-  }
-  std::atomic<bool> done{false};
-  std::atomic<bool> fired{false};
-  const ThreadHandle waiter = Thread::Self();
-  // The watchdog lives above the blocking abstraction: it knows nothing of
-  // m or c, only the thread to interrupt.
-  std::thread watchdog([&done, &fired, waiter, timeout] {
-    const auto deadline = std::chrono::steady_clock::now() + timeout;
-    while (!done.load(std::memory_order_acquire)) {
-      if (std::chrono::steady_clock::now() >= deadline) {
-        fired.store(true, std::memory_order_release);
-        Alert(waiter);
-        return;
-      }
-      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (!predicate()) {
+    const auto remaining = deadline - std::chrono::steady_clock::now();
+    switch (AlertWaitFor(
+        m, c,
+        std::chrono::duration_cast<std::chrono::nanoseconds>(remaining))) {
+      case WaitResult::kSatisfied:
+        break;  // a wakeup is a hint; loop to re-evaluate the predicate
+      case WaitResult::kTimeout:
+        return predicate();
+      case WaitResult::kAlerted:
+        // The alert belongs to a third party — this wait's deadline is the
+        // timer's, not an Alert. AlertWaitFor consumed it to report
+        // kAlerted; re-post so the caller's next alertable wait still
+        // raises, and report the wait's own outcome.
+        Alert(Thread::Self());
+        return predicate();
     }
-  });
-
-  bool satisfied = true;
-  bool alerted_raised = false;
-  try {
-    while (!predicate()) {
-      AlertWait(m, c);
-    }
-  } catch (const Alerted&) {
-    alerted_raised = true;
-    satisfied = predicate();  // the predicate may have just come true
   }
-  done.store(true, std::memory_order_release);
-  // Join outside the critical section: the watchdog sleeps in 1 ms slices,
-  // so joining under m would extend every caller's hold time by up to that.
-  m.Release();
-  watchdog.join();
-  m.Acquire();
-  if (!satisfied) {
-    satisfied = predicate();  // may have come true while m was released
-  }
-  // Alert accounting. The raise consumed one pending alert; it was ours to
-  // consume only if the watchdog genuinely fired and the wait was not
-  // satisfied (the timeout outcome). In every other raise the alert belongs
-  // to a third party (or is ambiguous) — re-post it so the caller's next
-  // alertable wait still raises. Never drain the flag: an alert posted after
-  // we stopped waiting is not ours either.
-  const bool timed_out =
-      fired.load(std::memory_order_acquire) && !satisfied;
-  if (alerted_raised && !timed_out) {
-    Alert(Thread::Self());
-  }
-  return satisfied;
+  return true;
 }
 
 }  // namespace taos::workload

@@ -261,5 +261,234 @@ INSTANTIATE_TEST_SUITE_P(Firefly, SimSeedSweep,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55,
                                            89));
 
+// ---------------------------------------------------------------------------
+// Virtual-time timed waits
+// ---------------------------------------------------------------------------
+
+TEST(SimTimedTest, WaitForExpiresInsteadOfDeadlocking) {
+  // One fiber, nobody to signal: the untimed Wait would be a deadlock; the
+  // timed wait is expired by the simulated clock interrupt and the run
+  // completes.
+  Machine m;
+  Mutex mu(m);
+  Condition cv(m);
+  WaitResult r = WaitResult::kSatisfied;
+  m.Fork([&] {
+    mu.Acquire();
+    r = cv.WaitFor(mu, 100);
+    mu.Release();  // legal: kTimeout re-acquired the mutex
+  });
+  RunResult rr = m.Run();
+  EXPECT_TRUE(rr.completed) << rr.ToString();
+  EXPECT_EQ(r, WaitResult::kTimeout);
+  EXPECT_EQ(m.timer_expiries(), 1u);
+  EXPECT_GE(rr.steps, 100u);  // the clock reached the deadline
+}
+
+TEST(SimTimedTest, IdleMachineJumpsToTheDeadline) {
+  // A long virtual deadline costs no real time and no steps: once the
+  // machine is idle the clock skips straight to the next expiry.
+  Machine m;
+  Mutex mu(m);
+  Condition cv(m);
+  m.Fork([&] {
+    mu.Acquire();
+    EXPECT_EQ(cv.WaitFor(mu, 1'000'000), WaitResult::kTimeout);
+    mu.Release();
+  });
+  RunResult rr = m.Run();
+  EXPECT_TRUE(rr.completed) << rr.ToString();
+  EXPECT_GE(rr.steps, 1'000'000u);
+}
+
+TEST(SimTimedTest, SignalBeforeDeadlineSatisfies) {
+  MachineConfig cfg;
+  RoundRobinChooser rr_chooser;
+  cfg.chooser = &rr_chooser;
+  Machine m(cfg);
+  Mutex mu(m);
+  Condition cv(m);
+  bool flag = false;
+  WaitResult r = WaitResult::kTimeout;
+  m.Fork([&] {
+    mu.Acquire();
+    while (!flag) {
+      r = cv.WaitFor(mu, 1'000'000);
+      if (r == WaitResult::kTimeout) {
+        break;
+      }
+    }
+    mu.Release();
+  });
+  m.Fork([&] {
+    mu.Acquire();
+    flag = true;
+    mu.Release();
+    cv.Signal();
+  });
+  EXPECT_TRUE(m.Run().completed);
+  EXPECT_EQ(r, WaitResult::kSatisfied);
+  EXPECT_EQ(m.timer_expiries(), 0u);  // the grant disarmed the deadline
+}
+
+TEST(SimTimedTest, ZeroTimeoutReturnsAtOnce) {
+  Machine m;
+  Mutex mu(m);
+  Condition cv(m);
+  m.Fork([&] {
+    mu.Acquire();
+    EXPECT_EQ(cv.WaitFor(mu, 0), WaitResult::kTimeout);
+    mu.Release();  // legal: WaitFor(0) never let go of the mutex
+  });
+  EXPECT_TRUE(m.Run().completed);
+  EXPECT_EQ(m.timer_expiries(), 0u);
+}
+
+TEST(SimTimedTest, AlertEndsTimedWaitAsValue) {
+  Machine m;
+  Mutex mu(m);
+  Condition cv(m);
+  WaitResult r = WaitResult::kSatisfied;
+  bool flag_after = true;
+  FiberHandle waiter = m.Fork([&] {
+    mu.Acquire();
+    r = AlertWaitFor(mu, cv, 1'000'000);
+    mu.Release();
+    flag_after = TestAlert();  // kAlerted must have consumed the flag
+  });
+  m.Fork([&] {
+    for (int i = 0; i < 20; ++i) {
+      m.Step();
+    }
+    Alert(waiter);
+  });
+  EXPECT_TRUE(m.Run().completed);
+  EXPECT_EQ(r, WaitResult::kAlerted);
+  EXPECT_FALSE(flag_after);
+  EXPECT_EQ(m.timer_expiries(), 0u);
+}
+
+TEST(SimTimedTest, TimeoutLeavesLateAlertPending) {
+  Machine m;
+  Mutex mu(m);
+  Condition cv(m);
+  WaitResult r = WaitResult::kSatisfied;
+  bool pending_after = false;
+  FiberHandle waiter = m.Fork([&] {
+    mu.Acquire();
+    r = AlertWaitFor(mu, cv, 50);
+    mu.Release();
+    // Spin in virtual time until the alerter has run.
+    while (!Machine::Self()->alerted) {
+      m.Step();
+    }
+    pending_after = TestAlert();
+  });
+  m.Fork([&] {
+    // Outwait the deadline, then alert the (no longer blocked) waiter: the
+    // kTimeout exit must not have consumed anything.
+    for (int i = 0; i < 200; ++i) {
+      m.Step();
+    }
+    Alert(waiter);
+  });
+  EXPECT_TRUE(m.Run().completed);
+  EXPECT_EQ(r, WaitResult::kTimeout);
+  EXPECT_TRUE(pending_after);
+}
+
+TEST(SimTimedTest, VirtualTimeIsDeterministic) {
+  auto run_once = [] {
+    MachineConfig cfg;
+    cfg.seed = 42;
+    cfg.cpus = 2;
+    Machine m(cfg);
+    Mutex mu(m);
+    Condition cv(m);
+    for (int t = 0; t < 2; ++t) {
+      m.Fork([&] {
+        for (int i = 0; i < 5; ++i) {
+          mu.Acquire();
+          cv.WaitFor(mu, 40);
+          mu.Release();
+          cv.Signal();
+        }
+      });
+    }
+    RunResult rr = m.Run();
+    EXPECT_TRUE(rr.completed) << rr.ToString();
+    return rr.steps;
+  };
+  // Expiry is part of the simulation, not wall-clock: identical seeds give
+  // identical executions, timeouts included.
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(SimTimedTest, TracedTimeoutRunConforms) {
+  spec::Trace trace;
+  {
+    MachineConfig cfg;
+    cfg.trace = &trace;
+    Machine m(cfg);
+    Mutex mu(m);
+    Condition cv(m);
+    m.Fork([&] {
+      mu.Acquire();
+      EXPECT_EQ(cv.WaitFor(mu, 80), WaitResult::kTimeout);
+      EXPECT_EQ(AlertWaitFor(mu, cv, 80), WaitResult::kTimeout);
+      mu.Release();
+    });
+    EXPECT_TRUE(m.Run().completed);
+  }
+  // The expiry path emits Enqueue/AlertEnqueue then TimeoutResume; the
+  // checker must accept that composition for both wait flavours.
+  spec::TraceChecker checker;
+  spec::CheckResult r = checker.CheckTrace(trace);
+  EXPECT_TRUE(r.ok) << r.message << "\n" << trace.ToString();
+}
+
+// Timed waits racing signals under many random schedules, with the trace
+// checker adjudicating: whatever interleaving of Signal, Alert and expiry
+// the chooser finds, the emitted action sequence must stay spec-conformant
+// (in particular a Signal must count timer-dequeued fibers among its
+// removed set).
+class SimTimedSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimTimedSeedSweep, TracedTimedRaceConforms) {
+  spec::Trace trace;
+  {
+    MachineConfig cfg;
+    cfg.trace = &trace;
+    cfg.seed = GetParam();
+    cfg.cpus = 3;
+    Machine m(cfg);
+    Mutex mu(m);
+    Condition cv(m);
+    for (int t = 0; t < 2; ++t) {
+      m.Fork([&] {
+        for (int i = 0; i < 4; ++i) {
+          mu.Acquire();
+          cv.WaitFor(mu, 25);  // short: expiry and Signal race
+          mu.Release();
+        }
+      });
+    }
+    m.Fork([&] {
+      for (int i = 0; i < 8; ++i) {
+        m.Step();
+        cv.Signal();
+      }
+    });
+    RunResult rr = m.Run();
+    EXPECT_TRUE(rr.completed) << rr.ToString();
+  }
+  spec::TraceChecker checker;
+  spec::CheckResult r = checker.CheckTrace(trace);
+  EXPECT_TRUE(r.ok) << r.message << "\n" << trace.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Firefly, SimTimedSeedSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
 }  // namespace
 }  // namespace taos::firefly

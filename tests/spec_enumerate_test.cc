@@ -91,6 +91,45 @@ TEST(SpecEnumerateTest, AlertResumeOffersBothOutcomesWhenBothEnabled) {
   EXPECT_TRUE(strict_kinds.count(ActionKind::kAlertResumeRaises));
 }
 
+TEST(SpecEnumerateTest, TimeoutsAddAnExitOnlyWhenModelled) {
+  // A pending waiter still in c is stuck by default (Resume's WHEN blocks
+  // it); with model_timeouts the timer offers TimeoutResume as the way out.
+  WorldState w;
+  w.state.SetCondition(2, ThreadSet{1});
+  w.pending[1] = {PendingWait::Kind::kWait, 1, 2};
+
+  SpecEnumerator off(SmallUniverse(1));
+  EXPECT_TRUE(off.Successors(w).empty());
+
+  SpecEnumerator on(SmallUniverse(1),
+                    SpecConfig{AlertWaitVariant::kCorrected,
+                               AlertChoicePolicy::kNondeterministic,
+                               /*model_timeouts=*/true});
+  auto succ = on.Successors(w);
+  ASSERT_EQ(succ.size(), 1u);
+  EXPECT_EQ(succ[0].first.kind, ActionKind::kTimeoutResume);
+  // The action re-took the mutex and removed the waiter from c itself.
+  EXPECT_EQ(succ[0].second.state.Mutex(1), 1);
+  EXPECT_TRUE(succ[0].second.state.Condition(2).Empty());
+  EXPECT_EQ(succ[0].second.pending.at(1).kind, PendingWait::Kind::kNone);
+}
+
+TEST(SpecEnumerateTest, ModelTimeoutsKeepsNoGhostsAndGrowsTheSpace) {
+  // The timeout transitions respect the same invariants, and strictly
+  // enlarge the reachable space; with them off, the baseline counts the
+  // other tests assume are untouched.
+  SpecEnumerator base(SmallUniverse(2));
+  SpecExploreResult rb = base.Explore(NoGhostMembers);
+  SpecEnumerator timed(SmallUniverse(2),
+                       SpecConfig{AlertWaitVariant::kCorrected,
+                                  AlertChoicePolicy::kNondeterministic,
+                                  /*model_timeouts=*/true});
+  SpecExploreResult rt = timed.Explore(NoGhostMembers);
+  EXPECT_TRUE(rt.complete) << rt.ToString();
+  EXPECT_TRUE(rt.invariant_ok) << rt.ToString();
+  EXPECT_GE(rt.states, rb.states);
+}
+
 TEST(SpecEnumerateTest, CorrectedSpecHasNoGhostsTwoThreads) {
   SpecEnumerator e(SmallUniverse(2));
   SpecExploreResult r = e.Explore(NoGhostMembers);

@@ -343,6 +343,74 @@ TEST_F(SemanticsTest, ApplyRejectsBogusRemovedSet) {
   EXPECT_FALSE(v.choice_ok);
 }
 
+// --- Timed-wait extension: AcquireTimeout / PTimeout / TimeoutResume ---
+
+TEST_F(SemanticsTest, AcquireTimeoutLeavesMutexUnchanged) {
+  SpecState pre;
+  pre.SetMutex(kM, kT2);  // the holder that outlasted the deadline
+  SpecState post = pre;
+  EXPECT_TRUE(sem_.Check(pre, MakeAcquireTimeout(kT1, kM), post).Ok());
+
+  SpecState bad = pre;
+  bad.SetMutex(kM, kT1);  // a timed-out acquire may not take the mutex
+  EXPECT_FALSE(sem_.Check(pre, MakeAcquireTimeout(kT1, kM), bad).ensures_ok);
+}
+
+TEST_F(SemanticsTest, PTimeoutLeavesSemaphoreUnchanged) {
+  SpecState pre;
+  pre.SetSemaphore(kS, SemState::kUnavailable);
+  SpecState post = pre;
+  EXPECT_TRUE(sem_.Check(pre, MakePTimeout(kT1, kS), post).Ok());
+
+  SpecState bad = pre;
+  bad.SetSemaphore(kS, SemState::kAvailable);
+  EXPECT_FALSE(sem_.Check(pre, MakePTimeout(kT1, kS), bad).ensures_ok);
+}
+
+TEST_F(SemanticsTest, TimeoutResumeRegainsMutexAndDeletesSelfFromC) {
+  // Unlike Resume, SELF may still be a member of c: the timer dequeued it
+  // without any Signal, and the action deletes it itself.
+  SpecState pre;
+  pre.SetCondition(kC, ThreadSet{kT1, kT2});
+  EXPECT_TRUE(sem_.Enabled(pre, MakeTimeoutResume(kT1, kM, kC)));
+  SpecState post = pre;
+  post.SetMutex(kM, kT1);
+  post.SetCondition(kC, ThreadSet{kT2});
+  EXPECT_TRUE(sem_.Check(pre, MakeTimeoutResume(kT1, kM, kC), post).Ok());
+}
+
+TEST_F(SemanticsTest, TimeoutResumeAfterSignalRaceIsIdempotent) {
+  // A Signal raced the timer and removed SELF first: delete() is a no-op
+  // and the same clause still holds.
+  SpecState pre;
+  pre.SetCondition(kC, ThreadSet{kT2});
+  SpecState post = pre;
+  post.SetMutex(kM, kT1);
+  EXPECT_TRUE(sem_.Check(pre, MakeTimeoutResume(kT1, kM, kC), post).Ok());
+}
+
+TEST_F(SemanticsTest, TimeoutResumeNeedsMutexFree) {
+  SpecState pre;
+  pre.SetMutex(kM, kT2);
+  EXPECT_FALSE(sem_.Enabled(pre, MakeTimeoutResume(kT1, kM, kC)));
+}
+
+TEST_F(SemanticsTest, TimeoutResumeMayNotConsumeAPendingAlert) {
+  // alerts is outside TimeoutResume's frame: a timeout that also cleared
+  // the alert flag would silently eat an Alert.
+  SpecState pre;
+  pre.alerts = ThreadSet{kT1};
+  pre.SetCondition(kC, ThreadSet{kT1});
+  SpecState post = pre;
+  post.SetMutex(kM, kT1);
+  post.SetCondition(kC, ThreadSet{});
+  EXPECT_TRUE(sem_.Check(pre, MakeTimeoutResume(kT1, kM, kC), post).Ok());
+
+  SpecState bad = post;
+  bad.alerts = ThreadSet{};
+  EXPECT_FALSE(sem_.Check(pre, MakeTimeoutResume(kT1, kM, kC), bad).frame_ok);
+}
+
 // Exhaustive WHEN-clause matrix: every action kind's enabling condition,
 // over the four orthogonal state bits that matter to it.
 TEST_F(SemanticsTest, EnabledMatrix) {
@@ -391,6 +459,14 @@ TEST_F(SemanticsTest, EnabledMatrix) {
               << ctx;
           EXPECT_EQ(sem_.Enabled(s, MakeAlertResumeRaises(kT1, kM, kC)),
                     !m_held && alerted)
+              << ctx;
+          // Timed-wait extension: the one-action timeouts are always
+          // enabled (the deadline is the implementation's business, not
+          // the state's); TimeoutResume needs only a free mutex — SELF
+          // may still be in c, unlike Resume.
+          EXPECT_TRUE(sem_.Enabled(s, MakeAcquireTimeout(kT1, kM))) << ctx;
+          EXPECT_TRUE(sem_.Enabled(s, MakePTimeout(kT1, kS))) << ctx;
+          EXPECT_EQ(sem_.Enabled(s, MakeTimeoutResume(kT1, kM, kC)), !m_held)
               << ctx;
         }
       }

@@ -280,6 +280,52 @@ TEST_P(ConformanceTest, TwoBoundedBuffers) {
   CheckConformance();
 }
 
+// Timed waits in traced mode, deadlines racing grants across the whole
+// matrix: the checker holds AcquireFor/PFor to their one-action timeout
+// kinds (UNCHANGED [m] / UNCHANGED [s]) and WaitFor/AlertWaitFor to the
+// Enqueue;TimeoutResume composition — including the Signal-vs-expiry races
+// where the timer dequeued a thread that is still a spec-member of c.
+TEST_P(ConformanceTest, TimedWaitsRaceGrantsAndExpiry) {
+  const int iters = 15 * kScale;
+  Mutex m;
+  Condition c;
+  Semaphore s;
+  std::atomic<bool> stop{false};
+  std::vector<Thread> threads;
+  for (int t = 0; t < 3; ++t) {
+    threads.push_back(Thread::Fork([&, t] {
+      for (int i = 0; i < iters; ++i) {
+        const auto timeout = std::chrono::microseconds(40 * ((t + i) % 5));
+        if (m.AcquireFor(timeout) == WaitResult::kSatisfied) {
+          m.Release();
+        }
+        if (s.PFor(timeout) == WaitResult::kSatisfied) {
+          s.V();
+        }
+        m.Acquire();
+        if (i % 2 == 0) {
+          c.WaitFor(m, timeout);
+        } else {
+          AlertWaitFor(m, c, timeout);
+        }
+        m.Release();
+      }
+    }));
+  }
+  Thread signaller = Thread::Fork([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      c.Signal();
+      std::this_thread::yield();
+    }
+  });
+  for (Thread& t : threads) {
+    t.Join();
+  }
+  stop.store(true, std::memory_order_release);
+  signaller.Join();
+  CheckConformance();
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Backends, ConformanceTest,
     ::testing::Combine(::testing::Values(LockMode::kSharded, LockMode::kGlobal),

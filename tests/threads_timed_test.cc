@@ -1,0 +1,357 @@
+// Timed waits: AcquireFor / PFor / WaitFor / AlertWaitFor, the timer-wheel
+// deadline subsystem behind them, and the invariants the design promises —
+// a grant always beats the deadline, a timeout never consumes a pending
+// alert, and WaitWithTimeout creates no threads per call.
+
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/threads/threads.h"
+#include "src/threads/timer.h"
+#include "src/threads/wait_result.h"
+#include "src/workload/timeout.h"
+
+namespace taos {
+namespace {
+
+using namespace std::chrono_literals;
+
+// ---------------------------------------------------------------------------
+// Mutex::AcquireFor
+// ---------------------------------------------------------------------------
+
+TEST(TimedMutexTest, AcquireForUncontendedSatisfies) {
+  Mutex m;
+  EXPECT_EQ(m.AcquireFor(10ms), WaitResult::kSatisfied);
+  m.Release();
+}
+
+TEST(TimedMutexTest, AcquireForTimesOutWhileHeld) {
+  Mutex m;
+  m.Acquire();
+  std::atomic<int> result{-1};
+  Thread t = Thread::Fork([&] {
+    result.store(static_cast<int>(m.AcquireFor(5ms)));
+  });
+  t.Join();
+  EXPECT_EQ(result.load(), static_cast<int>(WaitResult::kTimeout));
+  // The mutex postcondition is unchanged: still ours to release.
+  m.Release();
+  m.Acquire();
+  m.Release();
+}
+
+TEST(TimedMutexTest, ZeroTimeoutIsTryAcquire) {
+  Mutex m;
+  // Free: a zero deadline still takes the fast-path grant.
+  EXPECT_EQ(m.AcquireFor(0ns), WaitResult::kSatisfied);
+  // Held: immediate timeout, no blocking, for zero and negative alike.
+  Thread t = Thread::Fork([&] {
+    EXPECT_EQ(m.AcquireFor(0ns), WaitResult::kTimeout);
+    EXPECT_EQ(m.AcquireFor(-5ms), WaitResult::kTimeout);
+  });
+  t.Join();
+  m.Release();
+}
+
+TEST(TimedMutexTest, ReleaseBeforeDeadlineGrants) {
+  Mutex m;
+  m.Acquire();
+  std::atomic<int> result{-1};
+  Thread t = Thread::Fork([&] {
+    result.store(static_cast<int>(m.AcquireFor(10s)));
+    m.Release();
+  });
+  std::this_thread::sleep_for(20ms);
+  m.Release();
+  t.Join();
+  EXPECT_EQ(result.load(), static_cast<int>(WaitResult::kSatisfied));
+}
+
+// ---------------------------------------------------------------------------
+// Semaphore::PFor
+// ---------------------------------------------------------------------------
+
+TEST(TimedSemaphoreTest, PForAvailableSatisfies) {
+  Semaphore s;
+  EXPECT_EQ(s.PFor(10ms), WaitResult::kSatisfied);
+  EXPECT_FALSE(s.AvailableForDebug());
+  s.V();
+}
+
+TEST(TimedSemaphoreTest, PForTimesOutWhenUnavailable) {
+  Semaphore s;
+  s.P();
+  Thread t = Thread::Fork([&] {
+    EXPECT_EQ(s.PFor(5ms), WaitResult::kTimeout);
+    EXPECT_EQ(s.PFor(0ns), WaitResult::kTimeout);
+  });
+  t.Join();
+  // UNCHANGED [s]: the failed PFor took nothing.
+  EXPECT_FALSE(s.AvailableForDebug());
+  s.V();
+}
+
+TEST(TimedSemaphoreTest, VBeforeDeadlineGrants) {
+  Semaphore s;
+  s.P();
+  std::atomic<int> result{-1};
+  Thread t = Thread::Fork([&] {
+    result.store(static_cast<int>(s.PFor(10s)));
+  });
+  std::this_thread::sleep_for(20ms);
+  s.V();
+  t.Join();
+  EXPECT_EQ(result.load(), static_cast<int>(WaitResult::kSatisfied));
+  s.V();
+}
+
+// ---------------------------------------------------------------------------
+// Condition::WaitFor
+// ---------------------------------------------------------------------------
+
+TEST(TimedConditionTest, WaitForTimesOutWithMutexReacquired) {
+  Mutex m;
+  Condition c;
+  Thread t = Thread::Fork([&] {
+    m.Acquire();
+    EXPECT_EQ(c.WaitFor(m, 5ms), WaitResult::kTimeout);
+    // kTimeout hands the mutex back (the spec's TimeoutResume): this
+    // Release must be legal.
+    m.Release();
+  });
+  t.Join();
+}
+
+TEST(TimedConditionTest, SignalBeforeDeadlineSatisfies) {
+  Mutex m;
+  Condition c;
+  bool flag = false;
+  std::atomic<int> result{-1};
+  Thread t = Thread::Fork([&] {
+    m.Acquire();
+    while (!flag) {
+      WaitResult r = c.WaitFor(m, 10s);
+      result.store(static_cast<int>(r));
+      if (r == WaitResult::kTimeout) {
+        break;
+      }
+    }
+    m.Release();
+  });
+  std::this_thread::sleep_for(10ms);
+  m.Acquire();
+  flag = true;
+  m.Release();
+  c.Signal();
+  t.Join();
+  EXPECT_EQ(result.load(), static_cast<int>(WaitResult::kSatisfied));
+}
+
+TEST(TimedConditionTest, ZeroTimeoutKeepsMutexAndNeverSleeps) {
+  Mutex m;
+  Condition c;
+  Thread t = Thread::Fork([&] {
+    m.Acquire();
+    EXPECT_EQ(c.WaitFor(m, 0ns), WaitResult::kTimeout);
+    EXPECT_EQ(c.WaitFor(m, -1h), WaitResult::kTimeout);
+    m.Release();
+  });
+  t.Join();
+}
+
+// ---------------------------------------------------------------------------
+// AlertWaitFor
+// ---------------------------------------------------------------------------
+
+TEST(TimedAlertTest, AlertEndsWaitAsValueAndConsumesFlag) {
+  Mutex m;
+  Condition c;
+  std::atomic<int> result{-1};
+  std::atomic<bool> still_alerted{true};
+  Thread t = Thread::Fork([&] {
+    m.Acquire();
+    result.store(static_cast<int>(AlertWaitFor(m, c, 10s)));
+    m.Release();
+    still_alerted.store(TestAlert());
+  });
+  std::this_thread::sleep_for(20ms);
+  Alert(t.Handle());
+  t.Join();
+  EXPECT_EQ(result.load(), static_cast<int>(WaitResult::kAlerted));
+  // kAlerted consumed the flag (no Alerted raised): nothing left pending.
+  EXPECT_FALSE(still_alerted.load());
+}
+
+TEST(TimedAlertTest, TimeoutDoesNotConsumeAlertPostedAfter) {
+  Mutex m;
+  Condition c;
+  Thread t = Thread::Fork([&] {
+    m.Acquire();
+    EXPECT_EQ(AlertWaitFor(m, c, 5ms), WaitResult::kTimeout);
+    m.Release();
+    // An alert posted once we were already out of the queue stays
+    // deliverable at the next alert-responsive point.
+    while (!TestAlert()) {
+      std::this_thread::yield();
+    }
+  });
+  std::this_thread::sleep_for(30ms);
+  Alert(t.Handle());
+  t.Join();
+}
+
+TEST(TimedAlertTest, SignalBeforeDeadlineSatisfies) {
+  Mutex m;
+  Condition c;
+  std::atomic<int> result{-1};
+  std::atomic<bool> entered{false};
+  Thread t = Thread::Fork([&] {
+    m.Acquire();
+    entered.store(true);
+    result.store(static_cast<int>(AlertWaitFor(m, c, 10s)));
+    m.Release();
+  });
+  while (!entered.load()) {
+    std::this_thread::yield();
+  }
+  std::this_thread::sleep_for(10ms);
+  c.Broadcast();
+  t.Join();
+  EXPECT_EQ(result.load(), static_cast<int>(WaitResult::kSatisfied));
+}
+
+// ---------------------------------------------------------------------------
+// The deadline subsystem itself
+// ---------------------------------------------------------------------------
+
+int CountOsThreads() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("Threads:", 0) == 0) {
+      std::istringstream is(line.substr(8));
+      int n = 0;
+      is >> n;
+      return n;
+    }
+  }
+  return -1;
+}
+
+TEST(TimerSubsystemTest, WaitWithTimeoutCreatesNoThreadsPerCall) {
+  Mutex m;
+  Condition c;
+  // Warm-up: starts the (single, shared) timer thread and any parker
+  // machinery, so the steady-state count below is honest.
+  m.Acquire();
+  workload::WaitWithTimeout(m, c, [] { return false; }, 5ms);
+  m.Release();
+  const int before = CountOsThreads();
+  ASSERT_GT(before, 0);
+  for (int i = 0; i < 20; ++i) {
+    m.Acquire();
+    EXPECT_FALSE(workload::WaitWithTimeout(m, c, [] { return false; }, 2ms));
+    m.Release();
+  }
+  const int after = CountOsThreads();
+  // The watchdog design spawned one thread per call; the wheel spawns none.
+  EXPECT_EQ(after, before);
+}
+
+TEST(TimerSubsystemTest, CancelledDeadlinesDoNotAccumulate) {
+  Semaphore s;
+  s.P();
+  // Grant every wait before its (generous) deadline: each armed timer must
+  // be cancelled and unlinked, not left to expire.
+  for (int i = 0; i < 100; ++i) {
+    Thread t = Thread::Fork([&] { EXPECT_EQ(s.PFor(10s), WaitResult::kSatisfied); });
+    std::this_thread::sleep_for(1ms);
+    s.V();
+    t.Join();
+  }
+  EXPECT_EQ(Timer::Get().ArmedForDebug(), 0u);
+  s.V();
+}
+
+// Expiry-vs-grant: hammer a semaphore with short timed waits while tokens
+// circulate. Accounting must balance exactly — a waiter that reported
+// kTimeout took nothing, a waiter that reported kSatisfied took exactly one
+// token — regardless of how the deadline races the V.
+TEST(TimerSubsystemTest, ExpiryVsGrantNeverLosesTheGrant) {
+  Semaphore s;
+  s.P();  // start with the token held here
+  constexpr int kThreads = 8;
+  constexpr int kItersPerThread = 200;
+  std::atomic<int> satisfied{0};
+  std::vector<Thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.push_back(Thread::Fork([&, t] {
+      for (int i = 0; i < kItersPerThread; ++i) {
+        // Mixed deadlines, including sub-tick ones, to land on both sides
+        // of the race.
+        const auto timeout = std::chrono::microseconds(50 * ((t + i) % 7));
+        if (s.PFor(timeout) == WaitResult::kSatisfied) {
+          satisfied.fetch_add(1, std::memory_order_relaxed);
+          s.V();  // put the token back for someone else
+        }
+      }
+    }));
+  }
+  s.V();  // release the token into the scrum
+  for (Thread& t : threads) {
+    t.Join();
+  }
+  // The token must still exist: exactly one P can succeed immediately.
+  EXPECT_EQ(s.PFor(0ns), WaitResult::kSatisfied);
+  EXPECT_EQ(s.PFor(0ns), WaitResult::kTimeout);
+  s.V();
+  EXPECT_EQ(Timer::Get().ArmedForDebug(), 0u);
+}
+
+// Same shape on a condition variable: signals and deadlines race, and every
+// exit leaves the mutex consistently re-held.
+TEST(TimerSubsystemTest, WaitForSignalRaceStress) {
+  Mutex m;
+  Condition c;
+  std::atomic<bool> stop{false};
+  int guarded = 0;  // only ever touched under m
+  constexpr int kWaiters = 4;
+  std::vector<Thread> waiters;
+  waiters.reserve(kWaiters);
+  for (int t = 0; t < kWaiters; ++t) {
+    waiters.push_back(Thread::Fork([&] {
+      for (int i = 0; i < 300; ++i) {
+        m.Acquire();
+        c.WaitFor(m, std::chrono::microseconds(100));
+        ++guarded;  // legal on every result: m is held again
+        m.Release();
+      }
+    }));
+  }
+  Thread signaller = Thread::Fork([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      c.Broadcast();
+      std::this_thread::yield();
+    }
+  });
+  for (Thread& t : waiters) {
+    t.Join();
+  }
+  stop.store(true, std::memory_order_release);
+  signaller.Join();
+  m.Acquire();
+  EXPECT_EQ(guarded, kWaiters * 300);
+  m.Release();
+}
+
+}  // namespace
+}  // namespace taos
