@@ -1,9 +1,15 @@
 #include "src/base/check.h"
 
+#include "src/base/chaos.h"
+
 namespace taos {
 
 void PanicImpl(const char* file, int line, const char* what) {
   std::fprintf(stderr, "taos panic at %s:%d: %s\n", file, line, what);
+  // In a chaos build with injection active, the schedule pressure is part of
+  // the failure: print the {seed, strategy, point-mask} triple so the exact
+  // pressure is replayable with one env var. No-op otherwise.
+  chaos::PrintConfigBanner(stderr);
   std::fflush(stderr);
   std::abort();
 }

@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <thread>
 
+#include "src/base/chaos.h"
 #include "src/obs/metrics.h"
 
 namespace taos {
@@ -39,6 +40,9 @@ class SpinLock {
 
   void Acquire() {
     if (!bit_.test_and_set(std::memory_order_acquire)) {
+      // A delay here stretches every Nub critical section, which is what
+      // makes the try-lock dances and guard-ordered paths actually contend.
+      TAOS_CHAOS(kSpinAcquired);
       return;
     }
     AcquireSlow();
@@ -47,7 +51,10 @@ class SpinLock {
   // Single test-and-set attempt; returns true if the lock was taken.
   bool TryAcquire() { return !bit_.test_and_set(std::memory_order_acquire); }
 
-  void Release() { bit_.clear(std::memory_order_release); }
+  void Release() {
+    TAOS_CHAOS(kSpinBeforeRelease);
+    bit_.clear(std::memory_order_release);
+  }
 
   // True if some thread currently holds the lock (racy; for diagnostics).
   bool IsHeld() const { return bit_.test(std::memory_order_relaxed); }
@@ -98,6 +105,7 @@ class SpinLock {
         }
       }
       if (!bit_.test_and_set(std::memory_order_acquire)) {
+        TAOS_CHAOS(kSpinAcquired);
         break;
       }
       ++iters;  // lost the race to another test-and-set

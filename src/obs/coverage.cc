@@ -1,0 +1,94 @@
+#include "src/obs/coverage.h"
+
+#include <cstring>
+#include <mutex>
+
+namespace taos {
+namespace obs {
+namespace {
+
+struct Slot {
+  const char* name = nullptr;
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<std::uint64_t> fires{0};
+};
+
+Slot g_slots[kMaxCoverageSlots];
+// Published count: readers (CoverageSnapshot) acquire, the registrar
+// releases after filling in the name, so a visible count implies a visible
+// name. The std::mutex serializes registrars only.
+std::atomic<int> g_count{0};
+std::mutex g_register_mu;
+
+}  // namespace
+
+int RegisterCoverageSlot(const char* name) {
+  std::lock_guard<std::mutex> lk(g_register_mu);
+  const int n = g_count.load(std::memory_order_relaxed);
+  for (int i = 0; i < n; ++i) {
+    if (std::strcmp(g_slots[i].name, name) == 0) {
+      return i;
+    }
+  }
+  if (n == kMaxCoverageSlots) {
+    return -1;
+  }
+  g_slots[n].name = name;
+  g_count.store(n + 1, std::memory_order_release);
+  return n;
+}
+
+void CoverageHit(int slot) {
+  if (slot >= 0) {
+    g_slots[slot].hits.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void CoverageFire(int slot) {
+  if (slot >= 0) {
+    g_slots[slot].fires.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::vector<CoverageRow> CoverageSnapshot() {
+  const int n = g_count.load(std::memory_order_acquire);
+  std::vector<CoverageRow> rows;
+  rows.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    rows.push_back({g_slots[i].name,
+                    g_slots[i].hits.load(std::memory_order_relaxed),
+                    g_slots[i].fires.load(std::memory_order_relaxed)});
+  }
+  return rows;
+}
+
+void ResetCoverage() {
+  const int n = g_count.load(std::memory_order_acquire);
+  for (int i = 0; i < n; ++i) {
+    g_slots[i].hits.store(0, std::memory_order_relaxed);
+    g_slots[i].fires.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::string CoverageJson() {
+  std::string out = "{\"coverage\":{";
+  bool first = true;
+  for (const CoverageRow& row : CoverageSnapshot()) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    out += "\"";
+    out += row.name;
+    out += "\":{\"hits\":";
+    out += std::to_string(row.hits);
+    out += ",\"fires\":";
+    out += std::to_string(row.fires);
+    out += "}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace taos

@@ -1,0 +1,63 @@
+// A small named-slot coverage registry: fixed-capacity, lock-free after
+// registration, standard-library-only (like metrics.h it sits below the
+// synchronization primitives and must not use them).
+//
+// The chaos layer (src/base/chaos.h) registers one slot per injection point
+// and bumps it on every crossing; a run can then report which race windows
+// were actually exercised rather than trusting that a stress test "probably"
+// hit them. The registry is generic — any subsystem that wants cheap named
+// hit-counting can use it — but chaos is the customer it was built for.
+//
+// Each slot carries two counters:
+//   hits  — the code path crossed the named point (the window exists in this
+//           run's configuration and was reached);
+//   fires — the crossing actually perturbed the schedule (chaos injected a
+//           yield/sleep/spin there, not just walked through).
+// Coverage claims are made on hits; fires measure how much pressure the
+// active strategy put on each window.
+
+#ifndef TAOS_SRC_OBS_COVERAGE_H_
+#define TAOS_SRC_OBS_COVERAGE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace taos {
+namespace obs {
+
+inline constexpr int kMaxCoverageSlots = 128;
+
+// Registers a named slot and returns its index, or re-returns the existing
+// index if `name` (compared by content) is already registered. Thread-safe;
+// intended for one-time init paths, not hot loops. `name` must outlive the
+// process (string literals). Returns -1 if the table is full.
+int RegisterCoverageSlot(const char* name);
+
+// Relaxed counter bumps; `slot` must come from RegisterCoverageSlot.
+void CoverageHit(int slot);
+void CoverageFire(int slot);
+
+// Point-in-time copy of one slot.
+struct CoverageRow {
+  const char* name;
+  std::uint64_t hits;
+  std::uint64_t fires;
+};
+
+// All registered slots, in registration order.
+std::vector<CoverageRow> CoverageSnapshot();
+
+// Zeroes every slot's counters (registration survives). Callers must be
+// quiescent to get a meaningful baseline, same as obs::ResetStats.
+void ResetCoverage();
+
+// {"coverage":{"<name>":{"hits":N,"fires":N},...}} — same hand-rolled style
+// as obs::StatsJson.
+std::string CoverageJson();
+
+}  // namespace obs
+}  // namespace taos
+
+#endif  // TAOS_SRC_OBS_COVERAGE_H_

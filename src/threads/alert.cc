@@ -1,5 +1,6 @@
 #include "src/threads/alert.h"
 
+#include "src/base/chaos.h"
 #include "src/base/check.h"
 #include "src/obs/metrics.h"
 #include "src/obs/recorder.h"
@@ -37,6 +38,9 @@ void Alert(ThreadHandle h) {
     waitq::Parker* unpark = nullptr;
     t->lock.Acquire();
     t->alerted.store(true, std::memory_order_seq_cst);
+    // The Alert-vs-grant window: the cancel CAS below races a V/Signal
+    // resume on the same cell.
+    TAOS_CHAOS(kAlertFlagToCancel);
     if (t->block_kind != ThreadRecord::BlockKind::kNone && t->alertable &&
         t->wait_cell != nullptr &&
         t->wait_cell->Cancel() == waitq::WaitCell::CancelOutcome::kCancelled) {
@@ -81,13 +85,21 @@ void Alert(ThreadHandle h) {
     SpinLock* obj_lock = t->blocked_lock->Resolve();
     if (!obj_lock->TryAcquire()) {
       t->lock.Release();
-      SpinLock::Pause();
+      TAOS_CHAOS(kAlertLockRetry);
+      // Back off until the object lock looks free: its holder is likely
+      // spinning for t's record lock (waking t), and retrying after a bare
+      // pause can starve it once its backoff escalates to sched_yield —
+      // a livelock when record-lock holds are long (seen under chaos).
+      while (obj_lock->IsHeld()) {
+        SpinLock::Pause();
+      }
       continue;
     }
     // Both locks held: set the flag, dequeue and wake t — one atomic action.
     // (Setting alerted on a failed iteration instead would let t consume the
     // alert and emit its Raises action before this Alert's own emission.)
     t->alerted.store(true, std::memory_order_relaxed);
+    TAOS_CHAOS(kAlertFlagToCancel);
     if (nub.waitq_mode()) {
       // Traced run on the waiter-queue backend: the dequeue is a cancel CAS
       // on t's published cell. Losing it means a resume — emitted earlier
@@ -270,6 +282,9 @@ void AlertWait(Mutex& m, Condition& c) {
     waitq::WaitCell* cell = c.wqueue_.Enqueue();
     {
       SpinGuard sg(self->lock);
+      // Stalling with the record lock held stretches the check-to-install
+      // window an Alert must not be able to slip through.
+      TAOS_CHAOS(kAlertWaitWindow);
       if (self->alerted.load(std::memory_order_relaxed)) {
         raise = true;
         if (cell->Cancel() == waitq::WaitCell::CancelOutcome::kCancelled) {
@@ -319,6 +334,7 @@ void AlertWait(Mutex& m, Condition& c) {
   {
     NubGuard g(c.nub_lock_);
     SpinGuard sg(self->lock);
+    TAOS_CHAOS(kAlertWaitWindow);
     if (self->alerted.load(std::memory_order_relaxed)) {
       raise = true;
       c.waiters_.fetch_sub(1, std::memory_order_relaxed);
@@ -480,6 +496,7 @@ WaitResult AlertWaitFor(Mutex& m, Condition& c,
       std::uint64_t gen = 0;
       {
         SpinGuard sg(self->lock);
+        TAOS_CHAOS(kAlertWaitWindow);
         if (self->alerted.load(std::memory_order_relaxed)) {
           raise = true;
           if (cell->Cancel() == waitq::WaitCell::CancelOutcome::kCancelled) {
@@ -525,6 +542,7 @@ WaitResult AlertWaitFor(Mutex& m, Condition& c,
       {
         NubGuard g(c.nub_lock_);
         SpinGuard sg(self->lock);
+        TAOS_CHAOS(kAlertWaitWindow);
         if (self->alerted.load(std::memory_order_relaxed)) {
           raise = true;
           c.waiters_.fetch_sub(1, std::memory_order_relaxed);
@@ -678,6 +696,7 @@ void AlertP(Semaphore& s) {
       bool raise = false;
       {
         SpinGuard sg(self->lock);
+        TAOS_CHAOS(kAlertWaitWindow);
         if (self->alerted.load(std::memory_order_relaxed)) {
           // An Alert slipped in after the check above; it saw this thread
           // unpublished and left only the flag. Withdraw the claim and
@@ -733,6 +752,7 @@ void AlertP(Semaphore& s) {
     {
       NubGuard g(s.nub_lock_);
       SpinGuard sg(self->lock);
+      TAOS_CHAOS(kAlertWaitWindow);
       if (self->alerted.load(std::memory_order_relaxed)) {
         self->alerted.store(false, std::memory_order_relaxed);
         self->alert_woken = false;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/base/chaos.h"
 #include "src/base/check.h"
 #include "src/obs/metrics.h"
 #include "src/obs/recorder.h"
@@ -38,6 +39,8 @@ void Condition::Wait(Mutex& m) {
     waiters_.fetch_add(1, std::memory_order_seq_cst);
     // ...then leave the critical section and call the Nub subroutine Block.
     m.Release();
+    // The wakeup-waiting window: a Signal landing here must not be lost.
+    TAOS_CHAOS(kCondReleaseToBlock);
     Block(self, i);
     // On return from Block, re-enter a critical section.
     m.Acquire();
@@ -65,6 +68,7 @@ WaitResult Condition::WaitFor(Mutex& m, std::chrono::nanoseconds timeout) {
     const EventCount::Value i = ec_.Read();
     waiters_.fetch_add(1, std::memory_order_seq_cst);
     m.Release();
+    TAOS_CHAOS(kCondReleaseToBlock);
     const bool expired = BlockFor(self, i, deadline);
     m.Acquire();
     result = expired ? WaitResult::kTimeout : WaitResult::kSatisfied;
@@ -86,6 +90,7 @@ void Condition::Block(ThreadRecord* self, EventCount::Value i) {
     // cell claim and EventCount accesses are seq_cst); a Signal that
     // advanced past i either sees our claim, or we see its advance.
     waitq::WaitCell* cell = wqueue_.Enqueue();
+    TAOS_CHAOS(kCondClaimToRecheck);
     if (ec_.Read() != i) {
       // A Signal or Broadcast intervened: withdraw the claim and return. If
       // its resume already landed on the cell, accept the wakeup (the
@@ -143,6 +148,7 @@ bool Condition::BlockFor(ThreadRecord* self, EventCount::Value i,
     // CAS against a signaller's resume decides expiry-vs-wakeup, so a
     // Signal that dequeues this thread can never be turned into a timeout.
     waitq::WaitCell* cell = wqueue_.Enqueue();
+    TAOS_CHAOS(kCondClaimToRecheck);
     if (ec_.Read() != i) {
       if (cell->Cancel() == waitq::WaitCell::CancelOutcome::kCancelled) {
         waiters_.fetch_sub(1, std::memory_order_relaxed);
@@ -168,6 +174,7 @@ bool Condition::BlockFor(ThreadRecord* self, EventCount::Value i,
       Timer::Get().Arm(self, gen, deadline_ns);
       ParkBlocked(self);
       Timer::Get().Cancel(self, gen);
+      TAOS_CHAOS(kCondTimedFinish);
     }
     FinishWaitCell(self, cell);
     return parked && ConsumeTimeoutWoken(self);
@@ -196,6 +203,7 @@ bool Condition::BlockFor(ThreadRecord* self, EventCount::Value i,
   Timer::Get().Arm(self, gen, deadline_ns);
   ParkBlocked(self);
   Timer::Get().Cancel(self, gen);
+  TAOS_CHAOS(kCondTimedFinish);
   return ConsumeTimeoutWoken(self);
 }
 
@@ -226,6 +234,7 @@ void Condition::NubSignal() {
   {
     NubGuard g(nub_lock_);
     ec_.Advance();
+    TAOS_CHAOS(kCondSignalToResume);
     if (nub.waitq_mode()) {
       const waitq::WaitQueue::Resumed r = wqueue_.ResumeOne();
       if (r.resumed) {
@@ -272,6 +281,7 @@ void Condition::NubBroadcast() {
   {
     NubGuard g(nub_lock_);
     ec_.Advance();
+    TAOS_CHAOS(kCondSignalToResume);
     if (nub.waitq_mode()) {
       for (;;) {
         const waitq::WaitQueue::Resumed r = wqueue_.ResumeOne();

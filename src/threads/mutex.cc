@@ -1,5 +1,6 @@
 #include "src/threads/mutex.h"
 
+#include "src/base/chaos.h"
 #include "src/base/check.h"
 #include "src/obs/metrics.h"
 #include "src/obs/recorder.h"
@@ -109,6 +110,7 @@ void Mutex::NubAcquire(ThreadRecord* self) {
       // Add the calling thread to the Queue, then test the Lock-bit again.
       queue_.PushBack(self);
       queue_len_.fetch_add(1, std::memory_order_seq_cst);
+      TAOS_CHAOS(kMutexEnqueuedToTest);
       if (bit_.load(std::memory_order_seq_cst) != 0) {
         // Still held: de-schedule this thread. It stays queued; Release will
         // make it ready.
@@ -117,6 +119,7 @@ void Mutex::NubAcquire(ThreadRecord* self) {
         parked = true;
       } else {
         // Released in the meantime: back out and retry the whole Acquire.
+        TAOS_CHAOS(kMutexBackout);
         queue_.Remove(self);
         queue_len_.fetch_sub(1, std::memory_order_relaxed);
       }
@@ -124,6 +127,7 @@ void Mutex::NubAcquire(ThreadRecord* self) {
     if (parked) {
       ParkBlocked(self);
     }
+    TAOS_CHAOS(kMutexWakeToRetry);
     // Retry the entire Acquire operation, beginning at the test-and-set.
     // Another thread may barge in and win; the spec does not say which
     // blocked thread acquires next.
@@ -147,6 +151,7 @@ void Mutex::WaitqAcquire(ThreadRecord* self) {
     // enqueue-then-test; all four accesses are seq_cst.
     waitq::WaitCell* cell = wqueue_.Enqueue();
     queue_len_.fetch_add(1, std::memory_order_seq_cst);
+    TAOS_CHAOS(kMutexEnqueuedToTest);
     if (bit_.load(std::memory_order_seq_cst) != 0) {
       {
         SpinGuard tg(self->lock);
@@ -166,11 +171,13 @@ void Mutex::WaitqAcquire(ThreadRecord* self) {
       // Release already granted the cell, the grant stands in for the
       // unpark this thread no longer needs (queue_len_ then was decremented
       // by the resumer).
+      TAOS_CHAOS(kMutexBackout);
       if (cell->Cancel() == waitq::WaitCell::CancelOutcome::kCancelled) {
         queue_len_.fetch_sub(1, std::memory_order_relaxed);
       }
       waitq::WaitQueue::Detach(cell);
     }
+    TAOS_CHAOS(kMutexWakeToRetry);
     // Retry the entire Acquire operation, beginning at the test-and-set;
     // barging is possible exactly as in the classic backend.
     if (bit_.exchange(1, std::memory_order_acquire) == 0) {
@@ -198,6 +205,7 @@ bool Mutex::NubAcquireFor(ThreadRecord* self, std::uint64_t deadline_ns) {
       NubGuard g(nub_lock_);
       queue_.PushBack(self);
       queue_len_.fetch_add(1, std::memory_order_seq_cst);
+      TAOS_CHAOS(kMutexEnqueuedToTest);
       if (bit_.load(std::memory_order_seq_cst) != 0) {
         gen = ++self->next_timer_gen;
         SpinGuard tg(self->lock);
@@ -206,6 +214,7 @@ bool Mutex::NubAcquireFor(ThreadRecord* self, std::uint64_t deadline_ns) {
         PublishTimedLocked(self, gen);
         parked = true;
       } else {
+        TAOS_CHAOS(kMutexBackout);
         queue_.Remove(self);
         queue_len_.fetch_sub(1, std::memory_order_relaxed);
       }
@@ -216,6 +225,7 @@ bool Mutex::NubAcquireFor(ThreadRecord* self, std::uint64_t deadline_ns) {
       Timer::Get().Arm(self, gen, deadline_ns);
       ParkBlocked(self);
       Timer::Get().Cancel(self, gen);
+      TAOS_CHAOS(kMutexTimedFinish);
     }
     const bool expired = parked && ConsumeTimeoutWoken(self);
     // Exchange FIRST, deadline second: a wake delivered because the mutex
@@ -241,6 +251,7 @@ bool Mutex::WaitqAcquireFor(ThreadRecord* self, std::uint64_t deadline_ns) {
     bool parked = false;
     waitq::WaitCell* cell = wqueue_.Enqueue();
     queue_len_.fetch_add(1, std::memory_order_seq_cst);
+    TAOS_CHAOS(kMutexEnqueuedToTest);
     if (bit_.load(std::memory_order_seq_cst) != 0) {
       std::uint64_t gen = 0;
       {
@@ -257,9 +268,11 @@ bool Mutex::WaitqAcquireFor(ThreadRecord* self, std::uint64_t deadline_ns) {
         Timer::Get().Arm(self, gen, deadline_ns);
         ParkBlocked(self);
         Timer::Get().Cancel(self, gen);
+        TAOS_CHAOS(kMutexTimedFinish);
       }
       FinishWaitCell(self, cell);
     } else {
+      TAOS_CHAOS(kMutexBackout);
       if (cell->Cancel() == waitq::WaitCell::CancelOutcome::kCancelled) {
         queue_len_.fetch_sub(1, std::memory_order_relaxed);
       }
@@ -297,6 +310,7 @@ void Mutex::Release() {
     // enqueue-then-test in NubAcquire so that at least one side sees the
     // other (no thread is left parked with the mutex free).
     bit_.store(0, std::memory_order_seq_cst);
+    TAOS_CHAOS(kMutexReleaseWindow);
     if (queue_len_.load(std::memory_order_seq_cst) > 0) {
       NubRelease();
     } else {

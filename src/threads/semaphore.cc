@@ -1,5 +1,6 @@
 #include "src/threads/semaphore.h"
 
+#include "src/base/chaos.h"
 #include "src/base/check.h"
 #include "src/obs/metrics.h"
 #include "src/obs/recorder.h"
@@ -97,11 +98,13 @@ void Semaphore::NubP(ThreadRecord* self) {
       NubGuard g(nub_lock_);
       queue_.PushBack(self);
       queue_len_.fetch_add(1, std::memory_order_seq_cst);
+      TAOS_CHAOS(kSemEnqueuedToTest);
       if (bit_.load(std::memory_order_seq_cst) != 0) {
         MarkBlocked(self, ThreadRecord::BlockKind::kSemaphore, this,
                     &nub_lock_, /*alertable=*/false);
         parked = true;
       } else {
+        TAOS_CHAOS(kSemBackout);
         queue_.Remove(self);
         queue_len_.fetch_sub(1, std::memory_order_relaxed);
       }
@@ -109,6 +112,7 @@ void Semaphore::NubP(ThreadRecord* self) {
     if (parked) {
       ParkBlocked(self);
     }
+    TAOS_CHAOS(kSemWakeToRetry);
     if (bit_.exchange(1, std::memory_order_acquire) == 0) {
       return;
     }
@@ -125,6 +129,7 @@ void Semaphore::WaitqP(ThreadRecord* self) {
     bool parked = false;
     waitq::WaitCell* cell = wqueue_.Enqueue();
     queue_len_.fetch_add(1, std::memory_order_seq_cst);
+    TAOS_CHAOS(kSemEnqueuedToTest);
     if (bit_.load(std::memory_order_seq_cst) != 0) {
       {
         SpinGuard tg(self->lock);
@@ -137,11 +142,13 @@ void Semaphore::WaitqP(ThreadRecord* self) {
       }
       FinishWaitCell(self, cell);
     } else {
+      TAOS_CHAOS(kSemBackout);
       if (cell->Cancel() == waitq::WaitCell::CancelOutcome::kCancelled) {
         queue_len_.fetch_sub(1, std::memory_order_relaxed);
       }
       waitq::WaitQueue::Detach(cell);
     }
+    TAOS_CHAOS(kSemWakeToRetry);
     if (bit_.exchange(1, std::memory_order_acquire) == 0) {
       return;
     }
@@ -167,6 +174,7 @@ bool Semaphore::NubPFor(ThreadRecord* self, std::uint64_t deadline_ns) {
       NubGuard g(nub_lock_);
       queue_.PushBack(self);
       queue_len_.fetch_add(1, std::memory_order_seq_cst);
+      TAOS_CHAOS(kSemEnqueuedToTest);
       if (bit_.load(std::memory_order_seq_cst) != 0) {
         gen = ++self->next_timer_gen;
         SpinGuard tg(self->lock);
@@ -175,6 +183,7 @@ bool Semaphore::NubPFor(ThreadRecord* self, std::uint64_t deadline_ns) {
         PublishTimedLocked(self, gen);
         parked = true;
       } else {
+        TAOS_CHAOS(kSemBackout);
         queue_.Remove(self);
         queue_len_.fetch_sub(1, std::memory_order_relaxed);
       }
@@ -183,6 +192,7 @@ bool Semaphore::NubPFor(ThreadRecord* self, std::uint64_t deadline_ns) {
       Timer::Get().Arm(self, gen, deadline_ns);
       ParkBlocked(self);
       Timer::Get().Cancel(self, gen);
+      TAOS_CHAOS(kSemTimedFinish);
     }
     const bool expired = parked && ConsumeTimeoutWoken(self);
     // Exchange FIRST, deadline second: a V's grant is never converted into
@@ -207,6 +217,7 @@ bool Semaphore::WaitqPFor(ThreadRecord* self, std::uint64_t deadline_ns) {
     bool parked = false;
     waitq::WaitCell* cell = wqueue_.Enqueue();
     queue_len_.fetch_add(1, std::memory_order_seq_cst);
+    TAOS_CHAOS(kSemEnqueuedToTest);
     if (bit_.load(std::memory_order_seq_cst) != 0) {
       std::uint64_t gen = 0;
       {
@@ -223,9 +234,11 @@ bool Semaphore::WaitqPFor(ThreadRecord* self, std::uint64_t deadline_ns) {
         Timer::Get().Arm(self, gen, deadline_ns);
         ParkBlocked(self);
         Timer::Get().Cancel(self, gen);
+        TAOS_CHAOS(kSemTimedFinish);
       }
       FinishWaitCell(self, cell);
     } else {
+      TAOS_CHAOS(kSemBackout);
       if (cell->Cancel() == waitq::WaitCell::CancelOutcome::kCancelled) {
         queue_len_.fetch_sub(1, std::memory_order_relaxed);
       }
@@ -254,6 +267,7 @@ void Semaphore::V() {
       return;
     }
     bit_.store(0, std::memory_order_seq_cst);
+    TAOS_CHAOS(kSemReleaseWindow);
     if (queue_len_.load(std::memory_order_seq_cst) > 0) {
       NubV();
     } else {

@@ -4,6 +4,7 @@
 #include <limits>
 #include <thread>
 
+#include "src/base/chaos.h"
 #include "src/base/check.h"
 #include "src/obs/metrics.h"
 #include "src/threads/condition.h"
@@ -38,6 +39,7 @@ Timer::Timer() {
 void Timer::Arm(ThreadRecord* rec, std::uint64_t gen,
                 std::uint64_t deadline_ns) {
   obs::Inc(obs::Counter::kTimersArmed);
+  TAOS_CHAOS(kTimerArm);
   bool wake = false;
   {
     SpinGuard g(lock_);
@@ -61,6 +63,9 @@ void Timer::Arm(ThreadRecord* rec, std::uint64_t gen,
 }
 
 void Timer::Cancel(ThreadRecord* rec, std::uint64_t gen) {
+  // The cancel-vs-expiry window: the timer thread may have collected this
+  // node into an expiry batch already, making the unlink below a no-op.
+  TAOS_CHAOS(kTimerCancel);
   SpinGuard g(lock_);
   TimerNode* n = &rec->timer;
   if (n->armed && n->gen == gen) {
@@ -213,6 +218,9 @@ void Timer::ThreadMain() {
       }
     }
     if (!expired.empty()) {
+      // The batch gap: entries were collected under the wheel lock, but
+      // their waiters may be granted (or re-arm) before ExpireEntry runs.
+      TAOS_CHAOS(kTimerBatchGap);
       const std::uint64_t now = obs::NowNanos();
       for (const Expiry& e : expired) {
         obs::Inc(obs::Counter::kTimersExpired);
@@ -244,6 +252,9 @@ void Timer::ExpireEntry(const Expiry& e) {
     // from its blocking call, so the object is alive.
     waitq::Parker* unpark = nullptr;
     t->lock.Acquire();
+    // The timeout-vs-grant window: the cancel CAS below races a
+    // Release/V/Signal resume on the same cell.
+    TAOS_CHAOS(kTimerExpiryToCancel);
     if (t->timed && t->timer_gen == e.gen &&
         t->block_kind != ThreadRecord::BlockKind::kNone &&
         t->wait_cell != nullptr &&
@@ -282,6 +293,7 @@ void Timer::ExpireEntry(const Expiry& e) {
   // and will need t's record lock).
   for (;;) {
     t->lock.Acquire();
+    TAOS_CHAOS(kTimerExpiryToCancel);
     if (!t->timed || t->timer_gen != e.gen ||
         t->block_kind == ThreadRecord::BlockKind::kNone) {
       // Stale: the waiter was granted (or alerted) first.
@@ -291,7 +303,16 @@ void Timer::ExpireEntry(const Expiry& e) {
     SpinLock* obj_lock = t->blocked_lock->Resolve();
     if (!obj_lock->TryAcquire()) {
       t->lock.Release();
-      SpinLock::Pause();
+      // Wait until the object lock looks free before re-taking the record
+      // lock. Its holder is (or soon will be) spinning for t's record lock
+      // — typically a Signal/Release waking t — and re-acquiring after a
+      // single pause leaves it only a sliver of a window: once its backoff
+      // escalates to sched_yield the two sides can starve each other
+      // indefinitely when record-lock holds are long (observed under chaos
+      // injection, which stretches every hold).
+      while (obj_lock->IsHeld()) {
+        SpinLock::Pause();
+      }
       continue;
     }
     if (nub.waitq_mode()) {

@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "src/base/chaos.h"
 #include "src/obs/metrics.h"
 
 #if defined(__linux__)
@@ -59,6 +60,9 @@ Parker::Backend Parker::DefaultBackend() {
 }
 
 void Parker::Park() {
+  // Between the caller's last re-test and the deschedule: the wakeup-waiting
+  // window the permit protocol exists for.
+  TAOS_CHAOS(kParkerBeforePark);
   const std::uint64_t start = obs::NowNanos();
   if (backend_ == Backend::kFutex) {
     FutexPark();
@@ -69,15 +73,22 @@ void Parker::Park() {
 }
 
 bool Parker::ParkUntil(std::uint64_t deadline_ns) {
+  TAOS_CHAOS(kParkerBeforePark);
   const std::uint64_t start = obs::NowNanos();
   const bool notified = backend_ == Backend::kFutex
                             ? FutexParkUntil(deadline_ns)
                             : CondvarParkUntil(deadline_ns);
   obs::Record(obs::Histogram::kParkWaitNanos, obs::NowNanos() - start);
+  if (!notified) {
+    // Timed out, permit not consumed: an Unpark can still land before the
+    // caller acts on the timeout (timeout-vs-grant at the parker level).
+    TAOS_CHAOS(kParkerTimedReturn);
+  }
   return notified;
 }
 
 void Parker::Unpark() {
+  TAOS_CHAOS(kParkerBeforeUnpark);
   const std::uint64_t start = obs::NowNanos();
   if (backend_ == Backend::kFutex) {
     FutexUnpark();
@@ -85,6 +96,18 @@ void Parker::Unpark() {
     CondvarUnpark();
   }
   obs::Record(obs::Histogram::kUnparkNanos, obs::NowNanos() - start);
+}
+
+void Parker::SpuriousWakeForDebug() {
+#if defined(__linux__)
+  if (backend_ == Backend::kFutex) {
+    FutexWakeOne(state_);
+    return;
+  }
+#endif
+  // No state change, no mu_: exactly the wakeup the standard allows
+  // condition_variable::wait to produce on its own.
+  cv_.notify_one();
 }
 
 void Parker::FutexPark() {

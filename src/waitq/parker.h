@@ -81,6 +81,12 @@ class Parker {
   // section).
   void Unpark();
 
+  // Test-only: wakes the underlying futex/condvar WITHOUT depositing a
+  // permit — a synthetic spurious wakeup. Park/ParkUntil must absorb it
+  // (re-check the word, go back to sleep); returning from Park on one is a
+  // permit-protocol violation.
+  void SpuriousWakeForDebug();
+
  private:
   // Values of state_. For the futex backend the word carries the whole
   // protocol; for the condvar backend only kEmpty/kNotified are used (the

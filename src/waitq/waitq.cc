@@ -1,5 +1,6 @@
 #include "src/waitq/waitq.h"
 
+#include "src/base/chaos.h"
 #include "src/base/check.h"
 #include "src/base/spinlock.h"
 #include "src/obs/metrics.h"
@@ -12,6 +13,9 @@ namespace taos::waitq {
 
 bool WaitCell::Install(Parker* parker, void* tag) {
   tag_ = tag;  // plain store: published by the CAS-release below
+  // Widens the claim-to-install window: an immediate grant (ResumeOne hits
+  // the still-EMPTY cell) is only reachable inside it.
+  TAOS_CHAOS(kWaitqInstall);
   std::uintptr_t expected = kEmptyBits;
   return state_.compare_exchange_strong(
       expected, reinterpret_cast<std::uintptr_t>(parker),
@@ -19,6 +23,7 @@ bool WaitCell::Install(Parker* parker, void* tag) {
 }
 
 WaitCell::CancelOutcome WaitCell::Cancel() {
+  TAOS_CHAOS(kWaitqCancel);
   std::uintptr_t cur = state_.load(std::memory_order_relaxed);
   for (;;) {
     if (cur == kResumedBits) {
@@ -102,6 +107,7 @@ WaitCell* WaitQueue::Enqueue() {
     }
   }
   const std::uint64_t index = enq_.fetch_add(1, std::memory_order_seq_cst);
+  TAOS_CHAOS(kWaitqClaim);
   seg = SegmentForIndex(seg, index);
   WaitCell* cell = &seg->cells[index - seg->base];
   in_flight_.fetch_sub(1, std::memory_order_release);
@@ -164,6 +170,9 @@ WaitQueue::Resumed WaitQueue::ResumeOne() {
     WaitCell& cell = head->cells[deq - head->base];
     ++deq;
     deq_.store(deq, std::memory_order_relaxed);
+    // Between picking the cell and the resume CAS: a canceller (alert,
+    // timeout) racing for this same cell decides who wins below.
+    TAOS_CHAOS(kWaitqResume);
     std::uintptr_t cur = cell.state_.load(std::memory_order_relaxed);
     for (;;) {
       if (cur == WaitCell::kCancelledBits) {

@@ -2,6 +2,8 @@
 // paper's implementation, which trusted callers) checks them and panics.
 // Death tests pin down that misuse is caught, not silently corrupting.
 
+#include <chrono>
+
 #include <gtest/gtest.h>
 
 #include "src/threads/threads.h"
@@ -51,6 +53,23 @@ TEST(RequiresDeathTest, WaitWithSomeoneElsesMutexPanics) {
       "check failed");
 }
 
+// The timed variants carry the same REQUIRES m = SELF obligation as their
+// untimed counterparts: a deadline is not a license to wait on a mutex the
+// caller does not hold.
+
+TEST(RequiresDeathTest, WaitForWithoutMutexPanics) {
+  Mutex m;
+  Condition c;
+  EXPECT_DEATH(c.WaitFor(m, std::chrono::milliseconds(5)), "check failed");
+}
+
+TEST(RequiresDeathTest, AlertWaitForWithoutMutexPanics) {
+  Mutex m;
+  Condition c;
+  EXPECT_DEATH(AlertWaitFor(m, c, std::chrono::milliseconds(5)),
+               "check failed");
+}
+
 TEST(RequiresDeathTest, AlertNullHandlePanics) {
   EXPECT_DEATH(Alert(ThreadHandle{}), "check failed");
 }
@@ -77,6 +96,28 @@ TEST(RequiresDeathTest, WaitWithoutMutexPanicsInGlobalLockMode) {
         Mutex m;
         Condition c;
         c.Wait(m);
+      },
+      "check failed");
+}
+
+TEST(RequiresDeathTest, WaitForWithoutMutexPanicsInGlobalLockMode) {
+  EXPECT_DEATH(
+      {
+        Nub::Get().SetGlobalLockMode(true);
+        Mutex m;
+        Condition c;
+        c.WaitFor(m, std::chrono::milliseconds(5));
+      },
+      "check failed");
+}
+
+TEST(RequiresDeathTest, AlertWaitForWithoutMutexPanicsInGlobalLockMode) {
+  EXPECT_DEATH(
+      {
+        Nub::Get().SetGlobalLockMode(true);
+        Mutex m;
+        Condition c;
+        AlertWaitFor(m, c, std::chrono::milliseconds(5));
       },
       "check failed");
 }

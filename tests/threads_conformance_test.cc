@@ -22,6 +22,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/base/chaos.h"
 #include "src/spec/checker.h"
 #include "src/threads/threads.h"
 #include "src/workload/bounded_buffer.h"
@@ -29,12 +30,18 @@
 namespace taos {
 namespace {
 
-// Sanitized builds run the same schedules at reduced iteration counts.
+// Sanitized builds run the same schedules at reduced iteration counts, and
+// so do chaos runs: injected delays stretch every slow path, so the matrix
+// keeps the sanitizer budget to stay inside the ctest timeout. A function
+// (not a namespace-scope constant) because the chaos flag is set by env at
+// static-init time in another translation unit.
+int Scale() {
 #if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
-constexpr int kScale = 1;
+  return 1;
 #else
-constexpr int kScale = 4;
+  return chaos::Active() ? 1 : 4;
 #endif
+}
 
 enum class LockMode { kSharded, kGlobal };
 enum class QueueMode { kClassic, kWaitq };
@@ -88,7 +95,7 @@ class ConformanceTest
 TEST_P(ConformanceTest, MutexStormManyObjects) {
   constexpr int kMutexes = 4;
   constexpr int kThreads = 8;
-  const int iters = 30 * kScale;
+  const int iters = 30 * Scale();
   Mutex mutexes[kMutexes];
   std::int64_t counters[kMutexes] = {};
   std::vector<Thread> threads;
@@ -117,7 +124,7 @@ TEST_P(ConformanceTest, MutexStormManyObjects) {
 // Signal and Broadcast racing Wait on two independent conditions, with the
 // producer/consumer predicate forcing real blocking.
 TEST_P(ConformanceTest, ConditionSignalBroadcastStress) {
-  const int rounds = 25 * kScale;
+  const int rounds = 25 * Scale();
   Mutex m;
   Condition not_empty;
   Condition not_full;
@@ -166,7 +173,7 @@ TEST_P(ConformanceTest, ConditionSignalBroadcastStress) {
 // "interrupt" thread doing bare Vs (no precondition on V).
 TEST_P(ConformanceTest, SemaphoreRing) {
   constexpr int kStations = 4;
-  const int laps = 25 * kScale;
+  const int laps = 25 * Scale();
   Semaphore ring[kStations];
   for (Semaphore& s : ring) {
     s.P();  // all stations start empty
@@ -192,7 +199,7 @@ TEST_P(ConformanceTest, SemaphoreRing) {
 // also get woken the normal way — the cross-object paths (rule 3's try-lock
 // dance) under real contention.
 TEST_P(ConformanceTest, AlertStorm) {
-  const int rounds = 10 * kScale;
+  const int rounds = 10 * Scale();
   Mutex m;
   Condition c;
   Semaphore s;
@@ -245,7 +252,7 @@ TEST_P(ConformanceTest, AlertStorm) {
 // slow paths never touch a common lock, and the merged trace must still
 // serialize.
 TEST_P(ConformanceTest, TwoBoundedBuffers) {
-  const int items = 50 * kScale;
+  const int items = 50 * Scale();
   workload::BoundedBuffer<Mutex, Condition> left(2);
   workload::BoundedBuffer<Mutex, Condition> right(3);
   std::uint64_t left_sum = 0;
@@ -286,7 +293,7 @@ TEST_P(ConformanceTest, TwoBoundedBuffers) {
 // Enqueue;TimeoutResume composition — including the Signal-vs-expiry races
 // where the timer dequeued a thread that is still a spec-member of c.
 TEST_P(ConformanceTest, TimedWaitsRaceGrantsAndExpiry) {
-  const int iters = 15 * kScale;
+  const int iters = 15 * Scale();
   Mutex m;
   Condition c;
   Semaphore s;

@@ -266,6 +266,74 @@ TEST(TimerSubsystemTest, WaitWithTimeoutCreatesNoThreadsPerCall) {
   EXPECT_EQ(after, before);
 }
 
+TEST(TimedAlertTest, ZeroAndNegativeTimeoutsKeepMutexAndNeverSleep) {
+  Mutex m;
+  Condition c;
+  Thread t = Thread::Fork([&] {
+    m.Acquire();
+    EXPECT_EQ(AlertWaitFor(m, c, 0ns), WaitResult::kTimeout);
+    EXPECT_EQ(AlertWaitFor(m, c, -1h), WaitResult::kTimeout);
+    // The mutex is still held across both: this Release must be legal.
+    m.Release();
+  });
+  t.Join();
+  EXPECT_EQ(Timer::Get().ArmedForDebug(), 0u);
+}
+
+// A positive-but-tiny timeout whose deadline is already behind NowNanos by
+// the time Arm runs: the wheel contract says it fires at the NEXT tick —
+// never synchronously in the caller, and never gets stuck as a past-due
+// entry the advance loop skips.
+TEST(TimerSubsystemTest, DeadlinePastAtEnqueueStillFiresAtNextTick) {
+  Semaphore s;
+  s.P();
+  for (int i = 0; i < 10; ++i) {
+    Thread t = Thread::Fork([&] {
+      // 1ns is in the past before the slow path even publishes the timed
+      // state; the waiter must still park and be expired by the wheel.
+      EXPECT_EQ(s.PFor(1ns), WaitResult::kTimeout);
+    });
+    t.Join();
+  }
+  // Every past-due entry was fired and unlinked, not abandoned.
+  EXPECT_EQ(Timer::Get().ArmedForDebug(), 0u);
+  EXPECT_FALSE(s.AvailableForDebug());
+  s.V();
+}
+
+// Two waiters with identical timeouts land in the same wheel slot and are
+// collected by one advance: both must be expired in that batch — the
+// second entry must not be lost to the first's slot relink or survive to a
+// later tick with its waiter already gone.
+TEST(TimerSubsystemTest, TwoWaitersExpiringTheSameTickBothFire) {
+  Semaphore s;
+  s.P();
+  for (int round = 0; round < 5; ++round) {
+    std::atomic<int> timeouts{0};
+    std::atomic<int> ready{0};
+    std::vector<Thread> waiters;
+    for (int i = 0; i < 2; ++i) {
+      waiters.push_back(Thread::Fork([&] {
+        ready.fetch_add(1, std::memory_order_relaxed);
+        while (ready.load(std::memory_order_relaxed) < 2) {
+          std::this_thread::yield();
+        }
+        // Same duration from near-identical starts: the two deadlines are
+        // microseconds apart, one ~262us tick wide — same slot.
+        if (s.PFor(5ms) == WaitResult::kTimeout) {
+          timeouts.fetch_add(1, std::memory_order_relaxed);
+        }
+      }));
+    }
+    for (Thread& t : waiters) {
+      t.Join();
+    }
+    EXPECT_EQ(timeouts.load(), 2) << "round " << round;
+  }
+  EXPECT_EQ(Timer::Get().ArmedForDebug(), 0u);
+  s.V();
+}
+
 TEST(TimerSubsystemTest, CancelledDeadlinesDoNotAccumulate) {
   Semaphore s;
   s.P();

@@ -7,6 +7,7 @@
 #include "src/waitq/waitq.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <thread>
 #include <vector>
@@ -64,6 +65,95 @@ TEST_P(ParkerBackendTest, PingPongHandsOffRepeatedly) {
     pong.Park();
   }
   t.join();
+}
+
+// A spurious wakeup (the kernel or the C++ runtime waking the sleeper with
+// no permit deposited) must put the thread back to sleep, never let Park
+// return. SpuriousWakeForDebug pokes the underlying futex/condvar directly.
+TEST_P(ParkerBackendTest, SpuriousWakeupsDoNotForgeAPermit) {
+  Parker p(GetParam());
+  const Counter waits = GetParam() == Parker::Backend::kFutex
+                            ? Counter::kParkFutexWaits
+                            : Counter::kParkCondvarWaits;
+  std::atomic<bool> returned{false};
+  const Stats before = Snapshot();
+  std::thread t([&] {
+    p.Park();
+    returned.store(true, std::memory_order_release);
+  });
+  // Keep injecting until the sleeper has demonstrably slept at least three
+  // times — i.e. it absorbed at least two spurious wakeups by re-checking
+  // the permit word and going back down.
+  for (int i = 0; i < 4000 && Delta(before, Snapshot(), waits) < 3; ++i) {
+    p.SpuriousWakeForDebug();
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  EXPECT_GE(Delta(before, Snapshot(), waits), 3u);
+  EXPECT_FALSE(returned.load(std::memory_order_acquire))
+      << "Park returned without a permit";
+  p.Unpark();
+  t.join();
+  EXPECT_TRUE(returned.load(std::memory_order_acquire));
+}
+
+// Same discipline on the timed path: spurious wakeups neither end the wait
+// early nor turn it into a timeout; the one real Unpark does.
+TEST_P(ParkerBackendTest, SpuriousWakeupsDoNotEndATimedParkEarly) {
+  Parker p(GetParam());
+  std::atomic<int> outcome{-1};
+  std::thread t([&] {
+    outcome.store(p.ParkUntil(obs::NowNanos() + 2'000'000'000ull) ? 1 : 0,
+                  std::memory_order_release);
+  });
+  for (int i = 0; i < 50; ++i) {
+    p.SpuriousWakeForDebug();
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  EXPECT_EQ(outcome.load(std::memory_order_acquire), -1)
+      << "timed park ended on a spurious wakeup";
+  p.Unpark();
+  t.join();
+  EXPECT_EQ(outcome.load(std::memory_order_acquire), 1);
+}
+
+// Regression for the CondvarPark ordering fix: the permit store must happen
+// under mu_ (with the notify after), or an Unpark landing in the waiter's
+// check-to-sleep window is published after the check but notifies before
+// the sleep — a lost wakeup. Swept here by staggering the Unpark across
+// that window a few thousand times; run on both backends (the futex word
+// protocol has the same window between the kParked CAS and FUTEX_WAIT).
+// A lost wakeup surfaces as ParkUntil timing out despite the Unpark.
+TEST_P(ParkerBackendTest, UnparkInTheCheckToSleepWindowIsNeverLost) {
+  Parker p(GetParam());
+  constexpr int kRounds = 4000;
+  std::atomic<int> completed{0};
+  std::atomic<bool> all_notified{true};
+  std::thread waiter([&] {
+    for (int i = 0; i < kRounds; ++i) {
+      if (!p.ParkUntil(obs::NowNanos() + 10'000'000'000ull)) {
+        all_notified.store(false, std::memory_order_relaxed);
+      }
+      completed.store(i + 1, std::memory_order_release);
+    }
+  });
+  for (int i = 0; i < kRounds; ++i) {
+    // Variable stagger: some Unparks land before the waiter reaches the
+    // permit check, some inside the window, some after it is asleep.
+    std::atomic<int> stagger{(i * 7) % 120};
+    while (stagger.fetch_sub(1, std::memory_order_relaxed) > 0) {
+    }
+    if (i % 16 == 0) {
+      std::this_thread::yield();
+    }
+    p.Unpark();
+    // One permit at a time: the next Unpark only after this one is consumed.
+    while (completed.load(std::memory_order_acquire) < i + 1) {
+      std::this_thread::yield();
+    }
+  }
+  waiter.join();
+  EXPECT_TRUE(all_notified.load(std::memory_order_relaxed))
+      << "an Unpark was lost in the check-to-sleep window";
 }
 
 INSTANTIATE_TEST_SUITE_P(
