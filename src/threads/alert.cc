@@ -86,13 +86,11 @@ void Alert(ThreadHandle h) {
     if (!obj_lock->TryAcquire()) {
       t->lock.Release();
       TAOS_CHAOS(kAlertLockRetry);
-      // Back off until the object lock looks free: its holder is likely
-      // spinning for t's record lock (waking t), and retrying after a bare
-      // pause can starve it once its backoff escalates to sched_yield —
-      // a livelock when record-lock holds are long (seen under chaos).
-      while (obj_lock->IsHeld()) {
-        SpinLock::Pause();
-      }
+      // obj_lock may dangle from here on — the record lock is gone, so its
+      // holder can wake t and the object can be destroyed. Rule3Backoff
+      // yields without peeking at it, which also gives that holder (likely
+      // spinning for t's record lock) the window a bare pause never did.
+      Rule3Backoff();
       continue;
     }
     // Both locks held: set the flag, dequeue and wake t — one atomic action.

@@ -303,16 +303,13 @@ void Timer::ExpireEntry(const Expiry& e) {
     SpinLock* obj_lock = t->blocked_lock->Resolve();
     if (!obj_lock->TryAcquire()) {
       t->lock.Release();
-      // Wait until the object lock looks free before re-taking the record
-      // lock. Its holder is (or soon will be) spinning for t's record lock
-      // — typically a Signal/Release waking t — and re-acquiring after a
-      // single pause leaves it only a sliver of a window: once its backoff
-      // escalates to sched_yield the two sides can starve each other
-      // indefinitely when record-lock holds are long (observed under chaos
-      // injection, which stretches every hold).
-      while (obj_lock->IsHeld()) {
-        SpinLock::Pause();
-      }
+      // obj_lock may dangle from here on — the record lock is gone, so its
+      // holder can wake t and the object can be destroyed. Rule3Backoff
+      // yields without peeking at it; the yield also hands the holder
+      // (typically a Signal/Release spinning for t's record lock) the
+      // window a single pause never did, curing the retry livelock seen
+      // under chaos injection.
+      Rule3Backoff();
       continue;
     }
     if (nub.waitq_mode()) {
