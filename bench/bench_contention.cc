@@ -12,6 +12,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <thread>
+
 #include "src/baseline/handoff_mutex.h"
 #include "src/baseline/reed_kanodia.h"
 #include "src/baseline/std_sync.h"
@@ -30,8 +32,28 @@ class SemaphoreAsLock {
   taos::Semaphore s_;
 };
 
+// Core-count honesty: contention numbers only mean something when waiters
+// can actually run concurrently with the holder. Every entry records
+// num_cpus; multi-threaded entries on a single-CPU host are refused (a
+// skipped entry with an error string — the honest datum for that shape).
+bool RefuseContendedOn1Cpu(benchmark::State& state) {
+  const unsigned n = std::thread::hardware_concurrency();
+  state.counters["num_cpus"] = static_cast<double>(n);
+  if (state.threads() > 1 && n <= 1) {
+    state.SkipWithError(
+        "1 CPU: contended lock numbers would be scheduling noise");
+    return true;
+  }
+  return false;
+}
+
 template <typename LockT>
 void ContendedLoop(benchmark::State& state, LockT& lock) {
+  if (RefuseContendedOn1Cpu(state)) {
+    for (auto _ : state) {
+    }
+    return;
+  }
   const std::uint64_t cs_work = static_cast<std::uint64_t>(state.range(0));
   const std::uint64_t outside = static_cast<std::uint64_t>(state.range(1));
   std::uint64_t local = 0;

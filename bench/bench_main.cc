@@ -10,8 +10,10 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "src/base/spinlock.h"
 #include "src/obs/metrics.h"
 #include "src/obs/recorder.h"
 
@@ -112,6 +114,11 @@ int Run(int argc, char** argv, const char* bench_name) {
       << "  \"bench\": \"" << bench_name << "\",\n"
       << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
       << "  \"wall_seconds\": " << wall << ",\n"
+      // Honesty stamp: contention claims are only meaningful relative to
+      // the cores the run actually had, and to the lock core it exercised.
+      << "  \"num_cpus\": " << std::thread::hardware_concurrency() << ",\n"
+      << "  \"lock_backend\": \""
+      << LockBackendName(SpinLock::backend()) << "\",\n"
       << "  \"global_lock_mode\": "
       << (GlobalLockModeFromEnv() ? "true" : "false") << ",\n"
       << "  \"metrics\": " << obs::ReportJson() << ",\n"

@@ -600,6 +600,231 @@ class SignalUnblocksManyTest : public LitmusTest {
 };
 
 // ---------------------------------------------------------------------------
+// MCS handoff racing a timed-out waiter's abandon
+// ---------------------------------------------------------------------------
+
+// The queue is modelled at the granularity of its two shared words: the
+// tail (-1 = null, 0 = holder's node, 1 = waiter's node) and the waiter's
+// node state (0 waiting, 1 granted, 2 abandoned). Code between Step()
+// boundaries is atomic, which is exactly how the real protocol's exchanges
+// and CASes behave; the scenario is loop-free, so DFS exhausts it.
+class McsTimeoutAbandonTest : public LitmusTest {
+ public:
+  McsTimeoutAbandonTest(bool safe_abandon, Tally* tally)
+      : safe_abandon_(safe_abandon), tally_(tally) {}
+
+  void Setup(Machine& machine) override {
+    machine.Fork(
+        [this, &machine] {
+          machine.Step();
+          // Release. No successor visible: swing the tail to null and exit.
+          if (tail_ == 0) {
+            tail_ = -1;
+            released_free_ = true;
+            return;
+          }
+          // Successor identified, grant not yet written — the seam the
+          // runtime marks with chaos point kMcsReleaseToSuccessor.
+          machine.Step();
+          if (wnode_ == 0) {
+            wnode_ = 1;  // the grant: ownership transfers to the waiter
+            handed_off_ = true;
+          } else {
+            // The waiter abandoned first; reclaim the queue.
+            tail_ = -1;
+            reclaimed_ = true;
+          }
+        },
+        /*priority=*/0, "holder");
+    machine.Fork(
+        [this, &machine] {
+          machine.Step();
+          // Enqueue: exchange the tail.
+          const int prev = tail_;
+          tail_ = 1;
+          if (prev == -1) {
+            // The holder released before we swapped: the lock was free and
+            // the exchange handed it to us directly. Release it.
+            took_direct_ = true;
+            machine.Step();
+            if (tail_ == 1) {
+              tail_ = -1;
+            }
+            return;
+          }
+          // Queued behind the holder — and the deadline has already passed,
+          // so instead of spinning on the node we abandon it.
+          machine.Step();
+          if (safe_abandon_) {
+            if (wnode_ == 0) {
+              wnode_ = 2;  // CAS waiting -> abandoned won: we left in time
+              abandoned_ = true;
+            } else {
+              // The grant beat the abandon: we own the lock whether we
+              // wanted it or not, and must pass it on, not walk away.
+              took_after_grant_ = true;
+              machine.Step();
+              if (tail_ == 1) {
+                tail_ = -1;
+              }
+            }
+          } else {
+            // The bug: a blind store, no re-test of the shared state the
+            // timeout decision was based on (rule 3's mistake, transplanted
+            // to cancellation). If the grant already landed it is erased.
+            wnode_ = 2;
+            abandoned_ = true;
+          }
+        },
+        /*priority=*/0, "timed-waiter");
+  }
+
+  std::string Verify(const RunResult& result) override {
+    if (tally_ != nullptr) {
+      tally_->completions += result.completed ? 1 : 0;
+      tally_->deadlocks += result.deadlock ? 1 : 0;
+      tally_->timeout_abandons += abandoned_ ? 1 : 0;
+      tally_->timeout_grant_races += took_after_grant_ ? 1 : 0;
+    }
+    if (!result.completed) {
+      return "stuck: " + result.ToString();
+    }
+    if (handed_off_ && abandoned_) {
+      return "lost handoff: the release granted the lock to a node whose "
+             "waiter abandoned it; no thread holds the lock and none can "
+             "acquire it";
+    }
+    const int dispositions = (released_free_ ? 1 : 0) + (handed_off_ ? 1 : 0) +
+                             (reclaimed_ ? 1 : 0);
+    if (dispositions != 1) {
+      return "the release must end in exactly one disposition";
+    }
+    if (handed_off_ && !took_after_grant_ && !took_direct_) {
+      return "granted lock never accepted";  // unreachable in safe mode
+    }
+    return "";
+  }
+
+ private:
+  const bool safe_abandon_;
+  Tally* const tally_;
+  int tail_ = 0;   // holder's node is the tail: held, uncontended
+  int wnode_ = 0;  // waiting
+  bool released_free_ = false;
+  bool handed_off_ = false;
+  bool reclaimed_ = false;
+  bool took_direct_ = false;
+  bool took_after_grant_ = false;
+  bool abandoned_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Reader-preference rwlock: safety always, writer starvation tallied
+// ---------------------------------------------------------------------------
+
+class RwWriterStarvationTest : public LitmusTest {
+ public:
+  RwWriterStarvationTest(int readers, int rounds, Tally* tally)
+      : readers_(readers), rounds_(rounds), tally_(tally) {}
+
+  void Setup(Machine& machine) override {
+    mu_ = std::make_unique<firefly::Mutex>(machine);
+    cv_ = std::make_unique<firefly::Condition>(machine);
+    for (int i = 0; i < readers_; ++i) {
+      machine.Fork(
+          [this, &machine] {
+            for (int k = 0; k < rounds_; ++k) {
+              mu_->Acquire();
+              machine.Step();
+              // Reader preference: only an ACTIVE writer blocks admission;
+              // a waiting one is streamed past (and tallied).
+              while (writer_active_) {
+                cv_->Wait(*mu_);
+                machine.Step();
+              }
+              ++readers_active_;
+              if (writer_waiting_) {
+                ++admitted_past_writer_;
+              }
+              mu_->Release();
+              machine.Step();  // the read section, outside mu
+              if (writer_in_cs_) {
+                overlap_ = true;
+              }
+              mu_->Acquire();
+              machine.Step();
+              if (--readers_active_ == 0) {
+                cv_->Broadcast();
+              }
+              mu_->Release();
+            }
+          },
+          /*priority=*/0, "reader" + std::to_string(i));
+    }
+    machine.Fork(
+        [this, &machine] {
+          mu_->Acquire();
+          machine.Step();
+          writer_waiting_ = true;
+          while (readers_active_ > 0 || writer_active_) {
+            cv_->Wait(*mu_);
+            machine.Step();
+          }
+          writer_waiting_ = false;
+          writer_active_ = true;
+          mu_->Release();
+          machine.Step();  // the write section
+          writer_in_cs_ = true;
+          if (readers_active_ > 0) {
+            overlap_ = true;
+          }
+          machine.Step();
+          writer_in_cs_ = false;
+          mu_->Acquire();
+          machine.Step();
+          writer_active_ = false;
+          writer_acquired_ = true;
+          cv_->Broadcast();
+          mu_->Release();
+        },
+        /*priority=*/0, "writer");
+  }
+
+  std::string Verify(const RunResult& result) override {
+    if (tally_ != nullptr) {
+      tally_->completions += result.completed ? 1 : 0;
+      tally_->deadlocks += result.deadlock ? 1 : 0;
+      tally_->readers_admitted_past_writer += admitted_past_writer_;
+      tally_->writer_acquisitions += writer_acquired_ ? 1 : 0;
+    }
+    if (overlap_) {
+      return "a writer held the lock while a reader was inside its section";
+    }
+    if (!result.completed) {
+      return "stuck: " + result.ToString();
+    }
+    if (!writer_acquired_) {
+      return "completed but the writer never acquired";
+    }
+    return "";
+  }
+
+ private:
+  const int readers_;
+  const int rounds_;
+  Tally* const tally_;
+  std::unique_ptr<firefly::Mutex> mu_;
+  std::unique_ptr<firefly::Condition> cv_;
+  int readers_active_ = 0;
+  std::uint64_t admitted_past_writer_ = 0;
+  bool writer_waiting_ = false;
+  bool writer_active_ = false;
+  bool writer_in_cs_ = false;
+  bool writer_acquired_ = false;
+  bool overlap_ = false;
+};
+
+// ---------------------------------------------------------------------------
 // Dining philosophers
 // ---------------------------------------------------------------------------
 
@@ -650,6 +875,18 @@ class DiningPhilosophersTest : public LitmusTest {
 };
 
 }  // namespace
+
+LitmusFactory McsTimeoutAbandonLitmus(bool safe_abandon, Tally* tally) {
+  return [safe_abandon, tally] {
+    return std::make_unique<McsTimeoutAbandonTest>(safe_abandon, tally);
+  };
+}
+
+LitmusFactory RwWriterStarvationLitmus(int readers, int rounds, Tally* tally) {
+  return [readers, rounds, tally] {
+    return std::make_unique<RwWriterStarvationTest>(readers, rounds, tally);
+  };
+}
 
 LitmusFactory DiningPhilosophersLitmus(int philosophers, bool ordered) {
   return [philosophers, ordered] {

@@ -26,6 +26,16 @@ struct Tally {
   // AlertP returned with the caller's alert still pending: both of the
   // spec's WHEN clauses held and the implementation chose RETURNS.
   std::uint64_t returns_with_alert_pending = 0;
+  // Queue-lock timeout litmus: runs where the waiter's abandon won the race
+  // (it left the queue before the releaser's grant) vs runs where the grant
+  // landed first and the timed-out waiter had to accept the lock anyway.
+  std::uint64_t timeout_abandons = 0;
+  std::uint64_t timeout_grant_races = 0;
+  // Rwlock starvation accounting: readers admitted while a writer was
+  // already waiting (the reader-preference mechanism that starves writers),
+  // and writer acquisitions that did eventually happen.
+  std::uint64_t readers_admitted_past_writer = 0;
+  std::uint64_t writer_acquisitions = 0;
 };
 
 // N fibers each perform `iters` critical sections (with explicit internal
@@ -89,6 +99,29 @@ LitmusFactory AlertPOverlapLitmus(Tally* tally = nullptr);
 // signaller racing the waiters' windows, some schedules legally unblock
 // both (tallied via multi_unblock_signals).
 LitmusFactory SignalUnblocksManyLitmus(Tally* tally = nullptr);
+
+// The MCS release-to-successor handoff racing a timed-out waiter's abandon
+// — the timeout-cancellation analogue of the paper's rule 3 (a decision
+// made from a stale test of shared state). The releaser has identified its
+// successor and is about to write the grant; the successor's deadline has
+// passed and it wants to leave the queue. With `safe_abandon` the waiter
+// abandons by CAS (waiting -> abandoned) and, when the CAS loses because
+// the grant already landed, accepts the lock and releases it — every
+// schedule keeps the lock alive. With `safe_abandon` false the waiter
+// blindly marks its node abandoned, and the schedule where the grant landed
+// first loses the handoff: the lock is granted to a node nobody watches.
+LitmusFactory McsTimeoutAbandonLitmus(bool safe_abandon,
+                                      Tally* tally = nullptr);
+
+// A reader-preference readers-writer lock (the policy of
+// taos::ReaderWriterMutex: readers are admitted whenever no writer is
+// *active*, ignoring waiters) under a stream of readers with one writer.
+// Safety — no reader/writer overlap — must hold in every schedule; the
+// tally records readers admitted past the already-waiting writer, the
+// mechanism by which a continuous reader stream starves writers (the writer
+// here escapes only because the stream is finite).
+LitmusFactory RwWriterStarvationLitmus(int readers, int rounds,
+                                       Tally* tally = nullptr);
 
 // Dining philosophers over simulated mutexes. With `ordered` false every
 // philosopher takes left-then-right (the checker finds the circular-wait

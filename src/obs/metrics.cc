@@ -50,6 +50,8 @@ constexpr const char* kCounterNames[] = {
     "lock_bit_retries",
     "spin_iterations",
     "contended_spin_acquires",
+    "mcs_queued_acquires",
+    "clh_queued_acquires",
     "eventcount_advances",
     "waitq_enqueues",
     "waitq_resumes",
@@ -73,6 +75,7 @@ static_assert(std::size(kCounterNames) == static_cast<std::size_t>(kNumCounters)
 constexpr const char* kHistogramNames[] = {
     "spin_acquire_ns",
     "spin_iters_per_acquire",
+    "lock_handoff_ns",
     "blocked_ns",
     "park_wait_ns",
     "unpark_ns",

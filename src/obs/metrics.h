@@ -65,7 +65,9 @@ enum class Counter : int {
 
   // --- spin-lock and eventcount internals ---
   kSpinIterations,        // total busy-wait beats across contended Acquires
-  kContendedSpinAcquires, // SpinLock::Acquire calls that had to spin
+  kContendedSpinAcquires, // SpinLock::Acquire calls that had to spin (TAS)
+  kMcsQueuedAcquires,     // MCS acquisitions that queued behind a holder
+  kClhQueuedAcquires,     // CLH acquisitions that queued behind a holder
   kEventCountAdvances,    // EventCount::Advance calls (Signal/Broadcast)
 
   // --- waiter-queue substrate (src/waitq; active with TAOS_WAITQ=1) ---
@@ -97,6 +99,7 @@ enum class Counter : int {
 enum class Histogram : int {
   kSpinAcquireNanos,        // contended SpinLock::Acquire wall latency
   kSpinIterationsPerAcquire,// busy-wait beats per contended Acquire
+  kLockHandoffNanos,        // queue cores: releaser's stamp to waiter's wake
   kBlockedNanos,            // park duration (de-scheduled time)
   kParkWaitNanos,           // Parker::Park wall latency (inside kBlockedNanos)
   kUnparkNanos,             // Parker::Unpark wall latency (the waker's cost)

@@ -42,6 +42,18 @@ const char* ActionKindName(ActionKind kind) {
       return "PFor/TIMEOUT";
     case ActionKind::kTimeoutResume:
       return "WaitFor.Resume/TIMEOUT";
+    case ActionKind::kRwAcquire:
+      return "RWAcquire";
+    case ActionKind::kRwRelease:
+      return "RWRelease";
+    case ActionKind::kRwAcquireShared:
+      return "RWAcquireShared";
+    case ActionKind::kRwReleaseShared:
+      return "RWReleaseShared";
+    case ActionKind::kRwAcquireTimeout:
+      return "RWAcquireFor/TIMEOUT";
+    case ActionKind::kRwAcquireSharedTimeout:
+      return "RWAcquireSharedFor/TIMEOUT";
   }
   return "?";
 }
@@ -79,6 +91,14 @@ std::string Action::ToString() const {
       break;
     case ActionKind::kTestAlert:
       os << "() = " << (result ? "true" : "false");
+      break;
+    case ActionKind::kRwAcquire:
+    case ActionKind::kRwRelease:
+    case ActionKind::kRwAcquireShared:
+    case ActionKind::kRwReleaseShared:
+    case ActionKind::kRwAcquireTimeout:
+    case ActionKind::kRwAcquireSharedTimeout:
+      os << "(rw" << rwlock << ")";
       break;
   }
   return os.str();
@@ -207,6 +227,38 @@ Action MakeTimeoutResume(ThreadId self, ObjId m, ObjId c) {
   a.mutex = m;
   a.condition = c;
   return a;
+}
+
+namespace {
+Action RwBase(ActionKind kind, ThreadId self, ObjId rw) {
+  Action a = Base(kind, self);
+  a.rwlock = rw;
+  return a;
+}
+}  // namespace
+
+Action MakeRwAcquire(ThreadId self, ObjId rw) {
+  return RwBase(ActionKind::kRwAcquire, self, rw);
+}
+
+Action MakeRwRelease(ThreadId self, ObjId rw) {
+  return RwBase(ActionKind::kRwRelease, self, rw);
+}
+
+Action MakeRwAcquireShared(ThreadId self, ObjId rw) {
+  return RwBase(ActionKind::kRwAcquireShared, self, rw);
+}
+
+Action MakeRwReleaseShared(ThreadId self, ObjId rw) {
+  return RwBase(ActionKind::kRwReleaseShared, self, rw);
+}
+
+Action MakeRwAcquireTimeout(ThreadId self, ObjId rw) {
+  return RwBase(ActionKind::kRwAcquireTimeout, self, rw);
+}
+
+Action MakeRwAcquireSharedTimeout(ThreadId self, ObjId rw) {
+  return RwBase(ActionKind::kRwAcquireSharedTimeout, self, rw);
 }
 
 }  // namespace taos::spec

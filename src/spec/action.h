@@ -40,6 +40,16 @@ enum class ActionKind : std::uint8_t {
   kAcquireTimeout,      // AcquireFor, deadline expired (m unchanged)
   kPTimeout,            // PFor, deadline expired (s unchanged)
   kTimeoutResume,       // WaitFor/AlertWaitFor's second action on expiry
+
+  // Reader/writer lock extension (not in SRC Report 20; see rwmutex.h and
+  // DESIGN.md §13). All six are ATOMIC; the timeout outcomes of the timed
+  // variants are WHEN TRUE no-ops on the rwlock, like kAcquireTimeout.
+  kRwAcquire,                // ATOMIC PROCEDURE Acquire(rw), exclusive
+  kRwRelease,                // ATOMIC PROCEDURE Release(rw)
+  kRwAcquireShared,          // ATOMIC PROCEDURE AcquireShared(rw)
+  kRwReleaseShared,          // ATOMIC PROCEDURE ReleaseShared(rw)
+  kRwAcquireTimeout,         // AcquireFor(rw), deadline expired
+  kRwAcquireSharedTimeout,   // AcquireSharedFor(rw), deadline expired
 };
 
 const char* ActionKindName(ActionKind kind);
@@ -52,6 +62,7 @@ struct Action {
   ObjId mutex = 0;
   ObjId condition = 0;
   ObjId semaphore = 0;
+  ObjId rwlock = 0;
   ThreadId target = kNil;  // Alert(t)
 
   // Resolution of the spec's nondeterminism, recorded by the emitter:
@@ -89,6 +100,12 @@ Action MakeAlertResumeRaises(ThreadId self, ObjId m, ObjId c);
 Action MakeAcquireTimeout(ThreadId self, ObjId m);
 Action MakePTimeout(ThreadId self, ObjId s);
 Action MakeTimeoutResume(ThreadId self, ObjId m, ObjId c);
+Action MakeRwAcquire(ThreadId self, ObjId rw);
+Action MakeRwRelease(ThreadId self, ObjId rw);
+Action MakeRwAcquireShared(ThreadId self, ObjId rw);
+Action MakeRwReleaseShared(ThreadId self, ObjId rw);
+Action MakeRwAcquireTimeout(ThreadId self, ObjId rw);
+Action MakeRwAcquireSharedTimeout(ThreadId self, ObjId rw);
 
 }  // namespace taos::spec
 

@@ -12,6 +12,7 @@ struct Frame {
   bool mutex = false;
   bool condition = false;
   bool semaphore = false;
+  bool rwlock = false;
   bool alerts = false;
 };
 
@@ -63,6 +64,14 @@ Frame FrameOf(const Action& a) {
       f.mutex = true;
       f.condition = true;
       break;
+    case ActionKind::kRwAcquire:
+    case ActionKind::kRwRelease:
+    case ActionKind::kRwAcquireShared:
+    case ActionKind::kRwReleaseShared:
+    case ActionKind::kRwAcquireTimeout:
+    case ActionKind::kRwAcquireSharedTimeout:
+      f.rwlock = true;
+      break;
   }
   return f;
 }
@@ -99,6 +108,11 @@ bool Semantics::Enabled(const SpecState& pre, const Action& a) const {
       // Unlike Resume, SELF may still be in c: the timer dequeued the
       // waiter without a Signal, and the action itself deletes it from c.
       return pre.Mutex(a.mutex) == kNil;
+    case ActionKind::kRwAcquire:
+      return pre.RwLock(a.rwlock).writer == kNil &&
+             pre.RwLock(a.rwlock).readers.Empty();
+    case ActionKind::kRwAcquireShared:
+      return pre.RwLock(a.rwlock).writer == kNil;
     default:
       return true;  // omitted WHEN clause == WHEN TRUE
   }
@@ -124,6 +138,22 @@ Verdict Semantics::CheckClauses(const SpecState& pre, const Action& a,
         fail(&v.requires_ok, "REQUIRES m = SELF violated by caller");
       }
       break;
+    case ActionKind::kRwRelease:
+      if (pre.RwLock(a.rwlock).writer != a.self) {
+        fail(&v.requires_ok, "REQUIRES rw.writer = SELF violated by caller");
+      }
+      break;
+    case ActionKind::kRwReleaseShared:
+      if (!pre.RwLock(a.rwlock).readers.Contains(a.self)) {
+        fail(&v.requires_ok, "REQUIRES SELF IN rw.readers violated by caller");
+      }
+      break;
+    case ActionKind::kRwAcquireShared:
+      if (pre.RwLock(a.rwlock).readers.Contains(a.self)) {
+        fail(&v.requires_ok,
+             "REQUIRES NOT (SELF IN rw.readers) violated by caller");
+      }
+      break;
     default:
       break;
   }
@@ -140,6 +170,8 @@ Verdict Semantics::CheckClauses(const SpecState& pre, const Action& a,
   const ThreadSet& c_post = post.Condition(a.condition);
   const SemState s_pre = pre.Semaphore(a.semaphore);
   const SemState s_post = post.Semaphore(a.semaphore);
+  const RwState& rw_pre = pre.RwLock(a.rwlock);
+  const RwState& rw_post = post.RwLock(a.rwlock);
 
   auto ensure = [&](bool cond, const char* why) {
     if (!cond) {
@@ -228,6 +260,28 @@ Verdict Semantics::CheckClauses(const SpecState& pre, const Action& a,
       // start.
       ensure(c_post == c_pre.Delete(a.self), "cpost = delete(c, SELF)");
       break;
+    case ActionKind::kRwAcquire:
+      ensure(rw_post.writer == a.self, "rw.writerpost = SELF");
+      ensure(rw_post.readers == rw_pre.readers, "UNCHANGED [rw.readers]");
+      break;
+    case ActionKind::kRwRelease:
+      ensure(rw_post.writer == kNil, "rw.writerpost = NIL");
+      ensure(rw_post.readers == rw_pre.readers, "UNCHANGED [rw.readers]");
+      break;
+    case ActionKind::kRwAcquireShared:
+      ensure(rw_post.readers == rw_pre.readers.Insert(a.self),
+             "rw.readerspost = insert(rw.readers, SELF)");
+      ensure(rw_post.writer == rw_pre.writer, "UNCHANGED [rw.writer]");
+      break;
+    case ActionKind::kRwReleaseShared:
+      ensure(rw_post.readers == rw_pre.readers.Delete(a.self),
+             "rw.readerspost = delete(rw.readers, SELF)");
+      ensure(rw_post.writer == rw_pre.writer, "UNCHANGED [rw.writer]");
+      break;
+    case ActionKind::kRwAcquireTimeout:
+    case ActionKind::kRwAcquireSharedTimeout:
+      ensure(rw_post == rw_pre, "UNCHANGED [rw]");
+      break;
   }
 
   // --- choice policy (pre-release deterministic alert preference) ---
@@ -267,6 +321,14 @@ Verdict Semantics::CheckClauses(const SpecState& pre, const Action& a,
       if ((!f.semaphore || id != a.semaphore) &&
           pre.Semaphore(id) != post.Semaphore(id)) {
         fail(&v.frame_ok, "frame: unlisted semaphore modified");
+      }
+    }
+    keys.clear();
+    CollectKeys(pre.rwlocks, post.rwlocks, &keys);
+    for (ObjId id : keys) {
+      if ((!f.rwlock || id != a.rwlock) &&
+          !(pre.RwLock(id) == post.RwLock(id))) {
+        fail(&v.frame_ok, "frame: unlisted rwlock modified");
       }
     }
     if (!f.alerts && !(pre.alerts == post.alerts)) {
@@ -354,6 +416,33 @@ Verdict Semantics::Apply(const SpecState& pre, const Action& a,
       post->SetCondition(a.condition,
                          pre.Condition(a.condition).Delete(a.self));
       break;
+    case ActionKind::kRwAcquire: {
+      RwState rw = pre.RwLock(a.rwlock);
+      rw.writer = a.self;
+      post->SetRwLock(a.rwlock, rw);
+      break;
+    }
+    case ActionKind::kRwRelease: {
+      RwState rw = pre.RwLock(a.rwlock);
+      rw.writer = kNil;
+      post->SetRwLock(a.rwlock, rw);
+      break;
+    }
+    case ActionKind::kRwAcquireShared: {
+      RwState rw = pre.RwLock(a.rwlock);
+      rw.readers = rw.readers.Insert(a.self);
+      post->SetRwLock(a.rwlock, rw);
+      break;
+    }
+    case ActionKind::kRwReleaseShared: {
+      RwState rw = pre.RwLock(a.rwlock);
+      rw.readers = rw.readers.Delete(a.self);
+      post->SetRwLock(a.rwlock, rw);
+      break;
+    }
+    case ActionKind::kRwAcquireTimeout:
+    case ActionKind::kRwAcquireSharedTimeout:
+      break;  // UNCHANGED: a timed-out acquire leaves no trace
   }
 
   Verdict v = CheckClauses(pre, a, *post, /*check_frame=*/false);

@@ -38,6 +38,15 @@ SemState SpecState::Semaphore(ObjId s) const {
   return it == semaphores.end() ? SemState::kAvailable : it->second;
 }
 
+namespace {
+const RwState kInitialRw;
+}  // namespace
+
+const RwState& SpecState::RwLock(ObjId rw) const {
+  auto it = rwlocks.find(rw);
+  return it == rwlocks.end() ? kInitialRw : it->second;
+}
+
 void SpecState::SetMutex(ObjId m, ThreadId holder) {
   if (holder == kNil) {
     mutexes.erase(m);
@@ -62,6 +71,14 @@ void SpecState::SetSemaphore(ObjId s, SemState value) {
   }
 }
 
+void SpecState::SetRwLock(ObjId rw, RwState value) {
+  if (value.Initial()) {
+    rwlocks.erase(rw);
+  } else {
+    rwlocks[rw] = std::move(value);
+  }
+}
+
 void SpecState::Canonicalize() {
   for (auto it = mutexes.begin(); it != mutexes.end();) {
     it = (it->second == kNil) ? mutexes.erase(it) : std::next(it);
@@ -73,6 +90,9 @@ void SpecState::Canonicalize() {
     it = (it->second == SemState::kAvailable) ? semaphores.erase(it)
                                               : std::next(it);
   }
+  for (auto it = rwlocks.begin(); it != rwlocks.end();) {
+    it = it->second.Initial() ? rwlocks.erase(it) : std::next(it);
+  }
 }
 
 bool SpecState::operator==(const SpecState& other) const {
@@ -81,7 +101,8 @@ bool SpecState::operator==(const SpecState& other) const {
   a.Canonicalize();
   b.Canonicalize();
   return a.mutexes == b.mutexes && a.conditions == b.conditions &&
-         a.semaphores == b.semaphores && a.alerts == b.alerts;
+         a.semaphores == b.semaphores && a.rwlocks == b.rwlocks &&
+         a.alerts == b.alerts;
 }
 
 std::string SpecState::ToString() const {
@@ -101,7 +122,16 @@ std::string SpecState::ToString() const {
     os << " s" << id << "="
        << (st == SemState::kAvailable ? "available" : "unavailable");
   }
-  os << " ] alerts:" << canon.alerts.ToString();
+  os << " ]";
+  if (!canon.rwlocks.empty()) {
+    os << " rwlocks:[";
+    for (const auto& [id, rw] : canon.rwlocks) {
+      os << " rw" << id << "=(writer:t" << rw.writer
+         << " readers:" << rw.readers.ToString() << ")";
+    }
+    os << " ]";
+  }
+  os << " alerts:" << canon.alerts.ToString();
   return os.str();
 }
 

@@ -95,20 +95,35 @@ class ThreadSet {
   std::set<ThreadId> elems_;
 };
 
+// Reader/writer lock extension (not in SRC Report 20; DESIGN.md §13):
+//
+//   TYPE RWLock = RECORD [writer:  Thread        INITIALLY NIL,
+//                         readers: SET OF Thread INITIALLY {}]
+struct RwState {
+  ThreadId writer = kNil;
+  ThreadSet readers;
+
+  bool Initial() const { return writer == kNil && readers.Empty(); }
+  bool operator==(const RwState& other) const = default;
+};
+
 // A snapshot of the entire spec-visible state.
 struct SpecState {
   std::map<ObjId, ThreadId> mutexes;      // absent key => NIL
   std::map<ObjId, ThreadSet> conditions;  // absent key => {}
   std::map<ObjId, SemState> semaphores;   // absent key => available
+  std::map<ObjId, RwState> rwlocks;       // absent key => INITIALLY record
   ThreadSet alerts;
 
   ThreadId Mutex(ObjId m) const;
   const ThreadSet& Condition(ObjId c) const;
   SemState Semaphore(ObjId s) const;
+  const RwState& RwLock(ObjId rw) const;
 
   void SetMutex(ObjId m, ThreadId holder);
   void SetCondition(ObjId c, ThreadSet value);
   void SetSemaphore(ObjId s, SemState value);
+  void SetRwLock(ObjId rw, RwState value);
 
   bool operator==(const SpecState& other) const;
 

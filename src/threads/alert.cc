@@ -54,6 +54,8 @@ void Alert(ThreadHandle h) {
               ->waiters_.fetch_sub(1, std::memory_order_relaxed);
           break;
         case ThreadRecord::BlockKind::kMutex:
+        case ThreadRecord::BlockKind::kRwShared:
+        case ThreadRecord::BlockKind::kRwExclusive:
         case ThreadRecord::BlockKind::kNone:
           TAOS_PANIC("alertable thread blocked on a mutex");
       }
@@ -137,6 +139,8 @@ void Alert(ThreadHandle h) {
         break;
       }
       case ThreadRecord::BlockKind::kMutex:
+      case ThreadRecord::BlockKind::kRwShared:
+      case ThreadRecord::BlockKind::kRwExclusive:
       case ThreadRecord::BlockKind::kNone:
         TAOS_PANIC("alertable thread blocked on a mutex");
     }

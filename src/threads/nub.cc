@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "src/base/check.h"
+#include "src/threads/timer.h"
 
 namespace taos {
 
@@ -37,6 +38,20 @@ Nub& Nub::Get() {
   static Nub* nub = new Nub();  // intentionally leaked; records must outlive
                                 // any late thread exit
   return *nub;
+}
+
+void Nub::SetLockBackend(LockBackend b) {
+  // The timer thread takes the wheel lock on every tick and record/object
+  // locks during expiry, and cannot be joined; park it at its gate (where it
+  // holds no SpinLock) for the duration of the switch.
+  Timer* timer = Timer::InstanceIfStarted();
+  if (timer != nullptr) {
+    timer->PauseForBackendSwitch();
+  }
+  SpinLock::SetBackend(b);
+  if (timer != nullptr) {
+    timer->ResumeAfterBackendSwitch();
+  }
 }
 
 ThreadRecord* Nub::CreateRecord() {

@@ -106,6 +106,20 @@ class Nub {
     waitq_mode_.store(on, std::memory_order_relaxed);
   }
 
+  // The mutual-exclusion core under every ObjLock and record lock
+  // (TAOS_LOCK={tas,mcs,clh}; see src/base/spinlock.h). Process-wide state
+  // on SpinLock itself; surfaced here so callers switch all three runtime
+  // policies — sharding, waiter queue, lock core — through one interface.
+  LockBackend lock_backend() const { return SpinLock::backend(); }
+
+  // Quiescent-only, stricter than SetWaitqMode: every SpinLock in the
+  // process must be free, because each core keeps its own "held" state.
+  // The caller quiesces its own threads by joining them; the timer thread
+  // — detached, and a SpinLock user on every tick — is quiesced here, so
+  // use this (not SpinLock::SetBackend) in any process that takes timed
+  // waits. Out of line: the timer gate lives above the base layer.
+  void SetLockBackend(LockBackend b);
+
   // The calling thread's record, registering it on first use.
   ThreadRecord* Current();
 

@@ -70,7 +70,14 @@ struct ThreadRecord {
   SpinLock lock;
 
   // ---- guarded by `lock` ----
-  enum class BlockKind : std::uint8_t { kNone, kMutex, kSemaphore, kCondition };
+  enum class BlockKind : std::uint8_t {
+    kNone,
+    kMutex,
+    kSemaphore,
+    kCondition,
+    kRwShared,     // ReaderWriterMutex, reader queue
+    kRwExclusive,  // ReaderWriterMutex, writer queue
+  };
   BlockKind block_kind = BlockKind::kNone;
   bool alertable = false;    // blocked in AlertP / AlertWait
   bool alert_woken = false;  // dequeued by Alert rather than by V/Signal

@@ -17,6 +17,7 @@
 #include "src/threads/lock.h"
 #include "src/threads/mutex.h"
 #include "src/threads/nub.h"
+#include "src/threads/rwmutex.h"
 #include "src/threads/semaphore.h"
 #include "src/threads/thread.h"
 

@@ -1,6 +1,7 @@
 #include "src/threads/timer.h"
 
 #include <algorithm>
+#include <atomic>
 #include <limits>
 #include <thread>
 
@@ -10,6 +11,7 @@
 #include "src/threads/condition.h"
 #include "src/threads/mutex.h"
 #include "src/threads/nub.h"
+#include "src/threads/rwmutex.h"
 #include "src/threads/semaphore.h"
 #include "src/waitq/waitq.h"
 
@@ -17,11 +19,38 @@ namespace taos {
 
 namespace {
 constexpr std::uint64_t kForever = std::numeric_limits<std::uint64_t>::max();
+std::atomic<Timer*> g_timer{nullptr};
 }  // namespace
 
 Timer& Timer::Get() {
-  static Timer* timer = new Timer();  // intentionally leaked; see header
+  static Timer* timer = [] {
+    Timer* t = new Timer();  // intentionally leaked; see header
+    g_timer.store(t, std::memory_order_release);
+    return t;
+  }();
   return *timer;
+}
+
+Timer* Timer::InstanceIfStarted() {
+  return g_timer.load(std::memory_order_acquire);
+}
+
+void Timer::PauseForBackendSwitch() {
+  {
+    std::lock_guard<std::mutex> g(pause_mu_);
+    pause_requested_ = true;
+  }
+  park_.Unpark();  // break an open-ended sleep; a pre-park permit is fine
+  std::unique_lock<std::mutex> g(pause_mu_);
+  pause_cv_.wait(g, [this] { return paused_; });
+}
+
+void Timer::ResumeAfterBackendSwitch() {
+  {
+    std::lock_guard<std::mutex> g(pause_mu_);
+    pause_requested_ = false;
+  }
+  pause_cv_.notify_all();
 }
 
 Timer::Timer() {
@@ -206,6 +235,18 @@ std::uint64_t Timer::NextWakeNsLocked() const {
 void Timer::ThreadMain() {
   std::vector<Expiry> expired;
   for (;;) {
+    {
+      // Backend-switch gate: every SpinLock acquisition this thread makes
+      // is downstream of this point, so parking here satisfies the switch's
+      // quiescence contract.
+      std::unique_lock<std::mutex> g(pause_mu_);
+      while (pause_requested_) {
+        paused_ = true;
+        pause_cv_.notify_all();
+        pause_cv_.wait(g);
+      }
+      paused_ = false;
+    }
     expired.clear();
     std::uint64_t next = 0;
     {
@@ -271,6 +312,14 @@ void Timer::ExpireEntry(const Expiry& e) {
         case ThreadRecord::BlockKind::kCondition:
           static_cast<Condition*>(t->blocked_obj)
               ->waiters_.fetch_sub(1, std::memory_order_relaxed);
+          break;
+        case ThreadRecord::BlockKind::kRwShared:
+          static_cast<ReaderWriterMutex*>(t->blocked_obj)
+              ->reader_q_len_.fetch_sub(1, std::memory_order_relaxed);
+          break;
+        case ThreadRecord::BlockKind::kRwExclusive:
+          static_cast<ReaderWriterMutex*>(t->blocked_obj)
+              ->writer_q_len_.fetch_sub(1, std::memory_order_relaxed);
           break;
         case ThreadRecord::BlockKind::kNone:
           TAOS_PANIC("unreachable: validated above");
@@ -354,6 +403,22 @@ void Timer::ExpireEntry(const Expiry& e) {
         } else {
           c->waiters_.fetch_sub(1, std::memory_order_relaxed);
         }
+        break;
+      }
+      case ThreadRecord::BlockKind::kRwShared: {
+        auto* rw = static_cast<ReaderWriterMutex*>(t->blocked_obj);
+        if (!nub.waitq_mode()) {
+          rw->readers_queue_.Remove(t);
+        }
+        rw->reader_q_len_.fetch_sub(1, std::memory_order_relaxed);
+        break;
+      }
+      case ThreadRecord::BlockKind::kRwExclusive: {
+        auto* rw = static_cast<ReaderWriterMutex*>(t->blocked_obj);
+        if (!nub.waitq_mode()) {
+          rw->writers_queue_.Remove(t);
+        }
+        rw->writer_q_len_.fetch_sub(1, std::memory_order_relaxed);
         break;
       }
       case ThreadRecord::BlockKind::kNone:

@@ -20,10 +20,31 @@
 
 #include "src/base/check.h"
 #include "src/base/stopwatch.h"
+#include "src/threads/rwmutex.h"
 #include "src/threads/thread.h"
 #include "src/workload/work.h"
 
 namespace taos::workload {
+
+// The real primitive (taos::ReaderWriterMutex, src/threads/rwmutex.h)
+// behind the same interface as the condvar construction below, so
+// RunReadersWriters can A/B the paper's Broadcast workload against the
+// first-class two-layer rwlock. This is the default lock for the workload;
+// the condvar RWLock remains as the paper's motivating Broadcast example.
+class NativeRWLock {
+ public:
+  void AcquireRead() { rw_.AcquireShared(); }
+  void ReleaseRead() { rw_.ReleaseShared(); }
+  void AcquireWrite() { rw_.Acquire(); }
+  void ReleaseWrite() { rw_.Release(); }
+
+  int ReadersActiveForDebug() const {
+    return static_cast<int>(rw_.ReadersForDebug());
+  }
+
+ private:
+  ReaderWriterMutex rw_;
+};
 
 template <typename MutexT, typename ConditionT>
 class RWLock {

@@ -165,6 +165,59 @@ TEST(ModelTest, TwoPhilosophers) {
   EXPECT_EQ(good.violations, 0u) << good.ToString();
 }
 
+// --- Queue-lock timeout cancellation: the rule-3 analogue for MCS ---
+
+TEST(ModelTest, McsSafeAbandonKeepsTheLockAliveExhaustively) {
+  Tally tally;
+  Explorer ex(Opts(2, 60'000));
+  ExplorationResult r = ex.Explore(McsTimeoutAbandonLitmus(true, &tally));
+  EXPECT_TRUE(r.exhausted) << r.ToString();
+  EXPECT_EQ(r.violations, 0u) << r.ToString();
+  // Both sides of the race genuinely occur across the schedule tree: the
+  // abandon CAS winning, and the grant landing first (forcing the timed-out
+  // waiter to accept and pass on the lock).
+  EXPECT_GT(tally.timeout_abandons, 0u);
+  EXPECT_GT(tally.timeout_grant_races, 0u);
+}
+
+TEST(ModelTest, McsBlindAbandonLosesAHandoff) {
+  Explorer ex(Opts(2, 60'000));
+  ExplorationResult r = ex.Explore(McsTimeoutAbandonLitmus(false));
+  ASSERT_GE(r.violations, 1u)
+      << "expected the blind abandon to erase a grant: " << r.ToString();
+  EXPECT_NE(r.first_violation.find("lost handoff"), std::string::npos)
+      << r.first_violation;
+  // The counterexample replays deterministically to the same verdict.
+  std::string replayed =
+      ex.Replay(McsTimeoutAbandonLitmus(false), r.counterexample);
+  EXPECT_EQ(replayed, r.first_violation);
+}
+
+// --- Rwlock: reader preference is safe but starves writers ---
+
+TEST(ModelTest, RwReaderPreferenceSafeExhaustively) {
+  // Small instance: one reader, one writer — full DFS shows no schedule
+  // overlaps a reader with the writer.
+  Explorer ex(Opts(2, 150'000));
+  ExplorationResult r = ex.Explore(RwWriterStarvationLitmus(1, 1));
+  EXPECT_EQ(r.violations, 0u) << r.ToString();
+  EXPECT_GT(r.runs, 100u);
+}
+
+TEST(ModelTest, RwWriterStarvedByReaderStream) {
+  Tally tally;
+  Explorer ex(Opts(3, 20'000));
+  ExplorationResult r =
+      ex.ExploreRandom(RwWriterStarvationLitmus(2, 2, &tally), 6'000);
+  EXPECT_EQ(r.violations, 0u) << r.ToString();
+  EXPECT_EQ(tally.deadlocks, 0u);
+  // Schedules exist where readers are admitted past the already-waiting
+  // writer — the starvation mechanism; the writer escapes only because the
+  // reader stream is finite.
+  EXPECT_GT(tally.readers_admitted_past_writer, 0u);
+  EXPECT_EQ(tally.writer_acquisitions, tally.completions);
+}
+
 // --- Alert scenarios ---
 
 TEST(ModelTest, AlertWaitRaceAlwaysTerminates) {

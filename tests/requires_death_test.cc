@@ -154,5 +154,62 @@ TEST(RequiresDeathTest, TracedReleaseByNonHolderPanics) {
       "check failed");
 }
 
+// ReaderWriterMutex misuse: the spec's REQUIRES rw.writer = SELF (Release)
+// and SELF IN rw.readers (ReleaseShared) are checked in both lock modes —
+// and an exclusive Release of a merely-shared hold is the same class of
+// bug as release-without-acquire and dies the same way.
+
+TEST(RequiresDeathTest, RwReleaseWithoutAcquirePanics) {
+  ReaderWriterMutex rw;
+  EXPECT_DEATH(rw.Release(), "check failed");
+}
+
+TEST(RequiresDeathTest, RwReleaseSharedWithoutAcquirePanics) {
+  ReaderWriterMutex rw;
+  EXPECT_DEATH(rw.ReleaseShared(), "check failed");
+}
+
+TEST(RequiresDeathTest, RwExclusiveReleaseOfSharedHoldPanics) {
+  EXPECT_DEATH(
+      {
+        ReaderWriterMutex rw;
+        rw.AcquireShared();
+        rw.Release();  // held shared, released exclusive
+      },
+      "check failed");
+}
+
+TEST(RequiresDeathTest, RwReleaseByNonHolderPanics) {
+  EXPECT_DEATH(
+      {
+        ReaderWriterMutex rw;
+        rw.Acquire();
+        Thread other = Thread::Fork([&rw] { rw.Release(); });
+        other.Join();
+      },
+      "check failed");
+}
+
+TEST(RequiresDeathTest, RwReleaseWithoutAcquirePanicsInGlobalLockMode) {
+  EXPECT_DEATH(
+      {
+        Nub::Get().SetGlobalLockMode(true);
+        ReaderWriterMutex rw;
+        rw.Release();
+      },
+      "check failed");
+}
+
+TEST(RequiresDeathTest, RwExclusiveReleaseOfSharedHoldPanicsInGlobalLockMode) {
+  EXPECT_DEATH(
+      {
+        Nub::Get().SetGlobalLockMode(true);
+        ReaderWriterMutex rw;
+        rw.AcquireShared();
+        rw.Release();
+      },
+      "check failed");
+}
+
 }  // namespace
 }  // namespace taos

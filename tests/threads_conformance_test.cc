@@ -1,12 +1,15 @@
 // Conformance harness for the sharded Nub: real threads hammer the
 // production primitives in spec-tracing mode, and every recorded trace is
 // replayed through the executable specification's checker. Each scenario
-// runs over the full backend matrix — {per-object locks, TAOS_NUB_GLOBAL_LOCK
-// semantics} x {classic intrusive queues, the TAOS_WAITQ waiter-queue
-// substrate} — so every slow-path configuration is held to exactly the
-// serializations the paper-faithful one admits. The waitq rows are the
-// spec gate the substrate must pass: AlertWait's UNCHANGED [c] ghost check
-// and the AlertP RETURNS/RAISES overlap both bite on its cancel CAS.
+// runs over the full backend matrix — {tas, mcs, clh} spin-lock cores
+// (TAOS_LOCK) x {per-object locks, TAOS_NUB_GLOBAL_LOCK semantics} x
+// {classic intrusive queues, the TAOS_WAITQ waiter-queue substrate} — so
+// every slow-path configuration is held to exactly the serializations the
+// paper-faithful one admits. The waitq rows are the spec gate the substrate
+// must pass: AlertWait's UNCHANGED [c] ghost check and the AlertP
+// RETURNS/RAISES overlap both bite on its cancel CAS; the queue-core rows
+// hold the MCS/CLH handoff chains to the same serializations as the TAS
+// bit they replace.
 //
 // The trace is sorted by the global sequence stamp (src/spec/trace.h), so a
 // passing check here is evidence for the serialization argument in
@@ -46,29 +49,43 @@ int Scale() {
 enum class LockMode { kSharded, kGlobal };
 enum class QueueMode { kClassic, kWaitq };
 
-std::string ModeName(
-    const ::testing::TestParamInfo<std::tuple<LockMode, QueueMode>>& info) {
-  std::string name =
-      std::get<0>(info.param) == LockMode::kSharded ? "Sharded" : "Global";
-  name += std::get<1>(info.param) == QueueMode::kClassic ? "Classic" : "Waitq";
+using BackendTuple = std::tuple<LockBackend, LockMode, QueueMode>;
+
+std::string ModeName(const ::testing::TestParamInfo<BackendTuple>& info) {
+  std::string name;
+  switch (std::get<0>(info.param)) {
+    case LockBackend::kTas:
+      name = "Tas";
+      break;
+    case LockBackend::kMcs:
+      name = "Mcs";
+      break;
+    case LockBackend::kClh:
+      name = "Clh";
+      break;
+  }
+  name += std::get<1>(info.param) == LockMode::kSharded ? "Sharded" : "Global";
+  name += std::get<2>(info.param) == QueueMode::kClassic ? "Classic" : "Waitq";
   return name;
 }
 
-class ConformanceTest
-    : public ::testing::TestWithParam<std::tuple<LockMode, QueueMode>> {
+class ConformanceTest : public ::testing::TestWithParam<BackendTuple> {
  protected:
   void SetUp() override {
     ASSERT_FALSE(Nub::Get().tracing());
+    saved_backend_ = SpinLock::backend();
     saved_lock_mode_ = Nub::Get().global_lock_mode();
     saved_waitq_mode_ = Nub::Get().waitq_mode();
     // The system is quiescent between tests, so switching is legal.
-    Nub::Get().SetGlobalLockMode(std::get<0>(GetParam()) == LockMode::kGlobal);
-    Nub::Get().SetWaitqMode(std::get<1>(GetParam()) == QueueMode::kWaitq);
+    Nub::Get().SetLockBackend(std::get<0>(GetParam()));
+    Nub::Get().SetGlobalLockMode(std::get<1>(GetParam()) == LockMode::kGlobal);
+    Nub::Get().SetWaitqMode(std::get<2>(GetParam()) == QueueMode::kWaitq);
     Nub::Get().SetTrace(&trace_);
   }
 
   void TearDown() override {
     Nub::Get().SetTrace(nullptr);
+    Nub::Get().SetLockBackend(saved_backend_);
     Nub::Get().SetGlobalLockMode(saved_lock_mode_);
     Nub::Get().SetWaitqMode(saved_waitq_mode_);
   }
@@ -85,6 +102,7 @@ class ConformanceTest
 
   spec::Trace trace_;
   spec::CheckResult checked_;
+  LockBackend saved_backend_ = LockBackend::kTas;
   bool saved_lock_mode_ = false;
   bool saved_waitq_mode_ = false;
 };
@@ -333,12 +351,113 @@ TEST_P(ConformanceTest, TimedWaitsRaceGrantsAndExpiry) {
   CheckConformance();
 }
 
+// Readers and writers over two ReaderWriterMutexes, timed and untimed:
+// reader/reader overlap is a legal serialization (the checker admits
+// concurrent members of rw.readers), writers must serialize, and the timed
+// variants hold RWAcquireFor/TIMEOUT and RWAcquireSharedFor/TIMEOUT to
+// UNCHANGED [rw].
+TEST_P(ConformanceTest, RwlockSharedExclusiveStorm) {
+  const int iters = 15 * Scale();
+  ReaderWriterMutex locks[2];
+  std::int64_t counters[2] = {};
+  std::atomic<int> readers_seen{0};
+  std::vector<Thread> threads;
+  for (int t = 0; t < 6; ++t) {
+    threads.push_back(Thread::Fork([&, t] {
+      for (int i = 0; i < iters; ++i) {
+        ReaderWriterMutex& rw = locks[(t + i) % 2];
+        const int op = (t + i) % 6;
+        if (op < 3) {
+          ReadLock rl(rw);
+          readers_seen.fetch_add(1, std::memory_order_relaxed);
+          std::this_thread::yield();  // widen the reader/reader overlap
+        } else if (op < 5) {
+          WriteLock wl(rw);
+          ++counters[(t + i) % 2];
+        } else if (t % 2 == 0) {
+          if (rw.AcquireSharedFor(std::chrono::microseconds(20 * (i % 3))) ==
+              WaitResult::kSatisfied) {
+            rw.ReleaseShared();
+          }
+        } else {
+          if (rw.AcquireFor(std::chrono::microseconds(20 * (i % 3))) ==
+              WaitResult::kSatisfied) {
+            ++counters[(t + i) % 2];
+            rw.Release();
+          }
+        }
+      }
+    }));
+  }
+  for (Thread& t : threads) {
+    t.Join();
+  }
+  EXPECT_GT(readers_seen.load(std::memory_order_relaxed), 0);
+  CheckConformance();
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Backends, ConformanceTest,
-    ::testing::Combine(::testing::Values(LockMode::kSharded, LockMode::kGlobal),
+    ::testing::Combine(::testing::Values(LockBackend::kTas, LockBackend::kMcs,
+                                         LockBackend::kClh),
+                       ::testing::Values(LockMode::kSharded, LockMode::kGlobal),
                        ::testing::Values(QueueMode::kClassic,
                                          QueueMode::kWaitq)),
     ModeName);
+
+// ---------------------------------------------------------------------------
+// Rwlock checker semantics on hand-built traces: what the storm above can
+// only exercise probabilistically is pinned here exactly — the checker
+// ADMITS reader/reader overlap and REJECTS every overlap involving a writer.
+// ---------------------------------------------------------------------------
+
+TEST(RwlockCheckerTest, ReaderReaderOverlapAdmitted) {
+  const spec::ObjId rw = 1;
+  std::vector<spec::Action> actions = {
+      spec::MakeRwAcquireShared(1, rw), spec::MakeRwAcquireShared(2, rw),
+      spec::MakeRwReleaseShared(1, rw), spec::MakeRwReleaseShared(2, rw)};
+  spec::TraceChecker checker;
+  spec::CheckResult r = checker.CheckTrace(actions);
+  EXPECT_TRUE(r.ok) << r.message;
+  EXPECT_EQ(r.actions_checked, 4u);
+}
+
+TEST(RwlockCheckerTest, WriterOverlapsRejected) {
+  const spec::ObjId rw = 1;
+  spec::TraceChecker checker;
+  {
+    // A writer acquiring while a reader is inside: WHEN requires
+    // rw.readers = {}.
+    std::vector<spec::Action> actions = {spec::MakeRwAcquireShared(1, rw),
+                                         spec::MakeRwAcquire(2, rw)};
+    spec::CheckResult r = checker.CheckTrace(actions);
+    ASSERT_FALSE(r.ok);
+    EXPECT_EQ(r.failed_index, 1u);
+  }
+  {
+    // A reader admitted while a writer holds: WHEN requires rw.writer = NIL.
+    std::vector<spec::Action> actions = {spec::MakeRwAcquire(1, rw),
+                                         spec::MakeRwAcquireShared(2, rw)};
+    spec::CheckResult r = checker.CheckTrace(actions);
+    ASSERT_FALSE(r.ok);
+    EXPECT_EQ(r.failed_index, 1u);
+  }
+  {
+    // Two writers.
+    std::vector<spec::Action> actions = {spec::MakeRwAcquire(1, rw),
+                                         spec::MakeRwAcquire(2, rw)};
+    spec::CheckResult r = checker.CheckTrace(actions);
+    ASSERT_FALSE(r.ok);
+    EXPECT_EQ(r.failed_index, 1u);
+  }
+  {
+    // REQUIRES: releasing a shared hold it does not have.
+    std::vector<spec::Action> actions = {spec::MakeRwReleaseShared(1, rw)};
+    spec::CheckResult r = checker.CheckTrace(actions);
+    ASSERT_FALSE(r.ok);
+    EXPECT_NE(r.message.find("REQUIRES"), std::string::npos) << r.message;
+  }
+}
 
 }  // namespace
 }  // namespace taos
