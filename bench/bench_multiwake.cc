@@ -71,6 +71,71 @@ void BM_WindowAbsorption(benchmark::State& state) {
 }
 BENCHMARK(BM_WindowAbsorption)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 
+// The deliberate stampede: every round parks all N waiters on one condition
+// and releases them with a single Broadcast, so the broadcaster dequeues
+// and unparks the whole herd inside its Broadcast slice. Run with --trace
+// and feed TRACE_multiwake.json to taos-diag: the "broadcast stampedes"
+// section should report roughly N threads woken per waking broadcast (E32).
+void BM_BroadcastStampede(benchmark::State& state) {
+  const int waiters = static_cast<int>(state.range(0));
+  taos::Mutex m;
+  taos::Condition c;    // the herd sleeps here, per generation
+  taos::Condition ack;  // the broadcaster waits for the round to land
+  std::uint64_t gen = 0;  // protected by m
+  int awake = 0;          // protected by m
+  bool stop = false;      // protected by m
+
+  std::vector<taos::Thread> threads;
+  for (int i = 0; i < waiters; ++i) {
+    threads.push_back(taos::Thread::Fork([&] {
+      taos::Lock lock(m);
+      // Start from generation 0, not the current gen: a waiter that forks
+      // after the first broadcast must still ack the in-flight round, or
+      // the broadcaster waits for an ack that never comes.
+      std::uint64_t seen = 0;
+      for (;;) {
+        while (gen == seen && !stop) {
+          c.Wait(m);
+        }
+        if (stop) {
+          return;
+        }
+        seen = gen;
+        if (++awake == waiters) {
+          ack.Signal();
+        }
+      }
+    }));
+  }
+
+  for (auto _ : state) {
+    {
+      taos::Lock lock(m);
+      ++gen;
+      awake = 0;
+    }
+    c.Broadcast();
+    {
+      taos::Lock lock(m);
+      while (awake < waiters) {
+        ack.Wait(m);
+      }
+    }
+  }
+  {
+    taos::Lock lock(m);
+    stop = true;
+  }
+  c.Broadcast();
+  for (taos::Thread& t : threads) {
+    t.Join();
+  }
+  // Per-broadcast slow/fast split lands in the report's metrics block
+  // (nub_broadcast / fast_broadcast counters).
+  state.counters["waiters"] = static_cast<double>(waiters);
+}
+BENCHMARK(BM_BroadcastStampede)->Arg(4)->Arg(8)->UseRealTime();
+
 }  // namespace
 
 #include "bench/bench_main.h"

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "src/obs/coverage.h"
+#include "src/obs/diag.h"
 
 namespace taos {
 namespace chaos {
@@ -52,6 +53,9 @@ constexpr PointInfo kPoints[kNumPoints] = {
     {"clh.pred_spin", Category::kAfterCas},
     {"rwlock.reader_cas", Category::kAfterCas},
     {"rwlock.last_reader_wake", Category::kBeforeUnpark},
+    {"diag.publish_to_park", Category::kBeforePark},
+    {"diag.owner_stamp", Category::kAfterCas},
+    {"diag.snapshot", Category::kGeneric},
 };
 
 constexpr const char* kStrategyNames[] = {"uniform", "preempt-after-cas",
@@ -215,6 +219,17 @@ struct EnvInit {
   }
 };
 EnvInit g_env_init;
+
+// Installs the diag snapshot probe (the kDiagSnapshot seam) during static
+// init. Lives here rather than in diag.cc because obs sits below chaos in
+// the library order; in chaos builds every TAOS_CHAOS crossing references
+// InjectSlow, so this TU — and with it the probe — is always linked in.
+struct SnapshotProbeInit {
+  SnapshotProbeInit() {
+    obs::diag::SetSnapshotProbe(+[] { TAOS_CHAOS(kDiagSnapshot); });
+  }
+};
+SnapshotProbeInit g_snapshot_probe_init;
 
 }  // namespace
 

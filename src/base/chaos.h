@@ -95,6 +95,11 @@ enum class Point : std::uint32_t {
   kClhPredSpin,          // CLH: enqueued, before the first predecessor read
   kRwlockReaderCas,      // rwlock: reader-count CAS won, before returning
   kRwlockLastReaderWake, // rwlock: count hit zero, before waking a writer
+  // Contention-diagnosis seams (src/obs/diag).
+  kDiagPublishToPark,    // blocked edge published, before the deschedule —
+                         // a snapshot here sees "blocked" pre-park
+  kDiagOwnerStamp,       // acquire epilogue, before the owner-table stamp
+  kDiagSnapshot,         // inside SnapshotBlocked, racing the publishers
   kCount,
 };
 

@@ -158,10 +158,21 @@ void SpinLock::AcquireSlow() {
     }
     ++iters;  // lost the race to another test-and-set
   }
+  const std::uint64_t now = obs::NowNanos();
   obs::Inc(obs::Counter::kContendedSpinAcquires);
   obs::Add(obs::Counter::kSpinIterations, iters);
   obs::Record(obs::Histogram::kSpinIterationsPerAcquire, iters);
-  obs::Record(obs::Histogram::kSpinAcquireNanos, obs::NowNanos() - start);
+  obs::Record(obs::Histogram::kSpinAcquireNanos, now - start);
+  if (obs::diag::Enabled()) [[unlikely]] {
+    const std::uint64_t released =
+        tas_release_ns_.load(std::memory_order_relaxed);
+    // Only meaningful if a diag-stamped release happened while we spun;
+    // a zero stamp means diag came on mid-spin or the holder released
+    // before we started waiting.
+    if (released >= start && now > released) {
+      obs::Record(obs::Histogram::kLockHandoffNanos, now - released);
+    }
+  }
 }
 
 void SpinLock::McsAcquire() {

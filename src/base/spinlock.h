@@ -48,6 +48,7 @@
 #include <thread>
 
 #include "src/base/chaos.h"
+#include "src/obs/diag.h"
 #include "src/obs/metrics.h"
 
 namespace taos {
@@ -114,6 +115,16 @@ class SpinLock {
     TAOS_CHAOS(kSpinBeforeRelease);
     switch (backend()) {
       case LockBackend::kTas:
+        // Handoff stamp for the TAS core, so kLockHandoffNanos is
+        // comparable across all three backends. The queue cores stamp
+        // their successor's qnode for free at handoff; TAS has no
+        // successor to address, so the stamp lives on the lock and the
+        // clock read is gated on the diag layer being on (one relaxed
+        // load and a predicted branch otherwise — the same fast-path
+        // budget as the recorder checks).
+        if (obs::diag::Enabled()) [[unlikely]] {
+          tas_release_ns_.store(obs::NowNanos(), std::memory_order_relaxed);
+        }
         bit_.clear(std::memory_order_release);
         return;
       case LockBackend::kMcs:
@@ -186,8 +197,14 @@ class SpinLock {
   void ClhRelease();
   bool QueueTryAcquire();   // shared by MCS and CLH
 
-  // TAS core state.
+  // TAS core state. tas_release_ns_ is the last releaser's NowNanos stamp
+  // (diag-enabled runs only): a contended AcquireSlow that wins the bit
+  // reads it to approximate releaser-to-winner handoff latency. Unlike the
+  // queue cores' per-qnode stamp it is shared by all spinners, so under
+  // multi-waiter contention it measures the handoff to whichever waiter
+  // barged in first — which is exactly TAS's handoff discipline.
   std::atomic_flag bit_ = ATOMIC_FLAG_INIT;
+  std::atomic<std::uint64_t> tas_release_ns_{0};
   // Queue-core state: the tail of the waiter queue (null iff free with no
   // waiters — the quiescent state both cores share), and the node the
   // current holder will release with. holder_node_ is logically owned by

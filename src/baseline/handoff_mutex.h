@@ -46,7 +46,7 @@ class HandoffMutex {
       if (!bit_.compare_exchange_strong(expected, 1,
                                         std::memory_order_acquire)) {
         queue_.PushBack(self);
-        MarkBlocked(self, ThreadRecord::BlockKind::kMutex, this, &nub_lock_,
+        MarkBlocked(self, ThreadRecord::BlockKind::kMutex, this, /*obj_id=*/0, &nub_lock_,
                     /*alertable=*/false);
         parked = true;
       }

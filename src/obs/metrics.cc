@@ -80,6 +80,7 @@ constexpr const char* kHistogramNames[] = {
     "park_wait_ns",
     "unpark_ns",
     "timer_expiry_lag_ns",
+    "wakeup_latency_ns",
 };
 static_assert(
     std::size(kHistogramNames) == static_cast<std::size_t>(kNumHistograms),

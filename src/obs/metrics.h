@@ -104,6 +104,7 @@ enum class Histogram : int {
   kParkWaitNanos,           // Parker::Park wall latency (inside kBlockedNanos)
   kUnparkNanos,             // Parker::Unpark wall latency (the waker's cost)
   kTimerExpiryLagNanos,     // expiry-processing time minus the deadline
+  kWakeupLatencyNanos,      // waker's permit grant to wakee's Park return
 
   kNumHistograms,
 };

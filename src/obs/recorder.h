@@ -26,7 +26,9 @@
 #define TAOS_SRC_OBS_RECORDER_H_
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
+#include <cstdio>
 #include <string>
 
 #include "src/obs/metrics.h"
@@ -46,16 +48,27 @@ enum class Op : std::uint16_t {
   kAlertWait,
   kAlertP,
 
+  // Wakeup causality (the diag layer, src/obs/diag.h): kUnpark is recorded
+  // by the waker at the instant it grants a parked thread's permit; the
+  // matching kParkResume is recorded by the wakee when Park returns, with
+  // ts = the waker's grant instant and dur = the signal-to-running latency.
+  // Both carry the same nonzero flow id, which the drain renders as a
+  // Perfetto flow arrow from waker to wakee.
+  kUnpark,
+  kParkResume,
+  kTimerExpire,  // timer thread processing one expired deadline
+
   kNumOps,
 };
 
 const char* OpName(Op op);
 
-// One fixed-size recorded event; 32 bytes.
+// One fixed-size recorded event; 40 bytes.
 struct Event {
   std::uint64_t ts_ns;   // start, NowNanos() clock
   std::uint64_t dur_ns;
   std::uint64_t obj;     // spec::ObjId, or target thread id for Alert
+  std::uint64_t flow;    // wakeup-causality edge id; 0 = none
   std::uint32_t tid;     // recording thread (0 = the ring's own thread)
   Op op;
   std::uint16_t pad = 0;
@@ -75,16 +88,39 @@ void SetRecorderEnabled(bool on);
 
 // Appends one event to the calling thread's ring (overwriting the oldest if
 // full). tid 0 means "this thread". Callers normally go through ScopedEvent
-// and never pay this call while the recorder is off.
+// and never pay this call while the recorder is off. A nonzero `flow` links
+// this event into a wakeup-causality edge (see Op::kUnpark above).
 void RecordEvent(Op op, std::uint64_t obj, std::uint64_t ts_ns,
-                 std::uint64_t dur_ns, std::uint32_t tid = 0);
+                 std::uint64_t dur_ns, std::uint32_t tid = 0,
+                 std::uint64_t flow = 0);
+
+// Fresh nonzero id for one wakeup-causality edge (waker side draws it,
+// wakee side echoes it).
+std::uint64_t NextFlowId();
+
+// Attaches a key/value pair to the next drained trace's otherData (e.g.
+// lock_backend, waitq mode), so A/B trace artifacts are self-describing.
+// Quiescent-only, like the drain; setting a key again overwrites it.
+void SetTraceMetadata(const std::string& key, const std::string& value);
 
 // Drains every ring into one Chrome trace-event JSON document and resets the
-// rings. Quiescence required (see the memory model above).
+// rings. Quiescence required (see the memory model above). Flow-stamped
+// kUnpark/kParkResume pairs additionally emit Chrome flow records ("ph":
+// "s"/"f") so Perfetto draws waker -> wakee arrows; otherData carries the
+// total and per-ring dropped-event counts plus any SetTraceMetadata pairs.
 std::string DrainChromeTraceJson();
 
 // Convenience: DrainChromeTraceJson() to a file. Returns false on I/O error.
 bool DrainChromeTraceJsonToFile(const std::string& path);
+
+// Crash/hang-path dump: prints the newest `max_events` events across all
+// rings to `f`, newest last, without draining or resetting anything.
+// Deliberately racy (relaxed reads of rings that may be mid-write): the
+// caller is a watchdog diagnosing a hang, where a torn in-flight slot is an
+// acceptable price for not touching the rings' publication protocol. Never
+// use it for data that feeds analysis; that is what the quiescent drain is
+// for.
+void DumpRecentEventsForDebug(std::FILE* f, std::size_t max_events);
 
 // RAII bracket: captures the start timestamp if the recorder is enabled at
 // entry, records the event (with duration) at scope exit — including exits

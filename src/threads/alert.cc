@@ -223,11 +223,11 @@ void AlertWait(Mutex& m, Condition& c) {
           // Cannot fail: resumers hold c's ObjLock, which we hold.
           TAOS_CHECK(InstallBlockedLocked(self, cell,
                                           ThreadRecord::BlockKind::kCondition,
-                                          &c, &c.nub_lock_,
+                                          &c, c.id(), &c.nub_lock_,
                                           /*alertable=*/true));
         } else {
           c.queue_.PushBack(self);
-          SetBlockedLocked(self, ThreadRecord::BlockKind::kCondition, &c,
+          SetBlockedLocked(self, ThreadRecord::BlockKind::kCondition, &c, c.id(),
                            &c.nub_lock_, /*alertable=*/true);
         }
         parked = true;
@@ -303,7 +303,7 @@ void AlertWait(Mutex& m, Condition& c) {
         }
       } else {
         parked = InstallBlockedLocked(self, cell,
-                                      ThreadRecord::BlockKind::kCondition, &c,
+                                      ThreadRecord::BlockKind::kCondition, &c, c.id(),
                                       &c.nub_lock_, /*alertable=*/true);
       }
     }
@@ -342,7 +342,7 @@ void AlertWait(Mutex& m, Condition& c) {
       c.waiters_.fetch_sub(1, std::memory_order_relaxed);
     } else if (c.ec_.Read() == i) {
       c.queue_.PushBack(self);
-      SetBlockedLocked(self, ThreadRecord::BlockKind::kCondition, &c,
+      SetBlockedLocked(self, ThreadRecord::BlockKind::kCondition, &c, c.id(),
                        &c.nub_lock_, /*alertable=*/true);
       parked = true;
     } else {
@@ -428,11 +428,11 @@ WaitResult AlertWaitFor(Mutex& m, Condition& c,
           // Cannot fail: resumers hold c's ObjLock, which we hold.
           TAOS_CHECK(InstallBlockedLocked(self, cell,
                                           ThreadRecord::BlockKind::kCondition,
-                                          &c, &c.nub_lock_,
+                                          &c, c.id(), &c.nub_lock_,
                                           /*alertable=*/true));
         } else {
           c.queue_.PushBack(self);
-          SetBlockedLocked(self, ThreadRecord::BlockKind::kCondition, &c,
+          SetBlockedLocked(self, ThreadRecord::BlockKind::kCondition, &c, c.id(),
                            &c.nub_lock_, /*alertable=*/true);
         }
         PublishTimedLocked(self, gen);
@@ -513,7 +513,7 @@ WaitResult AlertWaitFor(Mutex& m, Condition& c,
         } else {
           parked = InstallBlockedLocked(self, cell,
                                         ThreadRecord::BlockKind::kCondition,
-                                        &c, &c.nub_lock_, /*alertable=*/true);
+                                        &c, c.id(), &c.nub_lock_, /*alertable=*/true);
           if (parked) {
             gen = ++self->next_timer_gen;
             PublishTimedLocked(self, gen);
@@ -550,7 +550,7 @@ WaitResult AlertWaitFor(Mutex& m, Condition& c,
           c.waiters_.fetch_sub(1, std::memory_order_relaxed);
         } else if (c.ec_.Read() == i) {
           c.queue_.PushBack(self);
-          SetBlockedLocked(self, ThreadRecord::BlockKind::kCondition, &c,
+          SetBlockedLocked(self, ThreadRecord::BlockKind::kCondition, &c, c.id(),
                            &c.nub_lock_, /*alertable=*/true);
           gen = ++self->next_timer_gen;
           PublishTimedLocked(self, gen);
@@ -638,12 +638,12 @@ void AlertP(Semaphore& s) {
           // Cannot fail: resumers hold s's ObjLock, which we hold.
           TAOS_CHECK(InstallBlockedLocked(self, cell,
                                           ThreadRecord::BlockKind::kSemaphore,
-                                          &s, &s.nub_lock_,
+                                          &s, s.id(), &s.nub_lock_,
                                           /*alertable=*/true));
         } else {
           s.queue_.PushBack(self);
           s.queue_len_.fetch_add(1, std::memory_order_relaxed);
-          SetBlockedLocked(self, ThreadRecord::BlockKind::kSemaphore, &s,
+          SetBlockedLocked(self, ThreadRecord::BlockKind::kSemaphore, &s, s.id(),
                            &s.nub_lock_, /*alertable=*/true);
         }
         parked = true;
@@ -714,7 +714,7 @@ void AlertP(Semaphore& s) {
         } else if (s.bit_.load(std::memory_order_seq_cst) != 0) {
           parked = InstallBlockedLocked(self, cell,
                                         ThreadRecord::BlockKind::kSemaphore,
-                                        &s, &s.nub_lock_, /*alertable=*/true);
+                                        &s, s.id(), &s.nub_lock_, /*alertable=*/true);
         } else {
           // Available in the meantime: withdraw the claim and retry.
           if (cell->Cancel() == waitq::WaitCell::CancelOutcome::kCancelled) {
@@ -763,7 +763,7 @@ void AlertP(Semaphore& s) {
       s.queue_.PushBack(self);
       s.queue_len_.fetch_add(1, std::memory_order_seq_cst);
       if (s.bit_.load(std::memory_order_seq_cst) != 0) {
-        SetBlockedLocked(self, ThreadRecord::BlockKind::kSemaphore, &s,
+        SetBlockedLocked(self, ThreadRecord::BlockKind::kSemaphore, &s, s.id(),
                          &s.nub_lock_, /*alertable=*/true);
         parked = true;
       } else {

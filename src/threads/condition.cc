@@ -107,7 +107,7 @@ void Condition::Block(ThreadRecord* self, EventCount::Value i) {
     {
       SpinGuard tg(self->lock);
       parked = InstallBlockedLocked(self, cell,
-                                    ThreadRecord::BlockKind::kCondition, this,
+                                    ThreadRecord::BlockKind::kCondition, this, id_,
                                     &nub_lock_, /*alertable=*/false);
     }
     if (parked) {
@@ -121,7 +121,7 @@ void Condition::Block(ThreadRecord* self, EventCount::Value i) {
     NubGuard g(nub_lock_);
     if (ec_.Read() == i) {
       queue_.PushBack(self);
-      MarkBlocked(self, ThreadRecord::BlockKind::kCondition, this, &nub_lock_,
+      MarkBlocked(self, ThreadRecord::BlockKind::kCondition, this, id_, &nub_lock_,
                   /*alertable=*/false);
       parked = true;
     } else {
@@ -163,7 +163,7 @@ bool Condition::BlockFor(ThreadRecord* self, EventCount::Value i,
     {
       SpinGuard tg(self->lock);
       parked = InstallBlockedLocked(self, cell,
-                                    ThreadRecord::BlockKind::kCondition, this,
+                                    ThreadRecord::BlockKind::kCondition, this, id_,
                                     &nub_lock_, /*alertable=*/false);
       if (parked) {
         gen = ++self->next_timer_gen;
@@ -187,7 +187,7 @@ bool Condition::BlockFor(ThreadRecord* self, EventCount::Value i,
       queue_.PushBack(self);
       gen = ++self->next_timer_gen;
       SpinGuard tg(self->lock);
-      SetBlockedLocked(self, ThreadRecord::BlockKind::kCondition, this,
+      SetBlockedLocked(self, ThreadRecord::BlockKind::kCondition, this, id_,
                        &nub_lock_, /*alertable=*/false);
       PublishTimedLocked(self, gen);
       parked = true;
@@ -377,11 +377,11 @@ void Condition::TracedWait(Mutex& m, ThreadRecord* self) {
         // Cannot fail: resumers hold this ObjLock, which we hold.
         TAOS_CHECK(InstallBlockedLocked(self, cell,
                                         ThreadRecord::BlockKind::kCondition,
-                                        this, &nub_lock_,
+                                        this, id_, &nub_lock_,
                                         /*alertable=*/false));
       } else {
         queue_.PushBack(self);
-        MarkBlocked(self, ThreadRecord::BlockKind::kCondition, this,
+        MarkBlocked(self, ThreadRecord::BlockKind::kCondition, this, id_,
                     &nub_lock_, /*alertable=*/false);
       }
       parked = true;
@@ -442,13 +442,13 @@ WaitResult Condition::TracedWaitFor(Mutex& m, ThreadRecord* self,
         // Cannot fail: resumers hold this ObjLock, which we hold.
         TAOS_CHECK(InstallBlockedLocked(self, cell,
                                         ThreadRecord::BlockKind::kCondition,
-                                        this, &nub_lock_,
+                                        this, id_, &nub_lock_,
                                         /*alertable=*/false));
         PublishTimedLocked(self, gen);
       } else {
         queue_.PushBack(self);
         SpinGuard tg(self->lock);
-        SetBlockedLocked(self, ThreadRecord::BlockKind::kCondition, this,
+        SetBlockedLocked(self, ThreadRecord::BlockKind::kCondition, this, id_,
                          &nub_lock_, /*alertable=*/false);
         PublishTimedLocked(self, gen);
       }

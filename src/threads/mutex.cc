@@ -114,7 +114,7 @@ void Mutex::NubAcquire(ThreadRecord* self) {
       if (bit_.load(std::memory_order_seq_cst) != 0) {
         // Still held: de-schedule this thread. It stays queued; Release will
         // make it ready.
-        MarkBlocked(self, ThreadRecord::BlockKind::kMutex, this, &nub_lock_,
+        MarkBlocked(self, ThreadRecord::BlockKind::kMutex, this, id_, &nub_lock_,
                     /*alertable=*/false);
         parked = true;
       } else {
@@ -156,7 +156,7 @@ void Mutex::WaitqAcquire(ThreadRecord* self) {
       {
         SpinGuard tg(self->lock);
         parked = InstallBlockedLocked(self, cell,
-                                      ThreadRecord::BlockKind::kMutex, this,
+                                      ThreadRecord::BlockKind::kMutex, this, id_,
                                       &nub_lock_, /*alertable=*/false);
       }
       if (parked) {
@@ -209,7 +209,7 @@ bool Mutex::NubAcquireFor(ThreadRecord* self, std::uint64_t deadline_ns) {
       if (bit_.load(std::memory_order_seq_cst) != 0) {
         gen = ++self->next_timer_gen;
         SpinGuard tg(self->lock);
-        SetBlockedLocked(self, ThreadRecord::BlockKind::kMutex, this,
+        SetBlockedLocked(self, ThreadRecord::BlockKind::kMutex, this, id_,
                          &nub_lock_, /*alertable=*/false);
         PublishTimedLocked(self, gen);
         parked = true;
@@ -257,7 +257,7 @@ bool Mutex::WaitqAcquireFor(ThreadRecord* self, std::uint64_t deadline_ns) {
       {
         SpinGuard tg(self->lock);
         parked = InstallBlockedLocked(self, cell,
-                                      ThreadRecord::BlockKind::kMutex, this,
+                                      ThreadRecord::BlockKind::kMutex, this, id_,
                                       &nub_lock_, /*alertable=*/false);
         if (parked) {
           gen = ++self->next_timer_gen;
@@ -304,7 +304,7 @@ void Mutex::Release() {
       TracedRelease(self);
       return;
     }
-    holder_.store(spec::kNil, std::memory_order_relaxed);
+    NoteReleased();
     // User code: clear the Lock-bit; call the Nub only if the Queue is
     // non-empty. The seq_cst store/load pair below pairs with the
     // enqueue-then-test in NubAcquire so that at least one side sees the
@@ -382,12 +382,12 @@ void Mutex::TracedAcquire(ThreadRecord* self, const spec::Action& emit,
         SpinGuard tg(self->lock);
         // Cannot fail: resumers hold this ObjLock, which we hold.
         TAOS_CHECK(InstallBlockedLocked(self, cell,
-                                        ThreadRecord::BlockKind::kMutex, this,
+                                        ThreadRecord::BlockKind::kMutex, this, id_,
                                         &nub_lock_, /*alertable=*/false));
       } else {
         queue_.PushBack(self);
         queue_len_.fetch_add(1, std::memory_order_relaxed);
-        MarkBlocked(self, ThreadRecord::BlockKind::kMutex, this, &nub_lock_,
+        MarkBlocked(self, ThreadRecord::BlockKind::kMutex, this, id_, &nub_lock_,
                     /*alertable=*/false);
       }
       parked = true;
@@ -435,14 +435,14 @@ bool Mutex::TracedAcquireFor(ThreadRecord* self, std::uint64_t deadline_ns) {
         SpinGuard tg(self->lock);
         // Cannot fail: resumers hold this ObjLock, which we hold.
         TAOS_CHECK(InstallBlockedLocked(self, cell,
-                                        ThreadRecord::BlockKind::kMutex, this,
+                                        ThreadRecord::BlockKind::kMutex, this, id_,
                                         &nub_lock_, /*alertable=*/false));
         PublishTimedLocked(self, gen);
       } else {
         queue_.PushBack(self);
         queue_len_.fetch_add(1, std::memory_order_relaxed);
         SpinGuard tg(self->lock);
-        SetBlockedLocked(self, ThreadRecord::BlockKind::kMutex, this,
+        SetBlockedLocked(self, ThreadRecord::BlockKind::kMutex, this, id_,
                          &nub_lock_, /*alertable=*/false);
         PublishTimedLocked(self, gen);
       }
@@ -476,7 +476,7 @@ ThreadRecord* Mutex::TracedReleaseLocked(ThreadRecord* self,
                                          bool emit_release) {
   Nub& nub = Nub::Get();
   TAOS_CHECK(holder_.load(std::memory_order_relaxed) == self->id);
-  holder_.store(spec::kNil, std::memory_order_relaxed);
+  NoteReleased();
   bit_.store(0, std::memory_order_relaxed);
   if (emit_release) {
     nub.EmitTraced(spec::MakeRelease(self->id, id_));

@@ -116,9 +116,23 @@ class Mutex {
   // Nub subroutine for Release: unblock one queued thread.
   void NubRelease();
 
-  // Marks `self` as the holder (fast- and slow-path epilogue).
+  // Marks `self` as the holder (fast- and slow-path epilogue). The diag
+  // owner stamp rides the same funnel: one predicted branch on the
+  // uncontended path when diagnosis is off.
   void NoteAcquired(ThreadRecord* self) {
     holder_.store(self->id, std::memory_order_relaxed);
+    if (obs::diag::Enabled()) [[unlikely]] {
+      TAOS_CHAOS(kDiagOwnerStamp);
+      obs::diag::StampOwner(id_, self->id);
+    }
+  }
+
+  // Clears the holder (every Release path, traced included).
+  void NoteReleased() {
+    holder_.store(spec::kNil, std::memory_order_relaxed);
+    if (obs::diag::Enabled()) [[unlikely]] {
+      obs::diag::ClearOwner(id_);
+    }
   }
 
   // Traced (spec-emitting) paths. `emit` is the action recorded when the

@@ -131,7 +131,7 @@ void ReaderWriterMutex::Release() {
       TracedRelease(self);
       return;
     }
-    holder_.store(spec::kNil, std::memory_order_relaxed);
+    NoteReleased();
     // User code: clear the word; call the Nub only if someone is queued.
     // The seq_cst store/load pairs with the enqueue-then-test in the
     // acquire slow paths (both reader and writer sides), so no waiter is
@@ -267,7 +267,7 @@ void ReaderWriterMutex::NubAcquire(ThreadRecord* self) {
       writers_queue_.PushBack(self);
       writer_q_len_.fetch_add(1, std::memory_order_seq_cst);
       if (word_.load(std::memory_order_seq_cst) != 0) {
-        MarkBlocked(self, ThreadRecord::BlockKind::kRwExclusive, this,
+        MarkBlocked(self, ThreadRecord::BlockKind::kRwExclusive, this, id_,
                     &nub_lock_, /*alertable=*/false);
         parked = true;
       } else {
@@ -303,7 +303,7 @@ void ReaderWriterMutex::WaitqAcquire(ThreadRecord* self) {
         SpinGuard tg(self->lock);
         parked = InstallBlockedLocked(self, cell,
                                       ThreadRecord::BlockKind::kRwExclusive,
-                                      this, &nub_lock_, /*alertable=*/false);
+                                      this, id_, &nub_lock_, /*alertable=*/false);
       }
       if (parked) {
         ParkBlocked(self);
@@ -346,7 +346,7 @@ void ReaderWriterMutex::NubAcquireShared(ThreadRecord* self) {
       readers_queue_.PushBack(self);
       reader_q_len_.fetch_add(1, std::memory_order_seq_cst);
       if ((word_.load(std::memory_order_seq_cst) & kWriterBit) != 0) {
-        MarkBlocked(self, ThreadRecord::BlockKind::kRwShared, this,
+        MarkBlocked(self, ThreadRecord::BlockKind::kRwShared, this, id_,
                     &nub_lock_, /*alertable=*/false);
         parked = true;
       } else {
@@ -377,7 +377,7 @@ void ReaderWriterMutex::WaitqAcquireShared(ThreadRecord* self) {
         SpinGuard tg(self->lock);
         parked = InstallBlockedLocked(self, cell,
                                       ThreadRecord::BlockKind::kRwShared,
-                                      this, &nub_lock_, /*alertable=*/false);
+                                      this, id_, &nub_lock_, /*alertable=*/false);
       }
       if (parked) {
         ParkBlocked(self);
@@ -420,7 +420,7 @@ bool ReaderWriterMutex::NubAcquireFor(ThreadRecord* self,
       if (word_.load(std::memory_order_seq_cst) != 0) {
         gen = ++self->next_timer_gen;
         SpinGuard tg(self->lock);
-        SetBlockedLocked(self, ThreadRecord::BlockKind::kRwExclusive, this,
+        SetBlockedLocked(self, ThreadRecord::BlockKind::kRwExclusive, this, id_,
                          &nub_lock_, /*alertable=*/false);
         PublishTimedLocked(self, gen);
         parked = true;
@@ -465,7 +465,7 @@ bool ReaderWriterMutex::WaitqAcquireFor(ThreadRecord* self,
         SpinGuard tg(self->lock);
         parked = InstallBlockedLocked(self, cell,
                                       ThreadRecord::BlockKind::kRwExclusive,
-                                      this, &nub_lock_, /*alertable=*/false);
+                                      this, id_, &nub_lock_, /*alertable=*/false);
         if (parked) {
           gen = ++self->next_timer_gen;
           PublishTimedLocked(self, gen);
@@ -519,7 +519,7 @@ bool ReaderWriterMutex::NubAcquireSharedFor(ThreadRecord* self,
       if ((word_.load(std::memory_order_seq_cst) & kWriterBit) != 0) {
         gen = ++self->next_timer_gen;
         SpinGuard tg(self->lock);
-        SetBlockedLocked(self, ThreadRecord::BlockKind::kRwShared, this,
+        SetBlockedLocked(self, ThreadRecord::BlockKind::kRwShared, this, id_,
                          &nub_lock_, /*alertable=*/false);
         PublishTimedLocked(self, gen);
         parked = true;
@@ -559,7 +559,7 @@ bool ReaderWriterMutex::WaitqAcquireSharedFor(ThreadRecord* self,
         SpinGuard tg(self->lock);
         parked = InstallBlockedLocked(self, cell,
                                       ThreadRecord::BlockKind::kRwShared,
-                                      this, &nub_lock_, /*alertable=*/false);
+                                      this, id_, &nub_lock_, /*alertable=*/false);
         if (parked) {
           gen = ++self->next_timer_gen;
           PublishTimedLocked(self, gen);
@@ -694,12 +694,12 @@ void ReaderWriterMutex::TracedAcquire(ThreadRecord* self) {
         SpinGuard tg(self->lock);
         // Cannot fail: resumers hold this ObjLock, which we hold.
         TAOS_CHECK(InstallBlockedLocked(
-            self, cell, ThreadRecord::BlockKind::kRwExclusive, this,
+            self, cell, ThreadRecord::BlockKind::kRwExclusive, this, id_,
             &nub_lock_, /*alertable=*/false));
       } else {
         writers_queue_.PushBack(self);
         writer_q_len_.fetch_add(1, std::memory_order_relaxed);
-        MarkBlocked(self, ThreadRecord::BlockKind::kRwExclusive, this,
+        MarkBlocked(self, ThreadRecord::BlockKind::kRwExclusive, this, id_,
                     &nub_lock_, /*alertable=*/false);
       }
       parked = true;
@@ -735,12 +735,12 @@ void ReaderWriterMutex::TracedAcquireShared(ThreadRecord* self) {
         reader_q_len_.fetch_add(1, std::memory_order_relaxed);
         SpinGuard tg(self->lock);
         TAOS_CHECK(InstallBlockedLocked(
-            self, cell, ThreadRecord::BlockKind::kRwShared, this, &nub_lock_,
+            self, cell, ThreadRecord::BlockKind::kRwShared, this, id_, &nub_lock_,
             /*alertable=*/false));
       } else {
         readers_queue_.PushBack(self);
         reader_q_len_.fetch_add(1, std::memory_order_relaxed);
-        MarkBlocked(self, ThreadRecord::BlockKind::kRwShared, this,
+        MarkBlocked(self, ThreadRecord::BlockKind::kRwShared, this, id_,
                     &nub_lock_, /*alertable=*/false);
       }
       parked = true;
@@ -784,14 +784,14 @@ bool ReaderWriterMutex::TracedAcquireFor(ThreadRecord* self,
         writer_q_len_.fetch_add(1, std::memory_order_relaxed);
         SpinGuard tg(self->lock);
         TAOS_CHECK(InstallBlockedLocked(
-            self, cell, ThreadRecord::BlockKind::kRwExclusive, this,
+            self, cell, ThreadRecord::BlockKind::kRwExclusive, this, id_,
             &nub_lock_, /*alertable=*/false));
         PublishTimedLocked(self, gen);
       } else {
         writers_queue_.PushBack(self);
         writer_q_len_.fetch_add(1, std::memory_order_relaxed);
         SpinGuard tg(self->lock);
-        SetBlockedLocked(self, ThreadRecord::BlockKind::kRwExclusive, this,
+        SetBlockedLocked(self, ThreadRecord::BlockKind::kRwExclusive, this, id_,
                          &nub_lock_, /*alertable=*/false);
         PublishTimedLocked(self, gen);
       }
@@ -837,14 +837,14 @@ bool ReaderWriterMutex::TracedAcquireSharedFor(ThreadRecord* self,
         reader_q_len_.fetch_add(1, std::memory_order_relaxed);
         SpinGuard tg(self->lock);
         TAOS_CHECK(InstallBlockedLocked(
-            self, cell, ThreadRecord::BlockKind::kRwShared, this, &nub_lock_,
+            self, cell, ThreadRecord::BlockKind::kRwShared, this, id_, &nub_lock_,
             /*alertable=*/false));
         PublishTimedLocked(self, gen);
       } else {
         readers_queue_.PushBack(self);
         reader_q_len_.fetch_add(1, std::memory_order_relaxed);
         SpinGuard tg(self->lock);
-        SetBlockedLocked(self, ThreadRecord::BlockKind::kRwShared, this,
+        SetBlockedLocked(self, ThreadRecord::BlockKind::kRwShared, this, id_,
                          &nub_lock_, /*alertable=*/false);
         PublishTimedLocked(self, gen);
       }
@@ -868,7 +868,7 @@ void ReaderWriterMutex::TracedRelease(ThreadRecord* self) {
   {
     NubGuard g(nub_lock_);
     TAOS_CHECK(holder_.load(std::memory_order_relaxed) == self->id);
-    holder_.store(spec::kNil, std::memory_order_relaxed);
+    NoteReleased();
     word_.store(0, std::memory_order_relaxed);
     nub.EmitTraced(spec::MakeRwRelease(self->id, id_));
     if (nub.waitq_mode()) {

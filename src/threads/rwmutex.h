@@ -128,8 +128,24 @@ class ReaderWriterMutex {
   void NubReleaseExclusive();
   void NubWakeOneWriter();
 
+  // Exclusive-acquire epilogue; owner stamps mirror Mutex::NoteAcquired.
+  // Shared holders are deliberately NOT stamped: a reader-held rwmutex has
+  // no single owner, so the waits-for graph treats it as owner-unknown
+  // (which can hide a reader-writer deadlock from the cycle finder, but
+  // never invents one — the stall dump still shows every edge).
   void NoteAcquired(ThreadRecord* self) {
     holder_.store(self->id, std::memory_order_relaxed);
+    if (obs::diag::Enabled()) [[unlikely]] {
+      TAOS_CHAOS(kDiagOwnerStamp);
+      obs::diag::StampOwner(id_, self->id);
+    }
+  }
+
+  void NoteReleased() {
+    holder_.store(spec::kNil, std::memory_order_relaxed);
+    if (obs::diag::Enabled()) [[unlikely]] {
+      obs::diag::ClearOwner(id_);
+    }
   }
 
   // Traced (spec-emitting) paths; the same shape as Mutex's, with the

@@ -100,7 +100,7 @@ void Semaphore::NubP(ThreadRecord* self) {
       queue_len_.fetch_add(1, std::memory_order_seq_cst);
       TAOS_CHAOS(kSemEnqueuedToTest);
       if (bit_.load(std::memory_order_seq_cst) != 0) {
-        MarkBlocked(self, ThreadRecord::BlockKind::kSemaphore, this,
+        MarkBlocked(self, ThreadRecord::BlockKind::kSemaphore, this, id_,
                     &nub_lock_, /*alertable=*/false);
         parked = true;
       } else {
@@ -135,7 +135,7 @@ void Semaphore::WaitqP(ThreadRecord* self) {
         SpinGuard tg(self->lock);
         parked = InstallBlockedLocked(self, cell,
                                       ThreadRecord::BlockKind::kSemaphore,
-                                      this, &nub_lock_, /*alertable=*/false);
+                                      this, id_, &nub_lock_, /*alertable=*/false);
       }
       if (parked) {
         ParkBlocked(self);
@@ -178,7 +178,7 @@ bool Semaphore::NubPFor(ThreadRecord* self, std::uint64_t deadline_ns) {
       if (bit_.load(std::memory_order_seq_cst) != 0) {
         gen = ++self->next_timer_gen;
         SpinGuard tg(self->lock);
-        SetBlockedLocked(self, ThreadRecord::BlockKind::kSemaphore, this,
+        SetBlockedLocked(self, ThreadRecord::BlockKind::kSemaphore, this, id_,
                          &nub_lock_, /*alertable=*/false);
         PublishTimedLocked(self, gen);
         parked = true;
@@ -224,7 +224,7 @@ bool Semaphore::WaitqPFor(ThreadRecord* self, std::uint64_t deadline_ns) {
         SpinGuard tg(self->lock);
         parked = InstallBlockedLocked(self, cell,
                                       ThreadRecord::BlockKind::kSemaphore,
-                                      this, &nub_lock_, /*alertable=*/false);
+                                      this, id_, &nub_lock_, /*alertable=*/false);
         if (parked) {
           gen = ++self->next_timer_gen;
           PublishTimedLocked(self, gen);
@@ -324,12 +324,12 @@ void Semaphore::TracedP(ThreadRecord* self) {
         // Cannot fail: resumers hold this ObjLock, which we hold.
         TAOS_CHECK(InstallBlockedLocked(self, cell,
                                         ThreadRecord::BlockKind::kSemaphore,
-                                        this, &nub_lock_,
+                                        this, id_, &nub_lock_,
                                         /*alertable=*/false));
       } else {
         queue_.PushBack(self);
         queue_len_.fetch_add(1, std::memory_order_relaxed);
-        MarkBlocked(self, ThreadRecord::BlockKind::kSemaphore, this,
+        MarkBlocked(self, ThreadRecord::BlockKind::kSemaphore, this, id_,
                     &nub_lock_, /*alertable=*/false);
       }
       parked = true;
@@ -375,14 +375,14 @@ bool Semaphore::TracedPFor(ThreadRecord* self, std::uint64_t deadline_ns) {
         // Cannot fail: resumers hold this ObjLock, which we hold.
         TAOS_CHECK(InstallBlockedLocked(self, cell,
                                         ThreadRecord::BlockKind::kSemaphore,
-                                        this, &nub_lock_,
+                                        this, id_, &nub_lock_,
                                         /*alertable=*/false));
         PublishTimedLocked(self, gen);
       } else {
         queue_.PushBack(self);
         queue_len_.fetch_add(1, std::memory_order_relaxed);
         SpinGuard tg(self->lock);
-        SetBlockedLocked(self, ThreadRecord::BlockKind::kSemaphore, this,
+        SetBlockedLocked(self, ThreadRecord::BlockKind::kSemaphore, this, id_,
                          &nub_lock_, /*alertable=*/false);
         PublishTimedLocked(self, gen);
       }

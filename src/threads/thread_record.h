@@ -21,6 +21,7 @@
 
 #include "src/base/intrusive_queue.h"
 #include "src/base/spinlock.h"
+#include "src/obs/diag.h"
 #include "src/obs/metrics.h"
 #include "src/spec/state.h"
 #include "src/waitq/parker.h"
@@ -97,6 +98,10 @@ struct ThreadRecord {
   bool timed = false;
   std::uint64_t timer_gen = 0;
   bool timeout_woken = false;
+  // This thread's waits-for registry slot (src/obs/diag.h), registered
+  // lazily at the first blocking episode. Writes to the slot are seqlock
+  // publications serialized by `lock`; the watchdog reads it lock-free.
+  obs::diag::WaiterSlot* diag_slot = nullptr;
 
   // Set when the thread terminated because Alerted escaped its root
   // function (see Thread::Fork).
@@ -118,16 +123,43 @@ struct ThreadRecord {
   ThreadRecord& operator=(const ThreadRecord&) = delete;
 };
 
+// The diag WaitKind enum mirrors BlockKind value-for-value so the publish
+// below is a cast, not a mapping (and a new BlockKind fails loudly here).
+static_assert(
+    static_cast<int>(obs::diag::WaitKind::kNone) ==
+            static_cast<int>(ThreadRecord::BlockKind::kNone) &&
+        static_cast<int>(obs::diag::WaitKind::kMutex) ==
+            static_cast<int>(ThreadRecord::BlockKind::kMutex) &&
+        static_cast<int>(obs::diag::WaitKind::kSemaphore) ==
+            static_cast<int>(ThreadRecord::BlockKind::kSemaphore) &&
+        static_cast<int>(obs::diag::WaitKind::kCondition) ==
+            static_cast<int>(ThreadRecord::BlockKind::kCondition) &&
+        static_cast<int>(obs::diag::WaitKind::kRwShared) ==
+            static_cast<int>(ThreadRecord::BlockKind::kRwShared) &&
+        static_cast<int>(obs::diag::WaitKind::kRwExclusive) ==
+            static_cast<int>(ThreadRecord::BlockKind::kRwExclusive),
+    "obs::diag::WaitKind must mirror ThreadRecord::BlockKind");
+
 // Blocking-state transitions. The *Locked variants require t->lock held;
 // the Mark* variants take it, nested inside the blocked-on object's ObjLock
-// which every caller already holds (ordering rule 1 in nub.h).
+// which every caller already holds (ordering rule 1 in nub.h). `obj_id` is
+// the blocked-on object's spec id (0 for baselines without one): it feeds
+// the waits-for registry, which must name objects by id, never by pointer
+// (see the teardown-safety note in src/obs/diag.h).
 inline void SetBlockedLocked(ThreadRecord* t, ThreadRecord::BlockKind kind,
-                             void* obj, ObjLock* obj_lock, bool alertable) {
+                             void* obj, spec::ObjId obj_id, ObjLock* obj_lock,
+                             bool alertable) {
   t->block_kind = kind;
   t->blocked_obj = obj;
   t->blocked_lock = obj_lock;
   t->alertable = alertable;
   t->alert_woken = false;
+  if (t->diag_slot == nullptr) [[unlikely]] {
+    t->diag_slot = obs::diag::RegisterWaiterSlot(t->id);
+  }
+  obs::diag::PublishBlocked(t->diag_slot,
+                            static_cast<obs::diag::WaitKind>(kind), obj_id,
+                            obs::NowNanos(), alertable);
 }
 
 inline void ClearBlockedLocked(ThreadRecord* t) {
@@ -140,12 +172,16 @@ inline void ClearBlockedLocked(ThreadRecord* t) {
   // also invalidates its deadline; `timeout_woken` is NOT cleared here —
   // the timer sets it right after this call and the waiter consumes it.
   t->timed = false;
+  if (t->diag_slot != nullptr) {
+    obs::diag::ClearBlocked(t->diag_slot);
+  }
 }
 
 inline void MarkBlocked(ThreadRecord* t, ThreadRecord::BlockKind kind,
-                        void* obj, ObjLock* obj_lock, bool alertable) {
+                        void* obj, spec::ObjId obj_id, ObjLock* obj_lock,
+                        bool alertable) {
   SpinGuard g(t->lock);
-  SetBlockedLocked(t, kind, obj, obj_lock, alertable);
+  SetBlockedLocked(t, kind, obj, obj_id, obj_lock, alertable);
 }
 
 inline void MarkUnblocked(ThreadRecord* t) {
@@ -176,6 +212,9 @@ inline bool ConsumeTimeoutWoken(ThreadRecord* t) {
 // park and feeding the de-scheduled duration into the blocked-time
 // histogram. Every blocking site in src/threads goes through here.
 inline void ParkBlocked(ThreadRecord* t) {
+  // The window between publishing the blocked edge and the deschedule: a
+  // watchdog snapshot here sees a thread "blocked" that has not parked yet.
+  TAOS_CHAOS(kDiagPublishToPark);
   t->parks.fetch_add(1, std::memory_order_relaxed);
   const std::uint64_t start = obs::NowNanos();
   t->park.Park();
@@ -190,8 +229,9 @@ inline void ParkBlocked(ThreadRecord* t) {
 // cell is unpublished again and the thread proceeds without parking).
 inline bool InstallBlockedLocked(ThreadRecord* t, waitq::WaitCell* cell,
                                  ThreadRecord::BlockKind kind, void* obj,
-                                 ObjLock* obj_lock, bool alertable) {
-  SetBlockedLocked(t, kind, obj, obj_lock, alertable);
+                                 spec::ObjId obj_id, ObjLock* obj_lock,
+                                 bool alertable) {
+  SetBlockedLocked(t, kind, obj, obj_id, obj_lock, alertable);
   t->wait_cell = cell;
   if (cell->Install(&t->park, t)) {
     return true;

@@ -8,6 +8,7 @@
 #include "src/base/chaos.h"
 #include "src/base/check.h"
 #include "src/obs/metrics.h"
+#include "src/obs/recorder.h"
 #include "src/threads/condition.h"
 #include "src/threads/mutex.h"
 #include "src/threads/nub.h"
@@ -267,6 +268,10 @@ void Timer::ThreadMain() {
         obs::Inc(obs::Counter::kTimersExpired);
         obs::Record(obs::Histogram::kTimerExpiryLagNanos,
                     now >= e.deadline_ns ? now - e.deadline_ns : 0);
+        // The expiry slice names the timed-out thread; the wake it causes
+        // (if the cancel wins) carries its own flow edge from the Unpark
+        // inside ExpireEntry, so traces show timer -> waiter causality.
+        obs::ScopedEvent ev(obs::Op::kTimerExpire, e.rec->id);
         ExpireEntry(e);
       }
       continue;  // expiring took time: re-advance before sleeping

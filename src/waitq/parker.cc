@@ -5,6 +5,7 @@
 
 #include "src/base/chaos.h"
 #include "src/obs/metrics.h"
+#include "src/obs/recorder.h"
 
 #if defined(__linux__)
 #include <linux/futex.h>
@@ -31,6 +32,28 @@ void FutexWakeOne(std::atomic<std::uint32_t>& word) {
           FUTEX_WAKE_PRIVATE, 1, nullptr, nullptr, 0);
 }
 #endif
+
+// Consumes the wakeup-causality stamp deposited by Unpark (if any) and
+// emits the wakee-side half of the flow edge plus the signal-to-running
+// latency sample. Out of line from the permit protocol: called only after
+// Park has consumed a permit, so the stamp reads are ordered after the
+// waker's stamp writes by the permit word's release/acquire edge.
+void ConsumeWakeStamp(std::atomic<std::uint64_t>& wake_flow,
+                      std::atomic<std::uint64_t>& wake_ns) {
+  const std::uint64_t flow = wake_flow.load(std::memory_order_relaxed);
+  if (flow == 0) {
+    return;
+  }
+  wake_flow.store(0, std::memory_order_relaxed);
+  if (!obs::RecorderEnabled()) {
+    return;  // stamped while on, drained while off: drop the orphan half
+  }
+  const std::uint64_t granted = wake_ns.load(std::memory_order_relaxed);
+  const std::uint64_t now = obs::NowNanos();
+  const std::uint64_t latency = now > granted ? now - granted : 0;
+  obs::RecordEvent(obs::Op::kParkResume, 0, granted, latency, 0, flow);
+  obs::Record(obs::Histogram::kWakeupLatencyNanos, latency);
+}
 
 }  // namespace
 
@@ -70,6 +93,7 @@ void Parker::Park() {
     CondvarPark();
   }
   obs::Record(obs::Histogram::kParkWaitNanos, obs::NowNanos() - start);
+  ConsumeWakeStamp(wake_flow_, wake_ns_);
 }
 
 bool Parker::ParkUntil(std::uint64_t deadline_ns) {
@@ -82,20 +106,35 @@ bool Parker::ParkUntil(std::uint64_t deadline_ns) {
   if (!notified) {
     // Timed out, permit not consumed: an Unpark can still land before the
     // caller acts on the timeout (timeout-vs-grant at the parker level).
+    // Any wake stamp stays put — it travels with the still-pending permit.
     TAOS_CHAOS(kParkerTimedReturn);
+    return false;
   }
-  return notified;
+  ConsumeWakeStamp(wake_flow_, wake_ns_);
+  return true;
 }
 
 void Parker::Unpark() {
   TAOS_CHAOS(kParkerBeforeUnpark);
   const std::uint64_t start = obs::NowNanos();
+  std::uint64_t flow = 0;
+  if (obs::RecorderEnabled()) [[unlikely]] {
+    // Stamp the causality edge before depositing the permit (see the
+    // member comment in parker.h); the waker-side event is recorded after.
+    flow = obs::NextFlowId();
+    wake_ns_.store(start, std::memory_order_relaxed);
+    wake_flow_.store(flow, std::memory_order_relaxed);
+  }
   if (backend_ == Backend::kFutex) {
     FutexUnpark();
   } else {
     CondvarUnpark();
   }
-  obs::Record(obs::Histogram::kUnparkNanos, obs::NowNanos() - start);
+  const std::uint64_t end = obs::NowNanos();
+  obs::Record(obs::Histogram::kUnparkNanos, end - start);
+  if (flow != 0) [[unlikely]] {
+    obs::RecordEvent(obs::Op::kUnpark, 0, start, end - start, 0, flow);
+  }
 }
 
 void Parker::SpuriousWakeForDebug() {

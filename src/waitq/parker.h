@@ -106,6 +106,15 @@ class Parker {
 
   const Backend backend_;
   std::atomic<std::uint32_t> state_{kEmpty};
+  // Wakeup-causality stamp (recorder on only): Unpark writes the flow id
+  // and its grant timestamp BEFORE depositing the permit, so the pair rides
+  // the permit word's release/acquire edge to the wakee; Park consumes it
+  // after returning and emits the matching kParkResume event. Relaxed
+  // accesses suffice given that edge; a stamp with no consumer (permit
+  // still pending at a timeout) is consumed by the next Park, which is the
+  // Park the pending permit wakes.
+  std::atomic<std::uint64_t> wake_flow_{0};
+  std::atomic<std::uint64_t> wake_ns_{0};
   std::mutex mu_;               // condvar backend only
   std::condition_variable cv_;  // condvar backend only
 };

@@ -20,6 +20,7 @@
 #include "src/base/chaos.h"
 #include "src/base/xorshift.h"
 #include "src/obs/coverage.h"
+#include "src/obs/diag.h"
 #include "src/threads/threads.h"
 #include "src/threads/wait_result.h"
 
@@ -169,8 +170,11 @@ class ChaosRuntimeTest : public ::testing::Test {
 // back-outs), semaphore P/V and PFor, condition Wait/WaitFor against a
 // signaller, AlertWait/AlertP against an alerter, rwlock readers against a
 // writer, and raw spin-lock contention under whichever TAOS_LOCK core is
-// active. Everything the 35 points instrument, in whichever lock/queue mode
-// the caller configured.
+// active. Everything the 38 points instrument, in whichever lock/queue mode
+// the caller configured. The diagnosis layer is switched on for the pass
+// and a snapshotter thread races SnapshotBlocked against the workload, so
+// the three diag windows (publish-to-park, owner-stamp, snapshot-read) are
+// crossed under injection too.
 void MixedWorkloadPass() {
   Mutex m;
   Condition c;
@@ -179,6 +183,14 @@ void MixedWorkloadPass() {
   Mutex data_m;
   int counter = 0;
   std::atomic<bool> stop{false};
+
+  obs::diag::SetEnabled(true);
+  std::thread snapshotter([&stop] {
+    while (!stop.load(std::memory_order_acquire)) {
+      (void)obs::diag::SnapshotBlocked();
+      std::this_thread::sleep_for(100us);
+    }
+  });
 
   std::vector<Thread> threads;
   // Mutex + timed-mutex traffic. The occasional held-across-a-sleep stretch
@@ -326,7 +338,9 @@ void MixedWorkloadPass() {
   for (Thread& t : threads) {
     t.Join();
   }
-  stop.store(true, std::memory_order_relaxed);
+  stop.store(true, std::memory_order_release);
+  snapshotter.join();
+  obs::diag::SetEnabled(false);
 }
 
 TEST_F(ChaosRuntimeTest, FixedSeedMatrixCoversEveryPoint) {

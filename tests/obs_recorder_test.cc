@@ -8,6 +8,7 @@
 #include "src/obs/recorder.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <fstream>
 #include <map>
@@ -38,7 +39,9 @@ void ClearRings() {
 
 // Parses a drained trace and schema-checks it: top-level object with a
 // traceEvents array and otherData.dropped_events; every "X" event carries a
-// known op name, numeric ts/dur/pid/tid, and args.obj.
+// known op name, numeric ts/dur/pid/tid, and args.obj; every flow record
+// ("s" start / "f" finish, emitted for wakeup-causality edges) carries a
+// numeric flow id.
 Value ParseAndCheckSchema(const std::string& text) {
   std::string error;
   std::optional<Value> doc = Parse(text, &error);
@@ -62,6 +65,15 @@ Value ParseAndCheckSchema(const std::string& text) {
     EXPECT_TRUE(ph != nullptr && ph->IsString());
     if (ph == nullptr || !ph->IsString() || ph->string == "M") {
       continue;  // malformed (already flagged) or thread_name metadata
+    }
+    if (ph->string == "s" || ph->string == "f") {
+      const Value* id = e.Find("id");
+      EXPECT_TRUE(id != nullptr && id->IsNumber()) << "flow record sans id";
+      for (const char* key : {"ts", "pid", "tid"}) {
+        const Value* v = e.Find(key);
+        EXPECT_TRUE(v != nullptr && v->IsNumber()) << key;
+      }
+      continue;
     }
     EXPECT_EQ(ph->string, "X");
     const Value* name = e.Find("name");
@@ -199,10 +211,111 @@ TEST(ObsRecorderTest, OverflowReportsDroppedEvents) {
   ASSERT_TRUE(other != nullptr && events != nullptr);
   const double dropped = other->Find("dropped_events")->number;
   EXPECT_GT(dropped, 0.0);
-  // Everything written is either drained or accounted dropped (the one "M"
-  // metadata event is not a recorded sample).
-  EXPECT_EQ(dropped + static_cast<double>(events->array.size() - 1),
-            2 * 3000.0);
+  // Everything written is either drained or accounted dropped. Count "X"
+  // samples explicitly: "M" metadata and "s"/"f" flow records are
+  // re-renderings, not recorded samples.
+  double complete = 0;
+  for (const Value& e : events->array) {
+    complete += e.Find("ph")->string == "X";
+  }
+  EXPECT_EQ(dropped + complete, 2 * 3000.0);
+  // Per-ring attribution: all of this test's overflow happened on the one
+  // recording thread, so dropped_by_ring is a single entry carrying the
+  // whole total. (Other rings were drained clean at ClearRings.)
+  const Value* by_ring = other->Find("dropped_by_ring");
+  ASSERT_TRUE(by_ring != nullptr && by_ring->IsObject());
+  double per_ring_sum = 0;
+  std::size_t nonzero_rings = 0;
+  for (const auto& [tid, count] : by_ring->object) {
+    ASSERT_TRUE(count.IsNumber()) << tid;
+    per_ring_sum += count.number;
+    nonzero_rings += count.number > 0;
+  }
+  EXPECT_EQ(per_ring_sum, dropped);
+  EXPECT_EQ(nonzero_rings, 1u);
+}
+
+// SetTraceMetadata pairs ride along in the next drain's otherData, making
+// A/B artifacts self-describing; they persist across drains (config, not
+// samples).
+TEST(ObsRecorderTest, TraceMetadataAppearsInOtherData) {
+  ClearRings();
+  obs::SetTraceMetadata("lock_backend", "tas");
+  obs::SetTraceMetadata("test_key", "one");
+  obs::SetTraceMetadata("test_key", "two");  // overwrite wins
+  const Value doc = ParseAndCheckSchema(obs::DrainChromeTraceJson());
+  const Value* other = doc.Find("otherData");
+  ASSERT_TRUE(other != nullptr);
+  const Value* backend = other->Find("lock_backend");
+  ASSERT_TRUE(backend != nullptr && backend->IsString());
+  EXPECT_EQ(backend->string, "tas");
+  const Value* key = other->Find("test_key");
+  ASSERT_TRUE(key != nullptr && key->IsString());
+  EXPECT_EQ(key->string, "two");
+}
+
+// A real park/unpark handoff drains as a wakeup-causality edge: the waker's
+// Unpark and the wakee's ParkResume share a nonzero args.flow, and the
+// drain re-renders the pair as Chrome "s"/"f" flow records with that id.
+TEST(ObsRecorderTest, UnparkAndParkResumeShareFlowId) {
+  ClearRings();
+  obs::SetRecorderEnabled(true);
+  {
+    Mutex m;
+    m.Acquire();
+    std::atomic<bool> started{false};
+    Thread t = Thread::Fork([&] {
+      started.store(true, std::memory_order_release);
+      m.Acquire();  // parks: the owner sits on the lock for 50 ms
+      m.Release();
+    });
+    while (!started.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    m.Release();  // the handoff: Unpark stamps the flow, the wakee echoes it
+    t.Join();
+  }
+  obs::SetRecorderEnabled(false);
+
+  const Value doc = ParseAndCheckSchema(obs::DrainChromeTraceJson());
+  const Value* events = doc.Find("traceEvents");
+  ASSERT_TRUE(events != nullptr);
+  std::map<double, int> unpark_flows;   // flow id -> count
+  std::map<double, int> resume_flows;
+  std::map<double, int> flow_records;   // "s"/"f" ids
+  for (const Value& e : events->array) {
+    const std::string& ph = e.Find("ph")->string;
+    if (ph == "s" || ph == "f") {
+      flow_records[e.Find("id")->number]++;
+      continue;
+    }
+    if (ph != "X") {
+      continue;
+    }
+    const Value* flow = e.Find("args")->Find("flow");
+    if (flow == nullptr) {
+      continue;
+    }
+    const std::string& name = e.Find("name")->string;
+    if (name == "Unpark") {
+      unpark_flows[flow->number]++;
+    } else if (name == "ParkResume") {
+      resume_flows[flow->number]++;
+    }
+  }
+  ASSERT_FALSE(unpark_flows.empty()) << "no flow-stamped Unpark drained";
+  // At least one unpark's flow id was echoed by the wakee's resume, and the
+  // drain emitted both halves of the Chrome flow arrow for it.
+  bool matched = false;
+  for (const auto& [flow, n] : unpark_flows) {
+    EXPECT_GT(flow, 0.0);
+    if (resume_flows.count(flow) != 0) {
+      matched = true;
+      EXPECT_EQ(flow_records[flow], 2) << "flow " << flow;
+    }
+  }
+  EXPECT_TRUE(matched) << "no Unpark/ParkResume pair shared a flow id";
 }
 
 // Golden file: a deterministic single-thread op script drains to a fixed

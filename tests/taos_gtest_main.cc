@@ -1,0 +1,33 @@
+// Shared test main: gtest plus a contention watchdog (src/obs/diag.h), so a
+// test that deadlocks or stalls self-diagnoses — naming who is blocked on
+// what and who holds it — instead of sitting silent until the ctest timeout
+// kills it. The thresholds sit comfortably below the harness timeouts
+// (300 s default, 1800 s sanitized; see tests/CMakeLists.txt): by the time
+// ctest gives up, the dump is already in the log and, when the
+// TAOS_WATCHDOG_DUMP env var names a file, in a CI-uploadable artifact.
+//
+// The dump ends with the chaos replay banner, so a hang found by an
+// injected schedule prints the {seed, strategy, point-mask} triple needed
+// to reproduce it.
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "src/base/chaos.h"
+#include "src/obs/diag.h"
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+
+  taos::obs::diag::Watchdog watchdog;
+  taos::obs::diag::Watchdog::Options options;
+  options.interval_ms = 1000;
+  options.stall_ms = 120000;
+  options.banner = +[](std::FILE* f) { taos::chaos::PrintConfigBanner(f); };
+  watchdog.Start(options);
+
+  const int rc = RUN_ALL_TESTS();
+  watchdog.Stop();
+  return rc;
+}

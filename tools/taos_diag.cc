@@ -1,0 +1,88 @@
+// taos-diag: contention diagnosis over the artifacts the runtime already
+// writes. Two modes, auto-detected from the document shape:
+//
+//   taos_diag TRACE_foo.json          flight-recorder Chrome trace: top
+//                                     contended objects, wakeup latency,
+//                                     handoff chains, broadcast stampedes
+//   taos_diag BENCH_foo.json          bench report: config stamps plus the
+//                                     wakeup/handoff latency histograms
+//
+//   --top=N   cap the contended-object table (default 10)
+//
+// Produce a trace with any bench binary's --trace flag, or a test's drain;
+// see docs/WALKTHROUGH.md ("Diagnosing a hang with taos-diag").
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/diag_analysis.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--top=N] <TRACE_*.json | BENCH_*.json>...\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t top = 10;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--top=", 6) == 0) {
+      top = static_cast<std::size_t>(std::strtoull(a + 6, nullptr, 10));
+    } else if (a[0] == '-') {
+      return Usage(argv[0]);
+    } else {
+      paths.emplace_back(a);
+    }
+  }
+  if (paths.empty()) {
+    return Usage(argv[0]);
+  }
+
+  int rc = 0;
+  for (const std::string& path : paths) {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "taos-diag: cannot read %s\n", path.c_str());
+      rc = 1;
+      continue;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+
+    std::string error;
+    if (text.find("\"traceEvents\"") != std::string::npos) {
+      taos::diagtool::TraceAnalysis analysis;
+      if (!taos::diagtool::AnalyzeTraceJson(text, &analysis, &error)) {
+        std::fprintf(stderr, "taos-diag: %s: %s\n", path.c_str(),
+                     error.c_str());
+        rc = 1;
+        continue;
+      }
+      std::fputs(
+          taos::diagtool::FormatTraceReport(analysis, top).c_str(), stdout);
+    } else {
+      std::string report;
+      if (!taos::diagtool::FormatBenchReport(text, &report, &error)) {
+        std::fprintf(stderr, "taos-diag: %s: %s\n", path.c_str(),
+                     error.c_str());
+        rc = 1;
+        continue;
+      }
+      std::fputs(report.c_str(), stdout);
+    }
+  }
+  return rc;
+}
