@@ -56,6 +56,12 @@ constexpr PointInfo kPoints[kNumPoints] = {
     {"diag.publish_to_park", Category::kBeforePark},
     {"diag.owner_stamp", Category::kAfterCas},
     {"diag.snapshot", Category::kGeneric},
+    {"poll.register", Category::kAfterCas},
+    {"poll.scan_to_park", Category::kBeforePark},
+    {"poll.notify", Category::kBeforeUnpark},
+    {"poll.deregister", Category::kCancel},
+    {"event.set_to_resume", Category::kGeneric},
+    {"msgq.handoff", Category::kGeneric},
 };
 
 constexpr const char* kStrategyNames[] = {"uniform", "preempt-after-cas",

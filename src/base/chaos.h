@@ -100,6 +100,15 @@ enum class Point : std::uint32_t {
                          // a snapshot here sees "blocked" pre-park
   kDiagOwnerStamp,       // acquire epilogue, before the owner-table stamp
   kDiagSnapshot,         // inside SnapshotBlocked, racing the publishers
+  // Multi-object wait seams (src/threads/poll, src/threads/event).
+  kPollRegister,         // registration installed, before the ready re-scan
+  kPollScanToPark,       // scan found nothing, before the park episode
+  kPollNotify,           // Set won the latch 0->1, before the unblock dance
+  kPollDeregister,       // grant taken, before deregistering the rest —
+                         // the lost-wakeup window the litmus test models
+  kEventSetToResume,     // Set: flag stored, before waking waiters/pollers
+  kMsgqHandoff,          // MessageQueue: state changed under the user
+                         // mutex, before the event edge is published
   kCount,
 };
 

@@ -49,7 +49,14 @@ struct Fiber {
   std::uint64_t slice_steps = 0;  // steps since last dispatch (time slicing)
 
   // Blocking bookkeeping (the driver serializes all access).
-  enum class BlockKind : std::uint8_t { kNone, kMutex, kSemaphore, kCondition };
+  enum class BlockKind : std::uint8_t {
+    kNone,
+    kMutex,
+    kSemaphore,
+    kCondition,
+    kEvent,  // blocked in Event::Wait/WaitFor
+    kPoll,   // blocked in Poll::WaitAny*/WaitAll*; blocked_obj is the Poll
+  };
   BlockKind block_kind = BlockKind::kNone;
   bool alertable = false;
   bool alert_woken = false;

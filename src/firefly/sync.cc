@@ -480,6 +480,436 @@ void Semaphore::V() {
 }
 
 // ---------------------------------------------------------------------------
+// Event
+// ---------------------------------------------------------------------------
+
+Event::Event(Machine& machine, EventReset reset)
+    : machine_(machine), reset_(reset), id_(machine.NextObjId()) {}
+
+Event::~Event() {
+  if (machine_.Aborted() || machine_.ShuttingDown()) {
+    while (queue_.PopFront() != nullptr) {
+    }
+    pollers_.clear();
+    return;
+  }
+  TAOS_CHECK(queue_.Empty());
+  TAOS_CHECK(pollers_.empty());
+}
+
+void Event::TimeoutDequeue(Fiber* f) {
+  static_cast<Event*>(f->blocked_obj)->queue_.Remove(f);
+}
+
+void Event::Set() {
+  Machine& m = machine_;
+  Fiber* self = Machine::Self();
+  obs::ScopedEvent ev(obs::Op::kEventSet, id_, Tid(self));
+  m.Step();  // the store is the atomic action
+  set_ = true;
+  Emit(m, spec::MakeEventSet(self->id, id_));
+  m.Step();  // user-code test: anyone to wake?
+  if (queue_.Empty() && pollers_.empty()) {
+    return;
+  }
+  // Nub subroutine: wake per the Set policy — auto hands the pulse to one
+  // plain waiter if any; pollers are notified only when no plain waiter
+  // took it (a consumed pulse has nothing for them). Manual wakes everyone.
+  m.SpinAcquire();
+  m.Step();
+  bool woke_plain = false;
+  if (reset_ == EventReset::kAuto) {
+    Fiber* t = queue_.PopFront();
+    if (t != nullptr) {
+      woke_plain = true;
+      obs::Inc(obs::Counter::kHandoffs);
+      m.MakeReady(t);
+    }
+  } else {
+    while (Fiber* t = queue_.PopFront()) {
+      obs::Inc(obs::Counter::kHandoffs);
+      m.MakeReady(t);
+    }
+  }
+  if (reset_ == EventReset::kManual || !woke_plain) {
+    // Waking a poll waiter deregisters it from every member it is
+    // registered on (including this event), so the loop drains pollers_.
+    while (!pollers_.empty()) {
+      Fiber* f = pollers_.back();
+      static_cast<Poll*>(f->blocked_obj)->DeregisterFiber(f);
+      obs::Inc(obs::Counter::kHandoffs);
+      m.MakeReady(f);
+    }
+  }
+  m.SpinRelease();
+}
+
+void Event::Reset() {
+  Machine& m = machine_;
+  Fiber* self = Machine::Self();
+  m.Step();
+  set_ = false;
+  Emit(m, spec::MakeEventReset(self->id, id_));
+}
+
+void Event::Wait() {
+  Machine& m = machine_;
+  Fiber* self = Machine::Self();
+  obs::ScopedEvent ev(obs::Op::kEventWait, id_, Tid(self));
+  for (;;) {
+    if (m.ShuttingDown()) {
+      return;
+    }
+    m.Step();  // the claim: test (auto: test-and-clear) in one step
+    if (set_) {
+      if (reset_ == EventReset::kAuto) {
+        set_ = false;
+        Emit(m, spec::MakeEventConsume(self->id, id_));
+      } else {
+        Emit(m, spec::MakeEventWait(self->id, id_));
+      }
+      return;
+    }
+    // Nub subroutine: enqueue, re-test, de-schedule — Semaphore::P's shape
+    // with the bit sense inverted.
+    m.SpinAcquire();
+    m.Step();
+    queue_.PushBack(self);
+    m.Step();  // re-test the flag
+    if (!set_) {
+      self->block_kind = Fiber::BlockKind::kEvent;
+      self->blocked_obj = this;
+      self->alertable = false;
+      self->alert_woken = false;
+      m.DescheduleSelf();
+    } else {
+      queue_.Remove(self);
+      m.SpinRelease();
+    }
+  }
+}
+
+WaitResult Event::WaitFor(std::uint64_t timeout_steps) {
+  Machine& m = machine_;
+  Fiber* self = Machine::Self();
+  obs::ScopedEvent ev(obs::Op::kEventWait, id_, Tid(self));
+  if (timeout_steps == 0) {
+    m.Step();
+    if (set_) {
+      if (reset_ == EventReset::kAuto) {
+        set_ = false;
+        Emit(m, spec::MakeEventConsume(self->id, id_));
+      } else {
+        Emit(m, spec::MakeEventWait(self->id, id_));
+      }
+      obs::Inc(obs::Counter::kTimedWaitSatisfied);
+      return WaitResult::kSatisfied;
+    }
+    Emit(m, spec::MakePollTimeout(self->id, spec::ObjIdSet{}.Insert(id_)));
+    obs::Inc(obs::Counter::kTimedWaitTimeouts);
+    return WaitResult::kTimeout;
+  }
+  const std::uint64_t deadline = m.steps() + timeout_steps;
+  for (;;) {
+    if (m.ShuttingDown()) {
+      return WaitResult::kTimeout;
+    }
+    m.Step();
+    if (set_) {
+      if (reset_ == EventReset::kAuto) {
+        set_ = false;
+        Emit(m, spec::MakeEventConsume(self->id, id_));
+      } else {
+        Emit(m, spec::MakeEventWait(self->id, id_));
+      }
+      obs::Inc(obs::Counter::kTimedWaitSatisfied);
+      return WaitResult::kSatisfied;
+    }
+    m.SpinAcquire();
+    m.Step();
+    queue_.PushBack(self);
+    m.Step();
+    if (!set_) {
+      self->block_kind = Fiber::BlockKind::kEvent;
+      self->blocked_obj = this;
+      self->alertable = false;
+      self->alert_woken = false;
+      self->timed = true;
+      self->deadline_step = deadline;
+      self->timeout_woken = false;
+      self->timeout_dequeue = &Event::TimeoutDequeue;
+      m.DescheduleSelf();
+      if (self->timeout_woken) {
+        self->timeout_woken = false;
+        m.Step();
+        Emit(m, spec::MakePollTimeout(self->id, spec::ObjIdSet{}.Insert(id_)));
+        obs::Inc(obs::Counter::kTimedWaitTimeouts);
+        return WaitResult::kTimeout;
+      }
+    } else {
+      queue_.Remove(self);
+      m.SpinRelease();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Poll
+// ---------------------------------------------------------------------------
+
+void Poll::Add(Event& e) {
+  TAOS_CHECK(n_ < kMaxWait);
+  for (std::size_t i = 0; i < n_; ++i) {
+    TAOS_CHECK(events_[i] != &e);
+  }
+  events_[n_++] = &e;
+}
+
+spec::ObjIdSet Poll::WaitSetIds() const {
+  spec::ObjIdSet ws;
+  for (std::size_t i = 0; i < n_; ++i) {
+    ws = ws.Insert(events_[i]->id_);
+  }
+  return ws;
+}
+
+void Poll::TimeoutDequeue(Fiber* f) {
+  static_cast<Poll*>(f->blocked_obj)->DeregisterFiber(f);
+}
+
+void Poll::DeregisterFiber(Fiber* f) {
+  for (std::size_t i = 0; i < n_; ++i) {
+    auto& ps = events_[i]->pollers_;
+    auto it = std::find(ps.begin(), ps.end(), f);
+    if (it != ps.end()) {
+      ps.erase(it);
+    }
+  }
+}
+
+void Poll::RegisterAllLocked(Fiber* f) {
+  for (std::size_t i = 0; i < n_; ++i) {
+    events_[i]->pollers_.push_back(f);
+  }
+  obs::Inc(obs::Counter::kPollRegistrations);
+}
+
+bool Poll::TryGrantLocked(bool all, const spec::ObjIdSet& ws,
+                          std::size_t* index) {
+  Machine& m = events_[0]->machine_;
+  Fiber* self = Machine::Self();
+  if (!all) {
+    for (std::size_t i = 0; i < n_; ++i) {
+      Event* ev = events_[i];
+      if (!ev->set_) {
+        continue;
+      }
+      const bool consumed = ev->reset_ == EventReset::kAuto;
+      if (consumed) {
+        ev->set_ = false;
+      }
+      Emit(m, spec::MakePollAny(self->id, ws, ev->id_, consumed));
+      *index = i;
+      return true;
+    }
+    return false;
+  }
+  for (std::size_t i = 0; i < n_; ++i) {
+    if (!events_[i]->set_) {
+      return false;
+    }
+  }
+  spec::ObjIdSet consumed;
+  for (std::size_t i = 0; i < n_; ++i) {
+    if (events_[i]->reset_ == EventReset::kAuto) {
+      events_[i]->set_ = false;
+      consumed = consumed.Insert(events_[i]->id_);
+    }
+  }
+  Emit(m, spec::MakePollAll(self->id, ws, consumed));
+  *index = 0;
+  return true;
+}
+
+WaitResult Poll::WaitInternal(bool all, bool alertable, bool timed,
+                              std::uint64_t timeout_steps, std::size_t* index) {
+  TAOS_CHECK(n_ > 0);
+  Machine& m = events_[0]->machine_;
+  Fiber* self = Machine::Self();
+  const spec::ObjIdSet ws = WaitSetIds();
+  *index = n_;
+  if (timed && timeout_steps == 0) {
+    // A single scan in one atomic step; nothing registers, so the spin-lock
+    // (which TryGrantLocked otherwise requires) is unnecessary.
+    m.Step();
+    if (TryGrantLocked(all, ws, index)) {
+      return WaitResult::kSatisfied;
+    }
+    Emit(m, spec::MakePollTimeout(self->id, ws));
+    return WaitResult::kTimeout;
+  }
+  const std::uint64_t deadline = m.steps() + timeout_steps;
+  bool parked = false;
+  for (;;) {
+    if (m.ShuttingDown()) {
+      return WaitResult::kTimeout;
+    }
+    m.SpinAcquire();
+    m.Step();
+    if (TryGrantLocked(all, ws, index)) {
+      m.SpinRelease();
+      return WaitResult::kSatisfied;
+    }
+    if (parked) {
+      obs::Inc(obs::Counter::kPollSpuriousScans);
+    }
+    // Grant beats a pending alert (both WHEN clauses may hold; this
+    // implementation prefers the grant, as the runtime's scan-first loop
+    // does).
+    if (alertable && self->alerted) {
+      self->alerted = false;
+      self->alert_woken = false;
+      Emit(m, spec::MakePollAlertRaises(self->id, ws));
+      m.SpinRelease();
+      return WaitResult::kAlerted;
+    }
+    RegisterAllLocked(self);
+    m.Step();  // re-test, the Nub idiom: a Set racing the registration
+    if (TryGrantLocked(all, ws, index)) {
+      DeregisterFiber(self);
+      m.SpinRelease();
+      return WaitResult::kSatisfied;
+    }
+    self->block_kind = Fiber::BlockKind::kPoll;
+    self->blocked_obj = this;
+    self->alertable = alertable;
+    self->alert_woken = false;
+    if (timed) {
+      self->timed = true;
+      self->deadline_step = deadline;
+      self->timeout_woken = false;
+      self->timeout_dequeue = &Poll::TimeoutDequeue;
+    }
+    m.DescheduleSelf();  // whoever wakes us has deregistered us everywhere
+    parked = true;
+    if (timed && self->timeout_woken) {
+      self->timeout_woken = false;
+      m.Step();
+      Emit(m, spec::MakePollTimeout(self->id, ws));
+      return WaitResult::kTimeout;
+    }
+    if (alertable && (self->alert_woken || self->alerted)) {
+      m.Step();
+      self->alerted = false;
+      self->alert_woken = false;
+      Emit(m, spec::MakePollAlertRaises(self->id, ws));
+      return WaitResult::kAlerted;
+    }
+    self->alert_woken = false;
+  }
+}
+
+std::size_t Poll::WaitAny() {
+  Fiber* self = Machine::Self();
+  obs::ScopedEvent ev(obs::Op::kPoll, n_ > 0 ? events_[0]->id_ : 0, Tid(self));
+  std::size_t index = 0;
+  WaitInternal(/*all=*/false, /*alertable=*/false, /*timed=*/false, 0, &index);
+  return index;
+}
+
+Poll::AnyResult Poll::WaitAnyFor(std::uint64_t timeout_steps) {
+  Fiber* self = Machine::Self();
+  obs::ScopedEvent ev(obs::Op::kPoll, n_ > 0 ? events_[0]->id_ : 0, Tid(self));
+  std::size_t index = 0;
+  WaitResult r = WaitInternal(/*all=*/false, /*alertable=*/false,
+                              /*timed=*/true, timeout_steps, &index);
+  obs::Inc(r == WaitResult::kSatisfied ? obs::Counter::kTimedWaitSatisfied
+                                       : obs::Counter::kTimedWaitTimeouts);
+  return {index, r};
+}
+
+std::size_t Poll::AlertWaitAny() {
+  Fiber* self = Machine::Self();
+  obs::ScopedEvent ev(obs::Op::kPoll, n_ > 0 ? events_[0]->id_ : 0, Tid(self));
+  std::size_t index = 0;
+  WaitResult r = WaitInternal(/*all=*/false, /*alertable=*/true,
+                              /*timed=*/false, 0, &index);
+  if (r == WaitResult::kAlerted) {
+    throw Alerted();
+  }
+  return index;
+}
+
+Poll::AnyResult Poll::AlertWaitAnyFor(std::uint64_t timeout_steps) {
+  Fiber* self = Machine::Self();
+  obs::ScopedEvent ev(obs::Op::kPoll, n_ > 0 ? events_[0]->id_ : 0, Tid(self));
+  std::size_t index = 0;
+  WaitResult r = WaitInternal(/*all=*/false, /*alertable=*/true,
+                              /*timed=*/true, timeout_steps, &index);
+  switch (r) {
+    case WaitResult::kSatisfied:
+      obs::Inc(obs::Counter::kTimedWaitSatisfied);
+      break;
+    case WaitResult::kTimeout:
+      obs::Inc(obs::Counter::kTimedWaitTimeouts);
+      break;
+    case WaitResult::kAlerted:
+      obs::Inc(obs::Counter::kTimedWaitAlerted);
+      break;
+  }
+  return {index, r};
+}
+
+void Poll::WaitAll() {
+  Fiber* self = Machine::Self();
+  obs::ScopedEvent ev(obs::Op::kPoll, n_ > 0 ? events_[0]->id_ : 0, Tid(self));
+  std::size_t index = 0;
+  WaitInternal(/*all=*/true, /*alertable=*/false, /*timed=*/false, 0, &index);
+}
+
+WaitResult Poll::WaitAllFor(std::uint64_t timeout_steps) {
+  Fiber* self = Machine::Self();
+  obs::ScopedEvent ev(obs::Op::kPoll, n_ > 0 ? events_[0]->id_ : 0, Tid(self));
+  std::size_t index = 0;
+  WaitResult r = WaitInternal(/*all=*/true, /*alertable=*/false,
+                              /*timed=*/true, timeout_steps, &index);
+  obs::Inc(r == WaitResult::kSatisfied ? obs::Counter::kTimedWaitSatisfied
+                                       : obs::Counter::kTimedWaitTimeouts);
+  return r;
+}
+
+void Poll::AlertWaitAll() {
+  Fiber* self = Machine::Self();
+  obs::ScopedEvent ev(obs::Op::kPoll, n_ > 0 ? events_[0]->id_ : 0, Tid(self));
+  std::size_t index = 0;
+  WaitResult r = WaitInternal(/*all=*/true, /*alertable=*/true,
+                              /*timed=*/false, 0, &index);
+  if (r == WaitResult::kAlerted) {
+    throw Alerted();
+  }
+}
+
+WaitResult Poll::AlertWaitAllFor(std::uint64_t timeout_steps) {
+  Fiber* self = Machine::Self();
+  obs::ScopedEvent ev(obs::Op::kPoll, n_ > 0 ? events_[0]->id_ : 0, Tid(self));
+  std::size_t index = 0;
+  WaitResult r = WaitInternal(/*all=*/true, /*alertable=*/true,
+                              /*timed=*/true, timeout_steps, &index);
+  switch (r) {
+    case WaitResult::kSatisfied:
+      obs::Inc(obs::Counter::kTimedWaitSatisfied);
+      break;
+    case WaitResult::kTimeout:
+      obs::Inc(obs::Counter::kTimedWaitTimeouts);
+      break;
+    case WaitResult::kAlerted:
+      obs::Inc(obs::Counter::kTimedWaitAlerted);
+      break;
+  }
+  return r;
+}
+
+// ---------------------------------------------------------------------------
 // Alerting
 // ---------------------------------------------------------------------------
 
@@ -508,9 +938,15 @@ void Alert(FiberHandle h) {
         c->pending_raise_.push_back(t);
         break;
       }
+      case Fiber::BlockKind::kPoll: {
+        auto* p = static_cast<Poll*>(t->blocked_obj);
+        p->DeregisterFiber(t);
+        break;
+      }
+      case Fiber::BlockKind::kEvent:  // Event::Wait is never alertable
       case Fiber::BlockKind::kMutex:
       case Fiber::BlockKind::kNone:
-        TAOS_PANIC("alertable fiber blocked on a mutex");
+        TAOS_PANIC("alertable fiber blocked on a non-alertable object");
     }
     t->alert_woken = true;
     obs::Inc(obs::Counter::kHandoffs);

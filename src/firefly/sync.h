@@ -197,6 +197,106 @@ class Semaphore {
   spec::ObjId id_;
 };
 
+// Simulator twin of taos::Event (src/threads/event.h): a boolean state
+// variable with manual/auto reset, the base object of the multi-object
+// wait. Level-triggered with waiter-side consumption, exactly the real
+// runtime's semantics; the structure mirrors Semaphore with the bit sense
+// inverted (set = available).
+enum class EventReset : std::uint8_t { kManual, kAuto };
+
+class Poll;
+
+class Event {
+ public:
+  explicit Event(Machine& machine, EventReset reset = EventReset::kManual);
+  ~Event();
+  Event(const Event&) = delete;
+  Event& operator=(const Event&) = delete;
+
+  void Set();
+  void Reset();
+  void Wait();
+  // Deadline in virtual time (machine steps), as Condition::WaitFor. On the
+  // expiry path emits the spec's WaitFor/TIMEOUT action over {this}.
+  WaitResult WaitFor(std::uint64_t timeout_steps);
+
+  bool IsSet() const { return set_; }
+  EventReset reset_mode() const { return reset_; }
+  spec::ObjId id() const { return id_; }
+
+ private:
+  friend class Poll;
+  friend void Alert(FiberHandle t);
+
+  // Fiber::timeout_dequeue target for plain timed waiters.
+  static void TimeoutDequeue(Fiber* f);
+
+  Machine& machine_;
+  bool set_ = false;
+  IntrusiveQueue<Fiber> queue_;   // plain waiters, guarded by the spin-lock
+  std::vector<Fiber*> pollers_;   // blocked Poll waiters registered here
+  const EventReset reset_;
+  spec::ObjId id_;
+};
+
+// Simulator twin of taos::Poll: WaitAny/WaitAll over a set of Events. The
+// driver serializes everything, so instead of the runtime's notify-latch
+// protocol a blocked poll waiter simply sits on every member's pollers_
+// list; Event::Set (and Alert, and the clock interrupt) deregisters it from
+// ALL members before MakeReady — the simulator's O(1)-equivalent of
+// atomic deregistration, trivially free of the lost-wakeup window the
+// litmus tests probe because it happens under the Nub spin-lock. Wakeups
+// are hints (Mesa): the waiter re-scans, and consumption happens
+// waiter-side inside one atomic step, which is also where the spec's
+// WaitAny/WaitAll action is emitted.
+class Poll {
+ public:
+  static constexpr std::size_t kMaxWait = 8;
+
+  Poll() = default;
+  Poll(const Poll&) = delete;
+  Poll& operator=(const Poll&) = delete;
+
+  // REQUIRES e not already added, fewer than kMaxWait members, all members
+  // on the same Machine.
+  void Add(Event& e);
+  std::size_t size() const { return n_; }
+
+  // REQUIRES a non-empty wait set (all variants).
+  std::size_t WaitAny();
+
+  struct AnyResult {
+    std::size_t index;  // size() when result != kSatisfied
+    WaitResult result;
+  };
+  AnyResult WaitAnyFor(std::uint64_t timeout_steps);
+  std::size_t AlertWaitAny();  // raises taos::Alerted
+  AnyResult AlertWaitAnyFor(std::uint64_t timeout_steps);
+
+  void WaitAll();
+  WaitResult WaitAllFor(std::uint64_t timeout_steps);
+  void AlertWaitAll();  // raises taos::Alerted
+  WaitResult AlertWaitAllFor(std::uint64_t timeout_steps);
+
+ private:
+  friend class Event;
+  friend void Alert(FiberHandle t);
+
+  static void TimeoutDequeue(Fiber* f);
+
+  WaitResult WaitInternal(bool all, bool alertable, bool timed,
+                          std::uint64_t timeout_steps, std::size_t* index);
+  // Scan + consume + emit, inside the current atomic step. REQUIRES the
+  // Nub spin-lock held (the emission linearizes there).
+  bool TryGrantLocked(bool all, const spec::ObjIdSet& ws, std::size_t* index);
+  void RegisterAllLocked(Fiber* f);
+  void DeregisterFiber(Fiber* f);
+  spec::ObjIdSet WaitSetIds() const;
+
+  Event* events_[kMaxWait] = {};
+  std::size_t n_ = 0;
+};
+
 // Alerting.
 void Alert(FiberHandle t);
 bool TestAlert();

@@ -825,6 +825,201 @@ class RwWriterStarvationTest : public LitmusTest {
 };
 
 // ---------------------------------------------------------------------------
+// Poll double-grant: two concurrent Sets, one WaitAny, exactly one consume
+// ---------------------------------------------------------------------------
+
+// Modelled at the granularity of the protocol's shared words: the two
+// auto-reset flags and the waiter's "still parked" state. The scenario is
+// loop-free (the waiter performs one registered scan; finding nothing is
+// the legal outcome where it would re-park), so DFS exhausts it. The
+// property checked is pulse conservation: two Sets were emitted, one
+// WaitAny grant can consume at most one, so flags-still-set + grants must
+// equal 2 at the end of every schedule.
+class PollDoubleGrantTest : public LitmusTest {
+ public:
+  PollDoubleGrantTest(bool waiter_consumes, Tally* tally)
+      : waiter_consumes_(waiter_consumes), tally_(tally) {}
+
+  void Setup(Machine& machine) override {
+    auto setter = [this, &machine](bool* flag) {
+      machine.Step();
+      if (waiter_consumes_) {
+        // Notify-only (shipped): publish the flag; the wakeup is a hint.
+        *flag = true;
+        machine.Step();
+        if (parked_) {
+          ++notifies_;
+        }
+      } else {
+        // Handoff (buggy): publish, then — if the waiter still looks
+        // parked — consume the pulse on its behalf and hand it a grant.
+        // The test of parked_ and the consume are separate steps, exactly
+        // the window two Sets can both fall into.
+        *flag = true;
+        machine.Step();
+        if (parked_) {
+          machine.Step();
+          *flag = false;  // consumed for the waiter
+          ++handed_;
+        }
+      }
+    };
+    machine.Fork([setter, this] { setter(&aflag_); }, /*priority=*/0,
+                 "setter-a");
+    machine.Fork([setter, this] { setter(&bflag_); }, /*priority=*/0,
+                 "setter-b");
+    machine.Fork(
+        [this, &machine] {
+          // One registered scan of a WaitAny round. Claiming unparks.
+          machine.Step();
+          parked_ = false;
+          if (waiter_consumes_) {
+            machine.Step();
+            if (aflag_) {
+              aflag_ = false;  // the waiter's own exchange arbitrates
+              ++grants_;
+            } else {
+              machine.Step();
+              if (bflag_) {
+                bflag_ = false;
+                ++grants_;
+              }
+            }
+          } else {
+            machine.Step();
+            if (handed_ > 0) {
+              ++grants_;  // accepts ONE grant; a second handoff is orphaned
+            }
+          }
+        },
+        /*priority=*/0, "waiter");
+  }
+
+  std::string Verify(const RunResult& result) override {
+    const int remaining = (aflag_ ? 1 : 0) + (bflag_ ? 1 : 0);
+    if (tally_ != nullptr) {
+      tally_->completions += result.completed ? 1 : 0;
+      tally_->deadlocks += result.deadlock ? 1 : 0;
+      if (handed_ == 2 || notifies_ == 2) {
+        ++tally_->poll_concurrent_sets;  // both Sets raced this one wait
+      }
+    }
+    if (!result.completed) {
+      return "stuck: " + result.ToString();
+    }
+    if (waiter_consumes_) {
+      // Two pulses were published; one registered scan consumes at most
+      // one; the rest must still be on the flags.
+      if (remaining + grants_ != 2) {
+        return "pulse conservation violated in the notify-only protocol";
+      }
+    } else if (handed_ > grants_) {
+      // A pulse consumed on the waiter's behalf that the single grant
+      // never delivered — in the worst schedule both Sets fall into the
+      // window (handed_ == 2) and one WaitAny eats two pulses.
+      return "double grant: a Set consumed a pulse for a wait that never "
+             "received it; no future waiter can observe that pulse";
+    }
+    return "";
+  }
+
+ private:
+  const bool waiter_consumes_;
+  Tally* const tally_;
+  bool aflag_ = false;
+  bool bflag_ = false;
+  bool parked_ = true;  // the waiter starts registered and parked
+  int notifies_ = 0;
+  int handed_ = 0;
+  int grants_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Poll deregistration racing an in-flight notification
+// ---------------------------------------------------------------------------
+
+// A WaitAny waiter just granted on A deregisters from B exactly as Set(B)
+// lands. The model gives Set handoff flavour — a pulse delivered INTO a
+// registered cell — because that is the design in which the window exists;
+// the cell is one shared word (0 waiting, 1 notified-with-pulse, 2
+// cancelled), as in McsTimeoutAbandonTest. Safe cancellation is a CAS
+// waiting -> cancelled whose loser re-publishes the delivered pulse;
+// the buggy variant is the blind store.
+class PollDeregLostWakeupTest : public LitmusTest {
+ public:
+  PollDeregLostWakeupTest(bool safe_cancel, Tally* tally)
+      : safe_cancel_(safe_cancel), tally_(tally) {}
+
+  void Setup(Machine& machine) override {
+    machine.Fork(
+        [this, &machine] {
+          // Set(B): deliver into the registered cell, else leave the flag.
+          machine.Step();
+          if (cell_ == 0) {
+            cell_ = 1;  // the pulse now lives in the cell
+            delivered_ = true;
+          } else {
+            bflag_ = true;
+          }
+        },
+        /*priority=*/0, "setter-b");
+    machine.Fork(
+        [this, &machine] {
+          // The granted waiter's deregistration from B.
+          machine.Step();
+          if (safe_cancel_) {
+            if (cell_ == 0) {
+              cell_ = 2;  // CAS won: cancelled before any delivery
+              cancelled_clean_ = true;
+            } else {
+              // Lost to the notification: the pulse is in our cell and we
+              // no longer want it — put it back where a future waiter can
+              // find it.
+              lost_to_resume_ = true;
+              machine.Step();
+              bflag_ = true;
+              cell_ = 2;
+            }
+          } else {
+            // The bug: no re-test of the word the decision was based on.
+            cell_ = 2;
+            cancelled_clean_ = true;
+          }
+        },
+        /*priority=*/0, "granted-waiter");
+  }
+
+  std::string Verify(const RunResult& result) override {
+    if (tally_ != nullptr) {
+      tally_->completions += result.completed ? 1 : 0;
+      tally_->deadlocks += result.deadlock ? 1 : 0;
+      tally_->poll_dereg_lost_to_resume += lost_to_resume_ ? 1 : 0;
+    }
+    if (!result.completed) {
+      return "stuck: " + result.ToString();
+    }
+    // Pulse conservation: exactly one Set happened, so the pulse must be
+    // observable — on the flag, or still in a live (uncancelled) cell.
+    const bool observable = bflag_ || cell_ == 1;
+    if (!observable) {
+      return "lost wakeup: Set(B) delivered its pulse into the waiter's "
+             "cell and the deregistration destroyed it; the next wait on B "
+             "blocks forever";
+    }
+    return "";
+  }
+
+ private:
+  const bool safe_cancel_;
+  Tally* const tally_;
+  int cell_ = 0;  // the waiter's registration cell on B: waiting
+  bool bflag_ = false;
+  bool delivered_ = false;
+  bool cancelled_clean_ = false;
+  bool lost_to_resume_ = false;
+};
+
+// ---------------------------------------------------------------------------
 // Dining philosophers
 // ---------------------------------------------------------------------------
 
@@ -879,6 +1074,18 @@ class DiningPhilosophersTest : public LitmusTest {
 LitmusFactory McsTimeoutAbandonLitmus(bool safe_abandon, Tally* tally) {
   return [safe_abandon, tally] {
     return std::make_unique<McsTimeoutAbandonTest>(safe_abandon, tally);
+  };
+}
+
+LitmusFactory PollDoubleGrantLitmus(bool waiter_consumes, Tally* tally) {
+  return [waiter_consumes, tally] {
+    return std::make_unique<PollDoubleGrantTest>(waiter_consumes, tally);
+  };
+}
+
+LitmusFactory PollDeregLostWakeupLitmus(bool safe_cancel, Tally* tally) {
+  return [safe_cancel, tally] {
+    return std::make_unique<PollDeregLostWakeupTest>(safe_cancel, tally);
   };
 }
 

@@ -36,6 +36,12 @@ struct Tally {
   // and writer acquisitions that did eventually happen.
   std::uint64_t readers_admitted_past_writer = 0;
   std::uint64_t writer_acquisitions = 0;
+  // Poll litmus accounting: runs where both Sets raced into one WaitAny
+  // (the double-grant window actually exercised), and runs where the
+  // deregistration lost to an in-flight notification (the lost-wakeup
+  // window actually exercised).
+  std::uint64_t poll_concurrent_sets = 0;
+  std::uint64_t poll_dereg_lost_to_resume = 0;
 };
 
 // N fibers each perform `iters` critical sections (with explicit internal
@@ -112,6 +118,34 @@ LitmusFactory SignalUnblocksManyLitmus(Tally* tally = nullptr);
 // first loses the handoff: the lock is granted to a node nobody watches.
 LitmusFactory McsTimeoutAbandonLitmus(bool safe_abandon,
                                       Tally* tally = nullptr);
+
+// Two auto-reset events, one WaitAny waiter, two concurrent Sets — the
+// double-grant window of the multi-object wait. With `waiter_consumes`
+// (the shipped notify-latch protocol, poll.h) Set only notifies; the
+// waiter's own atomic exchange arbitrates, so one WaitAny consumes exactly
+// one pulse and the other stays observable — every schedule conserves
+// pulses. With `waiter_consumes` false the granter consumes on the
+// waiter's behalf (handoff-style), and the schedule where both Sets see
+// the waiter still parked consumes BOTH pulses for the single grant: a
+// pulse is destroyed.
+LitmusFactory PollDoubleGrantLitmus(bool waiter_consumes,
+                                    Tally* tally = nullptr);
+
+// The deregistration lost-wakeup window: a WaitAny waiter, granted on A,
+// deregisters from B exactly as Set(B) lands. Modelled at the granularity
+// of B's registration cell (0 waiting, 1 notified, 2 cancelled) with a
+// handoff-flavoured Set that delivers the pulse INTO a registered cell.
+// With `safe_cancel` the deregistration is a CAS waiting -> cancelled, and
+// when it loses (the pulse is already in the cell) the waiter re-publishes
+// it — every schedule conserves the pulse. With `safe_cancel` false the
+// waiter blindly marks the cell cancelled (the rule-3 mistake,
+// transplanted to deregistration), and the schedule where Set delivered
+// first destroys the pulse: whoever waits on B next waits forever. The
+// shipped protocol avoids the window entirely by never putting the pulse
+// in the cell (notify-only; the flag carries the state) — the safe variant
+// here shows the repair a handoff design would need instead.
+LitmusFactory PollDeregLostWakeupLitmus(bool safe_cancel,
+                                        Tally* tally = nullptr);
 
 // A reader-preference readers-writer lock (the policy of
 // taos::ReaderWriterMutex: readers are admitted whenever no writer is

@@ -33,6 +33,12 @@ const char* WaitKindName(WaitKind k) {
       return "rw-shared";
     case WaitKind::kRwExclusive:
       return "rw-exclusive";
+    case WaitKind::kEvent:
+      return "event";
+    case WaitKind::kPollAny:
+      return "poll-any";
+    case WaitKind::kPollAll:
+      return "poll-all";
   }
   return "?";
 }

@@ -65,6 +65,9 @@ enum class WaitKind : std::uint8_t {
   kCondition,
   kRwShared,
   kRwExclusive,
+  kEvent,
+  kPollAny,
+  kPollAll,
 };
 
 const char* WaitKindName(WaitKind k);

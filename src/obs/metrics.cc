@@ -68,6 +68,8 @@ constexpr const char* kCounterNames[] = {
     "timed_wait_satisfied",
     "timed_wait_timeouts",
     "timed_wait_alerted",
+    "poll_registrations",
+    "poll_spurious_scans",
 };
 static_assert(std::size(kCounterNames) == static_cast<std::size_t>(kNumCounters),
               "kCounterNames must name every Counter exactly once");

@@ -91,6 +91,10 @@ enum class Counter : int {
   kTimedWaitTimeouts,    // timed waits that ended by expiry
   kTimedWaitAlerted,     // timed alertable waits that ended by Alert
 
+  // --- multi-object wait (src/threads/poll) ---
+  kPollRegistrations,    // pollable-list registrations installed
+  kPollSpuriousScans,    // wait-set scans after a wake that granted nothing
+
   kNumCounters,
 };
 

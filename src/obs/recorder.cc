@@ -60,7 +60,7 @@ Ring& LocalRing() {
 constexpr const char* kOpNames[static_cast<int>(Op::kNumOps)] = {
     "Acquire", "Release", "Wait",   "Signal",     "Broadcast",   "P",
     "V",       "Alert",   "AlertWait", "AlertP", "Unpark",
-    "ParkResume", "TimerExpire",
+    "ParkResume", "TimerExpire", "EventSet", "EventWait", "Poll",
 };
 
 std::mutex& MetadataLock() {

@@ -58,6 +58,11 @@ enum class Op : std::uint16_t {
   kParkResume,
   kTimerExpire,  // timer thread processing one expired deadline
 
+  // Multi-object wait (src/threads/poll).
+  kEventSet,
+  kEventWait,
+  kPoll,  // one WaitAny/WaitAll call, registration to grant
+
   kNumOps,
 };
 

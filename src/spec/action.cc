@@ -54,6 +54,22 @@ const char* ActionKindName(ActionKind kind) {
       return "RWAcquireFor/TIMEOUT";
     case ActionKind::kRwAcquireSharedTimeout:
       return "RWAcquireSharedFor/TIMEOUT";
+    case ActionKind::kEventSet:
+      return "EventSet";
+    case ActionKind::kEventReset:
+      return "EventReset";
+    case ActionKind::kEventWait:
+      return "EventWait";
+    case ActionKind::kEventConsume:
+      return "EventWait/CONSUME";
+    case ActionKind::kPollAny:
+      return "WaitAny";
+    case ActionKind::kPollAll:
+      return "WaitAll";
+    case ActionKind::kPollTimeout:
+      return "WaitFor/TIMEOUT";
+    case ActionKind::kPollAlertRaises:
+      return "WaitAny/RAISES";
   }
   return "?";
 }
@@ -99,6 +115,25 @@ std::string Action::ToString() const {
     case ActionKind::kRwAcquireTimeout:
     case ActionKind::kRwAcquireSharedTimeout:
       os << "(rw" << rwlock << ")";
+      break;
+    case ActionKind::kEventSet:
+    case ActionKind::kEventReset:
+    case ActionKind::kEventWait:
+      os << "(e" << event << ")";
+      break;
+    case ActionKind::kEventConsume:
+      os << "(e" << event << ")";
+      break;
+    case ActionKind::kPollAny:
+      os << "(" << wait_set.ToString() << ") granted=e" << event
+         << (result ? " consumed" : "");
+      break;
+    case ActionKind::kPollAll:
+      os << "(" << wait_set.ToString() << ") consumed=" << consumed.ToString();
+      break;
+    case ActionKind::kPollTimeout:
+    case ActionKind::kPollAlertRaises:
+      os << "(" << wait_set.ToString() << ")";
       break;
   }
   return os.str();
@@ -259,6 +294,58 @@ Action MakeRwAcquireTimeout(ThreadId self, ObjId rw) {
 
 Action MakeRwAcquireSharedTimeout(ThreadId self, ObjId rw) {
   return RwBase(ActionKind::kRwAcquireSharedTimeout, self, rw);
+}
+
+Action MakeEventSet(ThreadId self, ObjId e) {
+  Action a = Base(ActionKind::kEventSet, self);
+  a.event = e;
+  return a;
+}
+
+Action MakeEventReset(ThreadId self, ObjId e) {
+  Action a = Base(ActionKind::kEventReset, self);
+  a.event = e;
+  return a;
+}
+
+Action MakeEventWait(ThreadId self, ObjId e) {
+  Action a = Base(ActionKind::kEventWait, self);
+  a.event = e;
+  return a;
+}
+
+Action MakeEventConsume(ThreadId self, ObjId e) {
+  Action a = Base(ActionKind::kEventConsume, self);
+  a.event = e;
+  return a;
+}
+
+Action MakePollAny(ThreadId self, ObjIdSet wait_set, ObjId granted,
+                   bool consumed) {
+  Action a = Base(ActionKind::kPollAny, self);
+  a.wait_set = std::move(wait_set);
+  a.event = granted;
+  a.result = consumed;
+  return a;
+}
+
+Action MakePollAll(ThreadId self, ObjIdSet wait_set, ObjIdSet consumed) {
+  Action a = Base(ActionKind::kPollAll, self);
+  a.wait_set = std::move(wait_set);
+  a.consumed = std::move(consumed);
+  return a;
+}
+
+Action MakePollTimeout(ThreadId self, ObjIdSet wait_set) {
+  Action a = Base(ActionKind::kPollTimeout, self);
+  a.wait_set = std::move(wait_set);
+  return a;
+}
+
+Action MakePollAlertRaises(ThreadId self, ObjIdSet wait_set) {
+  Action a = Base(ActionKind::kPollAlertRaises, self);
+  a.wait_set = std::move(wait_set);
+  return a;
 }
 
 }  // namespace taos::spec

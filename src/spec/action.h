@@ -50,6 +50,22 @@ enum class ActionKind : std::uint8_t {
   kRwReleaseShared,          // ATOMIC PROCEDURE ReleaseShared(rw)
   kRwAcquireTimeout,         // AcquireFor(rw), deadline expired
   kRwAcquireSharedTimeout,   // AcquireSharedFor(rw), deadline expired
+
+  // Event / multi-object wait extension (not in SRC Report 20; see
+  // DESIGN.md §15). Events are boolean state variables; the Poll actions
+  // are the genuinely novel piece: a WHEN clause quantified over a *set*
+  // of objects (`wait_set`), the hard case Hayes' "Some Challenges of
+  // Specifying Concurrent Program Components" calls out. The performing
+  // thread records the resolution of the nondeterminism: which member it
+  // granted on (`event`), and which members it consumed (`consumed`).
+  kEventSet,        // ATOMIC PROCEDURE Set(e): e := TRUE
+  kEventReset,      // ATOMIC PROCEDURE Reset(e): e := FALSE
+  kEventWait,       // Wait(e), manual-reset grant: WHEN e, e unchanged
+  kEventConsume,    // Wait(e), auto-reset grant: WHEN e ENSURES ~e'
+  kPollAny,         // WaitAny: WHEN (E i IN wait_set: i), grants `event`
+  kPollAll,         // WaitAll: WHEN (A i IN wait_set: i)
+  kPollTimeout,     // WaitAnyFor/WaitAllFor expiry: WHEN TRUE, no-op
+  kPollAlertRaises, // alertable WaitAny/WaitAll, Alerted outcome
 };
 
 const char* ActionKindName(ActionKind kind);
@@ -63,12 +79,21 @@ struct Action {
   ObjId condition = 0;
   ObjId semaphore = 0;
   ObjId rwlock = 0;
+  ObjId event = 0;         // kEvent*; for kPollAny, the granted member
   ThreadId target = kNil;  // Alert(t)
+
+  // The multi-object operand: the set of events a Poll action ranges over
+  // (kPollAny/kPollAll/kPollTimeout/kPollAlertRaises).
+  ObjIdSet wait_set;
 
   // Resolution of the spec's nondeterminism, recorded by the emitter:
   //  - Signal/Broadcast: the set of threads removed from the condition.
   //  - TestAlert: the returned boolean.
+  //  - kPollAny: `result` is true iff the granted event was auto-reset and
+  //    therefore consumed (set to FALSE).
+  //  - kPollAll: `consumed` lists the (auto-reset) members set to FALSE.
   ThreadSet removed;
+  ObjIdSet consumed;
   bool result = false;
 
   // Serialization stamp. Emitters whose actions commit under different locks
@@ -106,6 +131,15 @@ Action MakeRwAcquireShared(ThreadId self, ObjId rw);
 Action MakeRwReleaseShared(ThreadId self, ObjId rw);
 Action MakeRwAcquireTimeout(ThreadId self, ObjId rw);
 Action MakeRwAcquireSharedTimeout(ThreadId self, ObjId rw);
+Action MakeEventSet(ThreadId self, ObjId e);
+Action MakeEventReset(ThreadId self, ObjId e);
+Action MakeEventWait(ThreadId self, ObjId e);
+Action MakeEventConsume(ThreadId self, ObjId e);
+Action MakePollAny(ThreadId self, ObjIdSet wait_set, ObjId granted,
+                   bool consumed);
+Action MakePollAll(ThreadId self, ObjIdSet wait_set, ObjIdSet consumed);
+Action MakePollTimeout(ThreadId self, ObjIdSet wait_set);
+Action MakePollAlertRaises(ThreadId self, ObjIdSet wait_set);
 
 }  // namespace taos::spec
 

@@ -55,6 +55,41 @@ std::vector<ThreadSet> NonEmptySubsets(const ThreadSet& elems) {
   return subsets;
 }
 
+// All nonempty subsets of `elems` (the candidate Poll wait sets; the
+// universe holds at most a handful of events).
+std::vector<ObjIdSet> NonEmptyObjSubsets(const std::vector<ObjId>& elems) {
+  std::vector<ObjIdSet> subsets;
+  const std::size_t n = elems.size();
+  for (std::size_t mask = 1; mask < (1u << n); ++mask) {
+    ObjIdSet s;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (mask & (1u << i)) {
+        s = s.Insert(elems[i]);
+      }
+    }
+    subsets.push_back(std::move(s));
+  }
+  return subsets;
+}
+
+// All subsets (including {}) of `set` — the candidate `consumed`
+// resolutions of a WaitAll grant.
+std::vector<ObjIdSet> AllObjSubsets(const ObjIdSet& set) {
+  std::vector<ObjId> v(set.elements().begin(), set.elements().end());
+  std::vector<ObjIdSet> subsets;
+  const std::size_t n = v.size();
+  for (std::size_t mask = 0; mask < (1u << n); ++mask) {
+    ObjIdSet s;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (mask & (1u << i)) {
+        s = s.Insert(v[i]);
+      }
+    }
+    subsets.push_back(std::move(s));
+  }
+  return subsets;
+}
+
 }  // namespace
 
 void SpecEnumerator::AppendIfLegal(
@@ -146,6 +181,28 @@ std::vector<std::pair<Action, WorldState>> SpecEnumerator::Successors(
       AppendIfLegal(world, MakeV(t, s), &out);
       AppendIfLegal(world, MakeAlertPReturns(t, s), &out);
       AppendIfLegal(world, MakeAlertPRaises(t, s), &out);
+    }
+    for (ObjId e : universe_.events) {
+      AppendIfLegal(world, MakeEventSet(t, e), &out);
+      AppendIfLegal(world, MakeEventReset(t, e), &out);
+      AppendIfLegal(world, MakeEventWait(t, e), &out);
+      AppendIfLegal(world, MakeEventConsume(t, e), &out);
+    }
+    // The multi-object Poll actions: every nonempty wait set, every legal
+    // resolution of the nondeterminism (which member WaitAny granted on,
+    // whether the grant consumed it; which members WaitAll consumed).
+    for (const ObjIdSet& ws : NonEmptyObjSubsets(universe_.events)) {
+      for (ObjId granted : ws.elements()) {
+        AppendIfLegal(world, MakePollAny(t, ws, granted, false), &out);
+        AppendIfLegal(world, MakePollAny(t, ws, granted, true), &out);
+      }
+      for (const ObjIdSet& consumed : AllObjSubsets(ws)) {
+        AppendIfLegal(world, MakePollAll(t, ws, consumed), &out);
+      }
+      if (semantics_.config().model_timeouts) {
+        AppendIfLegal(world, MakePollTimeout(t, ws), &out);
+      }
+      AppendIfLegal(world, MakePollAlertRaises(t, ws), &out);
     }
     for (ThreadId u : universe_.threads) {
       AppendIfLegal(world, MakeAlert(t, u), &out);

@@ -37,6 +37,10 @@ struct Universe {
   std::vector<ObjId> mutexes;
   std::vector<ObjId> conditions;
   std::vector<ObjId> semaphores;
+  // Events also induce the multi-object Poll actions: every nonempty
+  // subset of `events` is a candidate wait set for WaitAny/WaitAll, with
+  // every legal resolution of the grant/consumption nondeterminism fired.
+  std::vector<ObjId> events;
 };
 
 // Per-thread COMPOSITION OF status.

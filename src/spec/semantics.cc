@@ -14,6 +14,8 @@ struct Frame {
   bool semaphore = false;
   bool rwlock = false;
   bool alerts = false;
+  bool event = false;     // MODIFIES AT MOST the single event `a.event`
+  bool wait_set = false;  // MODIFIES AT MOST the events in `a.wait_set`
 };
 
 Frame FrameOf(const Action& a) {
@@ -72,6 +74,23 @@ Frame FrameOf(const Action& a) {
     case ActionKind::kRwAcquireSharedTimeout:
       f.rwlock = true;
       break;
+    case ActionKind::kEventSet:
+    case ActionKind::kEventReset:
+    case ActionKind::kEventWait:
+    case ActionKind::kEventConsume:
+      f.event = true;
+      break;
+    case ActionKind::kPollAny:
+    case ActionKind::kPollAll:
+      f.wait_set = true;
+      break;
+    case ActionKind::kPollTimeout:
+      break;  // WHEN TRUE no-op: nothing in the frame
+    case ActionKind::kPollAlertRaises:
+      // Raising leaves every event untouched — the alert flag is the only
+      // state the outcome consumes.
+      f.alerts = true;
+      break;
   }
   return f;
 }
@@ -113,6 +132,30 @@ bool Semantics::Enabled(const SpecState& pre, const Action& a) const {
              pre.RwLock(a.rwlock).readers.Empty();
     case ActionKind::kRwAcquireShared:
       return pre.RwLock(a.rwlock).writer == kNil;
+    case ActionKind::kEventWait:
+    case ActionKind::kEventConsume:
+      return pre.Event(a.event);
+    case ActionKind::kPollAny: {
+      // WHEN (E i IN wait_set: i) — the WHEN clause quantified over a set
+      // of objects (DESIGN.md §15; Hayes' hard case).
+      for (ObjId e : a.wait_set.elements()) {
+        if (pre.Event(e)) {
+          return true;
+        }
+      }
+      return false;
+    }
+    case ActionKind::kPollAll: {
+      // WHEN (A i IN wait_set: i).
+      for (ObjId e : a.wait_set.elements()) {
+        if (!pre.Event(e)) {
+          return false;
+        }
+      }
+      return true;
+    }
+    case ActionKind::kPollAlertRaises:
+      return pre.alerts.Contains(a.self);
     default:
       return true;  // omitted WHEN clause == WHEN TRUE
   }
@@ -152,6 +195,21 @@ Verdict Semantics::CheckClauses(const SpecState& pre, const Action& a,
       if (pre.RwLock(a.rwlock).readers.Contains(a.self)) {
         fail(&v.requires_ok,
              "REQUIRES NOT (SELF IN rw.readers) violated by caller");
+      }
+      break;
+    case ActionKind::kPollAny:
+    case ActionKind::kPollAll:
+    case ActionKind::kPollTimeout:
+    case ActionKind::kPollAlertRaises:
+      if (a.wait_set.Empty()) {
+        fail(&v.requires_ok, "REQUIRES wait_set # {} violated by caller");
+      }
+      if (a.kind == ActionKind::kPollAny && !a.wait_set.Contains(a.event)) {
+        fail(&v.requires_ok, "REQUIRES granted IN wait_set violated");
+      }
+      if (a.kind == ActionKind::kPollAll &&
+          !a.consumed.SubsetOf(a.wait_set)) {
+        fail(&v.requires_ok, "REQUIRES consumed SUBSET wait_set violated");
       }
       break;
     default:
@@ -282,6 +340,57 @@ Verdict Semantics::CheckClauses(const SpecState& pre, const Action& a,
     case ActionKind::kRwAcquireSharedTimeout:
       ensure(rw_post == rw_pre, "UNCHANGED [rw]");
       break;
+    case ActionKind::kEventSet:
+      ensure(post.Event(a.event), "epost = TRUE");
+      break;
+    case ActionKind::kEventReset:
+      ensure(!post.Event(a.event), "epost = FALSE");
+      break;
+    case ActionKind::kEventWait:
+      // Manual-reset grant: observing the event leaves it set.
+      ensure(post.Event(a.event) == pre.Event(a.event), "UNCHANGED [e]");
+      break;
+    case ActionKind::kEventConsume:
+      // Auto-reset grant: exactly one waiter consumes the pulse.
+      ensure(!post.Event(a.event), "epost = FALSE");
+      break;
+    case ActionKind::kPollAny:
+      // The grant names its witness for the existential WHEN; only the
+      // witness may change, and only by consumption (auto-reset).
+      ensure(pre.Event(a.event), "granted event set in pre state");
+      for (ObjId e : a.wait_set.elements()) {
+        if (e == a.event) {
+          ensure(post.Event(e) == (a.result ? false : pre.Event(e)),
+                 a.result ? "granted epost = FALSE (consumed)"
+                          : "UNCHANGED [granted e]");
+        } else {
+          ensure(post.Event(e) == pre.Event(e),
+                 "UNCHANGED [wait_set \\ granted]");
+        }
+      }
+      break;
+    case ActionKind::kPollAll:
+      for (ObjId e : a.wait_set.elements()) {
+        if (a.consumed.Contains(e)) {
+          ensure(!post.Event(e), "consumed epost = FALSE");
+        } else {
+          ensure(post.Event(e) == pre.Event(e),
+                 "UNCHANGED [wait_set \\ consumed]");
+        }
+      }
+      break;
+    case ActionKind::kPollTimeout:
+      for (ObjId e : a.wait_set.elements()) {
+        ensure(post.Event(e) == pre.Event(e), "UNCHANGED [wait_set]");
+      }
+      break;
+    case ActionKind::kPollAlertRaises:
+      ensure(post.alerts == pre.alerts.Delete(a.self),
+             "alertspost = delete(alerts, SELF)");
+      for (ObjId e : a.wait_set.elements()) {
+        ensure(post.Event(e) == pre.Event(e), "UNCHANGED [wait_set]");
+      }
+      break;
   }
 
   // --- choice policy (pre-release deterministic alert preference) ---
@@ -329,6 +438,15 @@ Verdict Semantics::CheckClauses(const SpecState& pre, const Action& a,
       if ((!f.rwlock || id != a.rwlock) &&
           !(pre.RwLock(id) == post.RwLock(id))) {
         fail(&v.frame_ok, "frame: unlisted rwlock modified");
+      }
+    }
+    keys.clear();
+    CollectKeys(pre.events, post.events, &keys);
+    for (ObjId id : keys) {
+      const bool listed = (f.event && id == a.event) ||
+                          (f.wait_set && a.wait_set.Contains(id));
+      if (!listed && pre.Event(id) != post.Event(id)) {
+        fail(&v.frame_ok, "frame: unlisted event modified");
       }
     }
     if (!f.alerts && !(pre.alerts == post.alerts)) {
@@ -443,6 +561,32 @@ Verdict Semantics::Apply(const SpecState& pre, const Action& a,
     case ActionKind::kRwAcquireTimeout:
     case ActionKind::kRwAcquireSharedTimeout:
       break;  // UNCHANGED: a timed-out acquire leaves no trace
+    case ActionKind::kEventSet:
+      post->SetEvent(a.event, true);
+      break;
+    case ActionKind::kEventReset:
+      post->SetEvent(a.event, false);
+      break;
+    case ActionKind::kEventWait:
+      break;  // UNCHANGED [e]: a manual-reset grant only observes
+    case ActionKind::kEventConsume:
+      post->SetEvent(a.event, false);
+      break;
+    case ActionKind::kPollAny:
+      if (a.result) {
+        post->SetEvent(a.event, false);
+      }
+      break;
+    case ActionKind::kPollAll:
+      for (ObjId e : a.consumed.elements()) {
+        post->SetEvent(e, false);
+      }
+      break;
+    case ActionKind::kPollTimeout:
+      break;  // UNCHANGED: an expired poll leaves no trace
+    case ActionKind::kPollAlertRaises:
+      post->alerts = pre.alerts.Delete(a.self);
+      break;
   }
 
   Verdict v = CheckClauses(pre, a, *post, /*check_frame=*/false);

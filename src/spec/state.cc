@@ -19,6 +19,21 @@ std::string ThreadSet::ToString() const {
   return os.str();
 }
 
+std::string ObjIdSet::ToString() const {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (ObjId e : elems_) {
+    if (!first) {
+      os << ", ";
+    }
+    os << "e" << e;
+    first = false;
+  }
+  os << "}";
+  return os.str();
+}
+
 ThreadId SpecState::Mutex(ObjId m) const {
   auto it = mutexes.find(m);
   return it == mutexes.end() ? kNil : it->second;
@@ -45,6 +60,11 @@ const RwState kInitialRw;
 const RwState& SpecState::RwLock(ObjId rw) const {
   auto it = rwlocks.find(rw);
   return it == rwlocks.end() ? kInitialRw : it->second;
+}
+
+bool SpecState::Event(ObjId e) const {
+  auto it = events.find(e);
+  return it != events.end() && it->second;
 }
 
 void SpecState::SetMutex(ObjId m, ThreadId holder) {
@@ -79,6 +99,14 @@ void SpecState::SetRwLock(ObjId rw, RwState value) {
   }
 }
 
+void SpecState::SetEvent(ObjId e, bool value) {
+  if (!value) {
+    events.erase(e);
+  } else {
+    events[e] = true;
+  }
+}
+
 void SpecState::Canonicalize() {
   for (auto it = mutexes.begin(); it != mutexes.end();) {
     it = (it->second == kNil) ? mutexes.erase(it) : std::next(it);
@@ -93,6 +121,9 @@ void SpecState::Canonicalize() {
   for (auto it = rwlocks.begin(); it != rwlocks.end();) {
     it = it->second.Initial() ? rwlocks.erase(it) : std::next(it);
   }
+  for (auto it = events.begin(); it != events.end();) {
+    it = !it->second ? events.erase(it) : std::next(it);
+  }
 }
 
 bool SpecState::operator==(const SpecState& other) const {
@@ -102,7 +133,7 @@ bool SpecState::operator==(const SpecState& other) const {
   b.Canonicalize();
   return a.mutexes == b.mutexes && a.conditions == b.conditions &&
          a.semaphores == b.semaphores && a.rwlocks == b.rwlocks &&
-         a.alerts == b.alerts;
+         a.events == b.events && a.alerts == b.alerts;
 }
 
 std::string SpecState::ToString() const {
@@ -128,6 +159,13 @@ std::string SpecState::ToString() const {
     for (const auto& [id, rw] : canon.rwlocks) {
       os << " rw" << id << "=(writer:t" << rw.writer
          << " readers:" << rw.readers.ToString() << ")";
+    }
+    os << " ]";
+  }
+  if (!canon.events.empty()) {
+    os << " events:[";
+    for (const auto& [id, set] : canon.events) {
+      os << " e" << id << "=" << (set ? "set" : "reset");
     }
     os << " ]";
   }

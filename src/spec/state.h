@@ -95,6 +95,49 @@ class ThreadSet {
   std::set<ThreadId> elems_;
 };
 
+// SET OF ObjId — the operand of the multi-object Poll actions (the wait
+// set a WaitAny/WaitAll WHEN clause quantifies over), and the `consumed`
+// resolution of kPollAll. Ordered so ToString is canonical.
+class ObjIdSet {
+ public:
+  ObjIdSet() = default;
+  ObjIdSet(std::initializer_list<ObjId> ids) : elems_(ids) {}
+
+  ObjIdSet Insert(ObjId e) const {
+    ObjIdSet r = *this;
+    r.elems_.insert(e);
+    return r;
+  }
+
+  ObjIdSet Delete(ObjId e) const {
+    ObjIdSet r = *this;
+    r.elems_.erase(e);
+    return r;
+  }
+
+  bool Contains(ObjId e) const { return elems_.count(e) != 0; }
+  bool Empty() const { return elems_.empty(); }
+  std::size_t Size() const { return elems_.size(); }
+
+  bool SubsetOf(const ObjIdSet& other) const {
+    for (ObjId e : elems_) {
+      if (!other.Contains(e)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  bool operator==(const ObjIdSet& other) const = default;
+
+  const std::set<ObjId>& elements() const { return elems_; }
+
+  std::string ToString() const;
+
+ private:
+  std::set<ObjId> elems_;
+};
+
 // Reader/writer lock extension (not in SRC Report 20; DESIGN.md §13):
 //
 //   TYPE RWLock = RECORD [writer:  Thread        INITIALLY NIL,
@@ -113,17 +156,20 @@ struct SpecState {
   std::map<ObjId, ThreadSet> conditions;  // absent key => {}
   std::map<ObjId, SemState> semaphores;   // absent key => available
   std::map<ObjId, RwState> rwlocks;       // absent key => INITIALLY record
+  std::map<ObjId, bool> events;           // absent key => FALSE (reset)
   ThreadSet alerts;
 
   ThreadId Mutex(ObjId m) const;
   const ThreadSet& Condition(ObjId c) const;
   SemState Semaphore(ObjId s) const;
   const RwState& RwLock(ObjId rw) const;
+  bool Event(ObjId e) const;
 
   void SetMutex(ObjId m, ThreadId holder);
   void SetCondition(ObjId c, ThreadSet value);
   void SetSemaphore(ObjId s, SemState value);
   void SetRwLock(ObjId rw, RwState value);
+  void SetEvent(ObjId e, bool value);
 
   bool operator==(const SpecState& other) const;
 

@@ -41,7 +41,18 @@ void Alert(ThreadHandle h) {
     // The Alert-vs-grant window: the cancel CAS below races a V/Signal
     // resume on the same cell.
     TAOS_CHAOS(kAlertFlagToCancel);
-    if (t->block_kind != ThreadRecord::BlockKind::kNone && t->alertable &&
+    if ((t->block_kind == ThreadRecord::BlockKind::kPollAny ||
+         t->block_kind == ThreadRecord::BlockKind::kPollAll) &&
+        t->alertable) {
+      // Alertable Poll waiters publish no cell and no object lock: the
+      // record lock alone covers their blocked state (the notify-latch
+      // protocol, src/threads/poll.cc). Dequeue = clear + receipt + unpark;
+      // the waiter re-scans once, then raises/returns kAlerted.
+      t->alert_woken = true;
+      ClearBlockedLocked(t);
+      unpark = &t->park;
+    } else if (t->block_kind != ThreadRecord::BlockKind::kNone &&
+               t->alertable &&
         t->wait_cell != nullptr &&
         t->wait_cell->Cancel() == waitq::WaitCell::CancelOutcome::kCancelled) {
       switch (t->block_kind) {
@@ -56,6 +67,9 @@ void Alert(ThreadHandle h) {
         case ThreadRecord::BlockKind::kMutex:
         case ThreadRecord::BlockKind::kRwShared:
         case ThreadRecord::BlockKind::kRwExclusive:
+        case ThreadRecord::BlockKind::kEvent:  // Event::Wait is never alertable
+        case ThreadRecord::BlockKind::kPollAny:
+        case ThreadRecord::BlockKind::kPollAll:  // handled above
         case ThreadRecord::BlockKind::kNone:
           TAOS_PANIC("alertable thread blocked on a mutex");
       }
@@ -82,6 +96,22 @@ void Alert(ThreadHandle h) {
         nub.EmitTraced(spec::MakeAlert(self->id, t->id));
       }
       t->lock.Release();
+      return;
+    }
+    if (t->block_kind == ThreadRecord::BlockKind::kPollAny ||
+        t->block_kind == ThreadRecord::BlockKind::kPollAll) {
+      // Alertable Poll waiters publish no object lock: the record lock
+      // alone covers their blocked state (the notify-latch protocol,
+      // src/threads/poll.cc), so no rule-3 try-lock dance is needed.
+      t->alerted.store(true, std::memory_order_relaxed);
+      t->alert_woken = true;
+      ClearBlockedLocked(t);
+      if (nub.tracing()) {
+        nub.EmitTraced(spec::MakeAlert(self->id, t->id));
+      }
+      t->lock.Release();
+      obs::Inc(obs::Counter::kHandoffs);
+      t->park.Unpark();
       return;
     }
     SpinLock* obj_lock = t->blocked_lock->Resolve();
@@ -141,6 +171,9 @@ void Alert(ThreadHandle h) {
       case ThreadRecord::BlockKind::kMutex:
       case ThreadRecord::BlockKind::kRwShared:
       case ThreadRecord::BlockKind::kRwExclusive:
+      case ThreadRecord::BlockKind::kEvent:  // Event::Wait is never alertable
+      case ThreadRecord::BlockKind::kPollAny:
+      case ThreadRecord::BlockKind::kPollAll:  // handled above
       case ThreadRecord::BlockKind::kNone:
         TAOS_PANIC("alertable thread blocked on a mutex");
     }

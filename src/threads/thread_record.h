@@ -78,6 +78,9 @@ struct ThreadRecord {
     kCondition,
     kRwShared,     // ReaderWriterMutex, reader queue
     kRwExclusive,  // ReaderWriterMutex, writer queue
+    kEvent,        // Event's plain (single-object) waiter queue
+    kPollAny,      // Poll::WaitAny — registered on a *set* of events
+    kPollAll,      // Poll::WaitAll — registered on a *set* of events
   };
   BlockKind block_kind = BlockKind::kNone;
   bool alertable = false;    // blocked in AlertP / AlertWait
@@ -98,6 +101,16 @@ struct ThreadRecord {
   bool timed = false;
   std::uint64_t timer_gen = 0;
   bool timeout_woken = false;
+  // Multi-object wait notification latch (src/threads/poll.h). A poll
+  // waiter re-arms it to 0 before each scan of its wait set; an Event::Set
+  // that finds this thread registered exchanges it to 1 and, on the 0->1
+  // edge only, performs the record-lock unblock dance. Living here (not on
+  // the waiter's stack) means granters never dereference stack memory of a
+  // thread that may have already returned from WaitAny. Not guarded by
+  // `lock` — the seq_cst exchange/store pair is the Dekker publication the
+  // protocol's lost-wakeup argument rests on (DESIGN.md §15).
+  std::atomic<std::uint32_t> poll_latch{0};
+
   // This thread's waits-for registry slot (src/obs/diag.h), registered
   // lazily at the first blocking episode. Writes to the slot are seqlock
   // publications serialized by `lock`; the watchdog reads it lock-free.
@@ -137,7 +150,13 @@ static_assert(
         static_cast<int>(obs::diag::WaitKind::kRwShared) ==
             static_cast<int>(ThreadRecord::BlockKind::kRwShared) &&
         static_cast<int>(obs::diag::WaitKind::kRwExclusive) ==
-            static_cast<int>(ThreadRecord::BlockKind::kRwExclusive),
+            static_cast<int>(ThreadRecord::BlockKind::kRwExclusive) &&
+        static_cast<int>(obs::diag::WaitKind::kEvent) ==
+            static_cast<int>(ThreadRecord::BlockKind::kEvent) &&
+        static_cast<int>(obs::diag::WaitKind::kPollAny) ==
+            static_cast<int>(ThreadRecord::BlockKind::kPollAny) &&
+        static_cast<int>(obs::diag::WaitKind::kPollAll) ==
+            static_cast<int>(ThreadRecord::BlockKind::kPollAll),
     "obs::diag::WaitKind must mirror ThreadRecord::BlockKind");
 
 // Blocking-state transitions. The *Locked variants require t->lock held;

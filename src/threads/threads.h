@@ -3,20 +3,26 @@
 // The public API (see README.md for the informal description and
 // src/spec for the formal one):
 //
-//   taos::Mutex        Acquire, Release          (+ Lock RAII sugar)
-//   taos::Condition    Wait, Signal, Broadcast
-//   taos::Semaphore    P, V
-//   taos::Alerted      Alert, TestAlert, AlertWait, AlertP
-//   taos::Thread       Fork, Join, Handle
+//   taos::Mutex         Acquire, Release          (+ Lock RAII sugar)
+//   taos::Condition     Wait, Signal, Broadcast
+//   taos::Semaphore     P, V
+//   taos::Alerted       Alert, TestAlert, AlertWait, AlertP
+//   taos::Thread        Fork, Join, Handle
+//   taos::Event         Set, Reset, Wait          (manual / auto reset)
+//   taos::Poll          WaitAny, WaitAll          (+ timed / alertable)
+//   taos::MessageQueue  Send, Recv, Close         (bounded, pollable)
 
 #ifndef TAOS_SRC_THREADS_THREADS_H_
 #define TAOS_SRC_THREADS_THREADS_H_
 
 #include "src/threads/alert.h"
 #include "src/threads/condition.h"
+#include "src/threads/event.h"
 #include "src/threads/lock.h"
+#include "src/threads/message_queue.h"
 #include "src/threads/mutex.h"
 #include "src/threads/nub.h"
+#include "src/threads/poll.h"
 #include "src/threads/rwmutex.h"
 #include "src/threads/semaphore.h"
 #include "src/threads/thread.h"

@@ -10,6 +10,7 @@
 #include "src/obs/metrics.h"
 #include "src/obs/recorder.h"
 #include "src/threads/condition.h"
+#include "src/threads/event.h"
 #include "src/threads/mutex.h"
 #include "src/threads/nub.h"
 #include "src/threads/rwmutex.h"
@@ -288,6 +289,34 @@ void Timer::ExpireEntry(const Expiry& e) {
   Nub& nub = Nub::Get();
   ThreadRecord* t = e.rec;
 
+  // Multi-object waits first: a Poll waiter publishes no object lock and no
+  // cell — its blocked state is covered by the record lock alone (the
+  // notify-latch protocol, src/threads/poll.cc), so expiry is the same
+  // record-lock-only dance in every backend and in traced mode. The
+  // gen/timed validation is the usual staleness filter; matching gen means
+  // the episode is still parked, so block_kind cannot change under us.
+  {
+    waitq::Parker* unpark = nullptr;
+    t->lock.Acquire();
+    const bool poll = t->block_kind == ThreadRecord::BlockKind::kPollAny ||
+                      t->block_kind == ThreadRecord::BlockKind::kPollAll;
+    if (poll) {
+      TAOS_CHAOS(kTimerExpiryToCancel);
+      if (t->timed && t->timer_gen == e.gen) {
+        ClearBlockedLocked(t);
+        t->timeout_woken = true;
+        unpark = &t->park;
+      }
+      t->lock.Release();
+      if (unpark != nullptr) {
+        obs::Inc(obs::Counter::kHandoffs);
+        unpark->Unpark();
+      }
+      return;
+    }
+    t->lock.Release();
+  }
+
   if (!nub.tracing() && nub.waitq_mode()) {
     // Production waiter-queue mode: like Alert, expiry needs no object lock.
     // The cancel CAS on the published cell is the whole arbitration with a
@@ -326,6 +355,12 @@ void Timer::ExpireEntry(const Expiry& e) {
           static_cast<ReaderWriterMutex*>(t->blocked_obj)
               ->writer_q_len_.fetch_sub(1, std::memory_order_relaxed);
           break;
+        case ThreadRecord::BlockKind::kEvent:
+          static_cast<Event*>(t->blocked_obj)
+              ->queue_len_.fetch_sub(1, std::memory_order_relaxed);
+          break;
+        case ThreadRecord::BlockKind::kPollAny:
+        case ThreadRecord::BlockKind::kPollAll:
         case ThreadRecord::BlockKind::kNone:
           TAOS_PANIC("unreachable: validated above");
       }
@@ -426,6 +461,16 @@ void Timer::ExpireEntry(const Expiry& e) {
         rw->writer_q_len_.fetch_sub(1, std::memory_order_relaxed);
         break;
       }
+      case ThreadRecord::BlockKind::kEvent: {
+        auto* ev = static_cast<Event*>(t->blocked_obj);
+        if (!nub.waitq_mode()) {
+          ev->queue_.Remove(t);
+        }
+        ev->queue_len_.fetch_sub(1, std::memory_order_relaxed);
+        break;
+      }
+      case ThreadRecord::BlockKind::kPollAny:
+      case ThreadRecord::BlockKind::kPollAll:
       case ThreadRecord::BlockKind::kNone:
         TAOS_PANIC("unreachable: validated above");
     }

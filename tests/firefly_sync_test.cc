@@ -490,5 +490,230 @@ TEST_P(SimTimedSeedSweep, TracedTimedRaceConforms) {
 INSTANTIATE_TEST_SUITE_P(Firefly, SimTimedSeedSweep,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
 
+// ---------------------------------------------------------------------------
+// Events and the multi-object wait
+// ---------------------------------------------------------------------------
+
+TEST(SimEventTest, ManualStaysSetAutoConsumes) {
+  Machine m;
+  Event manual(m);
+  Event autoreset(m, EventReset::kAuto);
+  m.Fork([&] {
+    manual.Set();
+    manual.Wait();
+    manual.Wait();  // manual: not consumed
+    EXPECT_TRUE(manual.IsSet());
+    autoreset.Set();
+    autoreset.Wait();  // auto: consumed
+    EXPECT_FALSE(autoreset.IsSet());
+  });
+  EXPECT_TRUE(m.Run().completed);
+}
+
+TEST(SimEventTest, WaitBlocksUntilSetAndManualWakesAll) {
+  MachineConfig cfg;
+  cfg.cpus = 4;
+  Machine m(cfg);
+  Event e(m);
+  int resumed = 0;
+  for (int i = 0; i < 3; ++i) {
+    m.Fork([&] {
+      e.Wait();
+      ++resumed;
+    });
+  }
+  m.Fork([&] {
+    for (int i = 0; i < 30; ++i) {
+      m.Step();  // let the waiters block
+    }
+    EXPECT_EQ(resumed, 0);
+    e.Set();
+  });
+  EXPECT_TRUE(m.Run().completed);
+  EXPECT_EQ(resumed, 3);
+}
+
+TEST(SimEventTest, AutoSetWakesExactlyOne) {
+  MachineConfig cfg;
+  cfg.cpus = 4;
+  Machine m(cfg);
+  Event e(m, EventReset::kAuto);
+  int resumed = 0;
+  for (int i = 0; i < 2; ++i) {
+    m.Fork([&] {
+      e.Wait();
+      ++resumed;
+    });
+  }
+  m.Fork([&] {
+    for (int i = 0; i < 30; ++i) {
+      m.Step();
+    }
+    e.Set();
+    for (int i = 0; i < 30; ++i) {
+      m.Step();
+    }
+    EXPECT_EQ(resumed, 1);  // one pulse, one waiter through
+    e.Set();
+  });
+  EXPECT_TRUE(m.Run().completed);
+  EXPECT_EQ(resumed, 2);
+}
+
+TEST(SimEventTest, WaitForExpiresOnTheVirtualClock) {
+  Machine m;
+  Event e(m, EventReset::kAuto);
+  WaitResult r = WaitResult::kSatisfied;
+  m.Fork([&] { r = e.WaitFor(100); });
+  RunResult rr = m.Run();
+  EXPECT_TRUE(rr.completed) << rr.ToString();
+  EXPECT_EQ(r, WaitResult::kTimeout);
+  EXPECT_GE(rr.steps, 100u);
+}
+
+TEST(SimPollTest, WaitAnyGrantsTheSetMember) {
+  Machine m;
+  Event a(m, EventReset::kAuto);
+  Event b(m, EventReset::kAuto);
+  std::size_t granted = 99;
+  m.Fork([&] {
+    Poll p;
+    p.Add(a);
+    p.Add(b);
+    granted = p.WaitAny();
+  });
+  m.Fork([&] {
+    for (int i = 0; i < 30; ++i) {
+      m.Step();  // let the waiter register and block
+    }
+    b.Set();
+  });
+  EXPECT_TRUE(m.Run().completed);
+  EXPECT_EQ(granted, 1u);
+  EXPECT_FALSE(b.IsSet());  // consumed by the grant
+}
+
+TEST(SimPollTest, WaitAllNeedsEveryMember) {
+  MachineConfig cfg;
+  cfg.cpus = 2;
+  Machine m(cfg);
+  Event a(m, EventReset::kAuto);
+  Event manual(m);
+  bool done = false;
+  m.Fork([&] {
+    Poll p;
+    p.Add(a);
+    p.Add(manual);
+    p.WaitAll();
+    done = true;
+  });
+  m.Fork([&] {
+    for (int i = 0; i < 20; ++i) {
+      m.Step();
+    }
+    a.Set();
+    for (int i = 0; i < 20; ++i) {
+      m.Step();
+    }
+    EXPECT_FALSE(done);  // half the set is not enough
+    manual.Set();
+  });
+  EXPECT_TRUE(m.Run().completed);
+  EXPECT_TRUE(done);
+  EXPECT_FALSE(a.IsSet());     // auto consumed
+  EXPECT_TRUE(manual.IsSet()); // manual observed
+}
+
+TEST(SimPollTest, WaitAnyForExpiresAndAlertRaises) {
+  Machine m;
+  Event a(m, EventReset::kAuto);
+  Poll::AnyResult timed{0, WaitResult::kSatisfied};
+  bool raised = false;
+  FiberHandle w = m.Fork([&] {
+    Poll p;
+    p.Add(a);
+    timed = p.WaitAnyFor(50);
+    try {
+      (void)p.AlertWaitAny();
+    } catch (const Alerted&) {
+      raised = true;
+    }
+  });
+  m.Fork([&, w] {
+    for (int i = 0; i < 200; ++i) {
+      m.Step();  // past the timed wait, into the alertable one
+    }
+    Alert(w);
+  });
+  RunResult rr = m.Run();
+  EXPECT_TRUE(rr.completed) << rr.ToString();
+  EXPECT_EQ(timed.result, WaitResult::kTimeout);
+  EXPECT_EQ(timed.index, 1u);  // == size()
+  EXPECT_TRUE(raised);
+}
+
+// Traced poll runs across seeds: WaitAny/WaitAll grants, timeouts, and the
+// auto-reset consumptions must all serialize under the spec's set-WHEN
+// semantics, with the driver picking a different interleaving per seed.
+class SimPollSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimPollSeedSweep, TracedPollRaceConforms) {
+  spec::Trace trace;
+  {
+    MachineConfig cfg;
+    cfg.trace = &trace;
+    cfg.seed = GetParam();
+    cfg.cpus = 3;
+    Machine m(cfg);
+    Event a(m, EventReset::kAuto);
+    Event b(m, EventReset::kAuto);
+    Event manual(m);
+    int grants = 0;
+    for (int w = 0; w < 2; ++w) {
+      m.Fork([&] {
+        Poll p;
+        p.Add(a);
+        p.Add(b);
+        for (int i = 0; i < 3; ++i) {
+          const Poll::AnyResult r = p.WaitAnyFor(40);
+          if (r.result == WaitResult::kSatisfied) {
+            ++grants;
+          }
+        }
+      });
+    }
+    m.Fork([&] {
+      Poll p;
+      p.Add(b);
+      p.Add(manual);
+      for (int i = 0; i < 2; ++i) {
+        (void)p.WaitAllFor(60);
+      }
+    });
+    m.Fork([&] {
+      for (int i = 0; i < 10; ++i) {
+        m.Step();
+        a.Set();
+        m.Step();
+        b.Set();
+        if (i == 4) {
+          manual.Set();
+        }
+      }
+    });
+    RunResult rr = m.Run();
+    EXPECT_TRUE(rr.completed) << rr.ToString();
+    EXPECT_FALSE(rr.hit_step_limit);
+    (void)grants;
+  }
+  spec::TraceChecker checker;
+  spec::CheckResult r = checker.CheckTrace(trace);
+  EXPECT_TRUE(r.ok) << r.message << "\n" << trace.ToString();
+  EXPECT_GT(r.actions_checked, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Firefly, SimPollSeedSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55));
+
 }  // namespace
 }  // namespace taos::firefly

@@ -193,6 +193,59 @@ TEST(ModelTest, McsBlindAbandonLosesAHandoff) {
   EXPECT_EQ(replayed, r.first_violation);
 }
 
+// --- Multi-object wait: double grant and the deregistration window ---
+
+TEST(ModelTest, PollNotifyOnlyConservesPulsesExhaustively) {
+  // The shipped protocol: Set only notifies; the waiter's own exchange
+  // consumes. Every schedule of two concurrent Sets against one WaitAny
+  // scan conserves both pulses.
+  Tally tally;
+  Explorer ex(Opts(3, 60'000));
+  ExplorationResult r = ex.Explore(PollDoubleGrantLitmus(true, &tally));
+  EXPECT_TRUE(r.exhausted) << r.ToString();
+  EXPECT_EQ(r.violations, 0u) << r.ToString();
+  // The interesting window — both Sets racing the same parked wait — is
+  // genuinely reached across the schedule tree.
+  EXPECT_GT(tally.poll_concurrent_sets, 0u);
+}
+
+TEST(ModelTest, PollGranterSideConsumptionDoubleGrants) {
+  Explorer ex(Opts(3, 60'000));
+  ExplorationResult r = ex.Explore(PollDoubleGrantLitmus(false));
+  ASSERT_GE(r.violations, 1u)
+      << "expected handoff-style Set to destroy a pulse: " << r.ToString();
+  EXPECT_NE(r.first_violation.find("double grant"), std::string::npos)
+      << r.first_violation;
+  std::string replayed =
+      ex.Replay(PollDoubleGrantLitmus(false), r.counterexample);
+  EXPECT_EQ(replayed, r.first_violation);
+}
+
+TEST(ModelTest, PollSafeCancelSurvivesDeregRaceExhaustively) {
+  Tally tally;
+  Explorer ex(Opts(2, 60'000));
+  ExplorationResult r = ex.Explore(PollDeregLostWakeupLitmus(true, &tally));
+  EXPECT_TRUE(r.exhausted) << r.ToString();
+  EXPECT_EQ(r.violations, 0u) << r.ToString();
+  // Both sides of the race occur: the cancel CAS winning cleanly, and the
+  // notification landing first (forcing the re-publish).
+  EXPECT_GT(tally.poll_dereg_lost_to_resume, 0u);
+  EXPECT_LT(tally.poll_dereg_lost_to_resume, tally.completions);
+}
+
+TEST(ModelTest, PollBlindCancelLosesAWakeup) {
+  Explorer ex(Opts(2, 60'000));
+  ExplorationResult r = ex.Explore(PollDeregLostWakeupLitmus(false));
+  ASSERT_GE(r.violations, 1u)
+      << "expected the blind cancel to erase a delivered pulse: "
+      << r.ToString();
+  EXPECT_NE(r.first_violation.find("lost wakeup"), std::string::npos)
+      << r.first_violation;
+  std::string replayed =
+      ex.Replay(PollDeregLostWakeupLitmus(false), r.counterexample);
+  EXPECT_EQ(replayed, r.first_violation);
+}
+
 // --- Rwlock: reader preference is safe but starves writers ---
 
 TEST(ModelTest, RwReaderPreferenceSafeExhaustively) {

@@ -2,7 +2,9 @@
 // paper's implementation, which trusted callers) checks them and panics.
 // Death tests pin down that misuse is caught, not silently corrupting.
 
+#include <atomic>
 #include <chrono>
+#include <thread>
 
 #include <gtest/gtest.h>
 
@@ -207,6 +209,74 @@ TEST(RequiresDeathTest, RwExclusiveReleaseOfSharedHoldPanicsInGlobalLockMode) {
         ReaderWriterMutex rw;
         rw.AcquireShared();
         rw.Release();
+      },
+      "check failed");
+}
+
+// Multi-object wait misuse: the waits REQUIRE a non-empty set, Add REQUIRES
+// distinct members, and an Event's destructor REQUIRES no live poll
+// registrations (a stack PollNode outliving its event is a use-after-free
+// in waiting).
+
+TEST(RequiresDeathTest, WaitAnyOnEmptySetPanics) {
+  Poll p;
+  EXPECT_DEATH((void)p.WaitAny(), "check failed");
+}
+
+TEST(RequiresDeathTest, WaitAllOnEmptySetPanics) {
+  Poll p;
+  EXPECT_DEATH(p.WaitAll(), "check failed");
+}
+
+TEST(RequiresDeathTest, DuplicateAddPanics) {
+  EXPECT_DEATH(
+      {
+        Event e;
+        Poll p;
+        p.Add(e);
+        p.Add(e);
+      },
+      "check failed");
+}
+
+TEST(RequiresDeathTest, EventDestroyedWithLiveRegistrationPanics) {
+  EXPECT_DEATH(
+      {
+        auto* e = new Event(EventReset::kAuto);
+        std::atomic<bool> parked{false};
+        Thread waiter = Thread::Fork([&] {
+          Poll p;
+          p.Add(*e);
+          parked.store(true, std::memory_order_release);
+          (void)p.WaitAny();
+        });
+        while (!parked.load(std::memory_order_acquire)) {
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        delete e;  // the waiter is (about to be) registered: must panic
+        waiter.Join();
+      },
+      "check failed");
+}
+
+TEST(RequiresDeathTest, WaitAnyOnEmptySetPanicsInGlobalLockMode) {
+  EXPECT_DEATH(
+      {
+        Nub::Get().SetGlobalLockMode(true);
+        Poll p;
+        (void)p.WaitAny();
+      },
+      "check failed");
+}
+
+TEST(RequiresDeathTest, DuplicateAddPanicsInGlobalLockMode) {
+  EXPECT_DEATH(
+      {
+        Nub::Get().SetGlobalLockMode(true);
+        Event e;
+        Poll p;
+        p.Add(e);
+        p.Add(e);
       },
       "check failed");
 }

@@ -494,5 +494,142 @@ TEST_P(WhenSweep, NilMutexEnablesAcquireForEveryone) {
 INSTANTIATE_TEST_SUITE_P(Spec, WhenSweep,
                          ::testing::Values(kT1, kT2, 7, 19, 100));
 
+// --- Events and the multi-object wait (DESIGN.md §15) ---
+
+constexpr ObjId kE1 = 40;
+constexpr ObjId kE2 = 41;
+
+TEST_F(SemanticsTest, EventSetEnsuresTrueAndResetFalse) {
+  SpecState pre;  // e = FALSE
+  SpecState post = pre;
+  post.SetEvent(kE1, true);
+  EXPECT_TRUE(sem_.Check(pre, MakeEventSet(kT1, kE1), post).Ok());
+  EXPECT_TRUE(sem_.Check(post, MakeEventReset(kT1, kE1), pre).Ok());
+  // Set that leaves the event false violates ENSURES.
+  EXPECT_FALSE(sem_.Check(pre, MakeEventSet(kT1, kE1), pre).ensures_ok);
+}
+
+TEST_F(SemanticsTest, EventWaitNeedsTheFlagAndLeavesIt) {
+  SpecState reset;
+  EXPECT_FALSE(sem_.Enabled(reset, MakeEventWait(kT1, kE1)));
+  SpecState set;
+  set.SetEvent(kE1, true);
+  // Manual-reset grant: UNCHANGED [e].
+  EXPECT_TRUE(sem_.Check(set, MakeEventWait(kT1, kE1), set).Ok());
+  EXPECT_FALSE(sem_.Check(set, MakeEventWait(kT1, kE1), reset).ensures_ok);
+}
+
+TEST_F(SemanticsTest, EventConsumeClearsExactlyOnce) {
+  SpecState set;
+  set.SetEvent(kE1, true);
+  SpecState cleared;
+  // Auto-reset grant: epost = FALSE.
+  EXPECT_TRUE(sem_.Check(set, MakeEventConsume(kT1, kE1), cleared).Ok());
+  EXPECT_FALSE(sem_.Check(set, MakeEventConsume(kT1, kE1), set).ensures_ok);
+  // And WHEN e: a consume of a reset event is not enabled.
+  EXPECT_FALSE(sem_.Enabled(cleared, MakeEventConsume(kT1, kE1)));
+}
+
+TEST_F(SemanticsTest, PollAnyExistentialWhen) {
+  const ObjIdSet ws = ObjIdSet{kE1, kE2};
+  SpecState none;
+  EXPECT_FALSE(sem_.Enabled(none, MakePollAny(kT1, ws, kE1, false)));
+  SpecState one;
+  one.SetEvent(kE2, true);
+  // Some member set: enabled — but only the set member is a legal witness.
+  EXPECT_TRUE(sem_.Enabled(one, MakePollAny(kT1, ws, kE2, false)));
+  SpecState consumed;  // kE2 back to false
+  Verdict v = sem_.Check(one, MakePollAny(kT1, ws, kE2, true), consumed);
+  EXPECT_TRUE(v.Ok()) << v.message;
+  // A grant naming a reset member fails its witness obligation.
+  EXPECT_FALSE(sem_.Check(one, MakePollAny(kT1, ws, kE1, false), one)
+                   .ensures_ok);
+}
+
+TEST_F(SemanticsTest, PollAnyRequiresClauses) {
+  SpecState pre;
+  pre.SetEvent(kE1, true);
+  // Empty wait set.
+  EXPECT_FALSE(
+      sem_.Check(pre, MakePollAny(kT1, ObjIdSet{}, kE1, false), pre)
+          .requires_ok);
+  // Granted member outside the wait set.
+  EXPECT_FALSE(
+      sem_.Check(pre, MakePollAny(kT1, ObjIdSet{kE2}, kE1, false), pre)
+          .requires_ok);
+}
+
+TEST_F(SemanticsTest, PollAnyOnlyTheWitnessMayChange) {
+  SpecState pre;
+  pre.SetEvent(kE1, true);
+  pre.SetEvent(kE2, true);
+  SpecState post = pre;
+  post.SetEvent(kE1, false);  // consumed the witness...
+  post.SetEvent(kE2, false);  // ...and a bystander: UNCHANGED violated
+  Verdict v =
+      sem_.Check(pre, MakePollAny(kT1, ObjIdSet{kE1, kE2}, kE1, true), post);
+  EXPECT_FALSE(v.ensures_ok);
+}
+
+TEST_F(SemanticsTest, PollAllUniversalWhen) {
+  const ObjIdSet ws = ObjIdSet{kE1, kE2};
+  SpecState half;
+  half.SetEvent(kE1, true);
+  EXPECT_FALSE(sem_.Enabled(half, MakePollAll(kT1, ws, ObjIdSet{})));
+  SpecState full = half;
+  full.SetEvent(kE2, true);
+  EXPECT_TRUE(sem_.Enabled(full, MakePollAll(kT1, ws, ObjIdSet{})));
+  // Consume kE1 (auto), keep kE2 (manual): exactly that post state passes.
+  SpecState post = full;
+  post.SetEvent(kE1, false);
+  EXPECT_TRUE(sem_.Check(full, MakePollAll(kT1, ws, ObjIdSet{kE1}), post).Ok());
+  EXPECT_FALSE(
+      sem_.Check(full, MakePollAll(kT1, ws, ObjIdSet{kE1}), full).ensures_ok);
+  // consumed must be a subset of the wait set.
+  EXPECT_FALSE(
+      sem_.Check(full, MakePollAll(kT1, ObjIdSet{kE1}, ObjIdSet{kE2}), full)
+          .requires_ok);
+}
+
+TEST_F(SemanticsTest, PollTimeoutIsAnEventNoOp) {
+  SpecState pre;
+  pre.SetEvent(kE1, true);
+  EXPECT_TRUE(
+      sem_.Check(pre, MakePollTimeout(kT1, ObjIdSet{kE1, kE2}), pre).Ok());
+  SpecState post = pre;
+  post.SetEvent(kE2, true);  // a timeout that set a member: ENSURES fails
+  EXPECT_FALSE(sem_.Check(pre, MakePollTimeout(kT1, ObjIdSet{kE1, kE2}), post)
+                   .ensures_ok);
+}
+
+TEST_F(SemanticsTest, PollAlertRaisesConsumesTheAlertOnly) {
+  SpecState pre;
+  pre.alerts = ThreadSet{kT1};
+  pre.SetEvent(kE1, true);
+  SpecState post = pre;
+  post.alerts = ThreadSet{};
+  EXPECT_TRUE(
+      sem_.Check(pre, MakePollAlertRaises(kT1, ObjIdSet{kE1}), post).Ok());
+  // WHEN SELF IN alerts.
+  EXPECT_FALSE(sem_.Enabled(post, MakePollAlertRaises(kT1, ObjIdSet{kE1})));
+  // Raising must not consume a member.
+  SpecState bad = post;
+  bad.SetEvent(kE1, false);
+  EXPECT_FALSE(sem_.Check(pre, MakePollAlertRaises(kT1, ObjIdSet{kE1}), bad)
+                   .ensures_ok);
+}
+
+TEST_F(SemanticsTest, PollFrameProtectsBystanderEvents) {
+  SpecState pre;
+  pre.SetEvent(kE1, true);
+  pre.SetEvent(kE2, true);  // NOT in the wait set
+  SpecState post = pre;
+  post.SetEvent(kE1, false);
+  post.SetEvent(kE2, false);  // outside MODIFIES AT MOST [wait_set]
+  Verdict v =
+      sem_.Check(pre, MakePollAny(kT1, ObjIdSet{kE1}, kE1, true), post);
+  EXPECT_FALSE(v.frame_ok);
+}
+
 }  // namespace
 }  // namespace taos::spec

@@ -91,6 +91,19 @@ TEST(SpecStateTest, EqualityDistinguishesRealDifferences) {
   EXPECT_FALSE(a == c);
 }
 
+TEST(SpecStateTest, EventsDefaultFalseAndRoundTrip) {
+  SpecState s;
+  EXPECT_FALSE(s.Event(40));  // absent key => FALSE (reset)
+  s.SetEvent(40, true);
+  EXPECT_TRUE(s.Event(40));
+  EXPECT_FALSE(s.Event(41));
+  s.SetEvent(40, false);
+  EXPECT_FALSE(s.Event(40));
+  SpecState other;
+  other.SetEvent(40, true);
+  EXPECT_FALSE(s == other);
+}
+
 TEST(SpecStateTest, ToStringMentionsContents) {
   SpecState s;
   s.SetMutex(1, 2);

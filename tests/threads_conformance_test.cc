@@ -396,6 +396,168 @@ TEST_P(ConformanceTest, RwlockSharedExclusiveStorm) {
   CheckConformance();
 }
 
+// The multi-object wait under tracing: WaitAny/WaitAll waiters (plain,
+// timed, alertable) racing Sets on shared events. The checker holds every
+// PollAny to "granted was set and the rest UNCHANGED", every PollAll to a
+// simultaneous ∀-WHEN, and the auto-reset consumptions to exactly-once —
+// the double-grant argument, replayed over the real runtime's
+// serializations instead of the model's.
+TEST_P(ConformanceTest, EventPollStorm) {
+  const int rounds = 10 * Scale();
+  Event a(EventReset::kAuto);
+  Event b(EventReset::kAuto);
+  Event m;  // manual: observed, never consumed
+  std::atomic<int> grants{0};
+  std::atomic<int> done{0};
+  std::vector<Thread> waiters;
+  for (int w = 0; w < 2; ++w) {
+    waiters.push_back(Thread::Fork([&, w] {
+      Poll p;
+      p.Add(a);
+      p.Add(b);
+      for (int r = 0; r < rounds; ++r) {
+        if ((r + w) % 3 == 0) {
+          const Poll::AnyResult res =
+              p.WaitAnyFor(std::chrono::microseconds(50 * (r % 4)));
+          if (res.result == WaitResult::kSatisfied) {
+            grants.fetch_add(1, std::memory_order_relaxed);
+          }
+        } else {
+          (void)p.WaitAny();
+          grants.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      done.fetch_add(1, std::memory_order_release);
+    }));
+  }
+  Thread all_waiter = Thread::Fork([&] {
+    Poll p;
+    p.Add(b);
+    p.Add(m);
+    for (int r = 0; r < rounds; ++r) {
+      if (p.WaitAllFor(std::chrono::microseconds(80)) ==
+          WaitResult::kSatisfied) {
+        grants.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    done.fetch_add(1, std::memory_order_release);
+  });
+  Thread setter = Thread::Fork([&] {
+    // Over-provision pulses until every waiter retires: an auto pulse can
+    // be consumed by a timed scan that then reports kTimeout on its next
+    // round, so a counted feed cannot guarantee termination.
+    int i = 0;
+    while (done.load(std::memory_order_acquire) < 3) {
+      switch (i++ % 4) {
+        case 0: a.Set(); break;
+        case 1: b.Set(); break;
+        case 2: m.Set(); break;
+        case 3: m.Reset(); break;
+      }
+      if (i % 8 == 0) {
+        std::this_thread::yield();
+      }
+    }
+  });
+  for (Thread& t : waiters) {
+    t.Join();
+  }
+  all_waiter.Join();
+  setter.Join();
+  EXPECT_GT(grants.load(std::memory_order_relaxed), 0);
+  CheckConformance();
+}
+
+// Alertable poll waits racing Alert, grants, and timeouts: the PollAlert
+// RAISES exit must serialize like AlertWait's (alert consumed, no member
+// consumed), and a grant that beats the alert leaves the flag pending.
+TEST_P(ConformanceTest, PollAlertRaces) {
+  const int rounds = 8 * Scale();
+  Event a(EventReset::kAuto);
+  int raised = 0;
+  int granted = 0;
+  for (int r = 0; r < rounds; ++r) {
+    Thread waiter = Thread::Fork([&] {
+      Poll p;
+      p.Add(a);
+      try {
+        if ((r % 2) == 0) {
+          (void)p.AlertWaitAny();
+          ++granted;
+        } else {
+          const Poll::AnyResult res =
+              p.AlertWaitAnyFor(std::chrono::milliseconds(50));
+          if (res.result == WaitResult::kSatisfied) {
+            ++granted;
+          } else {
+            ++raised;  // kAlerted or kTimeout: count as a non-grant exit
+          }
+        }
+      } catch (const Alerted&) {
+        ++raised;
+      }
+    });
+    if (r % 3 == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    Alert(waiter.Handle());
+    a.Set();
+    waiter.Join();
+    // Drain the round's leftover pulse (present iff the waiter raised or
+    // timed out); a leftover alert dies with the round's thread.
+    (void)a.TryWait();
+  }
+  EXPECT_EQ(raised + granted, rounds);
+  CheckConformance();
+}
+
+// The MessageQueue composition in traced mode: its Mutex, Events, and the
+// receiver's WaitAny all interleave in one trace, and the checker holds the
+// whole fabric — queue edges under the mutex, level events, poll grants —
+// to a single serialization.
+TEST_P(ConformanceTest, MessageQueueFanIn) {
+  const int items = 12 * Scale();
+  MessageQueue<int> q0(2);
+  MessageQueue<int> q1(2);
+  Event shutdown;
+  std::int64_t sum = 0;
+  Thread receiver = Thread::Fork([&] {
+    Poll p;
+    p.Add(q0.readable());
+    p.Add(q1.readable());
+    p.Add(shutdown);
+    int received = 0;
+    while (received < 2 * items) {
+      const std::size_t idx = p.WaitAny();
+      int v;
+      if (idx == 0 && q0.TryRecv(&v) == QueueResult::kOk) {
+        sum += v;
+        ++received;
+      } else if (idx == 1 && q1.TryRecv(&v) == QueueResult::kOk) {
+        sum += v;
+        ++received;
+      }
+    }
+  });
+  Thread p0 = Thread::Fork([&] {
+    for (int i = 1; i <= items; ++i) {
+      ASSERT_EQ(q0.Send(i), QueueResult::kOk);
+    }
+  });
+  Thread p1 = Thread::Fork([&] {
+    for (int i = 1; i <= items; ++i) {
+      ASSERT_EQ(q1.SendFor(i, std::chrono::seconds(30)), QueueResult::kOk);
+    }
+  });
+  p0.Join();
+  p1.Join();
+  receiver.Join();
+  shutdown.Set();
+  const std::int64_t n = items;
+  EXPECT_EQ(sum, 2 * (n * (n + 1) / 2));
+  CheckConformance();
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Backends, ConformanceTest,
     ::testing::Combine(::testing::Values(LockBackend::kTas, LockBackend::kMcs,

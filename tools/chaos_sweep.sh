@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Seed-sweep driver for the chaos schedule-injection harness.
 #
-# Runs the conformance, timed, stress, and rwlock suites (which already fan
+# Runs the conformance, timed, stress, rwlock, and poll suites (which fan
 # out over the lock-sharding x waiter-queue matrix via their registered
 # ctest variants) under every strategy for each seed, and repeats the whole
 # grid once per lock backend (TAOS_LOCK=tas|mcs|clh) so the MCS/CLH handoff
@@ -26,7 +26,7 @@ if [ "${#SEEDS[@]}" -eq 0 ]; then
   SEEDS=(1 2 3 4 5)
 fi
 
-FILTER="${TAOS_SWEEP_FILTER:-threads_conformance_test|threads_timed_test|threads_stress_test|rwmutex_test}"
+FILTER="${TAOS_SWEEP_FILTER:-threads_conformance_test|threads_timed_test|threads_stress_test|rwmutex_test|poll_test}"
 POINTS="${TAOS_CHAOS_POINTS:-}"
 STRATEGIES=(uniform preempt-after-cas delay-before-park)
 read -r -a LOCKS <<< "${TAOS_SWEEP_LOCKS:-tas mcs clh}"
